@@ -1,0 +1,58 @@
+"""Benchmark/regeneration of Figure 10 — grid gains with Algorithm 1.
+
+Run with::
+
+    pytest benchmarks/bench_fig10.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig10
+
+
+@pytest.mark.figure("fig10")
+def test_fig10_grid_sweep(benchmark) -> None:
+    """Time the 2-5 cluster sweep and print the gain curves."""
+    result = benchmark.pedantic(
+        lambda: fig10.run(months=60, step=4), rounds=1, iterations=1
+    )
+    print()
+    print(fig10.render(result))
+    from pathlib import Path
+
+    from repro.analysis.svg import svg_line_chart
+
+    directory = Path(__file__).parent / "artifacts"
+    directory.mkdir(exist_ok=True)
+    svg = svg_line_chart(
+        list(result.x_axis),
+        {name: list(values) for name, values in result.gains.items()},
+        title="Figure 10: grid gains with DAG repartition",
+        x_label="clusters + resources/100",
+        y_label="gain (%)",
+    )
+    (directory / "fig10.svg").write_text(svg, encoding="utf-8")
+    # Shape checks from the paper's discussion of Figure 10.
+    assert result.max_gain("knapsack") > 0.0
+    # Plateaus exist: a sizeable share of configurations shows no gain.
+    zeros = sum(1 for v in result.gains["knapsack"] if abs(v) < 1e-9)
+    assert zeros >= len(result.gains["knapsack"]) // 4
+    # Gains shrink as clusters are added: compare best gain on 2 vs 5.
+    by_n: dict[int, list[float]] = {}
+    for (n, _r), v in zip(result.configurations, result.gains["knapsack"]):
+        by_n.setdefault(n, []).append(v)
+    assert max(by_n[2]) >= max(by_n[5]) - 1e-9
+
+
+@pytest.mark.figure("fig10")
+def test_fig10_repartition_cost(benchmark) -> None:
+    """Microbenchmark: Algorithm 1 itself on paper-size inputs."""
+    from repro.core.repartition import repartition_dags
+
+    performance = [
+        [float((i + 2) * k) for k in range(1, 11)] for i in range(5)
+    ]
+    rep = benchmark(repartition_dags, performance, 10)
+    assert sum(rep.counts) == 10

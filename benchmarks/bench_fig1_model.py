@@ -1,0 +1,41 @@
+"""Benchmark/regeneration of Figures 1-2 — the application model.
+
+Run with::
+
+    pytest benchmarks/bench_fig1_model.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig1_model
+from repro.workflow.ocean_atmosphere import EnsembleSpec, ensemble_dag
+
+
+@pytest.mark.figure("fig1")
+def test_fig1_model_build_and_fuse(benchmark) -> None:
+    """Time the 2-month build + fusion round-trip and print the model."""
+    result = benchmark(fig1_model.run)
+    print()
+    print(fig1_model.render(result))
+    assert result.fusion_matches_direct
+
+
+@pytest.mark.figure("fig1")
+def test_full_scale_ensemble_dag_build(benchmark) -> None:
+    """Build the paper's full experiment DAG: 10 x 1800 months, 108k tasks."""
+    spec = EnsembleSpec(10, 1800)
+    dag = benchmark.pedantic(ensemble_dag, args=(spec,), rounds=1, iterations=1)
+    assert len(dag) == 10 * 1800 * 6
+
+
+@pytest.mark.figure("fig3to6")
+def test_fig3to6_shape_phenomena(benchmark) -> None:
+    """Regenerate the schedule-shape illustrations with structural proofs."""
+    from repro.experiments import fig3to6
+
+    cases = benchmark(fig3to6.run)
+    print()
+    print(fig3to6.render(cases, gantt=True))
+    assert all(case.phenomenon_present for case in cases)

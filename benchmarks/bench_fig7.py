@@ -1,0 +1,57 @@
+"""Benchmark/regeneration of Figure 7 — optimal grouping staircase.
+
+Run with::
+
+    pytest benchmarks/bench_fig7.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig7
+
+
+def _artifact_path(name: str):
+    """Where figure artifacts produced by the bench run land."""
+    from pathlib import Path
+
+    directory = Path(__file__).parent / "artifacts"
+    directory.mkdir(exist_ok=True)
+    return directory / name
+
+
+@pytest.mark.figure("fig7")
+def test_fig7_optimal_groupings(benchmark) -> None:
+    """Time the full R=11..120 staircase; print and render the figure."""
+    result = benchmark(lambda: fig7.run(months=60))
+    print()
+    print(fig7.render(result))
+    from repro.analysis.svg import svg_line_chart
+
+    svg = svg_line_chart(
+        [float(r) for r in result.resources],
+        {"best grouping G*": [float(g) for g in result.best_group]},
+        title="Figure 7: optimal groupings for 10 scenario simulations",
+        x_label="resources (processors)",
+        y_label="best grouping",
+    )
+    _artifact_path("fig7.svg").write_text(svg, encoding="utf-8")
+    # Reproduction checks (the paper's shape):
+    assert result.group_at(110) == 11
+    assert result.group_at(120) == 11
+    assert min(result.best_group) >= 4
+    assert len(set(result.best_group)) > 3  # a real staircase, not a line
+
+
+@pytest.mark.figure("fig7")
+def test_fig7_single_point(benchmark) -> None:
+    """Microbenchmark: one G* selection (the heuristic's planning cost)."""
+    from repro.core.basic import best_uniform_group
+    from repro.platform.benchmarks import benchmark_cluster
+    from repro.workflow.ocean_atmosphere import EnsembleSpec
+
+    cluster = benchmark_cluster("sagittaire", 53)
+    spec = EnsembleSpec(10, 1800)  # full paper-size NM: selection is O(1) in NM
+    g = benchmark(best_uniform_group, cluster, spec)
+    assert 4 <= g <= 11

@@ -1,0 +1,23 @@
+"""Benchmark/regeneration of Figure 9 — the live protocol trace.
+
+Run with::
+
+    pytest benchmarks/bench_fig9.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig9_protocol
+
+
+@pytest.mark.figure("fig9")
+def test_fig9_protocol_trace(benchmark) -> None:
+    """Time one full protocol execution and print the sequence diagram."""
+    result = benchmark(fig9_protocol.run)
+    print()
+    print(fig9_protocol.render(result))
+    kinds = result.kinds_in_order()
+    assert kinds[0] == "ServiceRequest"
+    assert kinds[-1] == "ExecutionReport"

@@ -1,0 +1,17 @@
+"""Shared configuration for the benchmark harness.
+
+Each ``bench_*`` module regenerates one of the paper's figures through
+the same ``repro.experiments`` drivers the CLI uses, at a resolution
+that keeps the timed function in the single-seconds range, and prints
+the figure's rows after timing so the harness output doubles as the
+reproduction record (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+
+def pytest_configure(config):
+    """Register the marker used to tag figure-reproduction benches."""
+    config.addinivalue_line(
+        "markers", "figure(name): benchmark regenerates the named paper figure"
+    )

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Visualizing schedule shapes — the paper's Figures 3-6 as ASCII Gantt.
+
+Four configurations chosen to show the structures the paper draws:
+
+1. Figure 3: no post pool (R2=0) — post tasks pile up after the mains.
+2. Figure 4: an undersized post pool — posts 'overpass' into later waves.
+3. Figures 5-6: an incomplete final wave — the unused groups' processors
+   (Rleft) absorb the backlog.
+4. The knapsack grouping on the same machine, for contrast.
+
+Run::
+
+    python examples/gantt_trace.py
+"""
+
+from __future__ import annotations
+
+from repro import EnsembleSpec, Grouping, benchmark_cluster, simulate_on_cluster
+from repro.core.knapsack_grouping import knapsack_grouping
+from repro.simulation.trace import render_gantt, trace_summary
+
+
+def show(title: str, cluster, grouping: Grouping, spec: EnsembleSpec) -> None:
+    """Simulate one configuration and print its chart."""
+    print("=" * 100)
+    print(title)
+    print("=" * 100)
+    result = simulate_on_cluster(cluster, grouping, spec, record_trace=True)
+    print(trace_summary(result))
+    print()
+    print(render_gantt(result, width=96, max_rows=24))
+    print()
+
+
+def main() -> None:
+    cluster = benchmark_cluster("sagittaire", 22)
+
+    # 1. R2 = 0: two groups of 11 fill the machine; every post task must
+    #    wait for the end (paper Figure 3).
+    show(
+        "Figure 3 shape: no processors for post-processing (R2 = 0)",
+        cluster,
+        Grouping((11, 11), post_pool=0, total_resources=22),
+        EnsembleSpec(scenarios=4, months=6),
+    )
+
+    # 2. Undersized post pool: four groups of 5 feed one post processor
+    #    faster than it drains (paper Figure 4's 'overpassing').
+    show(
+        "Figure 4 shape: post tasks overpassing an undersized pool",
+        cluster,
+        Grouping((5, 5, 5, 5), post_pool=2, total_resources=22),
+        EnsembleSpec(scenarios=8, months=6),
+    )
+
+    # 3. Incomplete last wave: 5 scenarios x 5 months = 25 tasks on 4
+    #    groups -> the 7th wave uses 1 group; the three idle groups'
+    #    processors (Rleft) absorb the post backlog (paper Figures 5-6).
+    show(
+        "Figures 5-6 shape: final incomplete wave, Rleft absorbs posts",
+        cluster,
+        Grouping((5, 5, 5, 5), post_pool=2, total_resources=22),
+        EnsembleSpec(scenarios=5, months=5),
+    )
+
+    # 4. What the knapsack does with the same 22 processors.
+    spec = EnsembleSpec(scenarios=5, months=5)
+    grouping = knapsack_grouping(cluster, spec)
+    show(
+        f"Knapsack grouping on the same machine: {grouping.describe()}",
+        cluster,
+        grouping,
+        spec,
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""The future-work extension on a non-climate workload.
+
+The paper's conclusion proposes generalizing the heuristics to any
+"workflow made of independent chains of identical DAGs composed of
+moldable tasks".  This example schedules exactly such a workload from a
+different domain: a nightly seismic-imaging pipeline.
+
+* 6 independent survey lines (chains);
+* each line processes 40 shots (repeats) sequentially — every shot's
+  migration starts from the previous shot's updated velocity model;
+* one shot's **migration** is moldable: it runs on 2–16 processors with
+  measured times (strong scaling tails off past 12);
+* each migration spawns a sequential **QC rendering** task (90 s).
+
+The same machinery partitions a 22-processor cluster; nothing
+climate-specific is involved.  The example also demonstrates a
+*cautionary* behaviour the paper observed at large R: this workload's
+efficiency **increases** toward small widths (no sequential-component
+tax like ARPEGE's +3 processors), so the knapsack's throughput proxy
+over-fragments — Improvements 1-2 win here, the knapsack dips negative.
+Know your scaling curve before you pick a heuristic.  The DAG is also
+exported to JSON, the portable format external tools can feed the
+scheduler with.
+
+Run::
+
+    python examples/generic_workflow.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table
+from repro.core.generic import GenericChainProblem, generic_simulate
+from repro.core.heuristics import HeuristicName
+from repro.workflow.ocean_atmosphere import EnsembleSpec, fused_ensemble_dag
+from repro.workflow.serialize import dumps_dag
+
+#: Measured migration times (seconds) by processor count — a strong-
+#: scaling curve that flattens near 12 processors.
+MIGRATION_TIMES = {
+    2: 2900.0,
+    3: 2010.0,
+    4: 1560.0,
+    5: 1290.0,
+    6: 1110.0,
+    7: 985.0,
+    8: 895.0,
+    9: 830.0,
+    10: 780.0,
+    11: 745.0,
+    12: 720.0,
+    13: 705.0,
+    14: 695.0,
+    15: 690.0,
+    16: 688.0,
+}
+
+
+def main() -> None:
+    problem = GenericChainProblem(
+        chains=6,
+        repeats=40,
+        moldable_table=MIGRATION_TIMES,
+        post_seconds=90.0,
+        resources=22,
+    )
+    print(
+        f"seismic pipeline: {problem.chains} survey lines x "
+        f"{problem.repeats} shots on {problem.resources} processors"
+    )
+    print(
+        f"migration widths {min(MIGRATION_TIMES)}-{max(MIGRATION_TIMES)} "
+        f"procs, QC task {problem.post_seconds:.0f}s\n"
+    )
+
+    rows = []
+    results = {}
+    for heuristic in HeuristicName:
+        result = generic_simulate(problem, heuristic)
+        results[heuristic.value] = result.makespan
+        rows.append(
+            [
+                heuristic.value,
+                result.grouping.describe(),
+                f"{result.makespan / 3600:.2f}",
+            ]
+        )
+    print(format_table(["heuristic", "grouping", "makespan (h)"], rows))
+
+    base = results["basic"]
+    best = min(results, key=results.get)  # type: ignore[arg-type]
+    print(
+        f"\nbest: {best} "
+        f"({(base - results[best]) / base * 100:+.1f}% vs basic)"
+    )
+
+    # Gains vs basic over a small resource sweep: watch the knapsack's
+    # proxy mislead where per-processor efficiency rises toward small
+    # widths (negative entries), exactly the failure mode the paper
+    # reports at large R on the climate workload.
+    sweep_rows = []
+    for r in (14, 16, 20, 22, 26, 34):
+        swept = GenericChainProblem(
+            chains=6, repeats=40, moldable_table=MIGRATION_TIMES,
+            post_seconds=90.0, resources=r,
+        )
+        base_ms = generic_simulate(swept, HeuristicName.BASIC).makespan
+        row = [r]
+        for heuristic in (
+            HeuristicName.REDISTRIBUTE,
+            HeuristicName.ALLPOST_END,
+            HeuristicName.KNAPSACK,
+        ):
+            ms = generic_simulate(swept, heuristic).makespan
+            row.append(f"{(base_ms - ms) / base_ms * 100:+.1f}")
+        sweep_rows.append(row)
+    print("\ngain (%) vs basic across resource counts:")
+    print(
+        format_table(
+            ["R", "redistribute", "allpost_end", "knapsack"], sweep_rows
+        )
+    )
+
+    # Portability: the equivalent fused DAG exports to plain JSON.
+    dag = fused_ensemble_dag(EnsembleSpec(problem.chains, 2))
+    blob = dumps_dag(dag)
+    print(
+        f"\n(2-shot slice of the workflow serializes to {len(blob)} bytes "
+        f"of repro-dag/1 JSON — see repro.workflow.serialize)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,124 @@
+"""Drift comparison between archived figure results.
+
+Reproduction runs serialized with :mod:`repro.experiments.results_io`
+can be compared across library versions or platforms: load two
+archives, diff the shared series, and get a per-series drift summary.
+Zero drift means the runs are bit-compatible; a report of *where* they
+diverge turns "the numbers changed" into an actionable diagnosis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+from repro.exceptions import ConfigurationError
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
+    from repro.experiments.fig7 import Fig7Result
+    from repro.experiments.fig8 import Fig8Result
+    from repro.experiments.fig10 import Fig10Result
+
+__all__ = ["SeriesDrift", "compare_results", "format_drift"]
+
+
+@dataclass(frozen=True)
+class SeriesDrift:
+    """Drift of one shared series between two runs."""
+
+    series: str
+    points: int
+    max_abs_diff: float
+    mean_abs_diff: float
+    first_divergence_index: int | None
+
+    @property
+    def identical(self) -> bool:
+        """Whether the series match exactly."""
+        return self.first_divergence_index is None
+
+
+def _diff_series(
+    name: str, a: Sequence[float], b: Sequence[float], tol: float
+) -> SeriesDrift:
+    if len(a) != len(b):
+        raise ConfigurationError(
+            f"series {name!r} has {len(a)} vs {len(b)} points; compare runs "
+            f"with identical sweep parameters"
+        )
+    diffs = [abs(float(x) - float(y)) for x, y in zip(a, b)]
+    first = next((i for i, d in enumerate(diffs) if d > tol), None)
+    return SeriesDrift(
+        series=name,
+        points=len(a),
+        max_abs_diff=max(diffs, default=0.0),
+        mean_abs_diff=(sum(diffs) / len(diffs)) if diffs else 0.0,
+        first_divergence_index=first,
+    )
+
+
+def compare_results(
+    a: "Fig7Result | Fig8Result | Fig10Result",
+    b: "Fig7Result | Fig8Result | Fig10Result",
+    *,
+    tol: float = 0.0,
+) -> list[SeriesDrift]:
+    """Diff every shared series of two same-figure results."""
+    # Imported here, not at module scope: repro.analysis is a dependency
+    # of the figure drivers, so a top-level import would be circular.
+    # Fig8/Fig10 results are then distinguished structurally (stats vs
+    # gains) to keep the runtime imports minimal.
+    from repro.experiments.fig7 import Fig7Result
+
+    if type(a) is not type(b):
+        raise ConfigurationError(
+            f"cannot compare {type(a).__name__} with {type(b).__name__}"
+        )
+    drifts: list[SeriesDrift] = []
+    if isinstance(a, Fig7Result):
+        drifts.append(
+            _diff_series(
+                "best_group",
+                [float(g) for g in a.best_group],
+                [float(g) for g in b.best_group],
+                tol,
+            )
+        )
+    elif hasattr(a, "stats"):
+        for name in a.stats:
+            if name not in b.stats:
+                raise ConfigurationError(f"series {name!r} missing in second run")
+            drifts.append(
+                _diff_series(
+                    f"{name}.mean",
+                    [s.mean for s in a.stats[name]],
+                    [s.mean for s in b.stats[name]],
+                    tol,
+                )
+            )
+    else:
+        for name in a.gains:
+            if name not in b.gains:
+                raise ConfigurationError(f"series {name!r} missing in second run")
+            drifts.append(
+                _diff_series(name, a.gains[name], b.gains[name], tol)
+            )
+    return drifts
+
+
+def format_drift(drifts: list[SeriesDrift]) -> str:
+    """Human-readable drift summary."""
+    if all(d.identical for d in drifts):
+        total = sum(d.points for d in drifts)
+        return f"identical: {len(drifts)} series, {total} points, zero drift"
+    lines = ["drift detected:"]
+    for d in drifts:
+        if d.identical:
+            lines.append(f"  {d.series}: identical ({d.points} points)")
+        else:
+            lines.append(
+                f"  {d.series}: max |diff| {d.max_abs_diff:.4g}, mean "
+                f"{d.mean_abs_diff:.4g}, first divergence at index "
+                f"{d.first_divergence_index}"
+            )
+    return "\n".join(lines)

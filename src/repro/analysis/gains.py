@@ -1,0 +1,49 @@
+"""Gain computation — the paper's central evaluation metric.
+
+A *gain* is the relative makespan reduction of an improved heuristic
+over the basic one: ``(MS_basic − MS_improved) / MS_basic × 100``.
+Positive is better; the paper's Figures 8 and 10 plot exactly this, and
+explicitly allow slightly negative values (an "improvement" may lose on
+configurations where the basic grouping happens to be optimal).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["gain_percent", "gains_over_baseline"]
+
+
+def gain_percent(baseline: float, improved: float) -> float:
+    """Percentage makespan reduction of ``improved`` over ``baseline``."""
+    if baseline <= 0:
+        raise ConfigurationError(
+            f"baseline makespan must be > 0, got {baseline!r}"
+        )
+    if improved < 0:
+        raise ConfigurationError(
+            f"improved makespan must be >= 0, got {improved!r}"
+        )
+    return (baseline - improved) / baseline * 100.0
+
+
+def gains_over_baseline(
+    makespans: Mapping[str, float], baseline_key: str = "basic"
+) -> dict[str, float]:
+    """Gains of every heuristic in ``makespans`` over the baseline entry.
+
+    The baseline itself is omitted from the result (its gain is 0 by
+    definition and including it only clutters the figures).
+    """
+    if baseline_key not in makespans:
+        raise ConfigurationError(
+            f"no baseline entry {baseline_key!r} in {sorted(makespans)}"
+        )
+    baseline = makespans[baseline_key]
+    return {
+        name: gain_percent(baseline, value)
+        for name, value in makespans.items()
+        if name != baseline_key
+    }

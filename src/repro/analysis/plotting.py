@@ -1,0 +1,101 @@
+"""Terminal plots and CSV export.
+
+:func:`ascii_plot` renders multi-series line charts as text — the
+library has no plotting dependency, and the paper's figures are simple
+enough (staircases and gain curves) that a character grid conveys the
+shape faithfully.  :func:`series_to_csv` emits the same data for anyone
+who wants to regenerate publication-grade figures with their own tools.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["ascii_plot", "series_to_csv"]
+
+#: Series glyphs, assigned in iteration order.
+_GLYPHS = "*+xo#@%&"
+
+
+def ascii_plot(
+    xs: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    *,
+    width: int = 72,
+    height: int = 18,
+    x_label: str = "x",
+    y_label: str = "y",
+    title: str = "",
+) -> str:
+    """Render named series over common x values as an ASCII chart."""
+    if not series:
+        raise ConfigurationError("nothing to plot")
+    if len(xs) < 2:
+        raise ConfigurationError("need at least two x values to plot")
+    if width < 20 or height < 5:
+        raise ConfigurationError("plot must be at least 20x5 characters")
+    for name, ys in series.items():
+        if len(ys) != len(xs):
+            raise ConfigurationError(
+                f"series {name!r} has {len(ys)} points for {len(xs)} x values"
+            )
+
+    x_min, x_max = min(xs), max(xs)
+    all_y = [y for ys in series.values() for y in ys]
+    y_min, y_max = min(all_y), max(all_y)
+    if x_max == x_min:
+        raise ConfigurationError("x values are all identical")
+    if y_max == y_min:
+        y_max = y_min + 1.0  # flat series: give the axis some room
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def to_col(x: float) -> int:
+        return min(width - 1, int((x - x_min) / (x_max - x_min) * (width - 1)))
+
+    def to_row(y: float) -> int:
+        frac = (y - y_min) / (y_max - y_min)
+        return min(height - 1, int((1.0 - frac) * (height - 1)))
+
+    # Zero line, when it falls inside the range (gains plots).
+    if y_min < 0.0 < y_max:
+        zero_row = to_row(0.0)
+        for col in range(width):
+            grid[zero_row][col] = "-"
+
+    legend: list[str] = []
+    for idx, (name, ys) in enumerate(series.items()):
+        glyph = _GLYPHS[idx % len(_GLYPHS)]
+        legend.append(f"{glyph} {name}")
+        for x, y in zip(xs, ys):
+            grid[to_row(y)][to_col(x)] = glyph
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_label} [{y_min:.2f} .. {y_max:.2f}]")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label}: {x_min:g} .. {x_max:g}    legend: " + "  ".join(legend))
+    return "\n".join(lines)
+
+
+def series_to_csv(
+    x_label: str,
+    xs: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+) -> str:
+    """The plotted data as CSV text (header row + one row per x)."""
+    for name, ys in series.items():
+        if len(ys) != len(xs):
+            raise ConfigurationError(
+                f"series {name!r} has {len(ys)} points for {len(xs)} x values"
+            )
+    lines = [",".join([x_label, *series.keys()])]
+    for i, x in enumerate(xs):
+        cells = [repr(float(x))] + [repr(float(series[name][i])) for name in series]
+        lines.append(",".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,107 @@
+"""Sensitivity of the schedule to the benchmark table.
+
+The heuristics consume eight measured numbers per cluster (``T[4..11]``)
+plus ``TP``.  Which of them actually matter?  This module perturbs each
+entry by a relative ``epsilon`` and reports the makespan response, in
+two regimes:
+
+``plan-fixed``
+    The grouping stays as planned from the unperturbed table; only
+    execution times change.  This isolates *execution* sensitivity: an
+    entry not used by any group has exactly zero effect.
+
+``replan``
+    The heuristic re-plans against the perturbed table before
+    simulating on it.  This adds *decision* sensitivity: a perturbation
+    can flip the chosen grouping.  Replanning usually dodges part of a
+    slowdown; because the planner optimizes a *proxy* (knapsack value,
+    analytic formulas) rather than the simulated makespan itself, it is
+    not guaranteed to — the ``decision_margin_pct`` column makes such
+    cases visible instead of hiding them.
+
+Output is an elasticity-style table: percentage makespan change per
++``epsilon`` relative slowdown of one entry.  Together with the
+benchmark-noise study (``examples/heterogeneity_study.py``) this tells a
+practitioner which measurements deserve careful benchmarking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.heuristics import HeuristicName, plan_grouping
+from repro.exceptions import ConfigurationError
+from repro.platform.cluster import ClusterSpec
+from repro.platform.timing import TableTimingModel
+from repro.simulation.engine import simulate
+from repro.workflow.ocean_atmosphere import EnsembleSpec
+
+__all__ = ["EntrySensitivity", "table_sensitivity"]
+
+
+@dataclass(frozen=True)
+class EntrySensitivity:
+    """Makespan response to slowing one table entry by ``epsilon``."""
+
+    entry: str  # "T[4]".."T[11]" or "TP"
+    baseline_makespan: float
+    plan_fixed_pct: float
+    replan_pct: float
+
+    @property
+    def decision_margin_pct(self) -> float:
+        """How much replanning recovered (plan-fixed minus replan)."""
+        return self.plan_fixed_pct - self.replan_pct
+
+
+def _perturbed_timing(
+    base: TableTimingModel, entry: str, factor: float
+) -> TableTimingModel:
+    table = dict(base.main_time_table())
+    post = base.post_time()
+    if entry == "TP":
+        post *= factor
+    else:
+        g = int(entry[2:-1])
+        if g not in table:
+            raise ConfigurationError(f"no table entry {entry!r}")
+        table[g] *= factor
+    return TableTimingModel(table, post_seconds=post)
+
+
+def table_sensitivity(
+    cluster: ClusterSpec,
+    spec: EnsembleSpec,
+    heuristic: HeuristicName | str = HeuristicName.KNAPSACK,
+    *,
+    epsilon: float = 0.10,
+) -> list[EntrySensitivity]:
+    """Perturb every table entry by ``+epsilon`` and measure the response."""
+    if not 0.0 < epsilon < 1.0:
+        raise ConfigurationError(f"epsilon must be in (0, 1), got {epsilon!r}")
+    base_timing = TableTimingModel(
+        cluster.main_time_table(), post_seconds=cluster.post_time()
+    )
+    base_cluster = ClusterSpec(cluster.name, cluster.resources, base_timing)
+    baseline_grouping = plan_grouping(base_cluster, spec, heuristic)
+    baseline = simulate(baseline_grouping, spec, base_timing).makespan
+
+    entries = [f"T[{g}]" for g in base_timing.group_sizes] + ["TP"]
+    out: list[EntrySensitivity] = []
+    for entry in entries:
+        perturbed = _perturbed_timing(base_timing, entry, 1.0 + epsilon)
+        perturbed_cluster = ClusterSpec(
+            cluster.name, cluster.resources, perturbed
+        )
+        fixed = simulate(baseline_grouping, spec, perturbed).makespan
+        replanned_grouping = plan_grouping(perturbed_cluster, spec, heuristic)
+        replanned = simulate(replanned_grouping, spec, perturbed).makespan
+        out.append(
+            EntrySensitivity(
+                entry=entry,
+                baseline_makespan=baseline,
+                plan_fixed_pct=(fixed - baseline) / baseline * 100.0,
+                replan_pct=(replanned - baseline) / baseline * 100.0,
+            )
+        )
+    return out

@@ -1,0 +1,69 @@
+"""Series statistics: the mean ± standard-deviation bands of Figure 8.
+
+NumPy-vectorized because the figure sweeps produce one sample per
+(resource count × cluster × heuristic) — thousands of points whose
+aggregation should not dominate the experiment runtime (per the HPC
+guide: vectorize the hot loop, keep the rest legible).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["SeriesStats", "summarize", "summarize_many"]
+
+
+@dataclass(frozen=True)
+class SeriesStats:
+    """Mean/std/min/max of one sample set."""
+
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    count: int
+
+    def band(self) -> tuple[float, float]:
+        """The ``mean ± std`` interval plotted as Figure 8's error bars."""
+        return (self.mean - self.std, self.mean + self.std)
+
+
+def summarize(samples: Sequence[float]) -> SeriesStats:
+    """Aggregate one sample set.
+
+    Uses the *population* standard deviation (``ddof=0``): the five
+    benchmark clusters are the entire population the paper averages
+    over, not a sample from a larger one.
+    """
+    if len(samples) == 0:
+        raise ConfigurationError("cannot summarize an empty sample set")
+    arr = np.asarray(samples, dtype=np.float64)
+    if not np.all(np.isfinite(arr)):
+        raise ConfigurationError("samples must all be finite")
+    return SeriesStats(
+        mean=float(arr.mean()),
+        std=float(arr.std(ddof=0)),
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+        count=int(arr.size),
+    )
+
+
+def summarize_many(
+    samples_by_x: Sequence[tuple[float, Sequence[float]]],
+) -> tuple[np.ndarray, list[SeriesStats]]:
+    """Summaries for a whole sweep: ``[(x, samples), ...]``.
+
+    Returns the x values as an array plus one :class:`SeriesStats` per
+    point, preserving order.
+    """
+    if not samples_by_x:
+        raise ConfigurationError("cannot summarize an empty sweep")
+    xs = np.asarray([x for x, _ in samples_by_x], dtype=np.float64)
+    stats = [summarize(samples) for _, samples in samples_by_x]
+    return xs, stats

@@ -1,0 +1,211 @@
+"""Dependency-free SVG line charts.
+
+The ASCII plots of :mod:`repro.analysis.plotting` convey shape in a
+terminal; this module renders the same series as standalone SVG for
+reports and papers, without pulling a plotting stack into the
+dependency set.  Output is deterministic (same data → byte-identical
+SVG), which the tests rely on.
+
+Example::
+
+    from repro.analysis.svg import svg_line_chart
+    svg = svg_line_chart(xs, {"gain3": ys}, title="Figure 8",
+                         x_label="R", y_label="gain (%)")
+    open("fig8.svg", "w").write(svg)
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["svg_line_chart"]
+
+#: Color cycle (Okabe-Ito palette: colorblind-safe, print-safe).
+PALETTE = (
+    "#0072B2",  # blue
+    "#D55E00",  # vermillion
+    "#009E73",  # green
+    "#CC79A7",  # purple
+    "#E69F00",  # orange
+    "#56B4E9",  # sky
+    "#F0E442",  # yellow
+    "#000000",  # black
+)
+
+_MARGIN_LEFT = 64.0
+_MARGIN_RIGHT = 16.0
+_MARGIN_TOP = 34.0
+_MARGIN_BOTTOM = 46.0
+
+
+def _nice_ticks(lo: float, hi: float, target: int = 6) -> list[float]:
+    """Round tick positions covering [lo, hi] (1/2/5 ladder)."""
+    if hi <= lo:
+        hi = lo + 1.0
+    raw_step = (hi - lo) / max(1, target)
+    magnitude = 10.0 ** math.floor(math.log10(raw_step))
+    for factor in (1.0, 2.0, 5.0, 10.0):
+        step = factor * magnitude
+        if raw_step <= step:
+            break
+    first = math.floor(lo / step) * step
+    ticks = []
+    value = first
+    while value <= hi + step * 0.5:
+        if value >= lo - step * 0.5:
+            ticks.append(round(value, 10))
+        value += step
+    return ticks
+
+
+def _fmt(value: float) -> str:
+    """Compact coordinate formatting (avoids 13-digit float noise)."""
+    return f"{value:.2f}".rstrip("0").rstrip(".")
+
+
+def svg_line_chart(
+    xs: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    *,
+    title: str = "",
+    x_label: str = "x",
+    y_label: str = "y",
+    width: int = 640,
+    height: int = 400,
+) -> str:
+    """Render named series over common x values as a standalone SVG."""
+    if not series:
+        raise ConfigurationError("nothing to plot")
+    if len(xs) < 2:
+        raise ConfigurationError("need at least two x values to plot")
+    if width < 160 or height < 120:
+        raise ConfigurationError("chart must be at least 160x120 pixels")
+    for name, ys in series.items():
+        if len(ys) != len(xs):
+            raise ConfigurationError(
+                f"series {name!r} has {len(ys)} points for {len(xs)} x values"
+            )
+
+    x_min, x_max = min(xs), max(xs)
+    all_y = [y for ys in series.values() for y in ys]
+    y_min, y_max = min(all_y), max(all_y)
+    if y_max == y_min:
+        y_min -= 0.5
+        y_max += 0.5
+    if x_max == x_min:
+        raise ConfigurationError("x values are all identical")
+
+    plot_w = width - _MARGIN_LEFT - _MARGIN_RIGHT
+    plot_h = height - _MARGIN_TOP - _MARGIN_BOTTOM
+
+    def sx(x: float) -> float:
+        return _MARGIN_LEFT + (x - x_min) / (x_max - x_min) * plot_w
+
+    def sy(y: float) -> float:
+        return _MARGIN_TOP + (1.0 - (y - y_min) / (y_max - y_min)) * plot_h
+
+    parts: list[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" '
+        f'font-family="sans-serif" font-size="12">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+    ]
+    if title:
+        parts.append(
+            f'<text x="{width / 2:.0f}" y="20" text-anchor="middle" '
+            f'font-size="14" font-weight="bold">{_escape(title)}</text>'
+        )
+
+    # Gridlines + ticks.
+    for tick in _nice_ticks(y_min, y_max):
+        y = sy(tick)
+        parts.append(
+            f'<line x1="{_fmt(_MARGIN_LEFT)}" y1="{_fmt(y)}" '
+            f'x2="{_fmt(width - _MARGIN_RIGHT)}" y2="{_fmt(y)}" '
+            f'stroke="#dddddd" stroke-width="1"/>'
+        )
+        parts.append(
+            f'<text x="{_fmt(_MARGIN_LEFT - 6)}" y="{_fmt(y + 4)}" '
+            f'text-anchor="end">{tick:g}</text>'
+        )
+    for tick in _nice_ticks(x_min, x_max):
+        if tick < x_min or tick > x_max:
+            continue
+        x = sx(tick)
+        parts.append(
+            f'<line x1="{_fmt(x)}" y1="{_fmt(_MARGIN_TOP)}" '
+            f'x2="{_fmt(x)}" y2="{_fmt(height - _MARGIN_BOTTOM)}" '
+            f'stroke="#eeeeee" stroke-width="1"/>'
+        )
+        parts.append(
+            f'<text x="{_fmt(x)}" y="{_fmt(height - _MARGIN_BOTTOM + 16)}" '
+            f'text-anchor="middle">{tick:g}</text>'
+        )
+
+    # Zero line when the range straddles it.
+    if y_min < 0.0 < y_max:
+        y0 = sy(0.0)
+        parts.append(
+            f'<line x1="{_fmt(_MARGIN_LEFT)}" y1="{_fmt(y0)}" '
+            f'x2="{_fmt(width - _MARGIN_RIGHT)}" y2="{_fmt(y0)}" '
+            f'stroke="#888888" stroke-width="1" stroke-dasharray="4 3"/>'
+        )
+
+    # Axes.
+    parts.append(
+        f'<line x1="{_fmt(_MARGIN_LEFT)}" y1="{_fmt(_MARGIN_TOP)}" '
+        f'x2="{_fmt(_MARGIN_LEFT)}" y2="{_fmt(height - _MARGIN_BOTTOM)}" '
+        f'stroke="black" stroke-width="1"/>'
+    )
+    parts.append(
+        f'<line x1="{_fmt(_MARGIN_LEFT)}" '
+        f'y1="{_fmt(height - _MARGIN_BOTTOM)}" '
+        f'x2="{_fmt(width - _MARGIN_RIGHT)}" '
+        f'y2="{_fmt(height - _MARGIN_BOTTOM)}" '
+        f'stroke="black" stroke-width="1"/>'
+    )
+    parts.append(
+        f'<text x="{width / 2:.0f}" y="{height - 10}" '
+        f'text-anchor="middle">{_escape(x_label)}</text>'
+    )
+    parts.append(
+        f'<text x="14" y="{height / 2:.0f}" text-anchor="middle" '
+        f'transform="rotate(-90 14 {height / 2:.0f})">'
+        f"{_escape(y_label)}</text>"
+    )
+
+    # Series polylines + legend.
+    legend_x = _MARGIN_LEFT + 8
+    legend_y = _MARGIN_TOP + 6
+    for index, (name, ys) in enumerate(series.items()):
+        color = PALETTE[index % len(PALETTE)]
+        points = " ".join(
+            f"{_fmt(sx(x))},{_fmt(sy(y))}" for x, y in zip(xs, ys)
+        )
+        parts.append(
+            f'<polyline fill="none" stroke="{color}" stroke-width="1.8" '
+            f'points="{points}"/>'
+        )
+        ly = legend_y + 16 * index
+        parts.append(
+            f'<line x1="{_fmt(legend_x)}" y1="{_fmt(ly)}" '
+            f'x2="{_fmt(legend_x + 18)}" y2="{_fmt(ly)}" '
+            f'stroke="{color}" stroke-width="2.5"/>'
+        )
+        parts.append(
+            f'<text x="{_fmt(legend_x + 24)}" y="{_fmt(ly + 4)}">'
+            f"{_escape(name)}</text>"
+        )
+
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def _escape(text: str) -> str:
+    """Minimal XML escaping for labels."""
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )

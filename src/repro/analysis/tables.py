@@ -1,0 +1,69 @@
+"""Plain-text table rendering for experiment outputs.
+
+Every experiment module prints its results through these helpers so
+that EXPERIMENTS.md, the CLI, and the benchmark harness all show the
+same rows in the same format.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["format_table", "series_table"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    float_format: str = "{:.2f}",
+) -> str:
+    """Render rows as an aligned, pipe-separated text table."""
+    if not headers:
+        raise ConfigurationError("a table needs at least one column")
+    rendered: list[list[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ConfigurationError(
+                f"row has {len(row)} cells but the table has "
+                f"{len(headers)} columns: {row!r}"
+            )
+        cells: list[str] = []
+        for value in row:
+            if isinstance(value, float):
+                cells.append(float_format.format(value))
+            else:
+                cells.append(str(value))
+        rendered.append(cells)
+    widths = [
+        max(len(r[col]) for r in rendered) for col in range(len(headers))
+    ]
+    lines: list[str] = []
+    for i, cells in enumerate(rendered):
+        line = " | ".join(cell.rjust(w) for cell, w in zip(cells, widths))
+        lines.append(line)
+        if i == 0:
+            lines.append("-+-".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def series_table(
+    x_label: str,
+    xs: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    *,
+    float_format: str = "{:.2f}",
+) -> str:
+    """A table with one x column and one column per named series."""
+    for name, ys in series.items():
+        if len(ys) != len(xs):
+            raise ConfigurationError(
+                f"series {name!r} has {len(ys)} points for {len(xs)} x values"
+            )
+    headers = [x_label, *series.keys()]
+    rows = [
+        [x, *(series[name][i] for name in series)] for i, x in enumerate(xs)
+    ]
+    return format_table(headers, rows, float_format=float_format)

@@ -1,0 +1,476 @@
+"""Command-line interface: ``repro-oa`` (or ``python -m repro.cli``).
+
+Subcommands::
+
+    repro-oa fig1                     # application model (Figures 1-2)
+    repro-oa fig7  [--months 60 ...]  # optimal grouping staircase
+    repro-oa fig8  [--step 1 ...]     # homogeneous gains, mean ± std
+    repro-oa fig10 [--step 4 ...]     # grid gains with Algorithm 1
+    repro-oa ablations                # design-decision studies
+    repro-oa simulate  --cluster sagittaire --resources 53 ...
+    repro-oa campaign  --clusters 3 --resources 40 ...
+    repro-oa recover   --fail chti --at-hours 5 ...
+    repro-oa report    [--full] [--output report.md]
+    repro-oa info                     # benchmark cluster database
+
+Figure subcommands accept ``--csv PATH`` to dump the plotted series for
+external plotting tools.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro._version import __version__
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The full argument parser (exposed for the CLI tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-oa",
+        description=(
+            "Reproduction of 'Ocean-Atmosphere Modelization over the Grid' "
+            "(Caniou et al., ICPP 2008)"
+        ),
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("fig1", help="application model check (Figures 1-2)")
+
+    sub.add_parser("fig3to6", help="schedule-shape phenomena with Gantt proofs (Figures 3-6)")
+
+    sub.add_parser("fig9", help="protocol sequence diagram from a live run (Figure 9)")
+
+    p7 = sub.add_parser("fig7", help="optimal grouping vs resources (Figure 7)")
+    _add_sweep_args(p7, r_max=120, step=1)
+
+    p8 = sub.add_parser("fig8", help="homogeneous-cluster gains (Figure 8)")
+    _add_sweep_args(p8, r_max=120, step=1)
+    p8.add_argument(
+        "--workers", type=int, default=None,
+        help="fan resource points out over N worker processes",
+    )
+
+    p10 = sub.add_parser("fig10", help="grid gains with repartition (Figure 10)")
+    _add_sweep_args(p10, r_max=99, step=4)
+    p10.add_argument(
+        "--clusters",
+        type=int,
+        nargs="+",
+        default=[2, 3, 4, 5],
+        help="cluster counts to sweep (default: 2 3 4 5)",
+    )
+
+    sub.add_parser("ablations", help="design-decision ablation studies")
+
+    ps = sub.add_parser("simulate", help="simulate one cluster schedule")
+    ps.add_argument("--cluster", default="sagittaire", help="benchmark cluster name")
+    ps.add_argument("--resources", type=int, default=53)
+    ps.add_argument("--scenarios", type=int, default=10)
+    ps.add_argument("--months", type=int, default=12)
+    ps.add_argument(
+        "--heuristic",
+        default="knapsack",
+        choices=["basic", "redistribute", "allpost_end", "knapsack"],
+    )
+    ps.add_argument("--gantt", action="store_true", help="render an ASCII Gantt chart")
+    ps.add_argument(
+        "--trace-json", metavar="PATH", default=None,
+        help="export the schedule as Chrome/Perfetto trace-event JSON",
+    )
+
+    pc = sub.add_parser("campaign", help="full middleware campaign on a grid")
+    pc.add_argument("--clusters", type=int, default=3)
+    pc.add_argument("--resources", type=int, default=40)
+    pc.add_argument("--scenarios", type=int, default=10)
+    pc.add_argument("--months", type=int, default=12)
+    pc.add_argument(
+        "--heuristic",
+        default="knapsack",
+        choices=["basic", "redistribute", "allpost_end", "knapsack"],
+    )
+    pc.add_argument("--show-messages", action="store_true")
+
+    pr = sub.add_parser("recover", help="campaign with a mid-flight cluster failure")
+    pr.add_argument("--clusters", type=int, default=3)
+    pr.add_argument("--resources", type=int, default=30)
+    pr.add_argument("--scenarios", type=int, default=10)
+    pr.add_argument("--months", type=int, default=24)
+    pr.add_argument("--fail", default="chti", help="name of the failing cluster")
+    pr.add_argument(
+        "--at-hours", type=float, default=5.0,
+        help="failure time, hours into the campaign",
+    )
+    pr.add_argument(
+        "--heuristic",
+        default="knapsack",
+        choices=["basic", "redistribute", "allpost_end", "knapsack"],
+    )
+
+    pg = sub.add_parser(
+        "generic",
+        help="schedule a generic moldable-chain workload (future-work extension)",
+    )
+    pg.add_argument(
+        "--table", required=True,
+        help="moldable timing table, e.g. '2:500,3:360,4:300' (procs:seconds)",
+    )
+    pg.add_argument("--post-seconds", type=float, default=60.0)
+    pg.add_argument("--chains", type=int, default=4)
+    pg.add_argument("--repeats", type=int, default=10)
+    pg.add_argument("--resources", type=int, default=16)
+    pg.add_argument(
+        "--heuristic",
+        default="all",
+        choices=["all", "basic", "redistribute", "allpost_end", "knapsack"],
+    )
+
+    prep = sub.add_parser("report", help="one-shot Markdown reproduction report")
+    prep.add_argument(
+        "--full", action="store_true",
+        help="EXPERIMENTS.md resolution (minutes) instead of quick (seconds)",
+    )
+    prep.add_argument(
+        "--output", metavar="PATH", default=None,
+        help="write the report to a file instead of stdout",
+    )
+
+    sub.add_parser("info", help="show the benchmark cluster database")
+    return parser
+
+
+def _add_sweep_args(
+    parser: argparse.ArgumentParser, *, r_max: int, step: int
+) -> None:
+    parser.add_argument("--scenarios", type=int, default=10)
+    parser.add_argument("--months", type=int, default=60)
+    parser.add_argument("--r-min", type=int, default=11)
+    parser.add_argument("--r-max", type=int, default=r_max)
+    parser.add_argument("--step", type=int, default=step)
+    parser.add_argument("--no-plot", action="store_true", help="table output only")
+    parser.add_argument(
+        "--csv", metavar="PATH", default=None,
+        help="also write the plotted series to a CSV file",
+    )
+    parser.add_argument(
+        "--svg", metavar="PATH", default=None,
+        help="also render the figure to a standalone SVG file",
+    )
+
+
+def _cmd_fig1(_args: argparse.Namespace) -> str:
+    from repro.experiments import fig1_model
+
+    return fig1_model.render(fig1_model.run())
+
+
+def _write_csv(path: str, x_label, xs, series) -> None:
+    from repro.analysis.plotting import series_to_csv
+
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(series_to_csv(x_label, xs, series) + "\n")
+
+
+def _write_svg(path: str, xs, series, *, title, x_label, y_label) -> None:
+    from repro.analysis.svg import svg_line_chart
+
+    svg = svg_line_chart(
+        xs, series, title=title, x_label=x_label, y_label=y_label
+    )
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(svg + "\n")
+
+
+def _cmd_fig3to6(_args: argparse.Namespace) -> str:
+    from repro.experiments import fig3to6
+
+    return fig3to6.render(fig3to6.run())
+
+
+def _cmd_fig9(_args: argparse.Namespace) -> str:
+    from repro.experiments import fig9_protocol
+
+    return fig9_protocol.render(fig9_protocol.run())
+
+
+def _cmd_fig7(args: argparse.Namespace) -> str:
+    from repro.experiments import fig7
+
+    result = fig7.run(
+        scenarios=args.scenarios,
+        months=args.months,
+        r_min=args.r_min,
+        r_max=args.r_max,
+        step=args.step,
+    )
+    if args.csv:
+        _write_csv(
+            args.csv,
+            "R",
+            [float(r) for r in result.resources],
+            {"G_star": [float(g) for g in result.best_group]},
+        )
+    if args.svg:
+        _write_svg(
+            args.svg,
+            [float(r) for r in result.resources],
+            {"best grouping G*": [float(g) for g in result.best_group]},
+            title=f"Figure 7: optimal groupings for {args.scenarios} scenarios",
+            x_label="resources (processors)",
+            y_label="best grouping",
+        )
+    return fig7.render(result, plot=not args.no_plot)
+
+
+def _cmd_fig8(args: argparse.Namespace) -> str:
+    from repro.experiments import fig8
+
+    result = fig8.run(
+        scenarios=args.scenarios,
+        months=args.months,
+        r_min=args.r_min,
+        r_max=args.r_max,
+        step=args.step,
+        workers=args.workers,
+    )
+    if args.csv:
+        series: dict[str, list[float]] = {}
+        for name, per_point in result.stats.items():
+            series[f"{name}_mean"] = [s.mean for s in per_point]
+            series[f"{name}_std"] = [s.std for s in per_point]
+        _write_csv(
+            args.csv, "R", [float(r) for r in result.resources], series
+        )
+    if args.svg:
+        _write_svg(
+            args.svg,
+            [float(r) for r in result.resources],
+            {name: [s.mean for s in pts] for name, pts in result.stats.items()},
+            title="Figure 8: mean gains over the basic heuristic",
+            x_label="resources (processors)",
+            y_label="gain (%)",
+        )
+    return fig8.render(result, plot=not args.no_plot)
+
+
+def _cmd_fig10(args: argparse.Namespace) -> str:
+    from repro.experiments import fig10
+
+    result = fig10.run(
+        scenarios=args.scenarios,
+        months=args.months,
+        cluster_counts=tuple(args.clusters),
+        r_min=args.r_min,
+        r_max=args.r_max,
+        step=args.step,
+    )
+    if args.csv:
+        _write_csv(
+            args.csv,
+            "n_plus_R_over_100",
+            list(result.x_axis),
+            {name: list(values) for name, values in result.gains.items()},
+        )
+    if args.svg:
+        _write_svg(
+            args.svg,
+            list(result.x_axis),
+            {name: list(values) for name, values in result.gains.items()},
+            title="Figure 10: grid gains with DAG repartition",
+            x_label="clusters + resources/100",
+            y_label="gain (%)",
+        )
+    return fig10.render(result, plot=not args.no_plot)
+
+
+def _cmd_ablations(_args: argparse.Namespace) -> str:
+    import contextlib
+    import io
+
+    from repro.experiments import ablations
+
+    buffer = io.StringIO()
+    with contextlib.redirect_stdout(buffer):
+        ablations.main()
+    return buffer.getvalue().rstrip()
+
+
+def _cmd_simulate(args: argparse.Namespace) -> str:
+    from repro.core.heuristics import plan_grouping
+    from repro.platform.benchmarks import benchmark_cluster
+    from repro.simulation.engine import simulate_on_cluster
+    from repro.simulation.trace import render_gantt, trace_summary
+    from repro.workflow.ocean_atmosphere import EnsembleSpec
+
+    cluster = benchmark_cluster(args.cluster, args.resources)
+    spec = EnsembleSpec(args.scenarios, args.months)
+    grouping = plan_grouping(cluster, spec, args.heuristic)
+    result = simulate_on_cluster(cluster, grouping, spec, record_trace=True)
+    parts = [trace_summary(result)]
+    if args.gantt:
+        parts.append(render_gantt(result))
+    if args.trace_json:
+        from repro.simulation.export import to_chrome_trace
+
+        with open(args.trace_json, "w", encoding="utf-8") as handle:
+            handle.write(to_chrome_trace(result) + "\n")
+        parts.append(f"trace written to {args.trace_json} (open in Perfetto)")
+    return "\n\n".join(parts)
+
+
+def _cmd_campaign(args: argparse.Namespace) -> str:
+    from repro.middleware.deployment import run_campaign
+    from repro.platform.benchmarks import benchmark_grid
+
+    grid = benchmark_grid(args.clusters, args.resources)
+    result = run_campaign(grid, args.scenarios, args.months, args.heuristic)
+    parts = [result.describe()]
+    if args.show_messages:
+        # Message log is on the network; re-run with an inspectable deployment.
+        from repro.middleware.deployment import deploy
+
+        client, agent, _seds = deploy(grid)
+        client.run_campaign(args.scenarios, args.months, args.heuristic)
+        parts.append(agent.network.describe())
+    return "\n\n".join(parts)
+
+
+def _cmd_recover(args: argparse.Namespace) -> str:
+    from repro.middleware.recovery import (
+        ClusterFailure,
+        run_campaign_with_failure,
+    )
+    from repro.platform.benchmarks import benchmark_grid
+
+    grid = benchmark_grid(args.clusters, args.resources)
+    plan = run_campaign_with_failure(
+        grid,
+        args.scenarios,
+        args.months,
+        ClusterFailure(args.fail, args.at_hours * 3600.0),
+        heuristic=args.heuristic,
+    )
+    return plan.describe()
+
+
+def _parse_table(text: str) -> dict[int, float]:
+    """Parse '2:500,3:360' into a {procs: seconds} mapping."""
+    from repro.exceptions import ConfigurationError
+
+    table: dict[int, float] = {}
+    for chunk in text.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        try:
+            procs_text, seconds_text = chunk.split(":")
+            table[int(procs_text)] = float(seconds_text)
+        except ValueError:
+            raise ConfigurationError(
+                f"malformed table entry {chunk!r}; expected 'procs:seconds'"
+            ) from None
+    if not table:
+        raise ConfigurationError("empty timing table")
+    return table
+
+
+def _cmd_generic(args: argparse.Namespace) -> str:
+    from repro.analysis.tables import format_table
+    from repro.core.generic import GenericChainProblem, generic_simulate
+    from repro.core.heuristics import HeuristicName
+
+    problem = GenericChainProblem(
+        chains=args.chains,
+        repeats=args.repeats,
+        moldable_table=_parse_table(args.table),
+        post_seconds=args.post_seconds,
+        resources=args.resources,
+    )
+    heuristics = (
+        list(HeuristicName)
+        if args.heuristic == "all"
+        else [HeuristicName(args.heuristic)]
+    )
+    rows = []
+    for heuristic in heuristics:
+        result = generic_simulate(problem, heuristic)
+        rows.append(
+            [
+                heuristic.value,
+                result.grouping.describe(),
+                f"{result.makespan:.1f}",
+            ]
+        )
+    header = (
+        f"generic workload: {args.chains} chains x {args.repeats} repeats "
+        f"on {args.resources} processors\n"
+    )
+    return header + format_table(["heuristic", "grouping", "makespan (s)"], rows)
+
+
+def _cmd_report(args: argparse.Namespace) -> str:
+    from repro.analysis.report import ReportConfig, generate_report
+
+    config = ReportConfig.full() if args.full else ReportConfig.quick()
+    report = generate_report(config)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report + "\n")
+        return f"report written to {args.output}"
+    return report
+
+
+def _cmd_info(_args: argparse.Namespace) -> str:
+    from repro.analysis.tables import format_table
+    from repro.platform.benchmarks import (
+        REFERENCE_CLUSTER_SPEEDS,
+        benchmark_timing,
+    )
+
+    rows = []
+    for name in REFERENCE_CLUSTER_SPEEDS:
+        timing = benchmark_timing(name)
+        table = timing.main_time_table()
+        rows.append(
+            [name]
+            + [f"{table[g]:.0f}" for g in sorted(table)]
+            + [f"{timing.post_time():.0f}"]
+        )
+    headers = ["cluster"] + [f"T[{g}]" for g in range(4, 12)] + ["TP"]
+    return (
+        "synthetic Grid'5000-like benchmark database (seconds):\n"
+        + format_table(headers, rows)
+    )
+
+
+_COMMANDS = {
+    "fig1": _cmd_fig1,
+    "fig3to6": _cmd_fig3to6,
+    "fig9": _cmd_fig9,
+    "fig7": _cmd_fig7,
+    "fig8": _cmd_fig8,
+    "fig10": _cmd_fig10,
+    "ablations": _cmd_ablations,
+    "simulate": _cmd_simulate,
+    "campaign": _cmd_campaign,
+    "recover": _cmd_recover,
+    "generic": _cmd_generic,
+    "report": _cmd_report,
+    "info": _cmd_info,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    print(_COMMANDS[args.command](args))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

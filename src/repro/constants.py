@@ -1,0 +1,95 @@
+"""Paper constants for the Ocean-Atmosphere application.
+
+Every number in this module comes straight from the paper (Caniou et al.,
+INRIA RR-6695, 2008).  Figure 1 gives the per-task durations measured by
+the authors' benchmarks on their reference machine; Section 2 gives the
+structural parameters (processor ranges, data volumes); Section 6 gives
+the spread of cluster speeds observed on Grid'5000.
+
+Centralizing them here keeps the rest of the library free of magic
+numbers and makes the calibration of the synthetic benchmark database
+(:mod:`repro.platform.benchmarks`) auditable against the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Final
+
+# ---------------------------------------------------------------------------
+# Figure 1 — per-task durations (seconds) on the authors' reference machine.
+# ---------------------------------------------------------------------------
+
+#: ``concatenate_atmospheric_input_files`` — pre-processing, seconds.
+CAIF_SECONDS: Final[float] = 1.0
+
+#: ``modify_parameters`` — pre-processing, seconds.
+MP_SECONDS: Final[float] = 1.0
+
+#: ``process_coupled_run`` — the moldable main task, seconds, as printed in
+#: Figure 1.  The figure does not state the processor count of that
+#: benchmark; we anchor it to the full 11-processor configuration, which is
+#: consistent with the Grid'5000 span of Section 6 (1177 s fastest,
+#: 1622 s slowest at 11 processors — 1260 s sits inside that interval).
+PCR_SECONDS: Final[float] = 1260.0
+
+#: ``convert_output_format`` — post-processing, seconds.
+COF_SECONDS: Final[float] = 60.0
+
+#: ``extract_minimum_information`` — post-processing, seconds.  (Figure 1
+#: labels it ``emf``; Section 2's prose calls it ``emi``.)
+EMI_SECONDS: Final[float] = 60.0
+
+#: ``compress_diags`` — post-processing, seconds.
+CD_SECONDS: Final[float] = 60.0
+
+#: Duration of the fused pre-processing phase (absorbed into the main task).
+PRE_SECONDS: Final[float] = CAIF_SECONDS + MP_SECONDS
+
+#: Duration of the fused post-processing task ``TP`` (Section 4.1).
+POST_SECONDS: Final[float] = COF_SECONDS + EMI_SECONDS + CD_SECONDS
+
+# ---------------------------------------------------------------------------
+# Section 2 — structural parameters of the application.
+# ---------------------------------------------------------------------------
+
+#: OPA (ocean), TRIP (river runoff) and the OASIS coupler are sequential in
+#: the paper's configuration: one dedicated processor each.
+SEQUENTIAL_COMPONENTS: Final[int] = 3
+
+#: The ARPEGE atmosphere model is MPI-parallel but "with more than 8
+#: processors, the speedup stops".
+MAX_ATMOSPHERE_PROCS: Final[int] = 8
+
+#: Smallest useful allocation for ``process_coupled_run``: 1 atmosphere
+#: processor + the 3 sequential components.
+MIN_GROUP_SIZE: Final[int] = SEQUENTIAL_COMPONENTS + 1
+
+#: Largest useful allocation: 8 atmosphere processors + 3 sequential ones.
+MAX_GROUP_SIZE: Final[int] = SEQUENTIAL_COMPONENTS + MAX_ATMOSPHERE_PROCS
+
+#: The admissible group sizes for the moldable main task, ``G ∈ [4, 11]``.
+GROUP_SIZES: Final[tuple[int, ...]] = tuple(range(MIN_GROUP_SIZE, MAX_GROUP_SIZE + 1))
+
+#: Months in one scenario: 150 years of simulated climate.
+MONTHS_PER_SCENARIO: Final[int] = 150 * 12
+
+#: Ensemble size used throughout the paper's evaluation ("the number of
+#: simulations is going to be around 10").
+DEFAULT_SCENARIOS: Final[int] = 10
+
+#: Data exchanged between two consecutive monthly simulations of the same
+#: scenario (restart files), bytes.
+INTER_MONTH_DATA_BYTES: Final[int] = 120 * 1024 * 1024
+
+# ---------------------------------------------------------------------------
+# Section 6 — observed spread of cluster speeds on Grid'5000.
+# ---------------------------------------------------------------------------
+
+#: Fastest benchmarked cluster: one main task on 11 processors, seconds.
+FASTEST_MAIN_11_SECONDS: Final[float] = 1177.0
+
+#: Slowest benchmarked cluster: one main task on 11 processors, seconds.
+SLOWEST_MAIN_11_SECONDS: Final[float] = 1622.0
+
+#: Number of distinct clusters whose benchmarks drive Figures 8 and 10.
+BENCHMARKED_CLUSTERS: Final[int] = 5

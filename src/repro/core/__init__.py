@@ -1,0 +1,71 @@
+"""The paper's contribution: group-scheduling heuristics.
+
+Everything in this subpackage answers one question: *given a cluster of
+R processors and an ensemble of NS scenario chains, how should the
+processors be partitioned into moldable-task groups?*
+
+* :mod:`repro.core.makespan` — the closed-form makespan estimates of
+  Section 4.1 (Equations 1–5).
+* :mod:`repro.core.basic` — the basic uniform-``G`` heuristic.
+* :mod:`repro.core.redistribute` — Improvement 1 (spread idle processors
+  across groups).
+* :mod:`repro.core.allpost_end` — Improvement 2 (no post pool, posts at
+  the end).
+* :mod:`repro.core.knapsack_grouping` — Improvement 3 (knapsack-optimal
+  multiset of group sizes).
+* :mod:`repro.core.performance_vector` / :mod:`repro.core.repartition` —
+  the heterogeneous-grid extension of Section 5 (Algorithm 1).
+* :mod:`repro.core.generic` — the future-work generalization to arbitrary
+  chains of identical DAGs of moldable tasks.
+"""
+
+from repro.core.grouping import Grouping
+from repro.core.makespan import analytic_makespan, MakespanBreakdown, analytic_breakdown
+from repro.core.basic import basic_grouping, best_uniform_group
+from repro.core.redistribute import redistribute_grouping
+from repro.core.allpost_end import allpost_end_grouping
+from repro.core.knapsack_grouping import knapsack_grouping
+from repro.core.heuristics import (
+    HEURISTICS,
+    HeuristicName,
+    get_heuristic,
+    plan_grouping,
+)
+from repro.core.performance_vector import performance_vector
+from repro.core.repartition import Repartition, repartition_dags
+from repro.core.generic import GenericChainProblem, generic_grouping
+from repro.core.bounds import LowerBounds, lower_bounds
+from repro.core.cpa import cpa_grouping, cpa_width
+from repro.core.exhaustive import (
+    ExhaustiveResult,
+    enumerate_groupings,
+    exhaustive_grouping,
+)
+
+__all__ = [
+    "Grouping",
+    "analytic_makespan",
+    "analytic_breakdown",
+    "MakespanBreakdown",
+    "basic_grouping",
+    "best_uniform_group",
+    "redistribute_grouping",
+    "allpost_end_grouping",
+    "knapsack_grouping",
+    "HEURISTICS",
+    "HeuristicName",
+    "get_heuristic",
+    "plan_grouping",
+    "performance_vector",
+    "Repartition",
+    "repartition_dags",
+    "GenericChainProblem",
+    "generic_grouping",
+    "LowerBounds",
+    "cpa_grouping",
+    "cpa_width",
+    "lower_bounds",
+    "ExhaustiveResult",
+    "enumerate_groupings",
+    "exhaustive_grouping",
+]

@@ -1,0 +1,48 @@
+"""Improvement 2 — no dedicated post pool; every post runs at the end.
+
+Section 4.2: "another possibility for reducing the makespan is to use
+the resources normally reserved for post-processing tasks for
+multiprocessor tasks and to leave all the post-processing at the end.
+It permits to avoid that the resource used to compute the
+post-processing become idle waiting for new tasks."
+
+The conclusion clarifies the distribution rule: it "does not leave any
+resource for the post processing tasks and distributes all left
+resources evenly to the groups of processors".  So: the basic ``G*`` and
+``nbmax``, then *all* of ``R2`` is spread round-robin across the groups
+(capped at the moldability maximum); posts wait until groups retire —
+which is precisely how the simulator models a zero post pool.
+"""
+
+from __future__ import annotations
+
+from repro.core.basic import best_uniform_group
+from repro.core.grouping import Grouping
+from repro.platform.cluster import ClusterSpec
+from repro.workflow.ocean_atmosphere import EnsembleSpec
+
+__all__ = ["allpost_end_grouping"]
+
+
+def allpost_end_grouping(cluster: ClusterSpec, spec: EnsembleSpec) -> Grouping:
+    """Improvement 2's partition (see module docstring)."""
+    g = best_uniform_group(cluster, spec)
+    nbmax = min(spec.scenarios, cluster.resources // g)
+    surplus = cluster.resources - nbmax * g
+
+    sizes = [g] * nbmax
+    max_size = cluster.timing.max_group
+    idx = 0
+    failures = 0
+    while surplus > 0 and failures < nbmax:
+        if sizes[idx] < max_size:
+            sizes[idx] += 1
+            surplus -= 1
+            failures = 0
+        else:
+            failures += 1
+        idx = (idx + 1) % nbmax
+    # Processors that no group can absorb (everything at the maximum)
+    # keep serving posts — leaving them idle would be strictly worse and
+    # the paper's rule only applies while groups can still grow.
+    return Grouping.from_sizes(sizes, cluster.resources, post_pool=surplus)

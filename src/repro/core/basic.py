@@ -1,0 +1,58 @@
+"""The basic heuristic of Section 4.1: one shared group size ``G``.
+
+"All the 8 possibilities for the parameter G (4 → 11) are tested and the
+one yielding the smallest makespan is chosen."  Selection uses the
+*analytic* formulas (the paper computes, it does not simulate, at this
+stage); ties go to the smaller ``G`` — with equal estimated makespans a
+smaller group wastes fewer processors per group, and a fixed rule keeps
+Figure 7 reproducible.
+"""
+
+from __future__ import annotations
+
+from repro.core.grouping import Grouping
+from repro.core.makespan import analytic_makespan
+from repro.exceptions import SchedulingError
+from repro.platform.cluster import ClusterSpec
+from repro.workflow.ocean_atmosphere import EnsembleSpec
+
+__all__ = ["best_uniform_group", "basic_grouping"]
+
+
+def best_uniform_group(cluster: ClusterSpec, spec: EnsembleSpec) -> int:
+    """The ``G`` minimizing the analytic makespan on this cluster.
+
+    Raises :class:`~repro.exceptions.SchedulingError` when not even the
+    smallest admissible group fits on the cluster.
+    """
+    tp = cluster.post_time()
+    best_g: int | None = None
+    best_ms = float("inf")
+    for g in cluster.group_sizes:
+        if g > cluster.resources:
+            continue
+        ms = analytic_makespan(
+            cluster.resources, g, spec.scenarios, spec.months,
+            cluster.main_time(g), tp,
+        )
+        if ms < best_ms:
+            best_ms = ms
+            best_g = g
+    if best_g is None:
+        raise SchedulingError(
+            f"cluster {cluster.name!r} ({cluster.resources} processors) "
+            f"cannot host any main-task group (min size "
+            f"{cluster.timing.min_group})"
+        )
+    return best_g
+
+
+def basic_grouping(cluster: ClusterSpec, spec: EnsembleSpec) -> Grouping:
+    """The basic heuristic's partition: ``nbmax`` groups of ``G*``.
+
+    ``nbmax = min(NS, ⌊R/G*⌋)`` groups run main tasks; the remaining
+    ``R2`` processors form the dedicated post pool.
+    """
+    g = best_uniform_group(cluster, spec)
+    nbmax = min(spec.scenarios, cluster.resources // g)
+    return Grouping.uniform(g, nbmax, cluster.resources)

@@ -1,0 +1,113 @@
+"""Exhaustive grouping search — the simulated-optimal reference.
+
+The knapsack heuristic maximizes a *proxy* (aggregate main-task
+throughput), not the makespan itself; the paper observes the proxy can
+mislead at large R.  This module computes the ground truth for
+moderate-size instances: enumerate every feasible multiset of group
+sizes, simulate each, and keep the best.  It exists to *measure* the
+heuristics (optimality-gap ablation), not to replace them — enumeration
+grows combinatorially and a paper-scale point costs thousands of
+simulations where the knapsack DP costs microseconds.
+
+Feasibility: sizes within the timing model's moldability range, total
+processors ≤ R, group count ≤ NS (the paper's cardinality rule).
+Groupings that leave processors idle are included — occasionally a
+smaller packing wins by not pinning a scenario to a slow group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.grouping import Grouping
+from repro.exceptions import SchedulingError
+from repro.platform.cluster import ClusterSpec
+from repro.simulation.engine import simulate
+from repro.workflow.ocean_atmosphere import EnsembleSpec
+
+__all__ = ["ExhaustiveResult", "enumerate_groupings", "exhaustive_grouping"]
+
+#: Refuse to enumerate beyond this many candidates by default; the
+#: caller can raise it explicitly for big offline studies.
+DEFAULT_CANDIDATE_LIMIT = 200_000
+
+
+@dataclass(frozen=True)
+class ExhaustiveResult:
+    """Outcome of an exhaustive grouping search."""
+
+    best: Grouping
+    best_makespan: float
+    candidates: int
+
+    def gap_of(self, makespan: float) -> float:
+        """Relative optimality gap of another grouping's makespan (%)."""
+        return (makespan - self.best_makespan) / self.best_makespan * 100.0
+
+
+def enumerate_groupings(
+    cluster: ClusterSpec,
+    scenarios: int,
+    *,
+    limit: int = DEFAULT_CANDIDATE_LIMIT,
+) -> list[tuple[int, ...]]:
+    """All feasible group-size multisets (non-increasing tuples).
+
+    Raises :class:`SchedulingError` when the candidate count exceeds
+    ``limit`` — enumeration cost must be an explicit choice.
+    """
+    sizes = sorted(cluster.group_sizes, reverse=True)
+    out: list[tuple[int, ...]] = []
+
+    def recurse(start: int, budget: int, slots: int, acc: list[int]) -> None:
+        if acc:
+            out.append(tuple(acc))
+            if len(out) > limit:
+                raise SchedulingError(
+                    f"more than {limit} candidate groupings on "
+                    f"{cluster.name!r} (R={cluster.resources}, "
+                    f"NS={scenarios}); raise the limit explicitly for "
+                    f"offline studies"
+                )
+        if slots == 0:
+            return
+        for i in range(start, len(sizes)):
+            size = sizes[i]
+            if size <= budget:
+                acc.append(size)
+                recurse(i, budget - size, slots - 1, acc)
+                acc.pop()
+
+    recurse(0, cluster.resources, scenarios, [])
+    if not out:
+        raise SchedulingError(
+            f"cluster {cluster.name!r} ({cluster.resources} processors) "
+            f"cannot host any main-task group"
+        )
+    return out
+
+
+def exhaustive_grouping(
+    cluster: ClusterSpec,
+    spec: EnsembleSpec,
+    *,
+    limit: int = DEFAULT_CANDIDATE_LIMIT,
+) -> ExhaustiveResult:
+    """Simulate every feasible grouping and return the best.
+
+    Ties go to the first enumerated candidate (largest-size-first
+    lexicographic order), making the result deterministic.
+    """
+    best_grouping: Grouping | None = None
+    best_makespan = float("inf")
+    candidates = enumerate_groupings(cluster, spec.scenarios, limit=limit)
+    for sizes in candidates:
+        grouping = Grouping.from_sizes(sizes, cluster.resources)
+        makespan = simulate(
+            grouping, spec, cluster.timing, cluster_name=cluster.name
+        ).makespan
+        if makespan < best_makespan:
+            best_makespan = makespan
+            best_grouping = grouping
+    assert best_grouping is not None  # enumerate_groupings guarantees >= 1
+    return ExhaustiveResult(best_grouping, best_makespan, len(candidates))

@@ -1,0 +1,111 @@
+"""Future-work extension: generic chains of identical moldable-task DAGs.
+
+The paper's conclusion: "Future work also consists in extending the
+present work to a generic heuristic that can schedule the same kind of
+workflow, made of independent chains of identical DAGs composed of
+moldable tasks."
+
+Nothing in the heuristics is Ocean-Atmosphere-specific once three inputs
+are abstracted: the moldable task's timing table (any contiguous
+processor range, not just 4–11), the satellite sequential task's
+duration, and the chain dimensions.  :class:`GenericChainProblem`
+packages those inputs and re-targets the existing machinery — knapsack
+items become ``{p: 1/T[p]}`` over the custom range, the simulator runs
+unchanged — so the extension is a projection, not a re-implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.core.grouping import Grouping
+from repro.core.heuristics import HeuristicName, plan_grouping
+from repro.exceptions import ConfigurationError
+from repro.platform.cluster import ClusterSpec
+from repro.platform.timing import TableTimingModel
+from repro.simulation.engine import simulate
+from repro.simulation.events import SimulationResult
+from repro.workflow.ocean_atmosphere import EnsembleSpec
+
+__all__ = ["GenericChainProblem", "generic_grouping", "generic_simulate"]
+
+
+@dataclass(frozen=True)
+class GenericChainProblem:
+    """An abstract ensemble of identical moldable-task chains.
+
+    Parameters
+    ----------
+    chains:
+        Number of independent chains (the paper's NS).
+    repeats:
+        DAG repetitions per chain (the paper's NM).
+    moldable_table:
+        ``{p: seconds}`` timing of the moldable task over a contiguous
+        processor range.
+    post_seconds:
+        Duration of the sequential satellite task spawned by each
+        moldable completion.  Must be positive; workloads without a
+        satellite phase can use a negligibly small value.
+    resources:
+        Processor count of the target (homogeneous) platform.
+    """
+
+    chains: int
+    repeats: int
+    moldable_table: Mapping[int, float]
+    post_seconds: float
+    resources: int
+
+    def __post_init__(self) -> None:
+        if self.chains < 1 or self.repeats < 1:
+            raise ConfigurationError(
+                f"chains and repeats must be >= 1, got "
+                f"{self.chains!r}, {self.repeats!r}"
+            )
+        if self.resources < 1:
+            raise ConfigurationError(
+                f"resources must be >= 1, got {self.resources!r}"
+            )
+        # Delegate table/post validation to the timing model constructor.
+        self.timing()
+
+    def timing(self) -> TableTimingModel:
+        """The problem's moldable timing as a standard timing model."""
+        return TableTimingModel(
+            dict(self.moldable_table), post_seconds=self.post_seconds
+        )
+
+    def cluster(self, name: str = "generic") -> ClusterSpec:
+        """The problem's platform as a standard cluster."""
+        return ClusterSpec(name, self.resources, self.timing())
+
+    def spec(self) -> EnsembleSpec:
+        """The problem's chain dimensions as an ensemble spec."""
+        return EnsembleSpec(self.chains, self.repeats)
+
+
+def generic_grouping(
+    problem: GenericChainProblem,
+    heuristic: HeuristicName | str = HeuristicName.KNAPSACK,
+) -> Grouping:
+    """Partition the generic platform with any of the paper's heuristics."""
+    return plan_grouping(problem.cluster(), problem.spec(), heuristic)
+
+
+def generic_simulate(
+    problem: GenericChainProblem,
+    heuristic: HeuristicName | str = HeuristicName.KNAPSACK,
+    *,
+    record_trace: bool = False,
+) -> SimulationResult:
+    """Plan and simulate a generic chain ensemble end to end."""
+    grouping = generic_grouping(problem, heuristic)
+    return simulate(
+        grouping,
+        problem.spec(),
+        problem.timing(),
+        cluster_name="generic",
+        record_trace=record_trace,
+    )

@@ -1,0 +1,146 @@
+"""The :class:`Grouping` datatype — a partition of a cluster's processors.
+
+A grouping is what every heuristic in :mod:`repro.core` produces and what
+the simulator consumes: a multiset of main-task group sizes, a count of
+processors dedicated to post-processing, and the cluster's total
+processor count (any remainder is idle — the waste Improvements 1–3
+attack).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.exceptions import SchedulingError
+from repro.platform.timing import TimingModel
+
+__all__ = ["Grouping"]
+
+
+@dataclass(frozen=True)
+class Grouping:
+    """A partition of ``total_resources`` processors.
+
+    Parameters
+    ----------
+    group_sizes:
+        Sizes of the disjoint main-task groups, in scheduling priority
+        order (the simulator prefers earlier groups on ties; heuristics
+        emit them largest-first so ties go to the fastest group).
+    post_pool:
+        Processors dedicated to post-processing from time 0 (the paper's
+        ``R2``).
+    total_resources:
+        The cluster's ``R``.  Must cover ``sum(group_sizes) + post_pool``;
+        any excess is idle.
+    """
+
+    group_sizes: tuple[int, ...]
+    post_pool: int
+    total_resources: int
+
+    def __post_init__(self) -> None:
+        if not self.group_sizes:
+            raise SchedulingError("a grouping needs at least one main-task group")
+        if any(not isinstance(g, int) or g < 1 for g in self.group_sizes):
+            raise SchedulingError(
+                f"group sizes must be positive ints, got {self.group_sizes!r}"
+            )
+        if not isinstance(self.post_pool, int) or self.post_pool < 0:
+            raise SchedulingError(f"post_pool must be a non-negative int, got {self.post_pool!r}")
+        if self.used_resources > self.total_resources:
+            raise SchedulingError(
+                f"grouping uses {self.used_resources} processors but the "
+                f"cluster only has {self.total_resources}"
+            )
+
+    @classmethod
+    def uniform(
+        cls, group_size: int, n_groups: int, total_resources: int, *, post_pool: int | None = None
+    ) -> "Grouping":
+        """``n_groups`` equal groups; post pool defaults to all leftovers."""
+        if n_groups < 1:
+            raise SchedulingError(f"n_groups must be >= 1, got {n_groups!r}")
+        if post_pool is None:
+            post_pool = total_resources - group_size * n_groups
+        return cls((group_size,) * n_groups, post_pool, total_resources)
+
+    @classmethod
+    def from_sizes(
+        cls,
+        sizes: Iterable[int],
+        total_resources: int,
+        *,
+        post_pool: int | None = None,
+    ) -> "Grouping":
+        """Build from any iterable of sizes, sorted largest-first.
+
+        Post pool defaults to every processor not in a group.
+        """
+        ordered = tuple(sorted(sizes, reverse=True))
+        if post_pool is None:
+            post_pool = total_resources - sum(ordered)
+        return cls(ordered, post_pool, total_resources)
+
+    # -- accounting -----------------------------------------------------------
+
+    @property
+    def n_groups(self) -> int:
+        """Number of main-task groups (the paper's ``nbmax`` for uniform G)."""
+        return len(self.group_sizes)
+
+    @property
+    def main_resources(self) -> int:
+        """Processors inside main-task groups (the paper's ``R1``)."""
+        return sum(self.group_sizes)
+
+    @property
+    def used_resources(self) -> int:
+        """Main + post processors."""
+        return self.main_resources + self.post_pool
+
+    @property
+    def idle_resources(self) -> int:
+        """Processors assigned to nothing at all."""
+        return self.total_resources - self.used_resources
+
+    @property
+    def is_uniform(self) -> bool:
+        """Whether all groups share one size (basic-heuristic shape)."""
+        return len(set(self.group_sizes)) == 1
+
+    def size_counts(self) -> Counter[int]:
+        """Multiset view: ``{group_size: count}``."""
+        return Counter(self.group_sizes)
+
+    def validate_against(self, timing: TimingModel, scenarios: int) -> None:
+        """Check the grouping is admissible for a timing model and ensemble.
+
+        Every group must fit the moldability range, and the paper's
+        cardinality rule must hold: no more groups than scenarios (extra
+        groups could never run concurrently on the chain structure).
+        """
+        for g in self.group_sizes:
+            timing.validate_group(g)
+        if self.n_groups > scenarios:
+            raise SchedulingError(
+                f"{self.n_groups} groups for only {scenarios} scenarios — "
+                f"at most one group per scenario can be busy"
+            )
+
+    def throughput(self, timing: TimingModel) -> float:
+        """Aggregate main-task throughput ``Σ 1/T[g]`` (tasks per second).
+
+        This is exactly the knapsack objective of Improvement 3.
+        """
+        return sum(1.0 / timing.main_time(g) for g in self.group_sizes)
+
+    def describe(self) -> str:
+        """Compact human-readable form, e.g. ``3x8 + 4x7 | post=1 | idle=0``."""
+        counts = self.size_counts()
+        parts = " + ".join(
+            f"{counts[size]}x{size}" for size in sorted(counts, reverse=True)
+        )
+        return f"{parts} | post={self.post_pool} | idle={self.idle_resources}"

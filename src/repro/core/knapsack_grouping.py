@@ -1,0 +1,67 @@
+"""Improvement 3 — knapsack-optimal multiset of group sizes.
+
+Section 4.2: "there are 8 possible items (groups of 4 to 11 nodes).
+The cost of an item is represented by the number of resources of that
+grouping.  The value of a specific grouping G is given by 1/T[G], which
+represents the fraction of a multiprocessor task that gets executed
+during a time unit for that specific group of processors. [...]
+The goal is to maximize Σ n_i × (1/T[i]) under the constraints
+Σ i × n_i ≤ R and Σ n_i ≤ NS."
+
+The groups may therefore have *different* sizes — this is what lets the
+knapsack squeeze throughput out of resource counts where no uniform
+``G`` divides ``R`` nicely.  Processors not packed into any group form
+the post pool (the objective's tie rule prefers lighter packings, so no
+processor is wasted inside an oversized group when a smaller one has
+equal throughput).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.grouping import Grouping
+from repro.exceptions import SchedulingError
+from repro.knapsack.dp import solve_dp
+from repro.knapsack.items import CardinalityKnapsack, KnapsackSolution
+from repro.platform.cluster import ClusterSpec
+from repro.workflow.ocean_atmosphere import EnsembleSpec
+
+__all__ = ["knapsack_problem_for", "knapsack_grouping"]
+
+Solver = Callable[[CardinalityKnapsack], KnapsackSolution]
+
+
+def knapsack_problem_for(
+    cluster: ClusterSpec, spec: EnsembleSpec
+) -> CardinalityKnapsack:
+    """The paper's knapsack instance for one cluster and ensemble."""
+    values = {g: 1.0 / cluster.main_time(g) for g in cluster.group_sizes}
+    return CardinalityKnapsack.from_weights_values(
+        values, cluster.resources, spec.scenarios
+    )
+
+
+def knapsack_grouping(
+    cluster: ClusterSpec,
+    spec: EnsembleSpec,
+    *,
+    solver: Solver = solve_dp,
+) -> Grouping:
+    """Improvement 3's partition: solve the knapsack, pack the rest as posts.
+
+    ``solver`` defaults to the exact DP; the greedy solver can be
+    injected for the ablation study.  Raises
+    :class:`~repro.exceptions.SchedulingError` when the cluster cannot
+    host a single group (the knapsack comes back empty).
+    """
+    problem = knapsack_problem_for(cluster, spec)
+    solution = solver(problem)
+    sizes = solution.as_multiset()
+    if not sizes:
+        raise SchedulingError(
+            f"cluster {cluster.name!r} ({cluster.resources} processors) "
+            f"cannot host any main-task group (min size "
+            f"{cluster.timing.min_group})"
+        )
+    return Grouping.from_sizes(sizes, cluster.resources)

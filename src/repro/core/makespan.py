@@ -1,0 +1,167 @@
+"""Closed-form makespan estimates — Equations (1)–(5) of Section 4.1.
+
+These formulas estimate the makespan of the *basic* schedule: ``nbmax``
+groups of ``G`` processors run the main tasks in waves while ``R2``
+leftover processors absorb post-processing, with the paper's four cases
+over ``R2 = 0 / ≠ 0`` and ``nbused = 0 / ≠ 0``.
+
+They are estimates, not ground truth — the simulator of
+:mod:`repro.simulation.engine` is the arbiter, and the ablation
+benchmark measures the gap.  The basic heuristic nevertheless *selects*
+``G`` with these formulas, exactly as the paper does, so they are part
+of the contribution being reproduced, quirks included.
+
+Notation (mirroring the paper)::
+
+    NS        independent simulations          NM   months per simulation
+    R         total processors                 G    processors per group
+    nbtasks   NS × NM monthly tasks
+    nbmax     min(NS, ⌊R/G⌋) concurrent groups
+    R1        nbmax × G processors in groups   R2   R − R1 post processors
+    nbused    nbtasks mod nbmax — groups busy in the last (incomplete) wave
+    TG        main-task time on G processors   TP   post-task time
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.exceptions import SchedulingError
+
+__all__ = ["MakespanBreakdown", "analytic_breakdown", "analytic_makespan"]
+
+#: Guard for ``⌊TG/TP⌋`` on float inputs: 1259.999999 / 180 must floor
+#: like 1260 / 180 would.
+_RATIO_EPS = 1e-9
+
+
+def _floor_ratio(tg: float, tp: float) -> int:
+    """``⌊TG/TP⌋`` with protection against float fuzz."""
+    return math.floor(tg / tp + _RATIO_EPS)
+
+
+@dataclass(frozen=True)
+class MakespanBreakdown:
+    """An analytic makespan with its intermediate quantities exposed.
+
+    ``case`` identifies which of the paper's four formulas applied:
+    ``"eq2"`` (R2=0, nbused=0), ``"eq3"`` (R2=0, nbused≠0),
+    ``"eq4"`` (R2≠0, nbused=0), ``"eq5"`` (R2≠0, nbused≠0).
+    """
+
+    makespan: float
+    main_makespan: float
+    case: str
+    group_size: int
+    n_groups: int
+    post_resources: int
+    waves: int
+    nbused: int
+    overpass: int
+    trailing_posts: int
+
+
+def analytic_breakdown(
+    resources: int,
+    group_size: int,
+    scenarios: int,
+    months: int,
+    tg: float,
+    tp: float,
+) -> MakespanBreakdown:
+    """Evaluate the paper's formulas for one candidate ``G``.
+
+    Raises :class:`~repro.exceptions.SchedulingError` when no group of
+    ``group_size`` fits on ``resources`` processors (the paper simply
+    never evaluates such a ``G``).
+    """
+    if resources < 1 or scenarios < 1 or months < 1:
+        raise SchedulingError(
+            f"need resources, scenarios, months >= 1, got "
+            f"{resources}, {scenarios}, {months}"
+        )
+    if group_size < 1 or tg <= 0 or tp <= 0:
+        raise SchedulingError(
+            f"need group_size >= 1 and positive TG, TP, got "
+            f"{group_size}, {tg}, {tp}"
+        )
+
+    nbmax = min(scenarios, resources // group_size)
+    if nbmax == 0:
+        raise SchedulingError(
+            f"group size {group_size} does not fit on {resources} processors"
+        )
+    nbtasks = scenarios * months
+    r1 = nbmax * group_size
+    r2 = resources - r1
+    nbused = nbtasks % nbmax
+    waves = math.ceil(nbtasks / nbmax)
+    ms_multi = waves * tg
+    posts_per_proc = _floor_ratio(tg, tp)
+
+    if r2 == 0:
+        if nbused == 0:
+            # Equation (2): every wave is full; all posts run at the end
+            # on the whole machine.
+            trailing = nbtasks
+            makespan = ms_multi + math.ceil(nbtasks / resources) * tp
+            case = "eq2"
+            overpass = 0
+        else:
+            # Equation (3): the last wave leaves Rleft processors free for
+            # ⌊TG/TP⌋ posts each; the remainder trail at the end.
+            r_left = resources - nbused * group_size
+            rem_post = nbused + max(
+                0, nbtasks - nbused - posts_per_proc * r_left
+            )
+            trailing = rem_post
+            makespan = ms_multi + math.ceil(rem_post / resources) * tp
+            case = "eq3"
+            overpass = 0
+    else:
+        n_possible = posts_per_proc * r2
+        if nbused == 0:
+            # Equation (4): each of the first n−1 waves may overflow the
+            # post pool by (nbmax − Npossible) tasks.
+            overpass = max(0, (waves - 1) * (nbmax - n_possible))
+            trailing = overpass + nbmax
+            makespan = ms_multi + math.ceil(trailing / resources) * tp
+            case = "eq4"
+        else:
+            # Equation (5): overflow accumulates over n−2 complete waves,
+            # then spills onto the last wave's unused groups (Rleft).
+            overpass = max(0, (waves - 2) * (nbmax - n_possible))
+            nover_tot = overpass + nbmax
+            r_left = resources - group_size * nbused
+            rem_post = nbused + max(0, nover_tot - posts_per_proc * r_left)
+            trailing = rem_post
+            makespan = ms_multi + math.ceil(rem_post / resources) * tp
+            case = "eq5"
+
+    return MakespanBreakdown(
+        makespan=makespan,
+        main_makespan=ms_multi,
+        case=case,
+        group_size=group_size,
+        n_groups=nbmax,
+        post_resources=r2,
+        waves=waves,
+        nbused=nbused,
+        overpass=overpass,
+        trailing_posts=trailing,
+    )
+
+
+def analytic_makespan(
+    resources: int,
+    group_size: int,
+    scenarios: int,
+    months: int,
+    tg: float,
+    tp: float,
+) -> float:
+    """The scalar makespan estimate (see :func:`analytic_breakdown`)."""
+    return analytic_breakdown(
+        resources, group_size, scenarios, months, tg, tp
+    ).makespan

@@ -1,0 +1,56 @@
+"""Performance vectors — Section 5, step (2) of the protocol.
+
+"Each cluster computes a vector containing the time needed to execute
+from 1 to NS simulations using the Knapsack modeling given before."
+
+``performance_vector(cluster, spec, heuristic)[k-1]`` is the simulated
+makespan of running ``k`` scenarios (of ``spec.months`` months each) on
+the cluster under the named heuristic.  The vector drives Algorithm 1's
+greedy repartition; computing it per-heuristic is what lets Figure 10
+compare the improvements in the grid setting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.heuristics import HeuristicName, plan_grouping
+from repro.exceptions import ConfigurationError
+from repro.platform.cluster import ClusterSpec
+from repro.simulation.engine import simulate
+from repro.workflow.ocean_atmosphere import EnsembleSpec
+
+__all__ = ["performance_vector", "cluster_makespan"]
+
+
+def cluster_makespan(
+    cluster: ClusterSpec,
+    spec: EnsembleSpec,
+    heuristic: HeuristicName | str = HeuristicName.KNAPSACK,
+) -> float:
+    """Simulated makespan of one ensemble on one cluster."""
+    grouping = plan_grouping(cluster, spec, heuristic)
+    result = simulate(grouping, spec, cluster.timing, cluster_name=cluster.name)
+    return result.makespan
+
+
+def performance_vector(
+    cluster: ClusterSpec,
+    spec: EnsembleSpec,
+    heuristic: HeuristicName | str = HeuristicName.KNAPSACK,
+) -> list[float]:
+    """Makespans for 1..NS scenarios on this cluster, under one heuristic.
+
+    Index ``k-1`` holds the makespan of ``k`` scenarios.  The vector is
+    non-decreasing in ``k`` for any sane heuristic (more scenarios, same
+    processors) — the middleware's SeD asserts this before replying.
+    """
+    if spec.scenarios < 1:
+        raise ConfigurationError(
+            f"need at least one scenario, got {spec.scenarios!r}"
+        )
+    vector: list[float] = []
+    for k in range(1, spec.scenarios + 1):
+        sub = replace(spec, scenarios=k)
+        vector.append(cluster_makespan(cluster, sub, heuristic))
+    return vector

@@ -1,0 +1,77 @@
+"""Improvement 1 — redistribute processors left idle by the basic grouping.
+
+Section 4.2: with the basic grouping, "for a set of concurrent
+multiprocessor tasks and the associated post-processing tasks, all the
+available resources are not used".  The post pool only needs
+``⌈nbmax / ⌊TG/TP⌋⌉`` processors to keep up with the main waves; the
+paper's example (R=53, NS=10 → G=7, 7 groups, post needs 1, 3 idle)
+redistributes the idle processors one per group: 3 groups of 8 and 4
+groups of 7.
+
+Rules implemented here, matching that example:
+
+* start from the basic heuristic's ``G*`` and ``nbmax``;
+* compute the post pool actually needed, ``⌈nbmax / ⌊TG/TP⌋⌉`` (at least
+  1 whenever there are leftover processors at all);
+* hand the surplus to the groups round-robin, one processor each,
+  never exceeding the moldability maximum (11);
+* anything still left (all groups already at 11) returns to the post
+  pool.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.basic import best_uniform_group
+from repro.core.grouping import Grouping
+from repro.core.makespan import _floor_ratio
+from repro.platform.cluster import ClusterSpec
+from repro.workflow.ocean_atmosphere import EnsembleSpec
+
+__all__ = ["redistribute_grouping", "needed_post_pool"]
+
+
+def needed_post_pool(cluster: ClusterSpec, group_size: int, n_groups: int) -> int:
+    """Post processors needed to absorb one wave's posts within one wave.
+
+    ``⌈nbmax / ⌊TG/TP⌋⌉`` — each post processor digests ``⌊TG/TP⌋``
+    posts per main-task wave (Section 4.2's ``Runused`` derivation).
+    Returns 0 when a single wave produces no post backlog at all
+    (degenerate ``⌊TG/TP⌋ = 0`` is impossible since TG > TP for every
+    admissible group).
+    """
+    per_proc = _floor_ratio(cluster.main_time(group_size), cluster.post_time())
+    if per_proc <= 0:
+        # Posts are longer than mains: one processor per concurrent group
+        # is the minimum to avoid unbounded backlog.
+        return n_groups
+    return math.ceil(n_groups / per_proc)
+
+
+def redistribute_grouping(cluster: ClusterSpec, spec: EnsembleSpec) -> Grouping:
+    """Improvement 1's partition (see module docstring)."""
+    g = best_uniform_group(cluster, spec)
+    nbmax = min(spec.scenarios, cluster.resources // g)
+    r2 = cluster.resources - nbmax * g
+    if r2 == 0:
+        return Grouping.uniform(g, nbmax, cluster.resources)
+
+    post = min(r2, needed_post_pool(cluster, g, nbmax))
+    surplus = r2 - post
+    sizes = [g] * nbmax
+    max_size = cluster.timing.max_group
+    idx = 0
+    scanned = 0
+    while surplus > 0 and scanned < nbmax:
+        if sizes[idx] < max_size:
+            sizes[idx] += 1
+            surplus -= 1
+            scanned = 0
+        else:
+            scanned += 1
+        idx = (idx + 1) % nbmax
+    # Whatever could not be absorbed (every group at the maximum) goes
+    # back to post-processing.
+    post += surplus
+    return Grouping.from_sizes(sizes, cluster.resources, post_pool=post)

@@ -1,0 +1,67 @@
+"""Exception hierarchy for :mod:`repro`.
+
+All errors raised by the library derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still distinguishing configuration mistakes from solver or simulation
+failures when they need to.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "PlatformError",
+    "WorkflowError",
+    "SchedulingError",
+    "SimulationError",
+    "KnapsackError",
+    "MiddlewareError",
+    "ValidationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An experiment, platform, or heuristic was configured inconsistently.
+
+    Raised eagerly at construction time (e.g. a cluster with zero
+    processors, a scenario count below one) so that invalid states never
+    reach the solvers or the simulator.
+    """
+
+
+class PlatformError(ReproError, ValueError):
+    """A platform description (cluster, grid, timing model) is invalid."""
+
+
+class WorkflowError(ReproError, ValueError):
+    """A workflow/DAG description is invalid (cycle, bad moldability range...)."""
+
+
+class SchedulingError(ReproError, RuntimeError):
+    """A scheduling heuristic could not produce a feasible grouping."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The discrete-event simulator reached an inconsistent state."""
+
+
+class KnapsackError(ReproError, ValueError):
+    """A knapsack problem instance is malformed or infeasible."""
+
+
+class MiddlewareError(ReproError, RuntimeError):
+    """A middleware protocol step was violated (wrong message, no servers...)."""
+
+
+class ValidationError(ReproError, AssertionError):
+    """A produced schedule violates a correctness invariant.
+
+    Used by :mod:`repro.simulation.validate` — if this is ever raised on a
+    schedule produced by the library itself, it indicates a bug in the
+    engine rather than in user input.
+    """

@@ -1,0 +1,30 @@
+"""Experiment drivers — one module per paper figure, plus ablations.
+
+Each module exposes ``run(...)`` returning a structured result object,
+``render(result)`` producing the textual table/plot, and a ``main()``
+entry point so every figure regenerates from the command line::
+
+    python -m repro.experiments.fig7
+    python -m repro.experiments.fig8
+    python -m repro.experiments.fig10
+    python -m repro.experiments.fig1_model
+    python -m repro.experiments.ablations
+
+The benchmark harness (``benchmarks/``) calls the same ``run``
+functions, so the timed path and the documented path cannot drift apart.
+"""
+
+# Submodules are imported lazily by callers (``python -m`` execution of a
+# submodule would otherwise re-import it through this package and trigger
+# runpy's double-import warning).
+__all__ = [
+    "fig1_model",
+    "fig3to6",
+    "fig7",
+    "fig8",
+    "fig9_protocol",
+    "fig10",
+    "ablations",
+    "results_io",
+    "runner",
+]

@@ -1,0 +1,111 @@
+"""Figure 7 — optimal uniform grouping vs resource count.
+
+"All the 8 possibilities for the parameter G (4 → 11) are tested and the
+one yielding the smallest makespan is chosen.  The optimal grouping for
+various number of resources (11 → 120) is plotted in Figure 7."
+(NS = 10 scenario simulations.)
+
+Expected shape: an oscillating staircase — small resource counts favour
+mid-size groups that tile R with few leftovers, and from
+``R ≥ NS × 11 = 110`` every scenario gets a full 11-processor group, so
+the curve pins at 11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.plotting import ascii_plot
+from repro.analysis.tables import series_table
+from repro.core.basic import best_uniform_group
+from repro.experiments.runner import resource_sweep
+from repro.platform.cluster import ClusterSpec
+from repro.platform.timing import TimingModel, reference_timing
+from repro.workflow.ocean_atmosphere import EnsembleSpec
+
+__all__ = ["Fig7Result", "run", "render", "main"]
+
+
+@dataclass(frozen=True)
+class Fig7Result:
+    """Optimal grouping per resource count."""
+
+    resources: tuple[int, ...]
+    best_group: tuple[int, ...]
+    scenarios: int
+    months: int
+
+    def as_series(self) -> dict[str, tuple[int, ...]]:
+        """The figure's single series."""
+        return {"best grouping G*": self.best_group}
+
+    def group_at(self, resources: int) -> int:
+        """The optimal ``G`` at one resource count."""
+        return self.best_group[self.resources.index(resources)]
+
+
+def run(
+    *,
+    scenarios: int = 10,
+    months: int = 60,
+    r_min: int = 11,
+    r_max: int = 120,
+    step: int = 1,
+    timing: TimingModel | None = None,
+) -> Fig7Result:
+    """Compute the optimal grouping staircase.
+
+    ``months`` defaults to 60 rather than the paper's 1800 — the chosen
+    ``G`` depends on wave counts, which scale linearly with NM, so the
+    staircase is insensitive to it (the ablation suite verifies this);
+    60 keeps the CLI run instant.
+    """
+    timing = timing if timing is not None else reference_timing()
+    spec = EnsembleSpec(scenarios, months)
+    resources = resource_sweep(r_min, r_max, step)
+    best = [
+        best_uniform_group(ClusterSpec("reference", r, timing), spec)
+        for r in resources
+    ]
+    return Fig7Result(tuple(resources), tuple(best), scenarios, months)
+
+
+def render(result: Fig7Result, *, plot: bool = True) -> str:
+    """The figure as an ASCII chart plus the underlying table."""
+    xs = [float(r) for r in result.resources]
+    series = {
+        name: [float(v) for v in values]
+        for name, values in result.as_series().items()
+    }
+    parts: list[str] = []
+    if plot:
+        parts.append(
+            ascii_plot(
+                xs,
+                series,
+                x_label="resources (processors)",
+                y_label="best grouping",
+                title=(
+                    f"Figure 7: optimal groupings for {result.scenarios} "
+                    f"scenario simulations"
+                ),
+            )
+        )
+    parts.append(
+        series_table(
+            "R",
+            list(result.resources),
+            {"G*": list(result.best_group)},
+            float_format="{:.0f}",
+        )
+    )
+    return "\n\n".join(parts)
+
+
+def main() -> None:  # pragma: no cover - thin CLI shim
+    """Regenerate and print the figure at default parameters."""
+    print(render(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

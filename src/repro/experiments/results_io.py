@@ -1,0 +1,168 @@
+"""JSON persistence for figure results.
+
+Reproduction runs are artifacts worth archiving: serializing a figure's
+result object lets a run be stored next to the paper PDF, diffed against
+future library versions, or re-rendered without re-simulating.  Each
+``dump_*``/``load_*`` pair round-trips exactly (tested), and every
+payload carries a ``figure`` tag plus the library version that produced
+it.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro._version import __version__
+from repro.analysis.stats import SeriesStats
+from repro.exceptions import ConfigurationError
+from repro.experiments.fig7 import Fig7Result
+from repro.experiments.fig8 import Fig8Result
+from repro.experiments.fig10 import Fig10Result
+
+__all__ = [
+    "dump_result",
+    "load_result",
+]
+
+
+def _stats_to_dict(stats: SeriesStats) -> dict[str, float]:
+    return {
+        "mean": stats.mean,
+        "std": stats.std,
+        "minimum": stats.minimum,
+        "maximum": stats.maximum,
+        "count": stats.count,
+    }
+
+
+def _stats_from_dict(raw: dict[str, Any]) -> SeriesStats:
+    return SeriesStats(
+        mean=float(raw["mean"]),
+        std=float(raw["std"]),
+        minimum=float(raw["minimum"]),
+        maximum=float(raw["maximum"]),
+        count=int(raw["count"]),
+    )
+
+
+def _fig7_payload(result: Fig7Result) -> dict[str, Any]:
+    return {
+        "resources": list(result.resources),
+        "best_group": list(result.best_group),
+        "scenarios": result.scenarios,
+        "months": result.months,
+    }
+
+
+def _fig7_restore(raw: dict[str, Any]) -> Fig7Result:
+    return Fig7Result(
+        tuple(int(r) for r in raw["resources"]),
+        tuple(int(g) for g in raw["best_group"]),
+        int(raw["scenarios"]),
+        int(raw["months"]),
+    )
+
+
+def _fig8_payload(result: Fig8Result) -> dict[str, Any]:
+    return {
+        "resources": list(result.resources),
+        "cluster_names": list(result.cluster_names),
+        "raw_gains": {
+            name: [list(row) for row in rows]
+            for name, rows in result.raw_gains.items()
+        },
+        "stats": {
+            name: [_stats_to_dict(s) for s in series]
+            for name, series in result.stats.items()
+        },
+        "scenarios": result.scenarios,
+        "months": result.months,
+    }
+
+
+def _fig8_restore(raw: dict[str, Any]) -> Fig8Result:
+    return Fig8Result(
+        resources=tuple(int(r) for r in raw["resources"]),
+        cluster_names=tuple(raw["cluster_names"]),
+        raw_gains={
+            name: tuple(tuple(float(v) for v in row) for row in rows)
+            for name, rows in raw["raw_gains"].items()
+        },
+        stats={
+            name: tuple(_stats_from_dict(s) for s in series)
+            for name, series in raw["stats"].items()
+        },
+        scenarios=int(raw["scenarios"]),
+        months=int(raw["months"]),
+    )
+
+
+def _fig10_payload(result: Fig10Result) -> dict[str, Any]:
+    return {
+        "configurations": [list(c) for c in result.configurations],
+        "x_axis": list(result.x_axis),
+        "makespans": {k: list(v) for k, v in result.makespans.items()},
+        "gains": {k: list(v) for k, v in result.gains.items()},
+        "scenarios": result.scenarios,
+        "months": result.months,
+    }
+
+
+def _fig10_restore(raw: dict[str, Any]) -> Fig10Result:
+    return Fig10Result(
+        configurations=tuple(
+            (int(n), int(r)) for n, r in raw["configurations"]
+        ),
+        x_axis=tuple(float(x) for x in raw["x_axis"]),
+        makespans={
+            k: tuple(float(v) for v in vs)
+            for k, vs in raw["makespans"].items()
+        },
+        gains={
+            k: tuple(float(v) for v in vs) for k, vs in raw["gains"].items()
+        },
+        scenarios=int(raw["scenarios"]),
+        months=int(raw["months"]),
+    )
+
+
+_CODECS = {
+    "fig7": (Fig7Result, _fig7_payload, _fig7_restore),
+    "fig8": (Fig8Result, _fig8_payload, _fig8_restore),
+    "fig10": (Fig10Result, _fig10_payload, _fig10_restore),
+}
+
+
+def dump_result(result: Fig7Result | Fig8Result | Fig10Result) -> str:
+    """Serialize a figure result to a JSON string."""
+    for figure, (cls, encode, _decode) in _CODECS.items():
+        if isinstance(result, cls):
+            return json.dumps(
+                {
+                    "figure": figure,
+                    "library_version": __version__,
+                    "data": encode(result),
+                }
+            )
+    raise ConfigurationError(
+        f"cannot serialize result of type {type(result).__name__}"
+    )
+
+
+def load_result(text: str) -> Fig7Result | Fig8Result | Fig10Result:
+    """Deserialize a figure result from :func:`dump_result` output."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"invalid JSON: {exc}") from exc
+    if not isinstance(payload, dict) or "figure" not in payload:
+        raise ConfigurationError("payload is not a figure-result envelope")
+    figure = payload["figure"]
+    if figure not in _CODECS:
+        raise ConfigurationError(f"unknown figure tag {figure!r}")
+    _cls, _encode, decode = _CODECS[figure]
+    try:
+        return decode(payload["data"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ConfigurationError(f"malformed {figure} payload: {exc}") from exc

@@ -1,0 +1,111 @@
+"""Shared helpers for the experiment drivers."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.heuristics import HeuristicName, plan_grouping
+from repro.exceptions import ConfigurationError, SchedulingError
+from repro.platform.cluster import ClusterSpec
+from repro.simulation.engine import simulate
+from repro.workflow.ocean_atmosphere import EnsembleSpec
+
+__all__ = [
+    "ALL_HEURISTICS",
+    "IMPROVEMENT_LABELS",
+    "simulated_makespan",
+    "makespans_by_heuristic",
+    "resource_sweep",
+    "parallel_map",
+]
+
+#: Every heuristic, baseline first (the order figures report them in).
+ALL_HEURISTICS: tuple[HeuristicName, ...] = (
+    HeuristicName.BASIC,
+    HeuristicName.REDISTRIBUTE,
+    HeuristicName.ALLPOST_END,
+    HeuristicName.KNAPSACK,
+)
+
+#: The paper's names for the improvement curves.
+IMPROVEMENT_LABELS: dict[HeuristicName, str] = {
+    HeuristicName.REDISTRIBUTE: "gain1 (redistribute idle)",
+    HeuristicName.ALLPOST_END: "gain2 (all posts at end)",
+    HeuristicName.KNAPSACK: "gain3 (knapsack)",
+}
+
+
+def simulated_makespan(
+    cluster: ClusterSpec, spec: EnsembleSpec, heuristic: HeuristicName | str
+) -> float:
+    """Plan with ``heuristic`` and simulate; the figures' atomic step."""
+    grouping = plan_grouping(cluster, spec, heuristic)
+    return simulate(
+        grouping, spec, cluster.timing, cluster_name=cluster.name
+    ).makespan
+
+
+def makespans_by_heuristic(
+    cluster: ClusterSpec,
+    spec: EnsembleSpec,
+    heuristics: Sequence[HeuristicName] = ALL_HEURISTICS,
+) -> dict[str, float]:
+    """Simulated makespan of every heuristic on one cluster.
+
+    Heuristics that cannot produce a grouping on this cluster (too few
+    processors) are skipped — Figure sweeps start at R=11 where all of
+    them fit, but callers may probe smaller machines.
+    """
+    result: dict[str, float] = {}
+    for heuristic in heuristics:
+        try:
+            result[heuristic.value] = simulated_makespan(cluster, spec, heuristic)
+        except SchedulingError:
+            continue
+    if not result:
+        raise SchedulingError(
+            f"no heuristic can schedule on cluster {cluster.name!r} "
+            f"({cluster.resources} processors)"
+        )
+    return result
+
+
+def resource_sweep(
+    r_min: int, r_max: int, step: int = 1
+) -> list[int]:
+    """The resource counts of a figure sweep, bounds validated."""
+    if r_min < 1 or r_max < r_min or step < 1:
+        raise ConfigurationError(
+            f"invalid sweep: r_min={r_min!r}, r_max={r_max!r}, step={step!r}"
+        )
+    return list(range(r_min, r_max + 1, step))
+
+
+def parallel_map(fn, items, *, workers: int | None = None) -> list:
+    """Map ``fn`` over ``items``, optionally across worker processes.
+
+    ``workers in (None, 0, 1)`` runs serially — the default, because the
+    figure sweeps are seconds-scale and fork overhead often loses.  With
+    ``workers > 1`` a :class:`~concurrent.futures.ProcessPoolExecutor`
+    fans the points out; ``fn`` and each item must be picklable (use
+    module-level functions).  Results keep item order either way, so a
+    parallel sweep is bit-identical to a serial one — determinism is not
+    negotiable (the tests compare the two directly).
+    """
+    if workers is not None and workers < 0:
+        raise ConfigurationError(f"workers must be >= 0, got {workers!r}")
+    items = list(items)
+    if workers in (None, 0, 1) or len(items) <= 1:
+        return [fn(item) for item in items]
+    from concurrent.futures import ProcessPoolExecutor
+
+    with ProcessPoolExecutor(max_workers=workers) as executor:
+        return list(executor.map(fn, items))
+
+
+def cycle_names(names: Iterable[str], count: int) -> list[str]:
+    """Repeat a name list to ``count`` entries (Figure 10's speed cycling)."""
+    pool = list(names)
+    if not pool:
+        raise ConfigurationError("need at least one name to cycle")
+    return [pool[i % len(pool)] for i in range(count)]

@@ -1,0 +1,70 @@
+"""Exact dynamic program for the cardinality-capped bounded knapsack.
+
+State ``f(k, c)`` = best ``(value, -weight)`` achievable with at most
+``k`` items and capacity ``c``; transition either skips the *k*-th slot
+or fills it with any item type fitting in ``c``.  The lexicographic
+objective implements the global tie rule (maximum value, then minimum
+weight) exactly — it is not a heuristic layered on top.
+
+Complexity is ``O(max_items × capacity × |items|)`` time and
+``O(max_items × capacity)`` space.  For the paper's instances
+(``capacity ≤ ~1000``, ``max_items ≈ 10``, 8 item types) that is tens of
+thousands of cell updates — microseconds, which matters because the
+performance-vector computation of Section 5 solves ``NS`` instances per
+cluster per experiment point.
+"""
+
+from __future__ import annotations
+
+from repro.knapsack.items import CardinalityKnapsack, KnapsackSolution
+
+__all__ = ["solve_dp"]
+
+
+def solve_dp(problem: CardinalityKnapsack) -> KnapsackSolution:
+    """Solve exactly; always returns a (possibly empty) feasible packing."""
+    if problem.is_trivially_empty():
+        return KnapsackSolution.from_counts({}, problem)
+
+    capacity = problem.capacity
+    max_items = problem.max_items
+    items = problem.items
+
+    # f[c] for the current k; each cell is (value, -weight).  choice[k][c]
+    # records the item index used to reach (k, c), or -1 for "skip".
+    empty = (0.0, 0)
+    prev: list[tuple[float, int]] = [empty] * (capacity + 1)
+    choices: list[list[int]] = []
+
+    for _k in range(1, max_items + 1):
+        cur = prev[:]
+        choice_row = [-1] * (capacity + 1)
+        for c in range(capacity + 1):
+            best = cur[c]
+            best_item = choice_row[c]
+            for idx, item in enumerate(items):
+                if item.weight > c:
+                    continue
+                base_value, base_negw = prev[c - item.weight]
+                cand = (base_value + item.value, base_negw - item.weight)
+                if cand > best:
+                    best = cand
+                    best_item = idx
+            cur[c] = best
+            choice_row[c] = best_item
+        choices.append(choice_row)
+        if cur == prev:
+            # Adding a slot changed nothing: the cardinality cap is no
+            # longer binding and every later layer would be identical.
+            break
+        prev = cur
+
+    counts: dict[int, int] = {}
+    c = capacity
+    for choice_row in reversed(choices):
+        idx = choice_row[c]
+        if idx >= 0:
+            item = problem.items[idx]
+            counts[item.name] = counts.get(item.name, 0) + 1
+            c -= item.weight
+    return KnapsackSolution.from_counts(counts, problem)

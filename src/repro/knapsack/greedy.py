@@ -1,0 +1,47 @@
+"""Density-greedy approximation (ablation baseline).
+
+Packs items in decreasing value-density order, as many copies of each as
+capacity and cardinality allow, then makes one backfill pass with the
+remaining types.  No optimality guarantee — the ablation benchmark
+quantifies its gap against the exact DP, which is the empirical argument
+for the paper's choice of an exact knapsack formulation.
+"""
+
+from __future__ import annotations
+
+from repro.knapsack.items import CardinalityKnapsack, KnapsackSolution
+
+__all__ = ["solve_greedy"]
+
+
+def solve_greedy(problem: CardinalityKnapsack) -> KnapsackSolution:
+    """Greedy pack by density; feasible but possibly sub-optimal."""
+    if problem.is_trivially_empty():
+        return KnapsackSolution.from_counts({}, problem)
+
+    order = sorted(problem.items, key=lambda it: (-it.density, it.weight))
+    cap_left = problem.capacity
+    card_left = problem.max_items
+    counts: dict[int, int] = {}
+
+    for item in order:
+        take = min(card_left, cap_left // item.weight)
+        if take > 0:
+            counts[item.name] = counts.get(item.name, 0) + take
+            cap_left -= take * item.weight
+            card_left -= take
+        if card_left == 0 or cap_left == 0:
+            break
+
+    # Backfill: smaller leftover slots may still fit a lighter item.
+    if card_left > 0 and cap_left > 0:
+        for item in sorted(order, key=lambda it: it.weight):
+            take = min(card_left, cap_left // item.weight)
+            if take > 0:
+                counts[item.name] = counts.get(item.name, 0) + take
+                cap_left -= take * item.weight
+                card_left -= take
+            if card_left == 0 or cap_left == 0:
+                break
+
+    return KnapsackSolution.from_counts(counts, problem)

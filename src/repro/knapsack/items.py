@@ -1,0 +1,170 @@
+"""Problem and solution datatypes for the cardinality-capped knapsack.
+
+The problem solved throughout this package is::
+
+    maximize    Σ_i  n_i · value_i
+    subject to  Σ_i  n_i · weight_i  ≤  capacity
+                Σ_i  n_i             ≤  max_items
+                n_i ∈ ℕ
+
+i.e. a *bounded* knapsack where the bound is a single shared cardinality
+cap rather than per-item multiplicities.  Ties in total value are broken
+toward smaller total weight (fewer processors used means more left for
+post-processing), and solvers are required to honour that rule so their
+outputs are comparable bit-for-bit in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.exceptions import KnapsackError
+
+__all__ = ["KnapsackItem", "CardinalityKnapsack", "KnapsackSolution"]
+
+
+@dataclass(frozen=True)
+class KnapsackItem:
+    """One packable item type.
+
+    ``name`` is any hashable label; for processor groupings it is the
+    integer group size.
+    """
+
+    name: int
+    weight: int
+    value: float
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.weight, int) or self.weight < 1:
+            raise KnapsackError(
+                f"item {self.name!r}: weight must be a positive int, got "
+                f"{self.weight!r}"
+            )
+        if self.value <= 0:
+            raise KnapsackError(
+                f"item {self.name!r}: value must be > 0, got {self.value!r}"
+            )
+
+    @property
+    def density(self) -> float:
+        """Value per unit weight (the greedy solver's sort key)."""
+        return self.value / self.weight
+
+
+@dataclass(frozen=True)
+class CardinalityKnapsack:
+    """A bounded-knapsack instance with a shared cardinality cap."""
+
+    items: tuple[KnapsackItem, ...]
+    capacity: int
+    max_items: int
+
+    def __post_init__(self) -> None:
+        if not self.items:
+            raise KnapsackError("a knapsack instance needs at least one item type")
+        names = [item.name for item in self.items]
+        if len(set(names)) != len(names):
+            raise KnapsackError(f"duplicate item names: {names}")
+        if not isinstance(self.capacity, int) or self.capacity < 0:
+            raise KnapsackError(
+                f"capacity must be a non-negative int, got {self.capacity!r}"
+            )
+        if not isinstance(self.max_items, int) or self.max_items < 0:
+            raise KnapsackError(
+                f"max_items must be a non-negative int, got {self.max_items!r}"
+            )
+
+    @classmethod
+    def from_weights_values(
+        cls,
+        weight_value: Mapping[int, tuple[int, float]] | Mapping[int, float],
+        capacity: int,
+        max_items: int,
+    ) -> "CardinalityKnapsack":
+        """Build from ``{name: value}`` (weight = name) or ``{name: (w, v)}``.
+
+        The first form is the paper's: item names *are* the group sizes,
+        which are also the weights.
+        """
+        items: list[KnapsackItem] = []
+        for name, payload in sorted(weight_value.items()):
+            if isinstance(payload, tuple):
+                weight, value = payload
+            else:
+                weight, value = name, payload
+            items.append(KnapsackItem(name, weight, value))
+        return cls(tuple(items), capacity, max_items)
+
+    def is_trivially_empty(self) -> bool:
+        """True when no item can ever be packed."""
+        if self.max_items == 0 or self.capacity == 0:
+            return True
+        return min(item.weight for item in self.items) > self.capacity
+
+
+@dataclass(frozen=True)
+class KnapsackSolution:
+    """A feasible packing: ``counts[name]`` copies of each item type."""
+
+    counts: tuple[tuple[int, int], ...]  # sorted (name, count>0) pairs
+    value: float
+    weight: int
+    cardinality: int
+
+    @classmethod
+    def from_counts(
+        cls, counts: Mapping[int, int], problem: CardinalityKnapsack
+    ) -> "KnapsackSolution":
+        """Build (and feasibility-check) a solution from raw counts."""
+        by_name = {item.name: item for item in problem.items}
+        clean: list[tuple[int, int]] = []
+        value = 0.0
+        weight = 0
+        cardinality = 0
+        for name, count in sorted(counts.items()):
+            if count == 0:
+                continue
+            if count < 0:
+                raise KnapsackError(f"negative count for item {name!r}")
+            if name not in by_name:
+                raise KnapsackError(f"unknown item {name!r} in solution")
+            item = by_name[name]
+            clean.append((name, count))
+            value += item.value * count
+            weight += item.weight * count
+            cardinality += count
+        if weight > problem.capacity:
+            raise KnapsackError(
+                f"solution weight {weight} exceeds capacity {problem.capacity}"
+            )
+        if cardinality > problem.max_items:
+            raise KnapsackError(
+                f"solution cardinality {cardinality} exceeds cap "
+                f"{problem.max_items}"
+            )
+        return cls(tuple(clean), value, weight, cardinality)
+
+    def count_of(self, name: int) -> int:
+        """Copies of item ``name`` in this packing (0 if absent)."""
+        for item_name, count in self.counts:
+            if item_name == name:
+                return count
+        return 0
+
+    def as_multiset(self) -> list[int]:
+        """Expand to an explicit list of item names, largest first."""
+        expanded: list[int] = []
+        for name, count in self.counts:
+            expanded.extend([name] * count)
+        expanded.sort(reverse=True)
+        return expanded
+
+    def dominates(self, other: "KnapsackSolution", *, tol: float = 1e-12) -> bool:
+        """Whether this solution is at least as good under the tie rule."""
+        if self.value > other.value + tol:
+            return True
+        if abs(self.value - other.value) <= tol:
+            return self.weight <= other.weight
+        return False

@@ -1,0 +1,71 @@
+"""Agent — the routing tier between client and SeDs.
+
+DIET organizes servers behind a hierarchy of agents; with the handful of
+clusters the paper targets, one agent suffices.  The agent owns the SeD
+registry, fans requests out, gathers replies in deterministic (registry)
+order, and routes execution orders to the right SeD — every hop stamped
+on the simulated network.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import MiddlewareError
+from repro.middleware.messages import (
+    ExecutionOrder,
+    ExecutionReport,
+    PerformanceReply,
+    ServiceRequest,
+)
+from repro.middleware.network import SimulatedNetwork
+from repro.middleware.sed import SeD
+
+__all__ = ["Agent"]
+
+
+class Agent:
+    """A single-level DIET-style agent."""
+
+    def __init__(self, network: SimulatedNetwork, name: str = "agent") -> None:
+        self.network = network
+        self.name = name
+        self._seds: dict[str, SeD] = {}
+
+    def register(self, sed: SeD) -> None:
+        """Add a SeD to the registry (names must be unique)."""
+        if sed.name in self._seds:
+            raise MiddlewareError(f"a SeD named {sed.name!r} is already registered")
+        self._seds[sed.name] = sed
+
+    @property
+    def sed_names(self) -> tuple[str, ...]:
+        """Registered SeD names, in registration order."""
+        return tuple(self._seds)
+
+    def sed(self, name: str) -> SeD:
+        """Look up a SeD; raises :class:`MiddlewareError` if unknown."""
+        try:
+            return self._seds[name]
+        except KeyError:
+            raise MiddlewareError(
+                f"no SeD named {name!r}; registered: {list(self._seds)}"
+            ) from None
+
+    def broadcast_request(self, request: ServiceRequest) -> list[PerformanceReply]:
+        """Steps 1–3: fan the request out, gather every reply."""
+        if not self._seds:
+            raise MiddlewareError("no SeDs registered; cannot serve a request")
+        replies: list[PerformanceReply] = []
+        for name, sed in self._seds.items():
+            self.network.send(self.name, name, "ServiceRequest", request.wire_size())
+            reply = sed.handle_request(request)
+            self.network.send(name, self.name, "PerformanceReply", reply.wire_size())
+            replies.append(reply)
+        return replies
+
+    def dispatch_order(self, order: ExecutionOrder) -> ExecutionReport:
+        """Steps 5–6: route one execution order and return its report."""
+        sed = self.sed(order.cluster_name)
+        self.network.send(self.name, sed.name, "ExecutionOrder", order.wire_size())
+        report = sed.execute(order)
+        self.network.send(sed.name, self.name, "ExecutionReport", report.wire_size())
+        return report

@@ -1,0 +1,42 @@
+"""One-call deployment of the middleware over a grid description."""
+
+from __future__ import annotations
+
+from repro.core.heuristics import HeuristicName
+from repro.middleware.agent import Agent
+from repro.middleware.client import CampaignResult, Client
+from repro.middleware.network import SimulatedNetwork
+from repro.middleware.sed import SeD
+from repro.platform.grid import GridSpec
+from repro.workflow.data import DataTransferModel
+
+__all__ = ["deploy", "run_campaign"]
+
+
+def deploy(
+    grid: GridSpec, *, link: DataTransferModel | None = None
+) -> tuple[Client, Agent, list[SeD]]:
+    """Stand a client/agent/SeD hierarchy up over a grid.
+
+    Returns the three tiers so tests and examples can poke at any of
+    them; most callers only need :func:`run_campaign`.
+    """
+    network = SimulatedNetwork(link)
+    agent = Agent(network)
+    seds = [SeD(cluster) for cluster in grid]
+    for sed in seds:
+        agent.register(sed)
+    return Client(agent), agent, seds
+
+
+def run_campaign(
+    grid: GridSpec,
+    scenarios: int,
+    months: int,
+    heuristic: HeuristicName | str = HeuristicName.KNAPSACK,
+    *,
+    link: DataTransferModel | None = None,
+) -> CampaignResult:
+    """Deploy over ``grid`` and execute one full ensemble campaign."""
+    client, _agent, _seds = deploy(grid, link=link)
+    return client.run_campaign(scenarios, months, heuristic)

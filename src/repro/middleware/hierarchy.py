@@ -1,0 +1,162 @@
+"""Hierarchical agents — DIET's Master/Local Agent architecture.
+
+DIET (Caron & Desprez 2006, the middleware the paper targets) organizes
+servers behind a *tree* of agents: a Master Agent (MA) at the root,
+Local Agents (LA) per site, SeDs at the leaves.  The flat
+:class:`~repro.middleware.agent.Agent` suffices for the paper's handful
+of clusters, but the tree is what makes DIET scale — and building it
+shows the protocol is genuinely hierarchical: requests fan out down the
+tree, replies aggregate up, orders route by name.
+
+A :class:`HierarchicalAgent` composes like the flat agent (same
+broadcast/dispatch interface), so the client works unchanged against
+either — the test suite runs the same campaign through both and demands
+identical repartitions.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import MiddlewareError
+from repro.middleware.messages import (
+    ExecutionOrder,
+    ExecutionReport,
+    PerformanceReply,
+    ServiceRequest,
+)
+from repro.middleware.network import SimulatedNetwork
+from repro.middleware.sed import SeD
+
+__all__ = ["HierarchicalAgent"]
+
+
+class HierarchicalAgent:
+    """An agent node in a DIET-style tree.
+
+    Children are either :class:`~repro.middleware.sed.SeD` leaves or
+    further :class:`HierarchicalAgent` subtrees.  The node presents the
+    same ``broadcast_request`` / ``dispatch_order`` interface as the
+    flat agent, so a :class:`~repro.middleware.client.Client` can sit on
+    top of either.
+    """
+
+    def __init__(self, network: SimulatedNetwork, name: str = "MA") -> None:
+        self.network = network
+        self.name = name
+        self._children: dict[str, "HierarchicalAgent | SeD"] = {}
+
+    # -- tree construction ---------------------------------------------------
+
+    def register(self, child: "HierarchicalAgent | SeD") -> None:
+        """Attach a SeD or a sub-agent (names unique within this node)."""
+        if child.name in self._children:
+            raise MiddlewareError(
+                f"agent {self.name!r} already has a child named "
+                f"{child.name!r}"
+            )
+        if isinstance(child, HierarchicalAgent):
+            if child.network is not self.network:
+                raise MiddlewareError(
+                    "sub-agent must share its parent's network"
+                )
+            if child is self or child._contains(self):
+                raise MiddlewareError("agent tree must not contain cycles")
+        self._children[child.name] = child
+
+    def _contains(self, node: "HierarchicalAgent") -> bool:
+        for child in self._children.values():
+            if child is node:
+                return True
+            if isinstance(child, HierarchicalAgent) and child._contains(node):
+                return True
+        return False
+
+    @property
+    def sed_names(self) -> tuple[str, ...]:
+        """All SeD names in the subtree, depth-first registration order."""
+        names: list[str] = []
+        for child in self._children.values():
+            if isinstance(child, HierarchicalAgent):
+                names.extend(child.sed_names)
+            else:
+                names.append(child.name)
+        return tuple(names)
+
+    def depth(self) -> int:
+        """Levels of agents below (a leaf-only node has depth 1)."""
+        sub = [
+            child.depth()
+            for child in self._children.values()
+            if isinstance(child, HierarchicalAgent)
+        ]
+        return 1 + max(sub, default=0)
+
+    # -- the flat-agent interface ---------------------------------------------
+
+    def broadcast_request(self, request: ServiceRequest) -> list[PerformanceReply]:
+        """Fan the request down the tree; gather every leaf's reply."""
+        if not self._children:
+            raise MiddlewareError(
+                f"agent {self.name!r} has no children; cannot serve a request"
+            )
+        replies: list[PerformanceReply] = []
+        for name, child in self._children.items():
+            if isinstance(child, HierarchicalAgent):
+                self.network.send(
+                    self.name, name, "ServiceRequest", request.wire_size()
+                )
+                sub = child.broadcast_request(request)
+                gathered = sum(reply.wire_size() for reply in sub)
+                self.network.send(name, self.name, "PerformanceReplies", gathered)
+                replies.extend(sub)
+            else:
+                self.network.send(
+                    self.name, name, "ServiceRequest", request.wire_size()
+                )
+                reply = child.handle_request(request)
+                self.network.send(
+                    name, self.name, "PerformanceReply", reply.wire_size()
+                )
+                replies.append(reply)
+        return replies
+
+    def dispatch_order(self, order: ExecutionOrder) -> ExecutionReport:
+        """Route an order to the subtree containing its cluster."""
+        child = self._children.get(order.cluster_name)
+        if child is not None and isinstance(child, SeD):
+            self.network.send(
+                self.name, child.name, "ExecutionOrder", order.wire_size()
+            )
+            report = child.execute(order)
+            self.network.send(
+                child.name, self.name, "ExecutionReport", report.wire_size()
+            )
+            return report
+        for name, sub in self._children.items():
+            if isinstance(sub, HierarchicalAgent) and order.cluster_name in sub.sed_names:
+                self.network.send(
+                    self.name, name, "ExecutionOrder", order.wire_size()
+                )
+                report = sub.dispatch_order(order)
+                self.network.send(
+                    name, self.name, "ExecutionReport", report.wire_size()
+                )
+                return report
+        raise MiddlewareError(
+            f"no SeD named {order.cluster_name!r} anywhere under agent "
+            f"{self.name!r}"
+        )
+
+    def sed(self, name: str) -> SeD:
+        """Find a SeD by name anywhere in the subtree."""
+        child = self._children.get(name)
+        if isinstance(child, SeD):
+            return child
+        for sub in self._children.values():
+            if isinstance(sub, HierarchicalAgent):
+                try:
+                    return sub.sed(name)
+                except MiddlewareError:
+                    continue
+        raise MiddlewareError(
+            f"no SeD named {name!r} under agent {self.name!r}"
+        )

@@ -1,0 +1,348 @@
+"""Cluster-failure recovery — an extension beyond the paper.
+
+The paper schedules a multi-week campaign across grid sites and notes
+that real deployment (DIET on Grid'5000) was ongoing work; any real
+deployment immediately faces site failures.  This module models the
+natural recovery strategy on top of the paper's machinery:
+
+1. a cluster fails at time ``T_f`` mid-campaign;
+2. months whose coupled run finished before ``T_f`` are safe (their
+   restart files reached shared storage); the month in flight is lost,
+   and so are the archive (post) tasks still pending — those are
+   re-executed on survivors;
+3. each interrupted scenario must finish its *remaining* months on a
+   surviving cluster, after that cluster completes its own share
+   (scenarios never time-share a cluster's groups with the original
+   load — the original schedule is already makespan-optimal for it);
+4. scenarios are reassigned greedily, longest-remaining-first, each to
+   the cluster minimizing the resulting finish time — Algorithm 1's
+   rule generalized to unequal chain lengths, with each candidate
+   evaluated *exactly* by the DAG-level simulator
+   (:mod:`repro.simulation.dag_engine`), since remaining chains have
+   different lengths and the rectangular engine no longer applies;
+5. moving a scenario pays the restart-archive migration penalty of
+   :class:`~repro.workflow.data.DataTransferModel`.
+
+The result quantifies the failure's cost: new global makespan, months of
+computation lost, and where every interrupted scenario restarted.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro import constants
+from repro.core.heuristics import HeuristicName
+from repro.core.knapsack_grouping import knapsack_grouping
+from repro.core.performance_vector import performance_vector
+from repro.core.repartition import Repartition, repartition_dags
+from repro.exceptions import MiddlewareError
+from repro.platform.cluster import ClusterSpec
+from repro.platform.grid import GridSpec
+from repro.simulation.dag_engine import simulate_dag
+from repro.simulation.engine import simulate
+from repro.workflow.dag import DAG
+from repro.workflow.data import DataTransferModel
+from repro.workflow.ocean_atmosphere import EnsembleSpec, fused_scenario_dag
+
+__all__ = ["ClusterFailure", "RecoveryPlan", "run_campaign_with_failure"]
+
+
+@dataclass(frozen=True)
+class ClusterFailure:
+    """A permanent cluster failure at a wall-clock instant."""
+
+    cluster_name: str
+    at_time: float
+
+    def __post_init__(self) -> None:
+        if self.at_time < 0:
+            raise MiddlewareError(
+                f"failure time must be >= 0, got {self.at_time!r}"
+            )
+
+
+@dataclass(frozen=True)
+class RecoveryPlan:
+    """Outcome of a campaign interrupted by one cluster failure."""
+
+    failure: ClusterFailure
+    original_repartition: Repartition
+    original_makespan: float
+    #: months each interrupted scenario completed before the failure.
+    completed_months: dict[int, int] = field(repr=False)
+    #: post tasks of completed months lost in flight, per scenario.
+    pending_posts: dict[int, int] = field(repr=False)
+    #: scenario -> surviving cluster it restarted on.
+    reassignment: dict[int, str]
+    #: finish time of every surviving cluster after recovery work.
+    cluster_finish: dict[str, float] = field(repr=False)
+    #: global makespan including recovery.
+    makespan: float
+    #: processor-seconds of coupled-run work destroyed by the failure.
+    lost_work_seconds: float
+
+    @property
+    def delay(self) -> float:
+        """Extra campaign time caused by the failure."""
+        return self.makespan - self.original_makespan
+
+    def describe(self) -> str:
+        """Human-readable recovery summary."""
+        lines = [
+            f"failure: {self.failure.cluster_name} at "
+            f"{self.failure.at_time / 3600:.2f} h",
+            f"interrupted scenarios: {sorted(self.reassignment)}",
+            f"lost work: {self.lost_work_seconds / 3600:.2f} processor-hours",
+            f"makespan: {self.original_makespan / 3600:.2f} h -> "
+            f"{self.makespan / 3600:.2f} h (+{self.delay / 3600:.2f} h)",
+        ]
+        for scenario, target in sorted(self.reassignment.items()):
+            done = self.completed_months[scenario]
+            posts = self.pending_posts.get(scenario, 0)
+            extra = f" (+{posts} lost archive task(s))" if posts else ""
+            lines.append(
+                f"  scenario {scenario}: {done} months safe{extra}, "
+                f"restarted on {target}"
+            )
+        return "\n".join(lines)
+
+
+def _months_done_at(
+    cluster: ClusterSpec,
+    n_scenarios: int,
+    months: int,
+    heuristic: HeuristicName,
+    at_time: float,
+) -> tuple[dict[int, int], dict[int, int], float]:
+    """Replay a cluster's schedule; count safe months per local scenario.
+
+    Task outputs ship to shared storage on completion (§4.1's data
+    model), so a month is *resumable* once its coupled run finished: the
+    restart files exist off the dying node.  Post-processing tasks that
+    had not finished are lost and must be re-executed on a survivor —
+    their inputs (the completed mains' diagnostics) are on shared
+    storage too.  Returns ``(safe months, pending posts, lost in-flight
+    work seconds)`` with scenario ids cluster-local (0-based within the
+    cluster's assignment); the lost term counts interrupted mains and
+    posts alike.
+    """
+    from repro.core.heuristics import plan_grouping
+
+    spec = EnsembleSpec(n_scenarios, months)
+    grouping = plan_grouping(cluster, spec, heuristic)
+    result = simulate(
+        grouping, spec, cluster.timing, cluster_name=cluster.name,
+        record_trace=True,
+    )
+    finished: dict[tuple[str, int, int], bool] = {}
+    lost = 0.0
+    for record in result.records:
+        finished[(record.kind, record.scenario, record.month)] = (
+            record.end <= at_time
+        )
+        if record.start < at_time < record.end:
+            lost += (at_time - record.start) * record.n_procs
+    done: dict[int, int] = {}
+    pending_posts: dict[int, int] = {}
+    for scenario in range(n_scenarios):
+        done[scenario] = sum(
+            1
+            for month in range(months)
+            if finished.get(("main", scenario, month))
+        )
+        pending_posts[scenario] = sum(
+            1
+            for month in range(done[scenario])
+            if not finished.get(("post", scenario, month))
+        )
+    return done, pending_posts, lost
+
+
+def _recovery_dag(chains: dict[int, int]) -> DAG:
+    """A DAG of the remaining months of the given scenarios.
+
+    ``chains[scenario] = remaining`` months; each becomes an independent
+    fused chain (month indices are relabelled 0..remaining-1 — only the
+    count matters to the simulator).
+    """
+    dag = DAG()
+    for index, remaining in enumerate(
+        chains[s] for s in sorted(chains)
+    ):
+        dag.merge(fused_scenario_dag(remaining, scenario=index))
+    return dag
+
+
+def _appended_finish(
+    cluster: ClusterSpec,
+    base_finish: float,
+    chains: dict[int, int],
+    pending_posts: int,
+    migration_seconds: float,
+) -> float:
+    """Finish time if ``cluster`` runs the given remaining work.
+
+    Chains (remaining months) start once the cluster's own share is done
+    and the restart data has arrived; their makespan is evaluated
+    exactly with the DAG engine under a knapsack grouping for the chain
+    count.  Lost archive (post) tasks of already-completed months then
+    fill the whole cluster in ``⌈n/R⌉`` slices of ``TP``.
+    """
+    if not chains and pending_posts == 0:
+        return base_finish
+    finish = base_finish + migration_seconds
+    if chains:
+        spec = EnsembleSpec(len(chains), max(chains.values()))
+        grouping = knapsack_grouping(cluster, spec)
+        dag = _recovery_dag(chains)
+        seq_scale = cluster.post_time() / constants.POST_SECONDS
+        result = simulate_dag(
+            dag, grouping, cluster.timing, seq_scale=seq_scale
+        )
+        finish += result.makespan
+    if pending_posts:
+        finish += (
+            math.ceil(pending_posts / cluster.resources) * cluster.post_time()
+        )
+    return finish
+
+
+def run_campaign_with_failure(
+    grid: GridSpec,
+    scenarios: int,
+    months: int,
+    failure: ClusterFailure,
+    *,
+    heuristic: HeuristicName | str = HeuristicName.KNAPSACK,
+    link: DataTransferModel | None = None,
+) -> RecoveryPlan:
+    """Run a campaign, fail one cluster mid-flight, and recover.
+
+    Raises :class:`MiddlewareError` when the named cluster is not in the
+    grid, is the only cluster, or fails after its work already finished
+    (nothing to recover — the caller should handle that case directly).
+    """
+    heuristic = HeuristicName(heuristic)
+    link = link if link is not None else DataTransferModel()
+    names = list(grid.names)
+    if failure.cluster_name not in names:
+        raise MiddlewareError(
+            f"cannot fail unknown cluster {failure.cluster_name!r}; grid "
+            f"has {names}"
+        )
+    if len(grid) < 2:
+        raise MiddlewareError(
+            "recovery needs at least one surviving cluster"
+        )
+
+    # Original campaign (Section 5).
+    spec = EnsembleSpec(scenarios, months)
+    vectors = [performance_vector(c, spec, heuristic) for c in grid]
+    repartition = repartition_dags(vectors, scenarios)
+    finish = {
+        name: (vectors[i][repartition.counts[i] - 1] if repartition.counts[i] else 0.0)
+        for i, name in enumerate(names)
+    }
+    original_makespan = repartition.makespan
+
+    failed_index = names.index(failure.cluster_name)
+    failed_cluster = grid[failed_index]
+    local = repartition.scenarios_on(failed_index)
+    if not local:
+        raise MiddlewareError(
+            f"cluster {failure.cluster_name!r} was assigned no scenarios; "
+            f"its failure is free"
+        )
+    if failure.at_time >= finish[failure.cluster_name]:
+        raise MiddlewareError(
+            f"cluster {failure.cluster_name!r} finished at "
+            f"{finish[failure.cluster_name]:.0f}s, before the failure at "
+            f"{failure.at_time:.0f}s — nothing to recover"
+        )
+
+    # What survived on the failed cluster?
+    done_local, pending_local, lost = _months_done_at(
+        failed_cluster, len(local), months, heuristic, failure.at_time
+    )
+    completed = {
+        global_id: done_local[i] for i, global_id in enumerate(local)
+    }
+    pending = {
+        global_id: pending_local[i] for i, global_id in enumerate(local)
+    }
+    remaining = {
+        global_id: months - done for global_id, done in completed.items()
+        if months - done > 0
+    }
+    interrupted = sorted(
+        global_id
+        for global_id in completed
+        if remaining.get(global_id, 0) > 0 or pending[global_id] > 0
+    )
+
+    # Greedy reassignment, longest-remaining first, exact evaluation.
+    survivors = [
+        (name, grid[i]) for i, name in enumerate(names) if i != failed_index
+    ]
+    assigned: dict[str, dict[int, int]] = {name: {} for name, _ in survivors}
+    assigned_posts: dict[str, int] = {name: 0 for name, _ in survivors}
+    reassignment: dict[int, str] = {}
+    for scenario in sorted(
+        interrupted, key=lambda s: (-remaining.get(s, 0), s)
+    ):
+        migration = link.migration_penalty(completed[scenario])
+        best_name = None
+        best_finish = float("inf")
+        for name, cluster in survivors:
+            trial = dict(assigned[name])
+            if remaining.get(scenario, 0) > 0:
+                trial[scenario] = remaining[scenario]
+            candidate = _appended_finish(
+                cluster,
+                max(finish[name], failure.at_time),
+                trial,
+                assigned_posts[name] + pending[scenario],
+                migration,
+            )
+            if candidate < best_finish:
+                best_finish = candidate
+                best_name = name
+        assert best_name is not None
+        if remaining.get(scenario, 0) > 0:
+            assigned[best_name][scenario] = remaining[scenario]
+        assigned_posts[best_name] += pending[scenario]
+        reassignment[scenario] = best_name
+
+    cluster_finish: dict[str, float] = {}
+    for name, cluster in survivors:
+        has_work = bool(assigned[name]) or assigned_posts[name] > 0
+        migration = max(
+            (
+                link.migration_penalty(completed[s])
+                for s, target in reassignment.items()
+                if target == name
+            ),
+            default=0.0,
+        )
+        cluster_finish[name] = _appended_finish(
+            cluster,
+            max(finish[name], failure.at_time) if has_work else finish[name],
+            assigned[name],
+            assigned_posts[name],
+            migration,
+        )
+
+    makespan = max(cluster_finish.values())
+    return RecoveryPlan(
+        failure=failure,
+        original_repartition=repartition,
+        original_makespan=original_makespan,
+        completed_months=completed,
+        pending_posts=pending,
+        reassignment=reassignment,
+        cluster_finish=cluster_finish,
+        makespan=makespan,
+        lost_work_seconds=lost,
+    )

@@ -1,0 +1,79 @@
+"""SeD — the per-cluster server daemon (steps 2 and 6 of the protocol).
+
+In DIET terminology a SeD ("Server Daemon") fronts a computational
+resource.  Ours wraps a :class:`~repro.platform.cluster.ClusterSpec` and
+provides the two services of Figure 9: computing the cluster's
+performance vector with the knapsack modeling (step 2) and executing an
+assigned subset of scenarios (step 6, by planning a grouping and running
+the makespan simulator).
+"""
+
+from __future__ import annotations
+
+from repro.core.heuristics import plan_grouping
+from repro.core.performance_vector import performance_vector
+from repro.exceptions import MiddlewareError
+from repro.middleware.messages import (
+    ExecutionOrder,
+    ExecutionReport,
+    PerformanceReply,
+    ServiceRequest,
+)
+from repro.platform.cluster import ClusterSpec
+from repro.simulation.engine import simulate
+from repro.simulation.events import SimulationResult
+from repro.workflow.ocean_atmosphere import EnsembleSpec
+
+__all__ = ["SeD"]
+
+
+class SeD:
+    """One cluster's server daemon."""
+
+    def __init__(self, cluster: ClusterSpec) -> None:
+        if not cluster.can_run_main():
+            raise MiddlewareError(
+                f"cluster {cluster.name!r} ({cluster.resources} processors) "
+                f"cannot host a single main-task group; refusing to register "
+                f"a SeD that could never serve a request"
+            )
+        self.cluster = cluster
+        self._last_result: SimulationResult | None = None
+
+    @property
+    def name(self) -> str:
+        """The SeD answers under its cluster's name."""
+        return self.cluster.name
+
+    def handle_request(self, request: ServiceRequest) -> PerformanceReply:
+        """Step 2: compute this cluster's performance vector."""
+        spec = EnsembleSpec(request.scenarios, request.months)
+        vector = performance_vector(self.cluster, spec, request.heuristic)
+        return PerformanceReply(self.name, tuple(vector))
+
+    def execute(self, order: ExecutionOrder) -> ExecutionReport:
+        """Step 6: run the assigned scenarios, report the makespan.
+
+        The SeD re-plans its grouping for the *actual* number of assigned
+        scenarios — the performance vector already predicted this exact
+        makespan, and the tests assert prediction and execution agree.
+        """
+        if order.cluster_name != self.name:
+            raise MiddlewareError(
+                f"order addressed to {order.cluster_name!r} delivered to "
+                f"SeD {self.name!r}"
+            )
+        spec = EnsembleSpec(len(order.scenario_ids), order.months)
+        grouping = plan_grouping(self.cluster, spec, order.heuristic)
+        result = simulate(
+            grouping, spec, self.cluster.timing, cluster_name=self.name
+        )
+        self._last_result = result
+        return ExecutionReport(
+            self.name, order.scenario_ids, result.makespan, grouping
+        )
+
+    @property
+    def last_result(self) -> SimulationResult | None:
+        """The most recent execution's full simulation result."""
+        return self._last_result

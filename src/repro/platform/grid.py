@@ -1,0 +1,116 @@
+"""Grid descriptions: heterogeneous collections of homogeneous clusters.
+
+Grid'5000, the paper's target platform, "is a grid composed of several
+clusters.  Each cluster is composed of homogeneous resources but differs
+from one another."  :class:`GridSpec` captures exactly that: an ordered
+collection of :class:`~repro.platform.cluster.ClusterSpec`, with the
+helpers the repartition algorithm (Algorithm 1) and the middleware need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.exceptions import PlatformError
+from repro.platform.cluster import ClusterSpec
+from repro.platform.timing import TimingModel
+
+__all__ = ["GridSpec", "homogeneous_grid"]
+
+
+@dataclass(frozen=True)
+class GridSpec:
+    """An ordered, immutable collection of clusters forming a grid."""
+
+    clusters: tuple[ClusterSpec, ...]
+
+    def __post_init__(self) -> None:
+        if not self.clusters:
+            raise PlatformError("a grid must contain at least one cluster")
+        if not all(isinstance(c, ClusterSpec) for c in self.clusters):
+            raise PlatformError("grid members must all be ClusterSpec instances")
+        names = [c.name for c in self.clusters]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise PlatformError(f"duplicate cluster names in grid: {dupes}")
+
+    @classmethod
+    def of(cls, clusters: Iterable[ClusterSpec]) -> "GridSpec":
+        """Build a grid from any iterable of clusters."""
+        return cls(tuple(clusters))
+
+    # -- container protocol --------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.clusters)
+
+    def __iter__(self) -> Iterator[ClusterSpec]:
+        return iter(self.clusters)
+
+    def __getitem__(self, index: int) -> ClusterSpec:
+        return self.clusters[index]
+
+    # -- aggregate queries ----------------------------------------------------
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Cluster names in grid order."""
+        return tuple(c.name for c in self.clusters)
+
+    @property
+    def total_resources(self) -> int:
+        """Sum of processor counts over all clusters."""
+        return sum(c.resources for c in self.clusters)
+
+    def cluster_by_name(self, name: str) -> ClusterSpec:
+        """Look a cluster up by name; raises :class:`PlatformError` if absent."""
+        for cluster in self.clusters:
+            if cluster.name == name:
+                return cluster
+        raise PlatformError(f"no cluster named {name!r} in grid {self.names}")
+
+    def fastest_cluster(self, group_size: int | None = None) -> ClusterSpec:
+        """The cluster with the smallest main-task time.
+
+        ``group_size`` defaults to each cluster's largest group, which is
+        how Section 6 ranks clusters ("the fastest cluster executes one
+        main-processing task on 11 resources in 1177 seconds").
+        """
+        return min(self.clusters, key=lambda c: self._rank_time(c, group_size))
+
+    def slowest_cluster(self, group_size: int | None = None) -> ClusterSpec:
+        """The cluster with the largest main-task time."""
+        return max(self.clusters, key=lambda c: self._rank_time(c, group_size))
+
+    @staticmethod
+    def _rank_time(cluster: ClusterSpec, group_size: int | None) -> float:
+        g = cluster.timing.max_group if group_size is None else group_size
+        return cluster.main_time(g)
+
+    def describe(self) -> str:
+        """Multi-line human-readable inventory of the grid."""
+        lines = [f"grid with {len(self)} cluster(s), {self.total_resources} processors:"]
+        lines.extend("  " + c.describe() for c in self.clusters)
+        return "\n".join(lines)
+
+
+def homogeneous_grid(
+    n_clusters: int,
+    resources_per_cluster: int,
+    timing: TimingModel,
+    *,
+    name_prefix: str = "cluster",
+) -> GridSpec:
+    """A grid of ``n_clusters`` identical clusters.
+
+    Useful as a control configuration: Algorithm 1 on a homogeneous grid
+    must spread scenarios evenly (round-robin counts), which the tests
+    verify.
+    """
+    if n_clusters < 1:
+        raise PlatformError(f"n_clusters must be >= 1, got {n_clusters!r}")
+    return GridSpec.of(
+        ClusterSpec(f"{name_prefix}{i}", resources_per_cluster, timing)
+        for i in range(n_clusters)
+    )

@@ -1,0 +1,117 @@
+"""A fuller synthetic Grid'5000 site catalog (2008 vintage).
+
+The five-cluster benchmark database of :mod:`repro.platform.benchmarks`
+carries the paper's evaluation; this catalog extends it to a
+plausible-scale rendering of the whole testbed for larger studies and
+examples.  Cluster names and node counts follow the real 2008 Grid'5000
+inventory (Bolze et al. 2006 lists ~2800 processors over 9 sites);
+speeds are interpolated inside the paper's published 1177–1622 s
+envelope by hardware generation.  Everything remains synthetic —
+documented as such per DESIGN.md §2 — but the *shape* of the platform
+(few large sites, long tail of small ones, heterogeneous speeds) is
+faithful, which is what grid-level experiments exercise.
+"""
+
+from __future__ import annotations
+
+from typing import Final
+
+from repro.exceptions import PlatformError
+from repro.platform.benchmarks import DEFAULT_SERIAL_FRACTION
+from repro.platform.cluster import ClusterSpec
+from repro.platform.grid import GridSpec
+from repro.platform.timing import AmdahlTimingModel
+
+__all__ = ["SITE_CATALOG", "catalog_cluster", "catalog_grid", "site_names"]
+
+#: ``site -> cluster -> (processors, T(11) seconds)``.  Node counts are
+#: the order of magnitude of the 2008 testbed; T(11) interpolates the
+#: paper's envelope by hardware generation (newer Opterons/Xeons faster).
+SITE_CATALOG: Final[dict[str, dict[str, tuple[int, float]]]] = {
+    "lyon": {
+        "sagittaire": (158, 1177.0),
+        "capricorne": (112, 1310.0),
+    },
+    "nancy": {
+        "grelon": (240, 1288.0),
+        "grillon": (94, 1405.0),
+    },
+    "lille": {
+        "chti": (40, 1399.0),
+        "chicon": (52, 1450.0),
+        "chuque": (106, 1520.0),
+    },
+    "rennes": {
+        "paravent": (198, 1510.0),
+        "parasol": (128, 1340.0),
+        "paraquad": (132, 1260.0),
+    },
+    "sophia": {
+        "azur": (144, 1622.0),
+        "helios": (112, 1235.0),
+        "sol": (100, 1210.0),
+    },
+    "bordeaux": {
+        "bordemer": (96, 1580.0),
+        "bordeplage": (102, 1490.0),
+    },
+    "toulouse": {
+        "violette": (114, 1560.0),
+    },
+    "orsay": {
+        "gdx": (342, 1470.0),
+        "netgdx": (60, 1430.0),
+    },
+    "grenoble": {
+        "idpot": (48, 1600.0),
+    },
+}
+
+
+def site_names() -> tuple[str, ...]:
+    """All sites, catalog order."""
+    return tuple(SITE_CATALOG)
+
+
+def catalog_cluster(
+    name: str, *, serial_fraction: float = DEFAULT_SERIAL_FRACTION
+) -> ClusterSpec:
+    """One named catalog cluster at its full node count."""
+    for clusters in SITE_CATALOG.values():
+        if name in clusters:
+            resources, t11 = clusters[name]
+            timing = AmdahlTimingModel.calibrated(
+                t11, serial_fraction=serial_fraction
+            )
+            return ClusterSpec(name, resources, timing)
+    known = sorted(n for site in SITE_CATALOG.values() for n in site)
+    raise PlatformError(f"unknown catalog cluster {name!r}; known: {known}")
+
+
+def catalog_grid(
+    sites: tuple[str, ...] | None = None,
+    *,
+    max_resources_per_cluster: int | None = None,
+    serial_fraction: float = DEFAULT_SERIAL_FRACTION,
+) -> GridSpec:
+    """A grid over whole sites (default: the entire catalog).
+
+    ``max_resources_per_cluster`` caps each cluster — the paper never
+    assumes whole-testbed reservations, and a realistic campaign books a
+    slice of each cluster.
+    """
+    chosen = sites if sites is not None else site_names()
+    clusters: list[ClusterSpec] = []
+    for site in chosen:
+        if site not in SITE_CATALOG:
+            raise PlatformError(
+                f"unknown site {site!r}; known: {list(SITE_CATALOG)}"
+            )
+        for name in SITE_CATALOG[site]:
+            cluster = catalog_cluster(name, serial_fraction=serial_fraction)
+            if max_resources_per_cluster is not None:
+                cluster = cluster.with_resources(
+                    min(cluster.resources, max_resources_per_cluster)
+                )
+            clusters.append(cluster)
+    return GridSpec.of(clusters)

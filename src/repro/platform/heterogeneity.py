@@ -1,0 +1,106 @@
+"""Randomized heterogeneous platform generators.
+
+The paper's evaluation uses fixed cluster speeds; these generators extend
+it to randomized sensitivity studies (used by the ablation benchmarks and
+the property-based tests).  All randomness flows through an explicit
+:class:`numpy.random.Generator` so that every platform is reproducible
+from its seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import constants
+from repro.exceptions import PlatformError
+from repro.platform.cluster import ClusterSpec
+from repro.platform.grid import GridSpec
+from repro.platform.timing import (
+    AmdahlTimingModel,
+    TableTimingModel,
+    TimingModel,
+)
+
+__all__ = ["random_cluster", "random_grid", "perturbed_timing"]
+
+
+def random_cluster(
+    rng: np.random.Generator,
+    *,
+    name: str = "random",
+    min_resources: int = 11,
+    max_resources: int = 120,
+    min_t11: float = constants.FASTEST_MAIN_11_SECONDS,
+    max_t11: float = constants.SLOWEST_MAIN_11_SECONDS,
+    serial_fraction_range: tuple[float, float] = (0.15, 0.35),
+) -> ClusterSpec:
+    """A cluster with random size and speed inside the paper's envelope.
+
+    ``T(11)`` is drawn uniformly from ``[min_t11, max_t11]`` (defaults to
+    the published Grid'5000 extremes) and the Amdahl serial fraction from
+    ``serial_fraction_range``, so the generated tables differ in *shape*
+    as well as scale.
+    """
+    if min_resources < constants.MIN_GROUP_SIZE:
+        raise PlatformError(
+            f"min_resources must be >= {constants.MIN_GROUP_SIZE} so the "
+            f"cluster can host at least one main-task group"
+        )
+    if min_resources > max_resources:
+        raise PlatformError("min_resources must not exceed max_resources")
+    if min_t11 > max_t11 or min_t11 <= 0:
+        raise PlatformError("need 0 < min_t11 <= max_t11")
+    lo, hi = serial_fraction_range
+    if not (0.0 <= lo <= hi < 1.0):
+        raise PlatformError(
+            f"serial_fraction_range must satisfy 0 <= lo <= hi < 1, got {serial_fraction_range!r}"
+        )
+    resources = int(rng.integers(min_resources, max_resources + 1))
+    t11 = float(rng.uniform(min_t11, max_t11))
+    serial_fraction = float(rng.uniform(lo, hi))
+    timing = AmdahlTimingModel.calibrated(t11, serial_fraction=serial_fraction)
+    return ClusterSpec(name, resources, timing)
+
+
+def random_grid(
+    rng: np.random.Generator,
+    n_clusters: int,
+    **cluster_kwargs: object,
+) -> GridSpec:
+    """A grid of ``n_clusters`` independently random clusters."""
+    if n_clusters < 1:
+        raise PlatformError(f"n_clusters must be >= 1, got {n_clusters!r}")
+    clusters = [
+        random_cluster(rng, name=f"random{i}", **cluster_kwargs)  # type: ignore[arg-type]
+        for i in range(n_clusters)
+    ]
+    return GridSpec.of(clusters)
+
+
+def perturbed_timing(
+    base: TimingModel,
+    rng: np.random.Generator,
+    *,
+    relative_noise: float = 0.05,
+) -> TimingModel:
+    """Benchmark-noise injection: jitter every ``T[G]`` entry independently.
+
+    Models measurement noise in the benchmark tables the heuristics
+    consume.  The perturbed table keeps monotonicity by construction
+    (each entry is clamped below its slower neighbour), because a
+    non-monotone table would be a measurement artifact no scheduler
+    should be asked to honour.
+    """
+    if not 0.0 <= relative_noise < 1.0:
+        raise PlatformError(
+            f"relative_noise must be in [0, 1), got {relative_noise!r}"
+        )
+    table = base.main_time_table()
+    noisy: dict[int, float] = {}
+    previous = float("inf")
+    for g in sorted(table):
+        jitter = 1.0 + float(rng.uniform(-relative_noise, relative_noise))
+        value = min(table[g] * jitter, previous)
+        noisy[g] = value
+        previous = value
+    return TableTimingModel(noisy, post_seconds=base.post_time())

@@ -1,0 +1,141 @@
+"""Independent correctness checks for DAG-level schedules.
+
+The counterpart of :mod:`repro.simulation.validate` for
+:class:`~repro.simulation.dag_engine.DagSimulationResult`: replays a
+traced result against the workflow definition and raises
+:class:`~repro.exceptions.ValidationError` on any violation.
+
+Checked invariants
+------------------
+1. every DAG task is scheduled exactly once;
+2. every dependency edge is respected (consumer starts no earlier than
+   producer ends);
+3. MAIN tasks occupy exactly their group's processor range and last
+   exactly ``T[group size]``;
+4. sequential tasks occupy one in-range processor and last exactly
+   ``nominal_seconds × seq_scale``;
+5. no processor is double-booked;
+6. the reported makespans equal the trace extents.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ValidationError
+from repro.platform.timing import TimingModel
+from repro.simulation.dag_engine import DagSimulationResult
+from repro.simulation.groups import proc_ranges
+from repro.workflow.dag import DAG
+from repro.workflow.task import TaskKind
+
+__all__ = ["validate_dag_schedule"]
+
+_EPS = 1e-6
+
+
+def validate_dag_schedule(
+    result: DagSimulationResult,
+    dag: DAG,
+    timing: TimingModel,
+    *,
+    seq_scale: float = 1.0,
+) -> None:
+    """Raise :class:`ValidationError` unless the DAG schedule is correct."""
+    if not result.has_trace:
+        raise ValidationError(
+            "cannot validate without records; re-simulate with "
+            "record_trace=True"
+        )
+    ranges = proc_ranges(result.grouping)
+    seen: dict[str, tuple[float, float]] = {}
+
+    for record in result.records:
+        if record.task_id not in dag:
+            raise ValidationError(f"record for unknown task {record.task_id!r}")
+        if record.task_id in seen:
+            raise ValidationError(f"task {record.task_id!r} scheduled twice")
+        seen[record.task_id] = (record.start, record.end)
+        task = dag.task(record.task_id)
+        if task.kind is TaskKind.MAIN:
+            if record.kind != "main":
+                raise ValidationError(
+                    f"MAIN task {record.task_id!r} recorded as {record.kind!r}"
+                )
+            if not 0 <= record.group < len(ranges):
+                raise ValidationError(
+                    f"main task {record.task_id!r} on unknown group "
+                    f"{record.group}"
+                )
+            rng = ranges[record.group]
+            if (record.procs_start, record.procs_stop) != (rng.start, rng.stop):
+                raise ValidationError(
+                    f"main task {record.task_id!r} procs "
+                    f"{record.procs_start}:{record.procs_stop} != group "
+                    f"range {rng.start}:{rng.stop}"
+                )
+            expected = timing.main_time(len(rng))
+            if abs(record.duration - expected) > _EPS:
+                raise ValidationError(
+                    f"main task {record.task_id!r} duration "
+                    f"{record.duration} != T[{len(rng)}] = {expected}"
+                )
+        else:
+            if record.kind != "seq":
+                raise ValidationError(
+                    f"sequential task {record.task_id!r} recorded as "
+                    f"{record.kind!r}"
+                )
+            if record.procs_stop - record.procs_start != 1:
+                raise ValidationError(
+                    f"sequential task {record.task_id!r} on more than one "
+                    f"processor"
+                )
+            if not 0 <= record.procs_start < result.grouping.total_resources:
+                raise ValidationError(
+                    f"sequential task {record.task_id!r} on nonexistent "
+                    f"processor {record.procs_start}"
+                )
+            expected = task.nominal_seconds * seq_scale
+            if abs(record.duration - expected) > _EPS:
+                raise ValidationError(
+                    f"sequential task {record.task_id!r} duration "
+                    f"{record.duration} != {expected}"
+                )
+
+    missing = [tid for tid in dag.task_ids() if tid not in seen]
+    if missing:
+        raise ValidationError(
+            f"{len(missing)} task(s) never scheduled, e.g. {missing[:5]}"
+        )
+
+    for producer in dag.task_ids():
+        for consumer in dag.successors(producer):
+            if seen[consumer][0] < seen[producer][1] - _EPS:
+                raise ValidationError(
+                    f"dependency violated: {consumer!r} starts at "
+                    f"{seen[consumer][0]} before {producer!r} ends at "
+                    f"{seen[producer][1]}"
+                )
+
+    per_proc: dict[int, list[tuple[float, float]]] = {}
+    for record in result.records:
+        for proc in range(record.procs_start, record.procs_stop):
+            per_proc.setdefault(proc, []).append((record.start, record.end))
+    for proc, intervals in per_proc.items():
+        intervals.sort()
+        for (_s1, e1), (s2, _e2) in zip(intervals, intervals[1:]):
+            if s2 < e1 - _EPS:
+                raise ValidationError(f"processor {proc} double-booked")
+
+    mains = [r for r in result.records if r.kind == "main"]
+    actual_main = max((r.end for r in mains), default=0.0)
+    actual_total = max((r.end for r in result.records), default=0.0)
+    if abs(actual_main - result.main_makespan) > _EPS:
+        raise ValidationError(
+            f"reported main makespan {result.main_makespan} != trace "
+            f"extent {actual_main}"
+        )
+    if abs(actual_total - result.makespan) > _EPS:
+        raise ValidationError(
+            f"reported makespan {result.makespan} != trace extent "
+            f"{actual_total}"
+        )

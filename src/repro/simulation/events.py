@@ -1,0 +1,106 @@
+"""Result records of the makespan simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.grouping import Grouping
+from repro.exceptions import SimulationError
+from repro.workflow.ocean_atmosphere import EnsembleSpec
+
+__all__ = ["TaskRecord", "SimulationResult"]
+
+
+@dataclass(frozen=True)
+class TaskRecord:
+    """One executed task occurrence in a simulated schedule.
+
+    ``group`` is the index of the main-task group that ran a MAIN task
+    and ``-1`` for POST tasks (which run on individual processors drawn
+    from the post pool or from retired groups).  ``procs`` is the
+    half-open processor-id range ``[procs_start, procs_stop)`` occupied
+    for the task's whole duration.
+    """
+
+    kind: str  # "main" | "post"
+    scenario: int
+    month: int
+    start: float
+    end: float
+    group: int
+    procs_start: int
+    procs_stop: int
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("main", "post"):
+            raise SimulationError(f"unknown task kind {self.kind!r}")
+        if self.end < self.start:
+            raise SimulationError(
+                f"task {self.kind}[s{self.scenario},m{self.month}] ends "
+                f"({self.end}) before it starts ({self.start})"
+            )
+        if self.procs_stop <= self.procs_start:
+            raise SimulationError(
+                f"task {self.kind}[s{self.scenario},m{self.month}] occupies "
+                f"an empty processor range"
+            )
+
+    @property
+    def duration(self) -> float:
+        """Wall-clock seconds of this task occurrence."""
+        return self.end - self.start
+
+    @property
+    def n_procs(self) -> int:
+        """Processors occupied."""
+        return self.procs_stop - self.procs_start
+
+    @property
+    def procs(self) -> range:
+        """Occupied processor ids as a :class:`range`."""
+        return range(self.procs_start, self.procs_stop)
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of one cluster-level simulation.
+
+    ``records`` is empty unless the simulation was run with
+    ``record_trace=True`` — makespans never require materializing the
+    full trace, and the figure sweeps run thousands of simulations.
+    """
+
+    makespan: float
+    main_makespan: float
+    grouping: Grouping
+    spec: EnsembleSpec
+    cluster_name: str = "cluster"
+    records: tuple[TaskRecord, ...] = field(default=(), repr=False)
+
+    def __post_init__(self) -> None:
+        if self.makespan < 0 or self.main_makespan < 0:
+            raise SimulationError("makespans must be non-negative")
+        if self.main_makespan > self.makespan + 1e-9:
+            raise SimulationError(
+                f"main makespan ({self.main_makespan}) exceeds total "
+                f"makespan ({self.makespan})"
+            )
+
+    @property
+    def has_trace(self) -> bool:
+        """Whether per-task records were collected."""
+        return bool(self.records)
+
+    def records_of_kind(self, kind: str) -> list[TaskRecord]:
+        """All records of one kind (``"main"`` or ``"post"``)."""
+        return [r for r in self.records if r.kind == kind]
+
+    def record_for(self, kind: str, scenario: int, month: int) -> TaskRecord:
+        """The unique record of a task occurrence; raises if absent."""
+        for r in self.records:
+            if r.kind == kind and r.scenario == scenario and r.month == month:
+                return r
+        raise SimulationError(
+            f"no record for {kind}[s{scenario},m{month}] "
+            f"(trace recorded: {self.has_trace})"
+        )

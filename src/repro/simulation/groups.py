@@ -1,0 +1,29 @@
+"""Processor-id layout of a grouping.
+
+The simulator identifies processors by integer ids ``0 .. R-1``.  Groups
+occupy contiguous ranges in grouping order, followed by the dedicated
+post pool; any idle processors take the tail ids.  Keeping the layout in
+one place lets the validator reconstruct it independently.
+"""
+
+from __future__ import annotations
+
+from repro.core.grouping import Grouping
+
+__all__ = ["proc_ranges", "post_pool_range"]
+
+
+def proc_ranges(grouping: Grouping) -> list[range]:
+    """Contiguous processor-id range of each main-task group, in order."""
+    ranges: list[range] = []
+    offset = 0
+    for size in grouping.group_sizes:
+        ranges.append(range(offset, offset + size))
+        offset += size
+    return ranges
+
+
+def post_pool_range(grouping: Grouping) -> range:
+    """Processor-id range of the dedicated post pool."""
+    start = grouping.main_resources
+    return range(start, start + grouping.post_pool)

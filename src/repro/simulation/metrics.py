@@ -1,0 +1,88 @@
+"""Schedule quality metrics beyond the makespan.
+
+These are not used by the heuristics themselves (the paper optimizes
+makespan only) but quantify the *why* behind the gains: Improvements 1–3
+all work by converting idle processor-seconds into useful ones, and
+fairness matters because the climatologists want all ensemble members to
+progress together (Section 3.1's motivation for round-robin ordering).
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import SimulationError
+from repro.simulation.events import SimulationResult
+
+__all__ = [
+    "busy_seconds_by_kind",
+    "utilization",
+    "idle_seconds",
+    "scenario_finish_times",
+    "fairness_spread",
+]
+
+
+def _require_trace(result: SimulationResult) -> None:
+    if not result.has_trace:
+        raise SimulationError(
+            "this metric needs per-task records; re-run the simulation "
+            "with record_trace=True"
+        )
+
+
+def busy_seconds_by_kind(result: SimulationResult) -> dict[str, float]:
+    """Processor-seconds consumed by main and post tasks."""
+    _require_trace(result)
+    busy = {"main": 0.0, "post": 0.0}
+    for record in result.records:
+        busy[record.kind] += record.duration * record.n_procs
+    return busy
+
+
+def utilization(result: SimulationResult) -> float:
+    """Fraction of the cluster's processor-time doing useful work.
+
+    ``Σ busy processor-seconds / (R × makespan)``, in ``[0, 1]``.
+    """
+    _require_trace(result)
+    if result.makespan == 0.0:
+        return 0.0
+    capacity = result.grouping.total_resources * result.makespan
+    return sum(busy_seconds_by_kind(result).values()) / capacity
+
+
+def idle_seconds(result: SimulationResult) -> float:
+    """Total idle processor-seconds over the schedule horizon."""
+    _require_trace(result)
+    capacity = result.grouping.total_resources * result.makespan
+    return capacity - sum(busy_seconds_by_kind(result).values())
+
+
+def scenario_finish_times(result: SimulationResult) -> dict[int, float]:
+    """Completion time of each scenario's *last main task*.
+
+    Post tasks are deliberately excluded: the scientific result of a
+    scenario is complete when its final month has been integrated.
+    """
+    _require_trace(result)
+    finish: dict[int, float] = {}
+    for record in result.records:
+        if record.kind != "main":
+            continue
+        if record.end > finish.get(record.scenario, -1.0):
+            finish[record.scenario] = record.end
+    return finish
+
+
+def fairness_spread(result: SimulationResult) -> float:
+    """Spread of scenario completion: ``(max - min) / max`` finish time.
+
+    0 means perfectly synchronized ensemble members; values near 1 mean
+    one scenario finished long before another started mattering.
+    """
+    finishes = list(scenario_finish_times(result).values())
+    if not finishes:
+        return 0.0
+    top = max(finishes)
+    if top == 0.0:
+        return 0.0
+    return (top - min(finishes)) / top

@@ -1,0 +1,142 @@
+"""Independent correctness checks on simulated schedules.
+
+:func:`validate_schedule` replays a traced
+:class:`~repro.simulation.events.SimulationResult` against the problem
+definition and raises :class:`~repro.exceptions.ValidationError` on any
+violation.  It deliberately reconstructs the processor layout itself
+(via :mod:`repro.simulation.groups`) rather than trusting the engine's
+bookkeeping, so an engine bug cannot validate itself away.  The
+property-based tests run it on thousands of randomized instances.
+
+Checked invariants
+------------------
+1. every ``main(s, m)`` and ``post(s, m)`` occurs exactly once;
+2. chain dependencies: ``main(s, m)`` starts no earlier than
+   ``main(s, m-1)`` ends;
+3. post dependencies: ``post(s, m)`` starts no earlier than
+   ``main(s, m)`` ends;
+4. durations match the timing model (mains per their group's size,
+   posts equal to ``TP``);
+5. main tasks run inside their group's processor range; posts run on
+   single processors inside the cluster;
+6. no processor is occupied by two tasks at once;
+7. the reported makespans equal the trace's actual extents.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ValidationError
+from repro.platform.timing import TimingModel
+from repro.simulation.events import SimulationResult
+from repro.simulation.groups import proc_ranges
+
+__all__ = ["validate_schedule"]
+
+_EPS = 1e-6
+
+
+def validate_schedule(result: SimulationResult, timing: TimingModel) -> None:
+    """Raise :class:`ValidationError` unless the schedule is correct."""
+    if not result.has_trace:
+        raise ValidationError(
+            "cannot validate a schedule without records; re-simulate with "
+            "record_trace=True"
+        )
+    ns, nm = result.spec.scenarios, result.spec.months
+    expected = ns * nm
+    ranges = proc_ranges(result.grouping)
+    tp = timing.post_time()
+
+    mains: dict[tuple[int, int], tuple[float, float]] = {}
+    posts: dict[tuple[int, int], tuple[float, float]] = {}
+
+    for record in result.records:
+        key = (record.scenario, record.month)
+        if not (0 <= record.scenario < ns and 0 <= record.month < nm):
+            raise ValidationError(f"task outside the ensemble: {record}")
+        if record.kind == "main":
+            if key in mains:
+                raise ValidationError(f"main{key} scheduled twice")
+            mains[key] = (record.start, record.end)
+            _check_main_record(record, ranges, timing)
+        else:
+            if key in posts:
+                raise ValidationError(f"post{key} scheduled twice")
+            posts[key] = (record.start, record.end)
+            _check_post_record(record, result, tp)
+
+    if len(mains) != expected:
+        raise ValidationError(f"expected {expected} main tasks, saw {len(mains)}")
+    if len(posts) != expected:
+        raise ValidationError(f"expected {expected} post tasks, saw {len(posts)}")
+
+    for (s, m), (start, _end) in mains.items():
+        if m > 0:
+            prev_end = mains[(s, m - 1)][1]
+            if start < prev_end - _EPS:
+                raise ValidationError(
+                    f"main(s{s},m{m}) starts at {start} before "
+                    f"main(s{s},m{m - 1}) ends at {prev_end}"
+                )
+    for (s, m), (start, _end) in posts.items():
+        main_end = mains[(s, m)][1]
+        if start < main_end - _EPS:
+            raise ValidationError(
+                f"post(s{s},m{m}) starts at {start} before its main ends "
+                f"at {main_end}"
+            )
+
+    _check_no_overlap(result)
+
+    actual_main = max(end for _, end in mains.values())
+    actual_total = max(actual_main, max(end for _, end in posts.values()))
+    if abs(actual_main - result.main_makespan) > _EPS:
+        raise ValidationError(
+            f"reported main makespan {result.main_makespan} != trace extent "
+            f"{actual_main}"
+        )
+    if abs(actual_total - result.makespan) > _EPS:
+        raise ValidationError(
+            f"reported makespan {result.makespan} != trace extent {actual_total}"
+        )
+
+
+def _check_main_record(record, ranges, timing: TimingModel) -> None:
+    if not 0 <= record.group < len(ranges):
+        raise ValidationError(f"main task on unknown group: {record}")
+    rng = ranges[record.group]
+    if record.procs_start != rng.start or record.procs_stop != rng.stop:
+        raise ValidationError(
+            f"main task procs {record.procs_start}:{record.procs_stop} do "
+            f"not match group {record.group}'s range {rng.start}:{rng.stop}"
+        )
+    expected = timing.main_time(len(rng))
+    if abs(record.duration - expected) > _EPS:
+        raise ValidationError(
+            f"main task duration {record.duration} != T[{len(rng)}] = {expected}"
+        )
+
+
+def _check_post_record(record, result: SimulationResult, tp: float) -> None:
+    if record.n_procs != 1:
+        raise ValidationError(f"post task on {record.n_procs} processors: {record}")
+    if not 0 <= record.procs_start < result.grouping.total_resources:
+        raise ValidationError(f"post task on nonexistent processor: {record}")
+    if abs(record.duration - tp) > _EPS:
+        raise ValidationError(f"post task duration {record.duration} != TP = {tp}")
+
+
+def _check_no_overlap(result: SimulationResult) -> None:
+    """Sweep each processor's intervals for pairwise overlap."""
+    per_proc: dict[int, list[tuple[float, float]]] = {}
+    for record in result.records:
+        for proc in record.procs:
+            per_proc.setdefault(proc, []).append((record.start, record.end))
+    for proc, intervals in per_proc.items():
+        intervals.sort()
+        for (s1, e1), (s2, _e2) in zip(intervals, intervals[1:]):
+            if s2 < e1 - _EPS:
+                raise ValidationError(
+                    f"processor {proc} double-booked: interval starting at "
+                    f"{s2} overlaps one ending at {e1}"
+                )

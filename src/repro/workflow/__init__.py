@@ -1,0 +1,46 @@
+"""Application model: tasks, DAGs, and the Ocean-Atmosphere workflow.
+
+The paper models one climate *scenario* as a chain of identical monthly
+DAGs (Figure 1), then simplifies each month to two tasks — a moldable
+main-processing task and a sequential post-processing task (Figure 2).
+This subpackage implements both representations and the fusion
+transformation between them, on top of a small generic DAG toolkit.
+"""
+
+from repro.workflow.task import Task, TaskKind, task_id
+from repro.workflow.dag import DAG
+from repro.workflow.ocean_atmosphere import (
+    monthly_dag,
+    scenario_dag,
+    ensemble_dag,
+    fused_scenario_dag,
+    fused_ensemble_dag,
+    EnsembleSpec,
+)
+from repro.workflow.fusion import fuse_ocean_atmosphere
+from repro.workflow.data import DataTransferModel
+from repro.workflow.serialize import (
+    dag_to_dict,
+    dag_from_dict,
+    dumps_dag,
+    loads_dag,
+)
+
+__all__ = [
+    "Task",
+    "TaskKind",
+    "task_id",
+    "DAG",
+    "monthly_dag",
+    "scenario_dag",
+    "ensemble_dag",
+    "fused_scenario_dag",
+    "fused_ensemble_dag",
+    "EnsembleSpec",
+    "fuse_ocean_atmosphere",
+    "DataTransferModel",
+    "dag_to_dict",
+    "dag_from_dict",
+    "dumps_dag",
+    "loads_dag",
+]

@@ -1,0 +1,254 @@
+"""A small generic DAG toolkit.
+
+Implements exactly the graph operations the reproduction needs —
+insertion, dependency queries, topological ordering, critical-path
+analysis, and structural validation — with deterministic iteration order
+(insertion order) so that every downstream computation is replayable.
+
+The implementation is dependency-free on purpose: ``networkx`` is
+available in the environment, but the simulator and the property-based
+tests hammer these operations in tight loops and the bespoke adjacency
+maps are both faster and easier to reason about for the invariants we
+check (see ``tests/workflow/test_dag.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Mapping
+
+from repro.exceptions import WorkflowError
+from repro.workflow.task import Task
+
+__all__ = ["DAG"]
+
+
+class DAG:
+    """A directed acyclic graph of :class:`~repro.workflow.task.Task` nodes.
+
+    Nodes are keyed by ``task.id``.  Edges point from a task to the tasks
+    that depend on it (``u -> v`` means *v needs u's output*).
+    Acyclicity is enforced lazily: edge insertion is O(1) and
+    :meth:`topological_order` (or :meth:`validate`) raises
+    :class:`~repro.exceptions.WorkflowError` if a cycle slipped in.
+    """
+
+    def __init__(self) -> None:
+        self._tasks: dict[str, Task] = {}
+        self._succs: dict[str, list[str]] = {}
+        self._preds: dict[str, list[str]] = {}
+
+    # -- construction ---------------------------------------------------------
+
+    def add_task(self, task: Task) -> None:
+        """Insert a node; re-inserting an identical task is a no-op."""
+        existing = self._tasks.get(task.id)
+        if existing is not None:
+            if existing != task:
+                raise WorkflowError(
+                    f"conflicting redefinition of task {task.id!r}"
+                )
+            return
+        self._tasks[task.id] = task
+        self._succs[task.id] = []
+        self._preds[task.id] = []
+
+    def add_edge(self, producer: str, consumer: str) -> None:
+        """Add the dependency ``consumer needs producer``.
+
+        Both endpoints must already be nodes.  Duplicate edges are
+        ignored; self-loops are rejected immediately.
+        """
+        if producer not in self._tasks:
+            raise WorkflowError(f"unknown producer task {producer!r}")
+        if consumer not in self._tasks:
+            raise WorkflowError(f"unknown consumer task {consumer!r}")
+        if producer == consumer:
+            raise WorkflowError(f"self-dependency on task {producer!r}")
+        if consumer in self._succs[producer]:
+            return
+        self._succs[producer].append(consumer)
+        self._preds[consumer].append(producer)
+
+    def merge(self, other: "DAG") -> None:
+        """Union ``other`` into this DAG (tasks and edges)."""
+        for task in other.tasks():
+            self.add_task(task)
+        for producer, consumers in other._succs.items():
+            for consumer in consumers:
+                self.add_edge(producer, consumer)
+
+    # -- queries ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def __contains__(self, task_id: str) -> bool:
+        return task_id in self._tasks
+
+    def task(self, task_id: str) -> Task:
+        """The task stored under ``task_id``."""
+        try:
+            return self._tasks[task_id]
+        except KeyError:
+            raise WorkflowError(f"unknown task {task_id!r}") from None
+
+    def tasks(self) -> Iterator[Task]:
+        """All tasks, in insertion order."""
+        return iter(self._tasks.values())
+
+    def task_ids(self) -> Iterator[str]:
+        """All task identifiers, in insertion order."""
+        return iter(self._tasks)
+
+    def successors(self, task_id: str) -> tuple[str, ...]:
+        """Tasks that consume ``task_id``'s output."""
+        self.task(task_id)
+        return tuple(self._succs[task_id])
+
+    def predecessors(self, task_id: str) -> tuple[str, ...]:
+        """Tasks whose output ``task_id`` consumes."""
+        self.task(task_id)
+        return tuple(self._preds[task_id])
+
+    def edge_count(self) -> int:
+        """Total number of dependency edges."""
+        return sum(len(s) for s in self._succs.values())
+
+    def roots(self) -> list[str]:
+        """Tasks with no predecessors, in insertion order."""
+        return [t for t in self._tasks if not self._preds[t]]
+
+    def leaves(self) -> list[str]:
+        """Tasks with no successors, in insertion order."""
+        return [t for t in self._tasks if not self._succs[t]]
+
+    def has_edge(self, producer: str, consumer: str) -> bool:
+        """Whether the dependency ``producer -> consumer`` exists."""
+        return producer in self._tasks and consumer in self._succs[producer]
+
+    # -- algorithms --------------------------------------------------------------
+
+    def topological_order(self) -> list[str]:
+        """Kahn topological order (deterministic: FIFO over insertion order).
+
+        Raises :class:`WorkflowError` when the graph contains a cycle.
+        """
+        indegree = {t: len(self._preds[t]) for t in self._tasks}
+        frontier = [t for t in self._tasks if indegree[t] == 0]
+        order: list[str] = []
+        head = 0
+        while head < len(frontier):
+            node = frontier[head]
+            head += 1
+            order.append(node)
+            for succ in self._succs[node]:
+                indegree[succ] -= 1
+                if indegree[succ] == 0:
+                    frontier.append(succ)
+        if len(order) != len(self._tasks):
+            stuck = sorted(t for t, d in indegree.items() if d > 0)
+            raise WorkflowError(f"cycle detected involving tasks: {stuck[:8]}")
+        return order
+
+    def critical_path(
+        self, duration: Callable[[Task], float] | None = None
+    ) -> tuple[float, list[str]]:
+        """Longest path through the DAG under ``duration``.
+
+        ``duration`` defaults to each task's ``nominal_seconds``.  Returns
+        ``(length_seconds, path_task_ids)``.  An empty DAG has an empty
+        critical path of length 0.
+        """
+        if duration is None:
+            duration = lambda t: t.nominal_seconds  # noqa: E731
+        dist: dict[str, float] = {}
+        via: dict[str, str | None] = {}
+        for node in self.topological_order():
+            d = duration(self._tasks[node])
+            if d < 0:
+                raise WorkflowError(f"negative duration for task {node!r}")
+            best_pred: str | None = None
+            best = 0.0
+            for pred in self._preds[node]:
+                if dist[pred] > best:
+                    best = dist[pred]
+                    best_pred = pred
+            dist[node] = best + d
+            via[node] = best_pred
+        if not dist:
+            return 0.0, []
+        end = max(dist, key=lambda t: dist[t])
+        path: list[str] = []
+        cursor: str | None = end
+        while cursor is not None:
+            path.append(cursor)
+            cursor = via[cursor]
+        path.reverse()
+        return dist[end], path
+
+    def total_work(self, duration: Callable[[Task], float] | None = None) -> float:
+        """Sum of task durations (lower bound on sequential execution)."""
+        if duration is None:
+            duration = lambda t: t.nominal_seconds  # noqa: E731
+        return sum(duration(t) for t in self._tasks.values())
+
+    def ancestors(self, task_id: str) -> set[str]:
+        """All transitive predecessors of ``task_id``."""
+        self.task(task_id)
+        seen: set[str] = set()
+        stack = list(self._preds[task_id])
+        while stack:
+            node = stack.pop()
+            if node not in seen:
+                seen.add(node)
+                stack.extend(self._preds[node])
+        return seen
+
+    def validate(self) -> None:
+        """Check structural invariants; raise :class:`WorkflowError` on failure.
+
+        Verifies acyclicity and the symmetry of the adjacency maps.  Every
+        builder in :mod:`repro.workflow.ocean_atmosphere` calls this
+        before returning.
+        """
+        self.topological_order()
+        for producer, consumers in self._succs.items():
+            for consumer in consumers:
+                if producer not in self._preds[consumer]:
+                    raise WorkflowError(
+                        f"adjacency desync on edge {producer!r} -> {consumer!r}"
+                    )
+        for consumer, producers in self._preds.items():
+            for producer in producers:
+                if consumer not in self._succs[producer]:
+                    raise WorkflowError(
+                        f"adjacency desync on edge {producer!r} -> {consumer!r}"
+                    )
+
+    def subgraph(self, keep: Iterable[str]) -> "DAG":
+        """The induced sub-DAG on the node set ``keep``."""
+        keep_set = set(keep)
+        unknown = keep_set - self._tasks.keys()
+        if unknown:
+            raise WorkflowError(f"unknown tasks in subgraph request: {sorted(unknown)[:8]}")
+        sub = DAG()
+        for tid in self._tasks:
+            if tid in keep_set:
+                sub.add_task(self._tasks[tid])
+        for producer in self._tasks:
+            if producer not in keep_set:
+                continue
+            for consumer in self._succs[producer]:
+                if consumer in keep_set:
+                    sub.add_edge(producer, consumer)
+        return sub
+
+    def group_by(self, key: Callable[[Task], object]) -> Mapping[object, list[Task]]:
+        """Partition tasks by an arbitrary key (e.g. kind, scenario)."""
+        groups: dict[object, list[Task]] = {}
+        for task in self._tasks.values():
+            groups.setdefault(key(task), []).append(task)
+        return groups
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<DAG {len(self)} tasks, {self.edge_count()} edges>"

@@ -1,0 +1,74 @@
+"""Inter-task data-transfer model.
+
+Section 2: "Data exchanges between two consecutive monthly simulations
+belonging to the same scenario reaches 120 MB.  Simulations are
+independent, so there are no other data exchange."  Section 4.1 then
+assumes "the execution time of any task is assumed to include the time
+to access the data" — i.e. on a single cluster transfers are folded into
+``T[G]``.
+
+This model is therefore only load-bearing at the *grid* level: it
+quantifies why a scenario, once placed on a cluster, should not migrate
+(Algorithm 1's "once a scenario has been scheduled on a cluster, it can
+not change location"), and it lets the middleware simulate message and
+restart-file latencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import constants
+from repro.exceptions import ConfigurationError
+
+__all__ = ["DataTransferModel"]
+
+
+@dataclass(frozen=True)
+class DataTransferModel:
+    """Latency + bandwidth model of a network path.
+
+    Parameters
+    ----------
+    bandwidth_bytes_per_s:
+        Sustained throughput of the path.  The default, 1 Gbit/s, is the
+        order of magnitude of Grid'5000's 2008 inter-site links (the
+        backbone was 10 Gbit/s, shared).
+    latency_s:
+        Per-transfer startup latency.
+    """
+
+    bandwidth_bytes_per_s: float = 1e9 / 8
+    latency_s: float = 0.010
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bytes_per_s <= 0:
+            raise ConfigurationError(
+                f"bandwidth must be > 0, got {self.bandwidth_bytes_per_s!r}"
+            )
+        if self.latency_s < 0:
+            raise ConfigurationError(f"latency must be >= 0, got {self.latency_s!r}")
+
+    def transfer_time(self, nbytes: int | float) -> float:
+        """Seconds to move ``nbytes`` over this path."""
+        if nbytes < 0:
+            raise ConfigurationError(f"nbytes must be >= 0, got {nbytes!r}")
+        return self.latency_s + float(nbytes) / self.bandwidth_bytes_per_s
+
+    def inter_month_transfer_time(self) -> float:
+        """Seconds to move one month's 120 MB restart data."""
+        return self.transfer_time(constants.INTER_MONTH_DATA_BYTES)
+
+    def migration_penalty(self, months: int) -> float:
+        """Restart-data cost of moving a scenario after ``months`` months.
+
+        Only the latest month's restart files need to move, but the
+        receiving cluster also re-reads the scenario's accumulated
+        diagnostic archive; we charge one inter-month volume plus a 10 %
+        archive surcharge per elapsed month.  Used by the middleware to
+        justify (and by tests to quantify) the no-migration rule.
+        """
+        if months < 0:
+            raise ConfigurationError(f"months must be >= 0, got {months!r}")
+        archive_bytes = 0.10 * constants.INTER_MONTH_DATA_BYTES * months
+        return self.transfer_time(constants.INTER_MONTH_DATA_BYTES + archive_bytes)

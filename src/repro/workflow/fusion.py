@@ -1,0 +1,135 @@
+"""The Figure 1 → Figure 2 fusion transformation.
+
+Section 4.1: "Given the short duration of the pre-processing tasks
+compared to the duration of the main-processing task, we made the
+decision to group them all in a single task.  The same decision was
+taken for the 3 post-processing tasks."
+
+:func:`fuse_ocean_atmosphere` performs that transformation on any
+fine-grained Ocean-Atmosphere DAG produced by
+:mod:`repro.workflow.ocean_atmosphere`: per (scenario, month) it
+collapses the PRE tasks into the moldable MAIN task and the POST tasks
+into one sequential POST task, rewiring dependencies so that the fused
+DAG is exactly the one :func:`~repro.workflow.ocean_atmosphere.fused_scenario_dag`
+builds directly (the tests assert this round-trip).
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import WorkflowError
+from repro.workflow.dag import DAG
+from repro.workflow.task import Task, TaskKind, task_id
+
+__all__ = ["fuse_ocean_atmosphere"]
+
+
+def _months_by_scenario(dag: DAG) -> dict[int, set[int]]:
+    """Map scenario -> set of month indices present in the DAG."""
+    result: dict[int, set[int]] = {}
+    for task in dag.tasks():
+        result.setdefault(task.scenario, set()).add(task.month)
+    return result
+
+
+def fuse_ocean_atmosphere(dag: DAG) -> DAG:
+    """Fuse a fine-grained Ocean-Atmosphere DAG into the Figure 2 model.
+
+    The fused MAIN task's nominal duration is the sum of the month's PRE
+    durations plus the coupled run; the fused POST task sums the three
+    post-processing durations.  Dependencies are rewired:
+
+    * any fine edge between two months' tasks becomes
+      ``main[m] -> main[m+1]``;
+    * the in-month ``pcr -> cof`` edge becomes ``main[m] -> post[m]``.
+
+    Raises :class:`~repro.exceptions.WorkflowError` if the input is not a
+    well-formed Ocean-Atmosphere ensemble (missing phases, months with no
+    main task, unexpected cross-scenario edges).
+    """
+    fused = DAG()
+    per_cell: dict[tuple[int, int], dict[TaskKind, list[Task]]] = {}
+    for task in dag.tasks():
+        cell = per_cell.setdefault((task.scenario, task.month), {})
+        cell.setdefault(task.kind, []).append(task)
+
+    # Build fused nodes.
+    for (scenario, month), phases in sorted(per_cell.items()):
+        mains = phases.get(TaskKind.MAIN, [])
+        if len(mains) != 1:
+            raise WorkflowError(
+                f"scenario {scenario} month {month}: expected exactly one "
+                f"MAIN task, found {len(mains)}"
+            )
+        pre_seconds = sum(t.nominal_seconds for t in phases.get(TaskKind.PRE, []))
+        post_tasks = phases.get(TaskKind.POST, [])
+        fused.add_task(
+            Task(
+                "main",
+                TaskKind.MAIN,
+                scenario,
+                month,
+                pre_seconds + mains[0].nominal_seconds,
+                moldable=True,
+            )
+        )
+        if post_tasks:
+            fused.add_task(
+                Task(
+                    "post",
+                    TaskKind.POST,
+                    scenario,
+                    month,
+                    sum(t.nominal_seconds for t in post_tasks),
+                )
+            )
+
+    # Rewire edges at fused granularity.
+    for producer_id in dag.task_ids():
+        producer = dag.task(producer_id)
+        for consumer_id in dag.successors(producer_id):
+            consumer = dag.task(consumer_id)
+            if producer.scenario != consumer.scenario:
+                raise WorkflowError(
+                    f"unexpected cross-scenario edge "
+                    f"{producer_id!r} -> {consumer_id!r}"
+                )
+            src = _fused_endpoint(producer)
+            dst = _fused_endpoint(consumer)
+            if src == dst:
+                continue  # edge absorbed inside one fused task
+            fused.add_edge(
+                task_id(src[0], producer.scenario, src[1]),
+                task_id(dst[0], consumer.scenario, dst[1]),
+            )
+
+    fused.validate()
+    _check_chain_shape(fused)
+    return fused
+
+
+def _fused_endpoint(task: Task) -> tuple[str, int]:
+    """Which fused node a fine-grained task is absorbed into."""
+    if task.kind in (TaskKind.PRE, TaskKind.MAIN):
+        return ("main", task.month)
+    if task.kind is TaskKind.POST:
+        return ("post", task.month)
+    raise WorkflowError(f"cannot fuse task of kind {task.kind!r}: {task.id!r}")
+
+
+def _check_chain_shape(fused: DAG) -> None:
+    """Verify the fused DAG has the Figure 2 shape, per scenario.
+
+    Each ``main[m]`` (except the last) must feed exactly ``main[m+1]``
+    and its own ``post[m]``; posts must be leaves.
+    """
+    months = _months_by_scenario(fused)
+    for scenario, present in months.items():
+        if present != set(range(len(present))):
+            raise WorkflowError(
+                f"scenario {scenario}: months are not contiguous from 0: "
+                f"{sorted(present)[:8]}..."
+            )
+    for tid in fused.task_ids():
+        task = fused.task(tid)
+        if task.kind is TaskKind.POST and fused.successors(tid):
+            raise WorkflowError(f"fused post task {tid!r} must be a leaf")

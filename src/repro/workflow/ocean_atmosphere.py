@@ -1,0 +1,192 @@
+"""Builders for the Ocean-Atmosphere application DAGs.
+
+Two granularities are provided, mirroring the paper:
+
+* the **fine-grained** monthly DAG of Figure 1 — six tasks per month
+  (``caif``, ``mp``, ``pcr``, ``cof``, ``emi``, ``cd``) with the
+  benchmark durations printed in the figure;
+* the **fused** two-task DAG of Figure 2 — one moldable ``main`` task
+  (pre-processing + coupled run) and one sequential ``post`` task per
+  month.
+
+Dependency structure (fine-grained), for month *m* of one scenario::
+
+    caif[m] ─┐
+             ├─> pcr[m] ──> cof[m] ──> emi[m] ──> cd[m]
+    mp[m] ───┘    │
+                  ├──> caif[m+1]
+                  └──> mp[m+1]
+
+The coupled run of month *m+1* restarts from month *m*'s output (120 MB
+of restart data), hence the inter-month edges.  Post-processing is pure
+analysis: nothing downstream depends on it, which is what lets the
+schedulers defer it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import constants
+from repro.exceptions import WorkflowError
+from repro.workflow.dag import DAG
+from repro.workflow.task import Task, TaskKind, task_id
+
+__all__ = [
+    "EnsembleSpec",
+    "monthly_dag",
+    "scenario_dag",
+    "ensemble_dag",
+    "fused_scenario_dag",
+    "fused_ensemble_dag",
+]
+
+#: Fine-grained task catalogue: name -> (kind, nominal seconds, moldable).
+FINE_TASKS: dict[str, tuple[TaskKind, float, bool]] = {
+    "caif": (TaskKind.PRE, constants.CAIF_SECONDS, False),
+    "mp": (TaskKind.PRE, constants.MP_SECONDS, False),
+    "pcr": (TaskKind.MAIN, constants.PCR_SECONDS, True),
+    "cof": (TaskKind.POST, constants.COF_SECONDS, False),
+    "emi": (TaskKind.POST, constants.EMI_SECONDS, False),
+    "cd": (TaskKind.POST, constants.CD_SECONDS, False),
+}
+
+#: In-month dependency edges of Figure 1 (by task name).
+FINE_EDGES: tuple[tuple[str, str], ...] = (
+    ("caif", "pcr"),
+    ("mp", "pcr"),
+    ("pcr", "cof"),
+    ("cof", "emi"),
+    ("emi", "cd"),
+)
+
+#: Inter-month edges: month *m*'s coupled run feeds month *m+1*'s inputs.
+FINE_CHAIN_EDGES: tuple[tuple[str, str], ...] = (
+    ("pcr", "caif"),
+    ("pcr", "mp"),
+)
+
+
+@dataclass(frozen=True)
+class EnsembleSpec:
+    """Size of one ensemble experiment.
+
+    ``scenarios`` is the paper's ``NS`` (independent simulations) and
+    ``months`` its ``NM`` (chained monthly DAGs per simulation).
+    """
+
+    scenarios: int
+    months: int
+
+    def __post_init__(self) -> None:
+        if self.scenarios < 1:
+            raise WorkflowError(f"scenarios must be >= 1, got {self.scenarios!r}")
+        if self.months < 1:
+            raise WorkflowError(f"months must be >= 1, got {self.months!r}")
+
+    @property
+    def total_months(self) -> int:
+        """``nbtasks`` of the paper: NS × NM monthly simulations."""
+        return self.scenarios * self.months
+
+    @classmethod
+    def paper_default(cls) -> "EnsembleSpec":
+        """The paper's full experiment: 10 scenarios × 1800 months."""
+        return cls(constants.DEFAULT_SCENARIOS, constants.MONTHS_PER_SCENARIO)
+
+
+def _add_month(dag: DAG, scenario: int, month: int) -> None:
+    """Insert one fine-grained month (tasks + in-month edges)."""
+    for name, (kind, seconds, moldable) in FINE_TASKS.items():
+        dag.add_task(Task(name, kind, scenario, month, seconds, moldable))
+    for producer, consumer in FINE_EDGES:
+        dag.add_edge(
+            task_id(producer, scenario, month), task_id(consumer, scenario, month)
+        )
+
+
+def monthly_dag(scenario: int = 0, month: int = 0) -> DAG:
+    """The single-month, fine-grained DAG of Figure 1 (one half of it)."""
+    dag = DAG()
+    _add_month(dag, scenario, month)
+    dag.validate()
+    return dag
+
+
+def scenario_dag(months: int, scenario: int = 0) -> DAG:
+    """One scenario: ``months`` chained fine-grained monthly DAGs."""
+    if months < 1:
+        raise WorkflowError(f"months must be >= 1, got {months!r}")
+    dag = DAG()
+    for month in range(months):
+        _add_month(dag, scenario, month)
+        if month > 0:
+            for producer, consumer in FINE_CHAIN_EDGES:
+                dag.add_edge(
+                    task_id(producer, scenario, month - 1),
+                    task_id(consumer, scenario, month),
+                )
+    dag.validate()
+    return dag
+
+
+def ensemble_dag(spec: EnsembleSpec) -> DAG:
+    """The full fine-grained experiment: NS independent scenario chains."""
+    dag = DAG()
+    for scenario in range(spec.scenarios):
+        dag.merge(scenario_dag(spec.months, scenario))
+    dag.validate()
+    return dag
+
+
+# ---------------------------------------------------------------------------
+# Fused (Figure 2) representation.
+# ---------------------------------------------------------------------------
+
+
+def _fused_main(scenario: int, month: int) -> Task:
+    return Task(
+        "main",
+        TaskKind.MAIN,
+        scenario,
+        month,
+        constants.PRE_SECONDS + constants.PCR_SECONDS,
+        moldable=True,
+    )
+
+
+def _fused_post(scenario: int, month: int) -> Task:
+    return Task("post", TaskKind.POST, scenario, month, constants.POST_SECONDS)
+
+
+def fused_scenario_dag(months: int, scenario: int = 0) -> DAG:
+    """One scenario in the fused two-task-per-month model of Figure 2.
+
+    Edges: ``main[m] -> main[m+1]`` (restart chain) and
+    ``main[m] -> post[m]`` (analysis of month *m*'s output).
+    """
+    if months < 1:
+        raise WorkflowError(f"months must be >= 1, got {months!r}")
+    dag = DAG()
+    for month in range(months):
+        dag.add_task(_fused_main(scenario, month))
+        dag.add_task(_fused_post(scenario, month))
+        dag.add_edge(
+            task_id("main", scenario, month), task_id("post", scenario, month)
+        )
+        if month > 0:
+            dag.add_edge(
+                task_id("main", scenario, month - 1),
+                task_id("main", scenario, month),
+            )
+    dag.validate()
+    return dag
+
+
+def fused_ensemble_dag(spec: EnsembleSpec) -> DAG:
+    """The full fused experiment: NS independent fused chains."""
+    dag = DAG()
+    for scenario in range(spec.scenarios):
+        dag.merge(fused_scenario_dag(spec.months, scenario))
+    dag.validate()
+    return dag

@@ -1,0 +1,106 @@
+"""JSON (de)serialization of workflow DAGs.
+
+Lets experiment definitions travel: a campaign's DAG can be exported,
+archived alongside its results, and re-imported bit-for-bit — the
+round-trip is the tested contract.  The format is deliberately plain
+(no class tags, no versioned envelopes beyond a single ``format`` key)
+so that external tools can generate workloads for the scheduler without
+importing this library.
+
+Schema::
+
+    {
+      "format": "repro-dag/1",
+      "tasks": [
+        {"name": "main", "kind": "main", "scenario": 0, "month": 0,
+         "nominal_seconds": 1262.0, "moldable": true},
+        ...
+      ],
+      "edges": [["main[s0,m0]", "post[s0,m0]"], ...]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.exceptions import WorkflowError
+from repro.workflow.dag import DAG
+from repro.workflow.task import Task, TaskKind
+
+__all__ = ["dag_to_dict", "dag_from_dict", "dumps_dag", "loads_dag"]
+
+#: Format identifier written into every export.
+FORMAT = "repro-dag/1"
+
+
+def dag_to_dict(dag: DAG) -> dict[str, Any]:
+    """Convert a DAG to a JSON-ready dictionary."""
+    tasks = [
+        {
+            "name": task.name,
+            "kind": task.kind.value,
+            "scenario": task.scenario,
+            "month": task.month,
+            "nominal_seconds": task.nominal_seconds,
+            "moldable": task.moldable,
+        }
+        for task in dag.tasks()
+    ]
+    edges = [
+        [producer, consumer]
+        for producer in dag.task_ids()
+        for consumer in dag.successors(producer)
+    ]
+    return {"format": FORMAT, "tasks": tasks, "edges": edges}
+
+
+def dag_from_dict(payload: dict[str, Any]) -> DAG:
+    """Rebuild a DAG from :func:`dag_to_dict` output.
+
+    Raises :class:`~repro.exceptions.WorkflowError` on schema problems;
+    structural problems (cycles, unknown endpoints) surface through the
+    DAG's own validation.
+    """
+    if not isinstance(payload, dict):
+        raise WorkflowError(f"expected a dict payload, got {type(payload).__name__}")
+    if payload.get("format") != FORMAT:
+        raise WorkflowError(
+            f"unsupported format {payload.get('format')!r}; expected {FORMAT!r}"
+        )
+    dag = DAG()
+    for raw in payload.get("tasks", []):
+        try:
+            kind = TaskKind(raw["kind"])
+            task = Task(
+                raw["name"],
+                kind,
+                int(raw["scenario"]),
+                int(raw["month"]),
+                float(raw["nominal_seconds"]),
+                bool(raw.get("moldable", False)),
+            )
+        except (KeyError, ValueError, TypeError) as exc:
+            raise WorkflowError(f"malformed task entry {raw!r}: {exc}") from exc
+        dag.add_task(task)
+    for raw_edge in payload.get("edges", []):
+        if not isinstance(raw_edge, (list, tuple)) or len(raw_edge) != 2:
+            raise WorkflowError(f"malformed edge entry {raw_edge!r}")
+        dag.add_edge(raw_edge[0], raw_edge[1])
+    dag.validate()
+    return dag
+
+
+def dumps_dag(dag: DAG, *, indent: int | None = None) -> str:
+    """Serialize a DAG to a JSON string."""
+    return json.dumps(dag_to_dict(dag), indent=indent)
+
+
+def loads_dag(text: str) -> DAG:
+    """Deserialize a DAG from a JSON string."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise WorkflowError(f"invalid JSON: {exc}") from exc
+    return dag_from_dict(payload)

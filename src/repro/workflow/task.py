@@ -1,0 +1,107 @@
+"""Task descriptions for the Ocean-Atmosphere workflow.
+
+A :class:`Task` is a node of the application DAG.  Tasks are
+platform-independent: they carry a *nominal* duration (the Figure 1
+benchmark value on the reference machine) and, for the moldable
+main-processing task, the flag that tells the scheduler to look the
+actual duration up in the platform's timing model instead.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.exceptions import WorkflowError
+
+__all__ = ["TaskKind", "Task", "task_id"]
+
+
+class TaskKind(enum.Enum):
+    """Phase of a monthly simulation a task belongs to.
+
+    The values double as display prefixes in traces and Gantt charts.
+    """
+
+    #: Pre-processing (``caif``, ``mp``) — seconds-long setup tasks.
+    PRE = "pre"
+
+    #: The moldable main-processing task (``pcr``), 4–11 processors.
+    MAIN = "main"
+
+    #: Post-processing (``cof``, ``emi``, ``cd``) — sequential analysis.
+    POST = "post"
+
+    #: A fused task produced by the Figure 1 → Figure 2 transformation.
+    #: Fused mains keep kind MAIN and fused posts keep kind POST; FUSED is
+    #: reserved for tasks whose members span phases (not used by the
+    #: paper's fusion, available to the generic extension).
+    FUSED = "fused"
+
+
+def task_id(name: str, scenario: int, month: int) -> str:
+    """Canonical node identifier, e.g. ``"pcr[s3,m17]"``.
+
+    Scenario and month indices are 0-based throughout the library (the
+    paper counts months 1..NM; the off-by-one is confined to display).
+    """
+    return f"{name}[s{scenario},m{month}]"
+
+
+@dataclass(frozen=True)
+class Task:
+    """One node of the application DAG.
+
+    Parameters
+    ----------
+    name:
+        Short task name (``caif``, ``mp``, ``pcr``, ``cof``, ``emi``,
+        ``cd``, or ``main``/``post`` for fused tasks).
+    kind:
+        The :class:`TaskKind` phase.
+    scenario:
+        0-based index of the scenario (independent simulation chain).
+    month:
+        0-based index of the month within the scenario.
+    nominal_seconds:
+        Reference-machine duration.  For moldable tasks this is the
+        duration on the *largest* admissible group and is informational —
+        schedulers resolve actual durations against a timing model.
+    moldable:
+        True for the main-processing task whose duration depends on its
+        processor group.
+    """
+
+    name: str
+    kind: TaskKind
+    scenario: int
+    month: int
+    nominal_seconds: float
+    moldable: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise WorkflowError("task name must be non-empty")
+        if self.scenario < 0 or self.month < 0:
+            raise WorkflowError(
+                f"task {self.name!r}: scenario and month must be >= 0, got "
+                f"s={self.scenario}, m={self.month}"
+            )
+        if self.nominal_seconds < 0:
+            raise WorkflowError(
+                f"task {self.name!r}: nominal_seconds must be >= 0, got "
+                f"{self.nominal_seconds!r}"
+            )
+        if self.moldable and self.kind is not TaskKind.MAIN:
+            raise WorkflowError(
+                f"task {self.name!r}: only MAIN tasks may be moldable"
+            )
+
+    @property
+    def id(self) -> str:
+        """Canonical DAG node identifier of this task."""
+        return task_id(self.name, self.scenario, self.month)
+
+    def label(self) -> str:
+        """Human display label, 1-based like the paper's figures."""
+        return f"{self.name}{self.month + 1}(s{self.scenario + 1})"

@@ -1,0 +1,63 @@
+"""Tests for figure-result drift comparison."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.analysis.compare import compare_results, format_drift
+from repro.exceptions import ConfigurationError
+from repro.experiments import fig7, fig8, fig10
+from repro.experiments.results_io import dump_result, load_result
+
+
+class TestCompareResults:
+    def test_identical_runs_have_zero_drift(self) -> None:
+        a = fig7.run(months=12, r_max=40, step=8)
+        b = fig7.run(months=12, r_max=40, step=8)
+        drifts = compare_results(a, b)
+        assert all(d.identical for d in drifts)
+        assert "identical" in format_drift(drifts)
+
+    def test_archive_round_trip_has_zero_drift(self) -> None:
+        a = fig8.run(months=12, r_min=20, r_max=40, step=10)
+        b = load_result(dump_result(a))
+        drifts = compare_results(a, b)  # type: ignore[arg-type]
+        assert all(d.identical for d in drifts)
+
+    def test_detects_and_localizes_drift(self) -> None:
+        a = fig7.run(months=12, r_max=40, step=8)
+        groups = list(a.best_group)
+        groups[2] += 1
+        b = replace(a, best_group=tuple(groups))
+        drifts = compare_results(a, b)
+        drift = drifts[0]
+        assert not drift.identical
+        assert drift.first_divergence_index == 2
+        assert drift.max_abs_diff == pytest.approx(1.0)
+        assert "first divergence at index 2" in format_drift(drifts)
+
+    def test_tolerance_absorbs_small_diffs(self) -> None:
+        a = fig10.run(
+            months=12, cluster_counts=(2,), r_min=20, r_max=40, step=10
+        )
+        gains = {
+            name: tuple(v + 1e-9 for v in values)
+            for name, values in a.gains.items()
+        }
+        b = replace(a, gains=gains)
+        drifts = compare_results(a, b, tol=1e-6)
+        assert all(d.identical for d in drifts)
+
+    def test_rejects_mismatched_figures(self) -> None:
+        a = fig7.run(months=12, r_max=20, step=8)
+        b = fig8.run(months=12, r_min=20, r_max=20, step=1)
+        with pytest.raises(ConfigurationError):
+            compare_results(a, b)  # type: ignore[arg-type]
+
+    def test_rejects_mismatched_sweeps(self) -> None:
+        a = fig7.run(months=12, r_max=40, step=8)
+        b = fig7.run(months=12, r_max=60, step=8)
+        with pytest.raises(ConfigurationError):
+            compare_results(a, b)

@@ -1,0 +1,53 @@
+"""Unit tests for gain computation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.gains import gain_percent, gains_over_baseline
+from repro.exceptions import ConfigurationError
+
+
+class TestGainPercent:
+    def test_improvement_is_positive(self) -> None:
+        assert gain_percent(100.0, 88.0) == pytest.approx(12.0)
+
+    def test_regression_is_negative(self) -> None:
+        assert gain_percent(100.0, 102.0) == pytest.approx(-2.0)
+
+    def test_no_change_is_zero(self) -> None:
+        assert gain_percent(100.0, 100.0) == pytest.approx(0.0)
+
+    def test_paper_example(self) -> None:
+        # "a gain of 4.5% (58 hours less on the makespan)" -> baseline
+        # around 1289 hours.
+        baseline_h = 58.0 / 0.045
+        assert gain_percent(baseline_h, baseline_h - 58.0) == pytest.approx(
+            4.5, abs=1e-9
+        )
+
+    def test_rejects_nonpositive_baseline(self) -> None:
+        with pytest.raises(ConfigurationError):
+            gain_percent(0.0, 10.0)
+
+    def test_rejects_negative_improved(self) -> None:
+        with pytest.raises(ConfigurationError):
+            gain_percent(10.0, -1.0)
+
+
+class TestGainsOverBaseline:
+    def test_drops_baseline_key(self) -> None:
+        gains = gains_over_baseline(
+            {"basic": 100.0, "knapsack": 90.0, "redistribute": 95.0}
+        )
+        assert set(gains) == {"knapsack", "redistribute"}
+        assert gains["knapsack"] == pytest.approx(10.0)
+        assert gains["redistribute"] == pytest.approx(5.0)
+
+    def test_custom_baseline_key(self) -> None:
+        gains = gains_over_baseline({"a": 50.0, "b": 25.0}, baseline_key="a")
+        assert gains == {"b": pytest.approx(50.0)}
+
+    def test_missing_baseline_rejected(self) -> None:
+        with pytest.raises(ConfigurationError):
+            gains_over_baseline({"knapsack": 90.0})

@@ -1,0 +1,70 @@
+"""Tests for the one-shot report generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import ReportConfig, generate_report
+
+
+class TestReportConfig:
+    def test_quick_is_cheap(self) -> None:
+        quick = ReportConfig.quick()
+        assert quick.months < ReportConfig.full().months
+        assert not quick.include_ablations
+
+    def test_full_includes_ablations(self) -> None:
+        assert ReportConfig.full().include_ablations
+
+
+class TestGenerateReport:
+    @pytest.fixture(scope="class")
+    def quick_report(self) -> str:
+        return generate_report(ReportConfig.quick())
+
+    def test_has_all_figure_sections(self, quick_report) -> None:
+        assert "## Figure 7" in quick_report
+        assert "## Figure 8" in quick_report
+        assert "## Figure 10" in quick_report
+
+    def test_quick_skips_ablations(self, quick_report) -> None:
+        assert "## Ablations" not in quick_report
+
+    def test_mentions_paper_regimes(self, quick_report) -> None:
+        assert "Pinned at G*=11 from R=110" in quick_report
+
+    def test_default_is_quick(self) -> None:
+        assert "## Ablations" not in generate_report()
+
+    def test_custom_config_with_ablations(self) -> None:
+        config = ReportConfig(
+            months=12,
+            fig7_step=16,
+            fig8_step=24,
+            fig10_step=40,
+            fig10_cluster_counts=(2,),
+            include_ablations=True,
+        )
+        report = generate_report(config)
+        assert "## Ablations" in report
+        assert "exhaustive search" in report
+        assert "online no-groups baseline" in report
+
+    def test_report_is_markdown_headed(self, quick_report) -> None:
+        assert quick_report.startswith("# Reproduction report")
+
+
+class TestReportCli:
+    def test_report_to_file(self, tmp_path, capsys) -> None:
+        from repro.cli import main
+
+        path = tmp_path / "report.md"
+        assert main(["report", "--output", str(path)]) == 0
+        assert "report written" in capsys.readouterr().out
+        assert path.read_text().startswith("# Reproduction report")
+
+    def test_report_to_stdout(self, capsys) -> None:
+        from repro.cli import main
+
+        assert main(["report"]) == 0
+        assert "## Figure 8" in capsys.readouterr().out

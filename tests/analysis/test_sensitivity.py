@@ -1,0 +1,71 @@
+"""Tests for the timing-table sensitivity analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.sensitivity import table_sensitivity
+from repro.exceptions import ConfigurationError
+from repro.platform.benchmarks import benchmark_cluster
+from repro.workflow.ocean_atmosphere import EnsembleSpec
+
+
+@pytest.fixture(scope="module")
+def sensitivities():
+    cluster = benchmark_cluster("sagittaire", 53)
+    return table_sensitivity(
+        cluster, EnsembleSpec(10, 12), "knapsack", epsilon=0.10
+    )
+
+
+class TestTableSensitivity:
+    def test_covers_all_entries(self, sensitivities) -> None:
+        entries = [s.entry for s in sensitivities]
+        assert entries == [f"T[{g}]" for g in range(4, 12)] + ["TP"]
+
+    def test_unused_widths_have_zero_fixed_sensitivity(self, sensitivities) -> None:
+        # The knapsack grouping at R=53 uses widths 7 and 8 only; slowing
+        # an unused width cannot change the fixed-plan execution.
+        from repro.core.knapsack_grouping import knapsack_grouping
+
+        cluster = benchmark_cluster("sagittaire", 53)
+        used = set(knapsack_grouping(cluster, EnsembleSpec(10, 12)).group_sizes)
+        for s in sensitivities:
+            if s.entry.startswith("T[") and int(s.entry[2:-1]) not in used:
+                assert s.plan_fixed_pct == pytest.approx(0.0, abs=1e-9), s.entry
+
+    def test_used_widths_have_positive_fixed_sensitivity(self, sensitivities) -> None:
+        from repro.core.knapsack_grouping import knapsack_grouping
+
+        cluster = benchmark_cluster("sagittaire", 53)
+        used = set(knapsack_grouping(cluster, EnsembleSpec(10, 12)).group_sizes)
+        for s in sensitivities:
+            if s.entry.startswith("T[") and int(s.entry[2:-1]) in used:
+                assert s.plan_fixed_pct > 0.0, s.entry
+
+    def test_slowdowns_never_speed_execution_up(self, sensitivities) -> None:
+        for s in sensitivities:
+            assert s.plan_fixed_pct >= -1e-9
+
+    def test_replan_bounded_by_full_slowdown(self, sensitivities) -> None:
+        # Even with no dodging at all, a +10% slowdown of one entry can
+        # slow the whole schedule by at most ~10% plus wave rounding.
+        for s in sensitivities:
+            assert s.replan_pct <= 10.0 + 2.0
+
+    def test_decision_margin_definition(self, sensitivities) -> None:
+        for s in sensitivities:
+            assert s.decision_margin_pct == pytest.approx(
+                s.plan_fixed_pct - s.replan_pct
+            )
+
+    def test_replanning_dodges_somewhere(self, sensitivities) -> None:
+        # At least one entry's slowdown is partially dodged by replanning.
+        assert any(s.decision_margin_pct > 0.1 for s in sensitivities)
+
+    def test_epsilon_validation(self) -> None:
+        cluster = benchmark_cluster("azur", 30)
+        with pytest.raises(ConfigurationError):
+            table_sensitivity(cluster, EnsembleSpec(4, 6), epsilon=0.0)
+        with pytest.raises(ConfigurationError):
+            table_sensitivity(cluster, EnsembleSpec(4, 6), epsilon=1.5)

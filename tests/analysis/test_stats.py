@@ -1,0 +1,58 @@
+"""Unit tests for series statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import summarize, summarize_many
+from repro.exceptions import ConfigurationError
+
+
+class TestSummarize:
+    def test_basic_aggregates(self) -> None:
+        stats = summarize([1.0, 2.0, 3.0, 4.0])
+        assert stats.mean == pytest.approx(2.5)
+        assert stats.minimum == 1.0
+        assert stats.maximum == 4.0
+        assert stats.count == 4
+
+    def test_population_std(self) -> None:
+        # Five clusters are the whole population: ddof=0.
+        samples = [2.0, 4.0, 4.0, 4.0, 6.0]
+        stats = summarize(samples)
+        assert stats.std == pytest.approx(np.std(samples, ddof=0))
+
+    def test_single_sample(self) -> None:
+        stats = summarize([7.0])
+        assert stats.mean == 7.0
+        assert stats.std == 0.0
+
+    def test_band(self) -> None:
+        stats = summarize([0.0, 10.0])
+        low, high = stats.band()
+        assert low == pytest.approx(stats.mean - stats.std)
+        assert high == pytest.approx(stats.mean + stats.std)
+
+    def test_rejects_empty(self) -> None:
+        with pytest.raises(ConfigurationError):
+            summarize([])
+
+    def test_rejects_nan(self) -> None:
+        with pytest.raises(ConfigurationError):
+            summarize([1.0, float("nan")])
+
+    def test_rejects_inf(self) -> None:
+        with pytest.raises(ConfigurationError):
+            summarize([1.0, float("inf")])
+
+
+class TestSummarizeMany:
+    def test_preserves_order(self) -> None:
+        xs, stats = summarize_many([(3.0, [1.0]), (1.0, [2.0, 4.0])])
+        assert list(xs) == [3.0, 1.0]
+        assert stats[1].mean == pytest.approx(3.0)
+
+    def test_rejects_empty_sweep(self) -> None:
+        with pytest.raises(ConfigurationError):
+            summarize_many([])

@@ -1,0 +1,104 @@
+"""Tests for the SVG chart renderer."""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.analysis.svg import svg_line_chart
+from repro.exceptions import ConfigurationError
+
+_NS = "{http://www.w3.org/2000/svg}"
+
+
+def _parse(svg: str) -> ET.Element:
+    return ET.fromstring(svg)
+
+
+class TestSvgLineChart:
+    def test_well_formed_xml(self) -> None:
+        svg = svg_line_chart([0.0, 1.0, 2.0], {"s": [1.0, 3.0, 2.0]})
+        root = _parse(svg)
+        assert root.tag == f"{_NS}svg"
+
+    def test_one_polyline_per_series(self) -> None:
+        svg = svg_line_chart(
+            [0.0, 1.0], {"a": [0.0, 1.0], "b": [1.0, 0.0], "c": [2.0, 2.0]}
+        )
+        root = _parse(svg)
+        polylines = root.findall(f"{_NS}polyline")
+        assert len(polylines) == 3
+        colors = {p.get("stroke") for p in polylines}
+        assert len(colors) == 3  # distinct palette entries
+
+    def test_legend_and_labels(self) -> None:
+        svg = svg_line_chart(
+            [0.0, 1.0],
+            {"gain3": [0.0, 1.0]},
+            title="Figure 8",
+            x_label="resources",
+            y_label="gain (%)",
+        )
+        texts = [t.text for t in _parse(svg).iter(f"{_NS}text")]
+        assert "Figure 8" in texts
+        assert "resources" in texts
+        assert "gain (%)" in texts
+        assert "gain3" in texts
+
+    def test_zero_line_dashed_when_straddling(self) -> None:
+        svg = svg_line_chart([0.0, 1.0], {"s": [-1.0, 1.0]})
+        root = _parse(svg)
+        dashed = [
+            l for l in root.findall(f"{_NS}line")
+            if l.get("stroke-dasharray")
+        ]
+        assert len(dashed) == 1
+
+    def test_no_zero_line_when_positive(self) -> None:
+        svg = svg_line_chart([0.0, 1.0], {"s": [1.0, 2.0]})
+        root = _parse(svg)
+        dashed = [
+            l for l in root.findall(f"{_NS}line")
+            if l.get("stroke-dasharray")
+        ]
+        assert not dashed
+
+    def test_deterministic(self) -> None:
+        args = ([0.0, 0.5, 1.0], {"a": [3.0, 1.0, 2.0]})
+        assert svg_line_chart(*args) == svg_line_chart(*args)
+
+    def test_label_escaping(self) -> None:
+        svg = svg_line_chart(
+            [0.0, 1.0], {"a<b": [0.0, 1.0]}, title="x & y"
+        )
+        _parse(svg)  # must stay well-formed
+        assert "a&lt;b" in svg
+        assert "x &amp; y" in svg
+
+    def test_flat_series(self) -> None:
+        svg = svg_line_chart([0.0, 1.0], {"flat": [5.0, 5.0]})
+        _parse(svg)
+
+    def test_points_inside_viewbox(self) -> None:
+        svg = svg_line_chart(
+            [0.0, 10.0, 20.0], {"s": [-5.0, 0.0, 5.0]}, width=400, height=300
+        )
+        root = _parse(svg)
+        for poly in root.findall(f"{_NS}polyline"):
+            for pair in poly.get("points", "").split():
+                x, y = map(float, pair.split(","))
+                assert 0 <= x <= 400
+                assert 0 <= y <= 300
+
+    def test_validation_errors(self) -> None:
+        with pytest.raises(ConfigurationError):
+            svg_line_chart([0.0, 1.0], {})
+        with pytest.raises(ConfigurationError):
+            svg_line_chart([0.0], {"s": [1.0]})
+        with pytest.raises(ConfigurationError):
+            svg_line_chart([0.0, 1.0], {"s": [1.0]})
+        with pytest.raises(ConfigurationError):
+            svg_line_chart([0.0, 0.0], {"s": [1.0, 2.0]})
+        with pytest.raises(ConfigurationError):
+            svg_line_chart([0.0, 1.0], {"s": [1.0, 2.0]}, width=10)

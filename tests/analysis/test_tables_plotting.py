@@ -1,0 +1,105 @@
+"""Unit tests for table formatting, ASCII plots and CSV export."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.plotting import ascii_plot, series_to_csv
+from repro.analysis.tables import format_table, series_table
+from repro.exceptions import ConfigurationError
+
+
+class TestFormatTable:
+    def test_alignment_and_separator(self) -> None:
+        text = format_table(["a", "bb"], [[1, 2.5], [10, 3.25]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, 2 rows
+        assert "-+-" in lines[1]
+        assert lines[2].endswith("2.50")
+
+    def test_float_format(self) -> None:
+        text = format_table(["x"], [[1.23456]], float_format="{:.4f}")
+        assert "1.2346" in text
+
+    def test_rejects_ragged_rows(self) -> None:
+        with pytest.raises(ConfigurationError):
+            format_table(["a", "b"], [[1]])
+
+    def test_rejects_no_columns(self) -> None:
+        with pytest.raises(ConfigurationError):
+            format_table([], [])
+
+
+class TestSeriesTable:
+    def test_one_row_per_x(self) -> None:
+        text = series_table("R", [10, 20], {"G": [4.0, 5.0]})
+        assert len(text.splitlines()) == 4
+
+    def test_rejects_length_mismatch(self) -> None:
+        with pytest.raises(ConfigurationError):
+            series_table("R", [10, 20], {"G": [4.0]})
+
+
+class TestAsciiPlot:
+    def test_contains_series_glyphs(self) -> None:
+        chart = ascii_plot([0.0, 1.0, 2.0], {"up": [0.0, 1.0, 2.0]})
+        assert "*" in chart
+        assert "legend" in chart
+
+    def test_multiple_series_distinct_glyphs(self) -> None:
+        chart = ascii_plot(
+            [0.0, 1.0], {"a": [0.0, 1.0], "b": [1.0, 0.0]}
+        )
+        assert "* a" in chart
+        assert "+ b" in chart
+
+    def test_zero_line_for_mixed_sign(self) -> None:
+        chart = ascii_plot([0.0, 1.0, 2.0], {"s": [-1.0, 0.0, 1.0]})
+        grid_rows = [l for l in chart.splitlines() if l.startswith("|")]
+        assert any("---" in row for row in grid_rows)
+
+    def test_flat_series_does_not_crash(self) -> None:
+        chart = ascii_plot([0.0, 1.0], {"flat": [5.0, 5.0]})
+        assert "flat" in chart
+
+    def test_rejects_empty(self) -> None:
+        with pytest.raises(ConfigurationError):
+            ascii_plot([0.0, 1.0], {})
+        with pytest.raises(ConfigurationError):
+            ascii_plot([0.0], {"s": [1.0]})
+        with pytest.raises(ConfigurationError):
+            ascii_plot([0.0, 0.0], {"s": [1.0, 2.0]})
+
+    def test_rejects_tiny_canvas(self) -> None:
+        with pytest.raises(ConfigurationError):
+            ascii_plot([0.0, 1.0], {"s": [1.0, 2.0]}, width=5)
+
+    def test_rejects_length_mismatch(self) -> None:
+        with pytest.raises(ConfigurationError):
+            ascii_plot([0.0, 1.0], {"s": [1.0]})
+
+    def test_title_and_labels(self) -> None:
+        chart = ascii_plot(
+            [0.0, 1.0],
+            {"s": [1.0, 2.0]},
+            title="T",
+            x_label="res",
+            y_label="gain",
+        )
+        assert chart.splitlines()[0] == "T"
+        assert "gain" in chart
+        assert "res" in chart
+
+
+class TestCsv:
+    def test_round_trippable_floats(self) -> None:
+        csv = series_to_csv("x", [1.0, 2.0], {"y": [0.1, 0.2]})
+        lines = csv.splitlines()
+        assert lines[0] == "x,y"
+        x, y = lines[1].split(",")
+        assert float(x) == 1.0
+        assert float(y) == 0.1
+
+    def test_rejects_length_mismatch(self) -> None:
+        with pytest.raises(ConfigurationError):
+            series_to_csv("x", [1.0], {"y": [0.1, 0.2]})

@@ -1,0 +1,63 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.platform.benchmarks import benchmark_cluster, benchmark_clusters
+from repro.platform.cluster import ClusterSpec
+from repro.platform.timing import AmdahlTimingModel, TableTimingModel, reference_timing
+from repro.workflow.ocean_atmosphere import EnsembleSpec
+
+
+@pytest.fixture
+def ref_timing() -> AmdahlTimingModel:
+    """The calibrated reference timing model (T[11] = 1262 s)."""
+    return reference_timing()
+
+
+@pytest.fixture
+def fast_cluster() -> ClusterSpec:
+    """The fastest benchmark cluster with the paper's example R = 53."""
+    return benchmark_cluster("sagittaire", 53)
+
+
+@pytest.fixture
+def slow_cluster() -> ClusterSpec:
+    """The slowest benchmark cluster, small."""
+    return benchmark_cluster("azur", 22)
+
+
+@pytest.fixture
+def five_clusters() -> list[ClusterSpec]:
+    """The five benchmark clusters at 40 processors each."""
+    return benchmark_clusters(40)
+
+
+@pytest.fixture
+def small_spec() -> EnsembleSpec:
+    """A small ensemble: 4 scenarios x 6 months (fast to simulate)."""
+    return EnsembleSpec(4, 6)
+
+
+@pytest.fixture
+def paper_spec() -> EnsembleSpec:
+    """The paper's NS with a reduced NM: 10 scenarios x 12 months."""
+    return EnsembleSpec(10, 12)
+
+
+@pytest.fixture
+def flat_timing() -> TableTimingModel:
+    """A hand-made table where doubling processors halves nothing.
+
+    T is constant: group size is pure cost.  Degenerate inputs like this
+    flush out heuristics that assume speedup.
+    """
+    return TableTimingModel({g: 1000.0 for g in range(4, 12)}, post_seconds=100.0)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A fixed-seed RNG for reproducible randomized tests."""
+    return np.random.default_rng(20080621)

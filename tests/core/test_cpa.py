@@ -1,0 +1,88 @@
+"""Tests for the CPA-adapted baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cpa import cpa_grouping, cpa_width
+from repro.core.heuristics import plan_grouping
+from repro.exceptions import SchedulingError
+from repro.platform.benchmarks import benchmark_cluster
+from repro.platform.cluster import ClusterSpec
+from repro.platform.timing import TableTimingModel, reference_timing
+from repro.simulation.engine import simulate
+from repro.workflow.ocean_atmosphere import EnsembleSpec
+
+
+class TestCpaWidth:
+    def test_within_moldability_range(self) -> None:
+        spec = EnsembleSpec(10, 12)
+        for r in (11, 30, 53, 90, 120):
+            g = cpa_width(benchmark_cluster("grelon", r), spec)
+            assert 4 <= g <= 11
+
+    def test_big_machine_grows_allocation(self) -> None:
+        # With abundant resources the area term is tiny, CP dominates,
+        # and CPA grows to the scaling limit.
+        spec = EnsembleSpec(2, 12)
+        g = cpa_width(benchmark_cluster("sagittaire", 120), spec)
+        assert g == 11
+
+    def test_tiny_machine_tracks_the_work_minimum(self) -> None:
+        # R=11, NS=10: the area term dominates, and area ∝ G·T[G] which
+        # is U-shaped with its minimum at width 8 on the Amdahl model —
+        # CPA grows exactly to the work-minimizing width and stops.
+        spec = EnsembleSpec(10, 12)
+        g = cpa_width(benchmark_cluster("sagittaire", 11), spec)
+        assert g == 8
+
+    def test_stopping_rule_is_first_non_improvement(self) -> None:
+        # A table where width 5 improves but 6 does not: CPA must stop at
+        # 5 even though 7 would improve again (local rule, like the
+        # original algorithm's one-step growth).
+        table = {4: 100.0, 5: 79.0, 6: 79.0, 7: 10.0, 8: 10.0, 9: 10.0,
+                 10: 10.0, 11: 10.0}
+        cluster = ClusterSpec("trap", 200, TableTimingModel(table))
+        g = cpa_width(cluster, EnsembleSpec(2, 5))
+        assert g == 5
+
+    def test_too_small_machine(self) -> None:
+        cluster = ClusterSpec("tiny", 3, reference_timing())
+        with pytest.raises(SchedulingError):
+            cpa_width(cluster, EnsembleSpec(2, 2))
+
+
+class TestCpaGrouping:
+    def test_uniform_shape(self) -> None:
+        grouping = cpa_grouping(benchmark_cluster("chti", 40), EnsembleSpec(10, 12))
+        assert grouping.is_uniform
+        assert grouping.n_groups <= 10
+
+    def test_loses_to_basic_at_awkward_resources(self) -> None:
+        # The paper's dismissal, quantified: CPA ignores how widths tile
+        # R, so at low resource counts it wastes processors wholesale.
+        spec = EnsembleSpec(10, 60)
+        cluster = benchmark_cluster("sagittaire", 15)
+        ms_cpa = simulate(cpa_grouping(cluster, spec), spec, cluster.timing).makespan
+        ms_basic = simulate(
+            plan_grouping(cluster, spec, "basic"), spec, cluster.timing
+        ).makespan
+        assert ms_cpa > ms_basic * 1.3
+
+    def test_matches_heuristics_where_widths_tile(self) -> None:
+        # At R=110 every approach lands on 10x11.
+        spec = EnsembleSpec(10, 12)
+        cluster = benchmark_cluster("sagittaire", 110)
+        assert cpa_grouping(cluster, spec).group_sizes == (11,) * 10
+
+    def test_never_beats_knapsack_meaningfully(self) -> None:
+        spec = EnsembleSpec(10, 60)
+        for r in (15, 30, 53, 70, 90, 110):
+            cluster = benchmark_cluster("grelon", r)
+            ms_cpa = simulate(
+                cpa_grouping(cluster, spec), spec, cluster.timing
+            ).makespan
+            ms_knap = simulate(
+                plan_grouping(cluster, spec, "knapsack"), spec, cluster.timing
+            ).makespan
+            assert ms_cpa >= ms_knap * 0.999, r

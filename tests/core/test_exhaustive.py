@@ -1,0 +1,126 @@
+"""Unit tests for the exhaustive grouping search."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.exhaustive import enumerate_groupings, exhaustive_grouping
+from repro.core.heuristics import HeuristicName, plan_grouping
+from repro.exceptions import SchedulingError
+from repro.platform.benchmarks import benchmark_cluster
+from repro.platform.cluster import ClusterSpec
+from repro.platform.timing import reference_timing
+from repro.simulation.engine import simulate
+from repro.workflow.ocean_atmosphere import EnsembleSpec
+
+
+class TestEnumeration:
+    def test_small_machine_by_hand(self) -> None:
+        # R=9, sizes 4..11: {9},{8},{7},{6},{5},{4},{5,4},{4,4} -> with
+        # non-increasing ordering and NS >= 2.
+        cluster = benchmark_cluster("sagittaire", 9)
+        got = set(enumerate_groupings(cluster, 2))
+        expected = {
+            (11,)[:0] or (9,), (8,), (7,), (6,), (5,), (4,),
+            (5, 4), (4, 4),
+        }
+        assert got == expected
+
+    def test_cardinality_cap(self) -> None:
+        cluster = benchmark_cluster("sagittaire", 100)
+        singles = enumerate_groupings(cluster, 1)
+        assert all(len(s) == 1 for s in singles)
+        assert len(singles) == 8  # one per admissible size
+
+    def test_all_candidates_feasible(self) -> None:
+        cluster = benchmark_cluster("azur", 30)
+        for sizes in enumerate_groupings(cluster, 4):
+            assert sum(sizes) <= 30
+            assert len(sizes) <= 4
+            assert all(4 <= s <= 11 for s in sizes)
+            assert list(sizes) == sorted(sizes, reverse=True)
+
+    def test_no_duplicate_multisets(self) -> None:
+        cluster = benchmark_cluster("chti", 26)
+        candidates = enumerate_groupings(cluster, 5)
+        assert len(candidates) == len(set(candidates))
+
+    def test_limit_enforced(self) -> None:
+        cluster = benchmark_cluster("sagittaire", 110)
+        with pytest.raises(SchedulingError) as exc:
+            enumerate_groupings(cluster, 10, limit=100)
+        assert "raise the limit" in str(exc.value)
+
+    def test_too_small_machine(self) -> None:
+        cluster = ClusterSpec("tiny", 3, reference_timing())
+        with pytest.raises(SchedulingError):
+            enumerate_groupings(cluster, 2)
+
+
+class TestExhaustiveOptimum:
+    def test_never_worse_than_any_heuristic(self) -> None:
+        spec = EnsembleSpec(4, 6)
+        for r in (11, 17, 23, 30):
+            cluster = benchmark_cluster("grelon", r)
+            optimum = exhaustive_grouping(cluster, spec)
+            for heuristic in HeuristicName:
+                grouping = plan_grouping(cluster, spec, heuristic)
+                makespan = simulate(grouping, spec, cluster.timing).makespan
+                assert optimum.best_makespan <= makespan + 1e-6, (r, heuristic)
+
+    def test_gap_of(self) -> None:
+        spec = EnsembleSpec(3, 4)
+        cluster = benchmark_cluster("sagittaire", 15)
+        optimum = exhaustive_grouping(cluster, spec)
+        assert optimum.gap_of(optimum.best_makespan) == pytest.approx(0.0)
+        assert optimum.gap_of(optimum.best_makespan * 1.1) == pytest.approx(10.0)
+
+    def test_candidate_count_reported(self) -> None:
+        spec = EnsembleSpec(2, 3)
+        cluster = benchmark_cluster("sagittaire", 12)
+        optimum = exhaustive_grouping(cluster, spec)
+        assert optimum.candidates == len(
+            enumerate_groupings(cluster, 2)
+        )
+
+    def test_single_scenario_prefers_fastest_single_group(self) -> None:
+        # With one scenario the chain bound dominates: one group of 11.
+        spec = EnsembleSpec(1, 5)
+        cluster = benchmark_cluster("sagittaire", 30)
+        optimum = exhaustive_grouping(cluster, spec)
+        assert optimum.best.group_sizes == (11,)
+
+
+class TestEnumerationCount:
+    def test_count_matches_partition_dp(self) -> None:
+        """Cross-check the recursive enumerator against an independent
+        counting DP: #multisets of parts in [4,11] with sum <= R and
+        cardinality in [1, NS]."""
+        from repro.platform.benchmarks import benchmark_cluster
+
+        def count(r: int, ns: int) -> int:
+            # ways[c][budget] with parts considered largest-first to count
+            # multisets once: iterate parts, classic bounded-order DP.
+            parts = list(range(4, 12))
+            # dp[j][b] = number of multisets using parts[i:] with j slots
+            # and budget b; build by recursion with memo.
+            from functools import lru_cache
+
+            @lru_cache(maxsize=None)
+            def ways(i: int, slots: int, budget: int) -> int:
+                if i == len(parts):
+                    return 1  # only the empty completion
+                total = 0
+                take_max = min(slots, budget // parts[i])
+                for take in range(take_max + 1):
+                    total += ways(i + 1, slots - take, budget - take * parts[i])
+                return total
+
+            return ways(0, ns, r) - 1  # drop the all-empty multiset
+
+        from repro.core.exhaustive import enumerate_groupings
+
+        for r, ns in ((9, 2), (20, 3), (26, 5), (33, 4)):
+            cluster = benchmark_cluster("azur", r)
+            enumerated = len(enumerate_groupings(cluster, ns))
+            assert enumerated == count(r, ns), (r, ns)

@@ -1,0 +1,88 @@
+"""Unit tests for the Grouping datatype."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.grouping import Grouping
+from repro.exceptions import SchedulingError
+from repro.platform.timing import reference_timing
+
+
+class TestConstruction:
+    def test_accounting(self) -> None:
+        g = Grouping((8, 8, 7), post_pool=2, total_resources=26)
+        assert g.n_groups == 3
+        assert g.main_resources == 23
+        assert g.used_resources == 25
+        assert g.idle_resources == 1
+
+    def test_rejects_no_groups(self) -> None:
+        with pytest.raises(SchedulingError):
+            Grouping((), 0, 10)
+
+    def test_rejects_bad_sizes(self) -> None:
+        with pytest.raises(SchedulingError):
+            Grouping((0,), 0, 10)
+        with pytest.raises(SchedulingError):
+            Grouping((4.5,), 0, 10)  # type: ignore[arg-type]
+
+    def test_rejects_negative_post_pool(self) -> None:
+        with pytest.raises(SchedulingError):
+            Grouping((4,), -1, 10)
+
+    def test_rejects_oversubscription(self) -> None:
+        with pytest.raises(SchedulingError):
+            Grouping((6, 6), 0, 11)
+
+    def test_uniform_builder(self) -> None:
+        g = Grouping.uniform(7, 3, 25)
+        assert g.group_sizes == (7, 7, 7)
+        assert g.post_pool == 4  # leftovers by default
+        assert g.idle_resources == 0
+
+    def test_uniform_with_explicit_post_pool(self) -> None:
+        g = Grouping.uniform(7, 3, 25, post_pool=1)
+        assert g.post_pool == 1
+        assert g.idle_resources == 3
+
+    def test_from_sizes_sorts_descending(self) -> None:
+        g = Grouping.from_sizes([5, 9, 7], 25)
+        assert g.group_sizes == (9, 7, 5)
+        assert g.post_pool == 4
+
+
+class TestQueries:
+    def test_is_uniform(self) -> None:
+        assert Grouping((7, 7), 0, 14).is_uniform
+        assert not Grouping((8, 7), 0, 15).is_uniform
+
+    def test_size_counts(self) -> None:
+        counts = Grouping((8, 7, 7), 0, 22).size_counts()
+        assert counts == {8: 1, 7: 2}
+
+    def test_throughput_is_knapsack_objective(self) -> None:
+        timing = reference_timing()
+        g = Grouping((11, 4), 0, 15)
+        expected = 1.0 / timing.main_time(11) + 1.0 / timing.main_time(4)
+        assert g.throughput(timing) == pytest.approx(expected)
+
+    def test_describe_format(self) -> None:
+        text = Grouping((8, 8, 8, 7, 7, 7, 7), 1, 53).describe()
+        assert text == "3x8 + 4x7 | post=1 | idle=0"
+
+
+class TestValidateAgainst:
+    def test_accepts_paper_example(self) -> None:
+        g = Grouping((8, 8, 8, 7, 7, 7, 7), 1, 53)
+        g.validate_against(reference_timing(), scenarios=10)
+
+    def test_rejects_out_of_range_size(self) -> None:
+        g = Grouping((12,), 0, 20)
+        with pytest.raises(Exception):
+            g.validate_against(reference_timing(), scenarios=10)
+
+    def test_rejects_more_groups_than_scenarios(self) -> None:
+        g = Grouping((4, 4, 4), 0, 12)
+        with pytest.raises(SchedulingError):
+            g.validate_against(reference_timing(), scenarios=2)

@@ -1,0 +1,130 @@
+"""Unit tests for Equations (1)-(5), with hand-computed cases."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.makespan import analytic_breakdown, analytic_makespan
+from repro.exceptions import SchedulingError
+
+
+class TestCaseSelection:
+    def test_eq2_case(self) -> None:
+        b = analytic_breakdown(20, 5, scenarios=4, months=5, tg=100.0, tp=10.0)
+        assert b.case == "eq2"
+        assert b.post_resources == 0
+        assert b.nbused == 0
+
+    def test_eq3_case(self) -> None:
+        b = analytic_breakdown(20, 5, scenarios=5, months=3, tg=100.0, tp=10.0)
+        assert b.case == "eq3"
+        assert b.post_resources == 0
+        assert b.nbused == 3
+
+    def test_eq4_case(self) -> None:
+        b = analytic_breakdown(22, 5, scenarios=4, months=5, tg=100.0, tp=10.0)
+        assert b.case == "eq4"
+        assert b.post_resources == 2
+        assert b.nbused == 0
+
+    def test_eq5_case(self) -> None:
+        b = analytic_breakdown(21, 5, scenarios=5, months=3, tg=20.0, tp=10.0)
+        assert b.case == "eq5"
+        assert b.post_resources == 1
+        assert b.nbused == 3
+
+
+class TestHandComputedValues:
+    def test_eq2_value(self) -> None:
+        # 4 groups of 5 on R=20; 20 tasks in 5 full waves of 100 s, then
+        # all 20 posts fit one 10-s slice of the whole machine.
+        ms = analytic_makespan(20, 5, 4, 5, 100.0, 10.0)
+        assert ms == pytest.approx(5 * 100.0 + 10.0)
+
+    def test_eq3_value(self) -> None:
+        # 15 tasks on 4 groups: 4 waves (last uses 3 groups).  Rleft=5
+        # processors absorb the 12 earlier posts easily (10 each fit);
+        # the 3 last posts trail.
+        b = analytic_breakdown(20, 5, 5, 3, 100.0, 10.0)
+        assert b.main_makespan == pytest.approx(400.0)
+        assert b.trailing_posts == 3
+        assert b.makespan == pytest.approx(400.0 + 10.0)
+
+    def test_eq4_value_no_overpass(self) -> None:
+        # R2=2 posts processors digest 10 posts each per wave >= nbmax=4:
+        # no overpass, only the last wave's posts trail.
+        ms = analytic_makespan(22, 5, 4, 5, 100.0, 10.0)
+        assert ms == pytest.approx(500.0 + 10.0)
+
+    def test_eq4_value_with_overpass(self) -> None:
+        # TG=20: one post processor digests 2 posts per wave; each of the
+        # first 4 waves leaves 4-2=2 posts behind -> 8 overpassing.
+        b = analytic_breakdown(21, 5, 4, 5, 20.0, 10.0)
+        assert b.case == "eq4"
+        assert b.overpass == 8
+        assert b.makespan == pytest.approx(100.0 + math.ceil(12 / 21) * 10.0)
+
+    def test_eq5_value(self) -> None:
+        # 15 tasks, 4 groups, R2=1, TG=20, TP=10: 2 complete waves
+        # overflow 2 posts each; Rleft=6 in the last wave absorbs 12.
+        b = analytic_breakdown(21, 5, 5, 3, 20.0, 10.0)
+        assert b.overpass == 4
+        assert b.trailing_posts == 3
+        assert b.makespan == pytest.approx(80.0 + 10.0)
+
+    def test_nbmax_caps_at_scenarios(self) -> None:
+        # R=110, G=11 fits 10 groups, but only 5 scenarios exist.
+        b = analytic_breakdown(110, 11, 5, 4, 100.0, 10.0)
+        assert b.n_groups == 5
+        assert b.post_resources == 110 - 55
+
+
+class TestStructuralProperties:
+    def test_main_makespan_is_waves_times_tg(self) -> None:
+        for r in (11, 23, 47, 80):
+            for g in range(4, 12):
+                if r // g == 0:
+                    continue
+                b = analytic_breakdown(r, g, 10, 12, 1500.0, 180.0)
+                assert b.main_makespan == pytest.approx(b.waves * 1500.0)
+
+    def test_makespan_at_least_main_makespan(self) -> None:
+        for r in range(11, 121, 7):
+            for g in range(4, 12):
+                if r // g == 0:
+                    continue
+                b = analytic_breakdown(r, g, 10, 12, 1500.0, 180.0)
+                assert b.makespan >= b.main_makespan
+
+    def test_monotone_in_tg(self) -> None:
+        slow = analytic_makespan(40, 8, 10, 12, 2000.0, 180.0)
+        fast = analytic_makespan(40, 8, 10, 12, 1000.0, 180.0)
+        assert fast < slow
+
+    def test_float_ratio_guard(self) -> None:
+        # 1259.9999999 / 180 must floor like 1260/180 (= 7, exactly).
+        a = analytic_breakdown(20, 5, 5, 3, 1260.0, 180.0)
+        b = analytic_breakdown(20, 5, 5, 3, 1260.0 - 1e-10, 180.0)
+        assert a.makespan == pytest.approx(b.makespan)
+
+
+class TestValidation:
+    def test_group_too_big_for_machine(self) -> None:
+        with pytest.raises(SchedulingError):
+            analytic_makespan(10, 11, 10, 12, 100.0, 10.0)
+
+    def test_rejects_nonpositive_dimensions(self) -> None:
+        with pytest.raises(SchedulingError):
+            analytic_makespan(0, 4, 10, 12, 100.0, 10.0)
+        with pytest.raises(SchedulingError):
+            analytic_makespan(20, 4, 0, 12, 100.0, 10.0)
+        with pytest.raises(SchedulingError):
+            analytic_makespan(20, 4, 10, 0, 100.0, 10.0)
+
+    def test_rejects_nonpositive_times(self) -> None:
+        with pytest.raises(SchedulingError):
+            analytic_makespan(20, 4, 10, 12, 0.0, 10.0)
+        with pytest.raises(SchedulingError):
+            analytic_makespan(20, 4, 10, 12, 100.0, 0.0)

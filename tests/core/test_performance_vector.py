@@ -1,0 +1,59 @@
+"""Unit tests for the performance-vector service (Section 5, step 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.heuristics import HeuristicName
+from repro.core.performance_vector import cluster_makespan, performance_vector
+from repro.platform.benchmarks import benchmark_cluster
+from repro.workflow.ocean_atmosphere import EnsembleSpec
+
+
+class TestPerformanceVector:
+    def test_length_is_ns(self) -> None:
+        cluster = benchmark_cluster("sagittaire", 25)
+        vector = performance_vector(cluster, EnsembleSpec(5, 6))
+        assert len(vector) == 5
+
+    def test_non_decreasing(self) -> None:
+        # More scenarios on the same processors can never finish sooner.
+        cluster = benchmark_cluster("chti", 30)
+        for heuristic in HeuristicName:
+            vector = performance_vector(
+                cluster, EnsembleSpec(6, 6), heuristic
+            )
+            assert all(
+                a <= b + 1e-9 for a, b in zip(vector, vector[1:])
+            ), heuristic
+
+    def test_last_entry_is_full_ensemble_makespan(self) -> None:
+        cluster = benchmark_cluster("azur", 28)
+        spec = EnsembleSpec(4, 6)
+        vector = performance_vector(cluster, spec, HeuristicName.KNAPSACK)
+        assert vector[-1] == pytest.approx(
+            cluster_makespan(cluster, spec, HeuristicName.KNAPSACK)
+        )
+
+    def test_faster_cluster_dominates(self) -> None:
+        spec = EnsembleSpec(5, 6)
+        fast = performance_vector(benchmark_cluster("sagittaire", 30), spec)
+        slow = performance_vector(benchmark_cluster("azur", 30), spec)
+        assert all(f < s for f, s in zip(fast, slow))
+
+    def test_heuristic_affects_vector(self) -> None:
+        cluster = benchmark_cluster("grelon", 26)
+        spec = EnsembleSpec(8, 12)
+        basic = performance_vector(cluster, spec, HeuristicName.BASIC)
+        knap = performance_vector(cluster, spec, HeuristicName.KNAPSACK)
+        assert any(k != b for k, b in zip(knap, basic))
+
+    def test_single_scenario(self) -> None:
+        # One scenario is a pure chain: NM sequential mains on the best
+        # single group, posts filling behind.
+        cluster = benchmark_cluster("sagittaire", 30)
+        vector = performance_vector(cluster, EnsembleSpec(1, 8))
+        # One 11-group: 8 x T[11]; the final post trails.
+        expected_floor = 8 * cluster.main_time(11)
+        assert vector[0] >= expected_floor
+        assert vector[0] <= expected_floor + 8 * cluster.post_time()

@@ -1,0 +1,115 @@
+"""Unit tests for Algorithm 1 (DAGs repartition on several clusters)."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.core.repartition import Repartition, repartition_dags
+from repro.exceptions import SchedulingError
+
+
+def _vector(per_scenario: float, n: int = 10) -> list[float]:
+    """A linear performance vector: k scenarios take k x per_scenario."""
+    return [per_scenario * k for k in range(1, n + 1)]
+
+
+class TestAlgorithmOne:
+    def test_single_cluster_takes_everything(self) -> None:
+        rep = repartition_dags([_vector(100.0)], 4)
+        assert rep.counts == (4,)
+        assert rep.assignment == (0, 0, 0, 0)
+        assert rep.makespan == pytest.approx(400.0)
+
+    def test_homogeneous_clusters_split_evenly(self) -> None:
+        rep = repartition_dags([_vector(100.0), _vector(100.0)], 6)
+        assert sorted(rep.counts) == [3, 3]
+
+    def test_faster_cluster_gets_more(self) -> None:
+        # Paper conclusion: "The faster, the more DAGs it has to execute."
+        rep = repartition_dags([_vector(100.0), _vector(300.0)], 8)
+        assert rep.counts[0] > rep.counts[1]
+
+    def test_ties_go_to_lower_index(self) -> None:
+        rep = repartition_dags([_vector(100.0), _vector(100.0)], 1)
+        assert rep.assignment == (0,)
+
+    def test_paper_literal_rule(self) -> None:
+        # The pseudo-code compares resulting makespans, not increments.
+        # Cluster A: [10, 100], cluster B: [60, 70].  Literal rule puts
+        # scenario 1 on A (10 < 60) and scenario 2 on B (70 < 100).
+        rep = repartition_dags([[10.0, 100.0], [60.0, 70.0]], 2)
+        assert rep.assignment == (0, 1)
+        assert rep.makespan == pytest.approx(60.0)
+
+    def test_makespan_is_max_over_clusters(self) -> None:
+        rep = repartition_dags([_vector(100.0), _vector(150.0)], 5)
+        expected = max(
+            100.0 * rep.counts[0] if rep.counts[0] else 0.0,
+            150.0 * rep.counts[1] if rep.counts[1] else 0.0,
+        )
+        assert rep.makespan == pytest.approx(expected)
+
+    def test_idle_cluster_possible(self) -> None:
+        # One overwhelmingly slow cluster should receive nothing.
+        rep = repartition_dags([_vector(10.0), _vector(10000.0)], 3)
+        assert rep.counts == (3, 0)
+
+    def test_scenarios_on(self) -> None:
+        rep = repartition_dags([_vector(100.0), _vector(100.0)], 4)
+        all_ids = sorted(rep.scenarios_on(0) + rep.scenarios_on(1))
+        assert all_ids == [0, 1, 2, 3]
+
+
+class TestOptimality:
+    def test_greedy_is_optimal_exhaustively(self) -> None:
+        """The paper claims Algorithm 1 is optimal for the given vectors.
+
+        Verify by brute force on every non-decreasing 2-3 cluster system
+        from a small family.
+        """
+        import numpy as np
+
+        rng = np.random.default_rng(7)
+        for _ in range(30):
+            n_clusters = int(rng.integers(2, 4))
+            ns = int(rng.integers(1, 6))
+            performance = []
+            for _c in range(n_clusters):
+                steps = rng.uniform(1.0, 50.0, size=ns)
+                performance.append(list(np.cumsum(steps)))
+            greedy = repartition_dags(performance, ns)
+            best = min(
+                max(
+                    performance[c][assign.count(c) - 1]
+                    for c in range(n_clusters)
+                    if assign.count(c) > 0
+                )
+                for assign in itertools.product(range(n_clusters), repeat=ns)
+            )
+            assert greedy.makespan == pytest.approx(best)
+
+
+class TestValidation:
+    def test_rejects_zero_scenarios(self) -> None:
+        with pytest.raises(SchedulingError):
+            repartition_dags([_vector(1.0)], 0)
+
+    def test_rejects_no_clusters(self) -> None:
+        with pytest.raises(SchedulingError):
+            repartition_dags([], 3)
+
+    def test_rejects_short_vector(self) -> None:
+        with pytest.raises(SchedulingError):
+            repartition_dags([[1.0, 2.0]], 3)
+
+    def test_rejects_decreasing_vector(self) -> None:
+        with pytest.raises(SchedulingError):
+            repartition_dags([[5.0, 4.0, 6.0]], 3)
+
+    def test_result_is_frozen(self) -> None:
+        rep = repartition_dags([_vector(1.0)], 2)
+        assert isinstance(rep, Repartition)
+        with pytest.raises(AttributeError):
+            rep.makespan = 0.0  # type: ignore[misc]

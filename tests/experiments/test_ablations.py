@@ -1,0 +1,157 @@
+"""Tests for the ablation studies (reduced sweeps)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.ablations import (
+    run_analytic_vs_simulated,
+    run_months_sensitivity,
+    run_serial_fraction_sensitivity,
+    run_solver_comparison,
+)
+
+
+class TestAnalyticVsSimulated:
+    @pytest.fixture(scope="class")
+    def gaps(self):
+        return run_analytic_vs_simulated(months=12, step=8)
+
+    def test_covers_all_cases(self, gaps) -> None:
+        cases = {g.case for g in gaps}
+        assert {"eq2", "eq3", "eq4", "eq5"} <= cases
+
+    def test_formulas_track_the_simulator(self, gaps) -> None:
+        # The formulas are approximations; they must stay within a tight
+        # band of the simulator or G-selection would be garbage.
+        errors = [abs(g.relative_error) for g in gaps]
+        assert max(errors) < 0.12
+        assert sum(errors) / len(errors) < 0.02
+
+    def test_main_phase_is_exact(self) -> None:
+        # The multiprocessor part (Equation 1) must match the simulator
+        # exactly for uniform groups.
+        from repro.core.grouping import Grouping
+        from repro.core.makespan import analytic_breakdown
+        from repro.platform.timing import reference_timing
+        from repro.simulation.engine import simulate
+        from repro.workflow.ocean_atmosphere import EnsembleSpec
+
+        timing = reference_timing()
+        spec = EnsembleSpec(10, 12)
+        for r in (13, 29, 47, 83):
+            for g in (4, 7, 11):
+                nbmax = min(10, r // g)
+                if nbmax == 0:
+                    continue
+                b = analytic_breakdown(
+                    r, g, 10, 12, timing.main_time(g), timing.post_time()
+                )
+                sim = simulate(Grouping.uniform(g, nbmax, r), spec, timing)
+                assert sim.main_makespan == pytest.approx(b.main_makespan)
+
+
+class TestSolverComparison:
+    def test_dp_never_loses(self) -> None:
+        rows = run_solver_comparison(months=12, step=10)
+        for row in rows:
+            assert row["dp_value"] >= row["greedy_value"] - 1e-12
+            # Greedy can be worse in makespan, never better than ~noise.
+            assert row["makespan_gap_pct"] > -1.0
+
+    def test_greedy_loses_somewhere(self) -> None:
+        rows = run_solver_comparison(months=12, step=2)
+        assert any(row["value_gap_pct"] > 0.0 for row in rows)
+
+
+class TestMonthsSensitivity:
+    def test_gains_stabilize_with_nm(self) -> None:
+        sens = run_months_sensitivity(
+            months_values=(12, 60, 180), resources=(30, 53)
+        )
+        for r in (30, 53):
+            g60 = sens[60][r]["knapsack"]
+            g180 = sens[180][r]["knapsack"]
+            # NM=60 is within a few points of NM=180 (both far from 12's
+            # end-effect regime at worst).
+            assert abs(g60 - g180) < 4.0
+
+
+class TestSerialFraction:
+    def test_smaller_fraction_prefers_bigger_groups(self) -> None:
+        sens = run_serial_fraction_sensitivity(
+            months=12, fractions=(0.1, 0.6), r_min=20, r_max=80
+        )
+        mean_small = sum(sens[0.1]) / len(sens[0.1])
+        mean_large = sum(sens[0.6]) / len(sens[0.6])
+        assert mean_small > mean_large
+
+    def test_all_staircases_land_on_11(self) -> None:
+        sens = run_serial_fraction_sensitivity(
+            months=12, fractions=(0.25, 0.5), r_min=108, r_max=120
+        )
+        for staircase in sens.values():
+            assert staircase[-1] == 11
+
+
+class TestOptimalityGap:
+    def test_gaps_nonnegative_and_knapsack_near_optimal(self) -> None:
+        from repro.experiments.ablations import run_optimality_gap
+
+        rows = run_optimality_gap(
+            scenarios=4, months=8, resources=(11, 15, 19, 23)
+        )
+        for row in rows:
+            for key, value in row.items():
+                if key.endswith("_gap_pct"):
+                    assert value >= -1e-9, (row["R"], key)
+            # Knapsack's gap to the simulated optimum stays small where
+            # enumeration is tractable.
+            assert row["knapsack_gap_pct"] < 5.0
+
+
+class TestOnlineVsStatic:
+    def test_knapsack_aware_collapses_onto_static(self) -> None:
+        from repro.experiments.ablations import run_online_vs_static
+
+        rows = run_online_vs_static(months=12, resources=(22, 53, 90))
+        for row in rows:
+            assert abs(row["aware_penalty_pct"]) < 0.5
+            assert row["greedy_penalty_pct"] >= -0.5
+
+
+class TestCpaComparison:
+    def test_cpa_never_meaningfully_beats_knapsack(self) -> None:
+        from repro.experiments.ablations import run_cpa_comparison
+
+        rows = run_cpa_comparison(months=12, resources=(15, 40, 90))
+        for row in rows:
+            assert row["cpa_vs_knapsack_pct"] >= -0.5
+
+
+class TestScenariosSensitivity:
+    def test_gains_exist_across_ensemble_sizes(self) -> None:
+        from repro.experiments.ablations import run_scenarios_sensitivity
+
+        sens = run_scenarios_sensitivity(
+            scenarios_values=(5, 10, 15), months=12, resources=(30, 53)
+        )
+        # The knapsack advantage is not an NS=10 artifact: positive gains
+        # appear at other ensemble sizes too.
+        positives = sum(
+            1
+            for by_r in sens.values()
+            for gains in by_r.values()
+            if gains["knapsack"] > 0.5
+        )
+        assert positives >= 2
+
+    def test_structure(self) -> None:
+        from repro.experiments.ablations import run_scenarios_sensitivity
+
+        sens = run_scenarios_sensitivity(
+            scenarios_values=(2, 10), months=12, resources=(53,)
+        )
+        assert set(sens) == {2, 10}
+        assert set(sens[2]) == {53}
+        assert set(sens[2][53]) == {"redistribute", "allpost_end", "knapsack"}

@@ -1,0 +1,47 @@
+"""Tests for the schedule-shape driver (Figures 3-6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig3to6
+
+
+class TestShapes:
+    @pytest.fixture(scope="class")
+    def cases(self):
+        return fig3to6.run()
+
+    def test_three_cases(self, cases) -> None:
+        assert [c.figure for c in cases] == [
+            "Figure 3", "Figure 4", "Figures 5-6",
+        ]
+
+    def test_all_phenomena_present(self, cases) -> None:
+        for case in cases:
+            assert case.phenomenon_present, case.figure
+
+    def test_witnesses_are_concrete(self, cases) -> None:
+        for case in cases:
+            assert "post" in case.witness
+
+    def test_schedules_validate(self, cases) -> None:
+        # Each illustration must still be a *correct* schedule.
+        from repro.simulation.validate import validate_schedule
+        from repro.platform.benchmarks import benchmark_timing
+        from repro.platform.timing import TableTimingModel
+
+        timings = [
+            benchmark_timing("sagittaire"),
+            TableTimingModel(
+                {g: 400.0 for g in range(4, 12)}, post_seconds=180.0
+            ),
+            benchmark_timing("sagittaire"),
+        ]
+        for case, timing in zip(cases, timings):
+            validate_schedule(case.result, timing)
+
+    def test_render(self, cases) -> None:
+        text = fig3to6.render(cases, gantt=False)
+        assert "PRESENT" in text
+        assert "ABSENT" not in text

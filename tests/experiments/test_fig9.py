@@ -1,0 +1,32 @@
+"""Tests for the Figure 9 protocol-diagram driver."""
+
+from __future__ import annotations
+
+from repro.experiments import fig9_protocol
+
+
+class TestFig9:
+    def test_six_step_kinds_present_in_order(self) -> None:
+        result = fig9_protocol.run()
+        kinds = result.kinds_in_order()
+        # Step 1 precedes step 3 precedes step 5 precedes step 6.
+        assert kinds.index("ServiceRequest") < kinds.index("PerformanceReply")
+        assert kinds.index("PerformanceReplies") < kinds.index("ExecutionOrder")
+        assert kinds.index("ExecutionOrder") < kinds.index("ExecutionReport")
+
+    def test_participants_cover_grid(self) -> None:
+        result = fig9_protocol.run()
+        assert result.participants[0] == "client"
+        assert result.participants[1] == "agent"
+        assert "sagittaire" in result.participants
+
+    def test_render_contains_arrows_and_steps(self) -> None:
+        text = fig9_protocol.render(fig9_protocol.run())
+        assert "Figure 9" in text
+        assert "(1) ServiceRequest" in text
+        assert "(6) ExecutionReport" in text
+        assert "--->" in text or "-->" in text
+
+    def test_campaign_embedded(self) -> None:
+        result = fig9_protocol.run(scenarios=3, months=4)
+        assert result.campaign.repartition.n_scenarios == 3

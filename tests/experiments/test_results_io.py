@@ -1,0 +1,61 @@
+"""Round-trip tests for figure-result persistence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments import fig7, fig8, fig10
+from repro.experiments.results_io import dump_result, load_result
+
+
+class TestRoundTrips:
+    def test_fig7(self) -> None:
+        original = fig7.run(months=12, r_max=40, step=8)
+        restored = load_result(dump_result(original))
+        assert restored == original
+
+    def test_fig8(self) -> None:
+        original = fig8.run(months=12, r_min=20, r_max=40, step=10)
+        restored = load_result(dump_result(original))
+        assert restored.resources == original.resources
+        assert restored.raw_gains == original.raw_gains
+        assert restored.stats == original.stats
+
+    def test_fig10(self) -> None:
+        original = fig10.run(
+            months=12, cluster_counts=(2,), r_min=20, r_max=40, step=20
+        )
+        restored = load_result(dump_result(original))
+        assert restored == original
+
+    def test_envelope_carries_version(self) -> None:
+        import json
+
+        from repro import __version__
+
+        payload = json.loads(dump_result(fig7.run(months=12, r_max=20, step=8)))
+        assert payload["library_version"] == __version__
+        assert payload["figure"] == "fig7"
+
+
+class TestMalformed:
+    def test_invalid_json(self) -> None:
+        with pytest.raises(ConfigurationError):
+            load_result("{nope")
+
+    def test_not_an_envelope(self) -> None:
+        with pytest.raises(ConfigurationError):
+            load_result("[1, 2, 3]")
+
+    def test_unknown_figure(self) -> None:
+        with pytest.raises(ConfigurationError):
+            load_result('{"figure": "fig99", "data": {}}')
+
+    def test_malformed_data(self) -> None:
+        with pytest.raises(ConfigurationError):
+            load_result('{"figure": "fig7", "data": {"resources": [1]}}')
+
+    def test_unserializable_type(self) -> None:
+        with pytest.raises(ConfigurationError):
+            dump_result("not a result")  # type: ignore[arg-type]

@@ -1,0 +1,58 @@
+"""Determinism guarantees: identical inputs produce identical outputs.
+
+The library promises replayability (DESIGN.md §5.5): no wall-clock, no
+hidden RNG.  These tests run every top-level pipeline twice and demand
+byte-identical results — any nondeterministic iteration order or
+set-ordering leak fails here.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import ReportConfig, generate_report
+from repro.experiments import fig7, fig8, fig10, fig9_protocol
+from repro.middleware.deployment import run_campaign
+from repro.middleware.recovery import ClusterFailure, run_campaign_with_failure
+from repro.platform.benchmarks import benchmark_grid
+
+
+class TestDeterminism:
+    def test_fig7_render_stable(self) -> None:
+        a = fig7.render(fig7.run(months=12, r_max=40, step=4))
+        b = fig7.render(fig7.run(months=12, r_max=40, step=4))
+        assert a == b
+
+    def test_fig8_render_stable(self) -> None:
+        a = fig8.render(fig8.run(months=12, r_min=20, r_max=44, step=8))
+        b = fig8.render(fig8.run(months=12, r_min=20, r_max=44, step=8))
+        assert a == b
+
+    def test_fig10_render_stable(self) -> None:
+        kwargs = dict(months=12, cluster_counts=(2,), r_min=20, r_max=44, step=12)
+        assert fig10.render(fig10.run(**kwargs)) == fig10.render(
+            fig10.run(**kwargs)
+        )
+
+    def test_fig9_trace_stable(self) -> None:
+        a = fig9_protocol.render(fig9_protocol.run())
+        b = fig9_protocol.render(fig9_protocol.run())
+        assert a == b
+
+    def test_campaign_stable(self) -> None:
+        grid = benchmark_grid(3, 30)
+        a = run_campaign(grid, 6, 8)
+        b = run_campaign(grid, 6, 8)
+        assert a.repartition == b.repartition
+        assert a.makespan == b.makespan
+        assert a.control_plane_seconds == b.control_plane_seconds
+
+    def test_recovery_stable(self) -> None:
+        grid = benchmark_grid(3, 30)
+        failure = ClusterFailure("chti", 3600 * 5.0)
+        a = run_campaign_with_failure(grid, 9, 24, failure)
+        b = run_campaign_with_failure(grid, 9, 24, failure)
+        assert a.reassignment == b.reassignment
+        assert a.makespan == b.makespan
+
+    def test_quick_report_stable(self) -> None:
+        config = ReportConfig.quick()
+        assert generate_report(config) == generate_report(config)

@@ -1,0 +1,121 @@
+"""Unit tests for the knapsack problem/solution datatypes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import KnapsackError
+from repro.knapsack.items import (
+    CardinalityKnapsack,
+    KnapsackItem,
+    KnapsackSolution,
+)
+
+
+def _problem(capacity: int = 20, max_items: int = 3) -> CardinalityKnapsack:
+    return CardinalityKnapsack.from_weights_values(
+        {4: 1.0, 5: 1.3, 6: 1.5}, capacity, max_items
+    )
+
+
+class TestKnapsackItem:
+    def test_density(self) -> None:
+        item = KnapsackItem(4, 4, 2.0)
+        assert item.density == pytest.approx(0.5)
+
+    def test_rejects_bad_weight(self) -> None:
+        with pytest.raises(KnapsackError):
+            KnapsackItem(4, 0, 1.0)
+        with pytest.raises(KnapsackError):
+            KnapsackItem(4, 1.5, 1.0)  # type: ignore[arg-type]
+
+    def test_rejects_nonpositive_value(self) -> None:
+        with pytest.raises(KnapsackError):
+            KnapsackItem(4, 4, 0.0)
+
+
+class TestCardinalityKnapsack:
+    def test_from_value_only_mapping_uses_name_as_weight(self) -> None:
+        problem = _problem()
+        weights = {item.name: item.weight for item in problem.items}
+        assert weights == {4: 4, 5: 5, 6: 6}
+
+    def test_from_tuple_mapping(self) -> None:
+        problem = CardinalityKnapsack.from_weights_values(
+            {1: (10, 3.0)}, 20, 2
+        )
+        assert problem.items[0].weight == 10
+        assert problem.items[0].value == 3.0
+
+    def test_rejects_empty_items(self) -> None:
+        with pytest.raises(KnapsackError):
+            CardinalityKnapsack((), 10, 2)
+
+    def test_rejects_duplicate_names(self) -> None:
+        items = (KnapsackItem(4, 4, 1.0), KnapsackItem(4, 5, 1.0))
+        with pytest.raises(KnapsackError):
+            CardinalityKnapsack(items, 10, 2)
+
+    def test_rejects_negative_capacity(self) -> None:
+        with pytest.raises(KnapsackError):
+            _problem(capacity=-1)
+
+    def test_trivially_empty(self) -> None:
+        assert _problem(capacity=0).is_trivially_empty()
+        assert _problem(max_items=0).is_trivially_empty()
+        assert _problem(capacity=3).is_trivially_empty()  # min weight is 4
+        assert not _problem().is_trivially_empty()
+
+
+class TestKnapsackSolution:
+    def test_from_counts_accounting(self) -> None:
+        problem = _problem(capacity=20, max_items=3)
+        sol = KnapsackSolution.from_counts({4: 1, 6: 2}, problem)
+        assert sol.weight == 16
+        assert sol.cardinality == 3
+        assert sol.value == pytest.approx(1.0 + 2 * 1.5)
+
+    def test_zero_counts_are_dropped(self) -> None:
+        sol = KnapsackSolution.from_counts({4: 0, 5: 1}, _problem())
+        assert sol.counts == ((5, 1),)
+
+    def test_rejects_overweight(self) -> None:
+        with pytest.raises(KnapsackError):
+            KnapsackSolution.from_counts({6: 2}, _problem(capacity=11))
+
+    def test_rejects_over_cardinality(self) -> None:
+        with pytest.raises(KnapsackError):
+            KnapsackSolution.from_counts({4: 3}, _problem(max_items=2))
+
+    def test_rejects_unknown_item(self) -> None:
+        with pytest.raises(KnapsackError):
+            KnapsackSolution.from_counts({99: 1}, _problem())
+
+    def test_rejects_negative_count(self) -> None:
+        with pytest.raises(KnapsackError):
+            KnapsackSolution.from_counts({4: -1}, _problem())
+
+    def test_count_of(self) -> None:
+        sol = KnapsackSolution.from_counts({4: 2, 5: 1}, _problem())
+        assert sol.count_of(4) == 2
+        assert sol.count_of(6) == 0
+
+    def test_as_multiset_largest_first(self) -> None:
+        sol = KnapsackSolution.from_counts({4: 2, 6: 1}, _problem())
+        assert sol.as_multiset() == [6, 4, 4]
+
+    def test_dominates_by_value_then_weight(self) -> None:
+        problem = _problem()
+        heavy = KnapsackSolution.from_counts({5: 2}, problem)  # v=2.6 w=10
+        light = KnapsackSolution.from_counts({4: 1, 6: 1}, problem)  # v=2.5 w=10
+        assert heavy.dominates(light)
+        assert not light.dominates(heavy)
+        # Equal value: lighter wins.
+        a = KnapsackSolution.from_counts({4: 1}, problem)
+        b = KnapsackSolution.from_counts({4: 1}, problem)
+        assert a.dominates(b) and b.dominates(a)
+
+    def test_empty_solution(self) -> None:
+        sol = KnapsackSolution.from_counts({}, _problem())
+        assert sol.value == 0.0
+        assert sol.as_multiset() == []

@@ -1,0 +1,136 @@
+"""Tests for the DIET-style hierarchical agent tree."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import MiddlewareError
+from repro.middleware.agent import Agent
+from repro.middleware.client import Client
+from repro.middleware.hierarchy import HierarchicalAgent
+from repro.middleware.messages import ExecutionOrder, ServiceRequest
+from repro.middleware.network import SimulatedNetwork
+from repro.middleware.sed import SeD
+from repro.platform.benchmarks import benchmark_cluster
+
+
+def _two_site_tree() -> tuple[HierarchicalAgent, SimulatedNetwork]:
+    """MA over two LAs (Lyon, Sophia), two SeDs each."""
+    net = SimulatedNetwork()
+    ma = HierarchicalAgent(net, "MA")
+    lyon = HierarchicalAgent(net, "LA-lyon")
+    sophia = HierarchicalAgent(net, "LA-sophia")
+    lyon.register(SeD(benchmark_cluster("sagittaire", 25)))
+    lyon.register(SeD(benchmark_cluster("grelon", 25)))
+    sophia.register(SeD(benchmark_cluster("azur", 25)))
+    sophia.register(SeD(benchmark_cluster("chti", 25)))
+    ma.register(lyon)
+    ma.register(sophia)
+    return ma, net
+
+
+class TestTreeConstruction:
+    def test_sed_names_depth_first(self) -> None:
+        ma, _net = _two_site_tree()
+        assert ma.sed_names == ("sagittaire", "grelon", "azur", "chti")
+
+    def test_depth(self) -> None:
+        ma, _net = _two_site_tree()
+        assert ma.depth() == 2
+        flat = HierarchicalAgent(SimulatedNetwork())
+        flat.register(SeD(benchmark_cluster("azur", 20)))
+        assert flat.depth() == 1
+
+    def test_duplicate_child_rejected(self) -> None:
+        net = SimulatedNetwork()
+        ma = HierarchicalAgent(net)
+        ma.register(SeD(benchmark_cluster("azur", 20)))
+        with pytest.raises(MiddlewareError):
+            ma.register(SeD(benchmark_cluster("azur", 30)))
+
+    def test_cycle_rejected(self) -> None:
+        net = SimulatedNetwork()
+        a = HierarchicalAgent(net, "a")
+        b = HierarchicalAgent(net, "b")
+        a.register(b)
+        with pytest.raises(MiddlewareError):
+            b.register(a)
+        with pytest.raises(MiddlewareError):
+            a.register(a)
+
+    def test_foreign_network_rejected(self) -> None:
+        a = HierarchicalAgent(SimulatedNetwork(), "a")
+        b = HierarchicalAgent(SimulatedNetwork(), "b")
+        with pytest.raises(MiddlewareError):
+            a.register(b)
+
+    def test_sed_lookup_recursive(self) -> None:
+        ma, _net = _two_site_tree()
+        assert ma.sed("chti").name == "chti"
+        with pytest.raises(MiddlewareError):
+            ma.sed("ghost")
+
+
+class TestTreeProtocol:
+    def test_broadcast_reaches_all_leaves(self) -> None:
+        ma, net = _two_site_tree()
+        replies = ma.broadcast_request(ServiceRequest(3, 4))
+        assert [r.cluster_name for r in replies] == list(ma.sed_names)
+        # Messages traverse LA hops: more log entries than the flat case.
+        kinds = [e.kind for e in net.log]
+        assert kinds.count("ServiceRequest") == 2 + 4  # MA->LA + LA->SeD
+        assert kinds.count("PerformanceReplies") == 2  # LA aggregates
+
+    def test_dispatch_routes_through_the_right_subtree(self) -> None:
+        ma, net = _two_site_tree()
+        report = ma.dispatch_order(ExecutionOrder("chti", (0, 1), 4))
+        assert report.cluster_name == "chti"
+        hops = [(e.sender, e.receiver) for e in net.log if e.kind == "ExecutionOrder"]
+        assert ("MA", "LA-sophia") in hops
+        assert ("LA-sophia", "chti") in hops
+        assert ("MA", "LA-lyon") not in hops
+
+    def test_dispatch_unknown_cluster(self) -> None:
+        ma, _net = _two_site_tree()
+        with pytest.raises(MiddlewareError):
+            ma.dispatch_order(ExecutionOrder("ghost", (0,), 4))
+
+    def test_empty_agent_cannot_serve(self) -> None:
+        ma = HierarchicalAgent(SimulatedNetwork())
+        with pytest.raises(MiddlewareError):
+            ma.broadcast_request(ServiceRequest(1, 1))
+
+
+class TestFlatEquivalence:
+    def test_campaign_identical_through_flat_and_tree(self) -> None:
+        """The client must get the same repartition either way."""
+        clusters = [
+            benchmark_cluster("sagittaire", 25),
+            benchmark_cluster("grelon", 25),
+            benchmark_cluster("azur", 25),
+        ]
+        flat_net = SimulatedNetwork()
+        flat = Agent(flat_net)
+        for c in clusters:
+            flat.register(SeD(c))
+        flat_result = Client(flat).run_campaign(6, 6, "knapsack")
+
+        tree_net = SimulatedNetwork()
+        ma = HierarchicalAgent(tree_net, "agent")
+        la = HierarchicalAgent(tree_net, "LA0")
+        la.register(SeD(clusters[0]))
+        la.register(SeD(clusters[1]))
+        ma.register(la)
+        ma.register(SeD(clusters[2]))
+        tree_result = Client(ma).run_campaign(6, 6, "knapsack")
+
+        assert (
+            tree_result.repartition.assignment
+            == flat_result.repartition.assignment
+        )
+        assert tree_result.makespan == pytest.approx(flat_result.makespan)
+        # The tree pays more control-plane hops, still negligible.
+        assert (
+            tree_result.control_plane_seconds
+            >= flat_result.control_plane_seconds
+        )

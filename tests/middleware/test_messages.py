@@ -1,0 +1,80 @@
+"""Unit tests for the protocol messages."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.grouping import Grouping
+from repro.core.heuristics import HeuristicName
+from repro.exceptions import MiddlewareError
+from repro.middleware.messages import (
+    ExecutionOrder,
+    ExecutionReport,
+    PerformanceReply,
+    ServiceRequest,
+)
+
+
+class TestServiceRequest:
+    def test_defaults_to_knapsack(self) -> None:
+        req = ServiceRequest(10, 12)
+        assert req.heuristic is HeuristicName.KNAPSACK
+
+    def test_rejects_bad_dimensions(self) -> None:
+        with pytest.raises(MiddlewareError):
+            ServiceRequest(0, 12)
+        with pytest.raises(MiddlewareError):
+            ServiceRequest(10, 0)
+
+    def test_wire_size_positive(self) -> None:
+        assert ServiceRequest(10, 12).wire_size() > 0
+
+
+class TestPerformanceReply:
+    def test_accepts_monotone_vector(self) -> None:
+        reply = PerformanceReply("lyon", (10.0, 20.0, 20.0, 35.0))
+        assert reply.cluster_name == "lyon"
+
+    def test_rejects_empty_vector(self) -> None:
+        with pytest.raises(MiddlewareError):
+            PerformanceReply("lyon", ())
+
+    def test_rejects_decreasing_vector(self) -> None:
+        with pytest.raises(MiddlewareError) as exc:
+            PerformanceReply("lyon", (10.0, 5.0))
+        assert "non-decreasing" in str(exc.value)
+
+    def test_rejects_negative_makespans(self) -> None:
+        with pytest.raises(MiddlewareError):
+            PerformanceReply("lyon", (-1.0, 2.0))
+
+    def test_wire_size_scales_with_vector(self) -> None:
+        short = PerformanceReply("a", (1.0,)).wire_size()
+        long = PerformanceReply("a", tuple(float(i) for i in range(1, 21))).wire_size()
+        assert long > short
+
+
+class TestExecutionOrder:
+    def test_rejects_empty_assignment(self) -> None:
+        with pytest.raises(MiddlewareError):
+            ExecutionOrder("lyon", (), 12)
+
+    def test_rejects_duplicate_scenarios(self) -> None:
+        with pytest.raises(MiddlewareError):
+            ExecutionOrder("lyon", (1, 1), 12)
+
+    def test_rejects_bad_months(self) -> None:
+        with pytest.raises(MiddlewareError):
+            ExecutionOrder("lyon", (1,), 0)
+
+
+class TestExecutionReport:
+    def test_rejects_negative_makespan(self) -> None:
+        grouping = Grouping((4,), 0, 4)
+        with pytest.raises(MiddlewareError):
+            ExecutionReport("lyon", (0,), -1.0, grouping)
+
+    def test_wire_size(self) -> None:
+        grouping = Grouping((4,), 0, 4)
+        report = ExecutionReport("lyon", (0, 1), 100.0, grouping)
+        assert report.wire_size() > 0

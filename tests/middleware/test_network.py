@@ -1,0 +1,59 @@
+"""Unit tests for the simulated network."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import MiddlewareError
+from repro.middleware.network import SimulatedNetwork
+from repro.workflow.data import DataTransferModel
+
+
+class TestSimulatedNetwork:
+    def test_clock_advances_by_transfer_time(self) -> None:
+        link = DataTransferModel(bandwidth_bytes_per_s=1000.0, latency_s=1.0)
+        net = SimulatedNetwork(link)
+        arrival = net.send("a", "b", "ping", 500)
+        assert arrival == pytest.approx(1.5)
+        assert net.now == pytest.approx(1.5)
+
+    def test_log_is_chronological(self) -> None:
+        net = SimulatedNetwork()
+        net.send("a", "b", "m1", 100)
+        net.send("b", "a", "m2", 100)
+        log = net.log
+        assert len(log) == 2
+        assert log[0].sent_at <= log[1].sent_at
+        assert log[0].kind == "m1"
+        assert log[1].sender == "b"
+
+    def test_control_plane_seconds_sums_transits(self) -> None:
+        link = DataTransferModel(bandwidth_bytes_per_s=1000.0, latency_s=0.5)
+        net = SimulatedNetwork(link)
+        net.send("a", "b", "m", 0)
+        net.send("a", "b", "m", 0)
+        assert net.control_plane_seconds() == pytest.approx(1.0)
+
+    def test_advance(self) -> None:
+        net = SimulatedNetwork()
+        net.advance(10.0)
+        assert net.now == pytest.approx(10.0)
+        with pytest.raises(MiddlewareError):
+            net.advance(-1.0)
+
+    def test_rejects_negative_size(self) -> None:
+        with pytest.raises(MiddlewareError):
+            SimulatedNetwork().send("a", "b", "m", -1)
+
+    def test_describe_lists_messages(self) -> None:
+        net = SimulatedNetwork()
+        net.send("client", "agent", "ServiceRequest", 280)
+        text = net.describe()
+        assert "client -> agent" in text
+        assert "ServiceRequest" in text
+
+    def test_transit_property(self) -> None:
+        net = SimulatedNetwork(DataTransferModel(latency_s=0.25))
+        net.send("a", "b", "m", 0)
+        entry = net.log[0]
+        assert entry.transit_seconds == pytest.approx(0.25)

@@ -1,0 +1,171 @@
+"""Unit tests for SeD, Agent, Client, and the deployment helper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.heuristics import HeuristicName
+from repro.core.performance_vector import performance_vector
+from repro.exceptions import MiddlewareError
+from repro.middleware.agent import Agent
+from repro.middleware.client import Client
+from repro.middleware.deployment import deploy, run_campaign
+from repro.middleware.messages import ExecutionOrder, ServiceRequest
+from repro.middleware.network import SimulatedNetwork
+from repro.middleware.sed import SeD
+from repro.platform.benchmarks import benchmark_cluster, benchmark_grid
+from repro.platform.cluster import ClusterSpec
+from repro.platform.grid import GridSpec
+from repro.platform.timing import ScaledTimingModel, reference_timing
+from repro.workflow.ocean_atmosphere import EnsembleSpec
+
+
+class TestSeD:
+    def test_refuses_unschedulable_cluster(self) -> None:
+        tiny = ClusterSpec("tiny", 3, reference_timing())
+        with pytest.raises(MiddlewareError):
+            SeD(tiny)
+
+    def test_performance_reply_matches_direct_computation(self) -> None:
+        cluster = benchmark_cluster("sagittaire", 25)
+        sed = SeD(cluster)
+        reply = sed.handle_request(ServiceRequest(4, 6))
+        direct = performance_vector(
+            cluster, EnsembleSpec(4, 6), HeuristicName.KNAPSACK
+        )
+        assert list(reply.vector) == pytest.approx(direct)
+
+    def test_execute_reports_simulated_makespan(self) -> None:
+        cluster = benchmark_cluster("grelon", 25)
+        sed = SeD(cluster)
+        report = sed.execute(ExecutionOrder("grelon", (0, 1, 2), 6))
+        assert report.makespan > 0
+        assert sed.last_result is not None
+        assert sed.last_result.makespan == pytest.approx(report.makespan)
+
+    def test_execute_rejects_misrouted_order(self) -> None:
+        sed = SeD(benchmark_cluster("azur", 25))
+        with pytest.raises(MiddlewareError):
+            sed.execute(ExecutionOrder("sagittaire", (0,), 6))
+
+    def test_prediction_equals_execution(self) -> None:
+        # The vector's k-th entry must equal the makespan the SeD later
+        # reports when assigned exactly k scenarios.
+        cluster = benchmark_cluster("chti", 30)
+        sed = SeD(cluster)
+        reply = sed.handle_request(ServiceRequest(5, 6))
+        for k in (1, 3, 5):
+            report = sed.execute(
+                ExecutionOrder("chti", tuple(range(k)), 6)
+            )
+            assert report.makespan == pytest.approx(reply.vector[k - 1])
+
+
+class TestAgent:
+    def test_register_and_broadcast(self) -> None:
+        net = SimulatedNetwork()
+        agent = Agent(net)
+        for name in ("sagittaire", "azur"):
+            agent.register(SeD(benchmark_cluster(name, 20)))
+        replies = agent.broadcast_request(ServiceRequest(3, 4))
+        assert [r.cluster_name for r in replies] == ["sagittaire", "azur"]
+        # 2 requests + 2 replies logged.
+        assert len(net.log) == 4
+
+    def test_duplicate_registration_rejected(self) -> None:
+        agent = Agent(SimulatedNetwork())
+        agent.register(SeD(benchmark_cluster("azur", 20)))
+        with pytest.raises(MiddlewareError):
+            agent.register(SeD(benchmark_cluster("azur", 25)))
+
+    def test_broadcast_with_no_seds_rejected(self) -> None:
+        with pytest.raises(MiddlewareError):
+            Agent(SimulatedNetwork()).broadcast_request(ServiceRequest(3, 4))
+
+    def test_unknown_sed_lookup(self) -> None:
+        agent = Agent(SimulatedNetwork())
+        with pytest.raises(MiddlewareError):
+            agent.sed("ghost")
+
+
+class TestClientCampaign:
+    def test_full_protocol(self) -> None:
+        grid = benchmark_grid(3, 30)
+        result = run_campaign(grid, 6, 6)
+        assert result.makespan > 0
+        assert result.repartition.n_scenarios == 6
+        assert sum(result.repartition.counts) == 6
+        # Every scenario is executed exactly once across reports.
+        executed = sorted(
+            s for report in result.reports for s in report.scenario_ids
+        )
+        assert executed == list(range(6))
+
+    def test_prediction_matches_execution(self) -> None:
+        grid = benchmark_grid(2, 25)
+        result = run_campaign(grid, 5, 6)
+        assert result.makespan == pytest.approx(result.predicted_makespan)
+
+    def test_faster_clusters_get_more_scenarios(self) -> None:
+        fast = benchmark_cluster("sagittaire", 30)
+        slow = ClusterSpec(
+            "slowpoke", 30, ScaledTimingModel(reference_timing(), 3.0)
+        )
+        grid = GridSpec.of([fast, slow])
+        result = run_campaign(grid, 9, 6)
+        counts = dict(zip(grid.names, result.repartition.counts))
+        assert counts["sagittaire"] > counts["slowpoke"]
+
+    def test_idle_cluster_receives_no_order(self) -> None:
+        fast = benchmark_cluster("sagittaire", 60)
+        glacial = ClusterSpec(
+            "glacial", 11, ScaledTimingModel(reference_timing(), 50.0)
+        )
+        grid = GridSpec.of([fast, glacial])
+        result = run_campaign(grid, 3, 4)
+        names = [r.cluster_name for r in result.reports]
+        assert "glacial" not in names
+        with pytest.raises(MiddlewareError):
+            result.report_for("glacial")
+
+    def test_control_plane_is_negligible(self) -> None:
+        grid = benchmark_grid(4, 30)
+        result = run_campaign(grid, 6, 6)
+        assert result.control_plane_seconds < 1.0
+        assert result.control_plane_seconds < result.makespan * 1e-3
+
+    def test_heuristic_propagates(self) -> None:
+        grid = benchmark_grid(2, 40)
+        basic = run_campaign(grid, 8, 12, "basic")
+        knap = run_campaign(grid, 8, 12, "knapsack")
+        assert basic.request.heuristic is HeuristicName.BASIC
+        # Knapsack should never lose badly; usually it wins or ties.
+        assert knap.makespan <= basic.makespan * 1.10
+
+    def test_describe(self) -> None:
+        grid = benchmark_grid(2, 25)
+        text = run_campaign(grid, 4, 6).describe()
+        assert "campaign" in text
+        assert "predicted makespan" in text
+
+
+class TestDeploy:
+    def test_returns_three_tiers(self) -> None:
+        grid = benchmark_grid(3, 20)
+        client, agent, seds = deploy(grid)
+        assert isinstance(client, Client)
+        assert len(seds) == 3
+        assert agent.sed_names == grid.names
+
+    def test_message_log_covers_six_steps(self) -> None:
+        grid = benchmark_grid(2, 25)
+        client, agent, _seds = deploy(grid)
+        client.run_campaign(4, 6)
+        kinds = [entry.kind for entry in agent.network.log]
+        # Step 1 (client->agent), fan-out requests, replies, gathered
+        # reply, orders, execution reports.
+        assert kinds[0] == "ServiceRequest"
+        assert "PerformanceReply" in kinds
+        assert "PerformanceReplies" in kinds
+        assert "ExecutionOrder" in kinds
+        assert "ExecutionReport" in kinds

@@ -1,0 +1,155 @@
+"""Tests for cluster-failure recovery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import MiddlewareError
+from repro.middleware.recovery import (
+    ClusterFailure,
+    run_campaign_with_failure,
+)
+from repro.platform.benchmarks import benchmark_grid
+from repro.platform.cluster import ClusterSpec
+from repro.platform.grid import GridSpec
+from repro.platform.timing import ScaledTimingModel, reference_timing
+
+
+@pytest.fixture(scope="module")
+def grid() -> GridSpec:
+    return benchmark_grid(3, 30)
+
+
+class TestClusterFailure:
+    def test_rejects_negative_time(self) -> None:
+        with pytest.raises(MiddlewareError):
+            ClusterFailure("x", -1.0)
+
+
+class TestRecovery:
+    def test_basic_recovery(self, grid) -> None:
+        plan = run_campaign_with_failure(
+            grid, 9, 24, ClusterFailure("chti", 3600 * 5.0)
+        )
+        # Every interrupted scenario restarts on a surviving cluster.
+        assert plan.reassignment
+        for scenario, target in plan.reassignment.items():
+            assert target != "chti"
+            assert target in grid.names
+        # Survivors can never finish before their own original load; the
+        # global makespan may legitimately drop below the original when
+        # the victim was the slowest cluster (split schedules beat
+        # Algorithm 1's no-split optimum).
+        assert plan.makespan == max(plan.cluster_finish.values())
+
+    def test_completed_months_consistent(self, grid) -> None:
+        plan = run_campaign_with_failure(
+            grid, 9, 24, ClusterFailure("chti", 3600 * 5.0)
+        )
+        for scenario, done in plan.completed_months.items():
+            assert 0 <= done <= 24
+            if scenario not in plan.reassignment:
+                assert done == 24
+                assert plan.pending_posts[scenario] == 0
+
+    def test_earlier_failure_loses_more_months(self, grid) -> None:
+        early = run_campaign_with_failure(
+            grid, 9, 24, ClusterFailure("chti", 3600 * 2.0)
+        )
+        late = run_campaign_with_failure(
+            grid, 9, 24, ClusterFailure("chti", 3600 * 9.0)
+        )
+        assert sum(early.completed_months.values()) < sum(
+            late.completed_months.values()
+        )
+        # Earlier failures leave more work, so recovery takes longer.
+        assert early.makespan >= late.makespan - 1e-6
+        # All archives of completed months were still pending (the
+        # knapsack grouping defers posts to the end), and they count as
+        # recovery work.
+        for scenario, done in late.completed_months.items():
+            assert late.pending_posts[scenario] == done
+
+    def test_failure_at_time_zero_recovers_everything(self, grid) -> None:
+        plan = run_campaign_with_failure(
+            grid, 9, 24, ClusterFailure("chti", 0.0)
+        )
+        assert all(v == 0 for v in plan.completed_months.values())
+        assert set(plan.reassignment) == set(plan.completed_months)
+        assert plan.lost_work_seconds == 0.0
+
+    def test_lost_work_bounded_by_machine_capacity(self, grid) -> None:
+        failure = ClusterFailure("chti", 3600 * 5.0)
+        plan = run_campaign_with_failure(grid, 9, 24, failure)
+        # Lost in-flight work cannot exceed one full wave of the
+        # cluster's processors times the longest main task.
+        cluster = grid.cluster_by_name("chti")
+        assert plan.lost_work_seconds <= cluster.resources * cluster.main_time(4)
+
+    def test_recovery_prefers_the_idle_survivor(self) -> None:
+        # Algorithm 1 gives the 2x-slow cluster nothing, so at failure
+        # time it is idle: restarting there (immediately) beats queueing
+        # behind the fast cluster's own five scenarios, even at half
+        # speed.  The greedy must discover this.
+        fast = ClusterSpec("fast", 40, reference_timing())
+        slow = ClusterSpec(
+            "slow", 40, ScaledTimingModel(reference_timing(), 2.0)
+        )
+        victim = ClusterSpec(
+            "victim", 40, ScaledTimingModel(reference_timing(), 1.1)
+        )
+        grid = GridSpec.of([fast, slow, victim])
+        plan = run_campaign_with_failure(
+            grid, 9, 12, ClusterFailure("victim", 3600 * 1.0)
+        )
+        assert plan.original_repartition.counts[1] == 0  # slow was idle
+        assert set(plan.reassignment.values()) == {"slow"}
+        # And the choice is not obviously dominated: the recovery tail on
+        # the idle slow cluster still beats appending after fast's load.
+        assert plan.cluster_finish["slow"] <= (
+            plan.cluster_finish["fast"]
+            + 10 * fast.main_time(11)  # 10 remaining months on fast
+        )
+
+    def test_describe(self, grid) -> None:
+        plan = run_campaign_with_failure(
+            grid, 9, 24, ClusterFailure("chti", 3600 * 5.0)
+        )
+        text = plan.describe()
+        assert "failure: chti" in text
+        assert "restarted on" in text
+
+
+class TestRecoveryValidation:
+    def test_unknown_cluster(self, grid) -> None:
+        with pytest.raises(MiddlewareError):
+            run_campaign_with_failure(
+                grid, 9, 24, ClusterFailure("ghost", 100.0)
+            )
+
+    def test_single_cluster_grid(self) -> None:
+        grid = benchmark_grid(1, 30)
+        with pytest.raises(MiddlewareError):
+            run_campaign_with_failure(
+                grid, 4, 12, ClusterFailure("sagittaire", 100.0)
+            )
+
+    def test_failure_after_completion(self, grid) -> None:
+        with pytest.raises(MiddlewareError) as exc:
+            run_campaign_with_failure(
+                grid, 9, 24, ClusterFailure("chti", 3600 * 1000)
+            )
+        assert "nothing to recover" in str(exc.value)
+
+    def test_idle_cluster_failure(self) -> None:
+        # A glacial cluster gets no scenarios; failing it is free.
+        fast = ClusterSpec("fast", 60, reference_timing())
+        glacial = ClusterSpec(
+            "glacial", 11, ScaledTimingModel(reference_timing(), 50.0)
+        )
+        grid = GridSpec.of([fast, glacial])
+        with pytest.raises(MiddlewareError) as exc:
+            run_campaign_with_failure(
+                grid, 3, 6, ClusterFailure("glacial", 100.0)
+            )
+        assert "no scenarios" in str(exc.value)

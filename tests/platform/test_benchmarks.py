@@ -1,0 +1,85 @@
+"""Unit tests for the synthetic benchmark database."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import constants
+from repro.exceptions import PlatformError
+from repro.platform.benchmarks import (
+    REFERENCE_CLUSTER_SPEEDS,
+    benchmark_cluster,
+    benchmark_clusters,
+    benchmark_grid,
+    benchmark_timing,
+    main_time_table,
+)
+
+
+class TestDatabaseAnchors:
+    def test_five_clusters(self) -> None:
+        assert len(REFERENCE_CLUSTER_SPEEDS) == constants.BENCHMARKED_CLUSTERS
+
+    def test_extremes_match_paper(self) -> None:
+        speeds = sorted(REFERENCE_CLUSTER_SPEEDS.values())
+        assert speeds[0] == constants.FASTEST_MAIN_11_SECONDS == 1177.0
+        assert speeds[-1] == constants.SLOWEST_MAIN_11_SECONDS == 1622.0
+
+    def test_t11_anchors(self) -> None:
+        for name, t11 in REFERENCE_CLUSTER_SPEEDS.items():
+            timing = benchmark_timing(name)
+            assert timing.main_time(11) == pytest.approx(t11)
+
+    def test_all_tables_monotone(self) -> None:
+        for name in REFERENCE_CLUSTER_SPEEDS:
+            assert benchmark_timing(name).is_monotone()
+
+    def test_post_time_is_paper_constant(self) -> None:
+        for name in REFERENCE_CLUSTER_SPEEDS:
+            assert benchmark_timing(name).post_time() == constants.POST_SECONDS
+
+    def test_unknown_cluster_rejected(self) -> None:
+        with pytest.raises(PlatformError):
+            benchmark_timing("cray")
+
+
+class TestBuilders:
+    def test_benchmark_cluster(self) -> None:
+        c = benchmark_cluster("azur", 48)
+        assert c.name == "azur"
+        assert c.resources == 48
+        assert c.main_time(11) == pytest.approx(1622.0)
+
+    def test_benchmark_clusters_default_count(self) -> None:
+        clusters = benchmark_clusters(30)
+        assert len(clusters) == 5
+        assert all(c.resources == 30 for c in clusters)
+        assert len({c.name for c in clusters}) == 5
+
+    def test_benchmark_clusters_truncated(self) -> None:
+        clusters = benchmark_clusters(30, count=2)
+        assert [c.name for c in clusters] == ["sagittaire", "grelon"]
+
+    def test_benchmark_clusters_extended_cycles_speeds(self) -> None:
+        clusters = benchmark_clusters(30, count=7)
+        assert len(clusters) == 7
+        # Names stay unique even when speeds repeat.
+        assert len({c.name for c in clusters}) == 7
+        assert clusters[5].main_time(11) == pytest.approx(
+            clusters[0].main_time(11)
+        )
+
+    def test_benchmark_clusters_rejects_zero_count(self) -> None:
+        with pytest.raises(PlatformError):
+            benchmark_clusters(30, count=0)
+
+    def test_benchmark_grid(self) -> None:
+        grid = benchmark_grid(3, 25)
+        assert len(grid) == 3
+        assert grid.total_resources == 75
+        assert grid.fastest_cluster().name == "sagittaire"
+
+    def test_main_time_table_shape(self) -> None:
+        table = main_time_table("chti")
+        assert sorted(table) == list(range(4, 12))
+        assert table[11] == pytest.approx(1399.0)

@@ -1,0 +1,65 @@
+"""Unit tests for ClusterSpec."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import PlatformError
+from repro.platform.cluster import ClusterSpec
+from repro.platform.timing import reference_timing
+
+
+class TestClusterSpec:
+    def test_basic_construction(self) -> None:
+        c = ClusterSpec("lyon", 64, reference_timing())
+        assert c.name == "lyon"
+        assert c.resources == 64
+
+    def test_rejects_empty_name(self) -> None:
+        with pytest.raises(PlatformError):
+            ClusterSpec("", 10, reference_timing())
+
+    def test_rejects_zero_resources(self) -> None:
+        with pytest.raises(PlatformError):
+            ClusterSpec("x", 0, reference_timing())
+
+    def test_rejects_non_int_resources(self) -> None:
+        with pytest.raises(PlatformError):
+            ClusterSpec("x", 10.5, reference_timing())  # type: ignore[arg-type]
+
+    def test_rejects_non_timing_model(self) -> None:
+        with pytest.raises(PlatformError):
+            ClusterSpec("x", 10, {4: 100.0})  # type: ignore[arg-type]
+
+    def test_is_frozen(self) -> None:
+        c = ClusterSpec("x", 10, reference_timing())
+        with pytest.raises(AttributeError):
+            c.resources = 20  # type: ignore[misc]
+
+    def test_accessors_delegate_to_timing(self) -> None:
+        timing = reference_timing()
+        c = ClusterSpec("x", 30, timing)
+        assert c.main_time(7) == timing.main_time(7)
+        assert c.post_time() == timing.post_time()
+        assert c.main_time_table() == timing.main_time_table()
+        assert c.group_sizes == timing.group_sizes
+
+    def test_can_run_main(self) -> None:
+        timing = reference_timing()
+        assert ClusterSpec("big", 4, timing).can_run_main()
+        assert not ClusterSpec("tiny", 3, timing).can_run_main()
+
+    def test_with_resources(self) -> None:
+        c = ClusterSpec("x", 10, reference_timing())
+        bigger = c.with_resources(99)
+        assert bigger.resources == 99
+        assert bigger.name == c.name
+        assert bigger.timing is c.timing
+        assert c.resources == 10  # original untouched
+
+    def test_describe_mentions_key_numbers(self) -> None:
+        c = ClusterSpec("lyon", 64, reference_timing())
+        text = c.describe()
+        assert "lyon" in text
+        assert "R=64" in text
+        assert "TP=180s" in text

@@ -1,0 +1,82 @@
+"""Unit tests for GridSpec."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import PlatformError
+from repro.platform.cluster import ClusterSpec
+from repro.platform.grid import GridSpec, homogeneous_grid
+from repro.platform.timing import ScaledTimingModel, reference_timing
+
+
+def _cluster(name: str, resources: int = 20, factor: float = 1.0) -> ClusterSpec:
+    return ClusterSpec(name, resources, ScaledTimingModel(reference_timing(), factor))
+
+
+class TestGridSpec:
+    def test_container_protocol(self) -> None:
+        grid = GridSpec.of([_cluster("a"), _cluster("b")])
+        assert len(grid) == 2
+        assert [c.name for c in grid] == ["a", "b"]
+        assert grid[1].name == "b"
+
+    def test_rejects_empty(self) -> None:
+        with pytest.raises(PlatformError):
+            GridSpec(())
+
+    def test_rejects_duplicate_names(self) -> None:
+        with pytest.raises(PlatformError) as exc:
+            GridSpec.of([_cluster("a"), _cluster("a")])
+        assert "duplicate" in str(exc.value)
+
+    def test_rejects_non_cluster_members(self) -> None:
+        with pytest.raises(PlatformError):
+            GridSpec.of(["not a cluster"])  # type: ignore[list-item]
+
+    def test_total_resources(self) -> None:
+        grid = GridSpec.of([_cluster("a", 20), _cluster("b", 35)])
+        assert grid.total_resources == 55
+
+    def test_names_in_order(self) -> None:
+        grid = GridSpec.of([_cluster("z"), _cluster("a")])
+        assert grid.names == ("z", "a")
+
+    def test_cluster_by_name(self) -> None:
+        grid = GridSpec.of([_cluster("a"), _cluster("b")])
+        assert grid.cluster_by_name("b").name == "b"
+        with pytest.raises(PlatformError):
+            grid.cluster_by_name("nope")
+
+    def test_fastest_and_slowest(self) -> None:
+        grid = GridSpec.of(
+            [_cluster("slow", factor=1.5), _cluster("fast", factor=0.9)]
+        )
+        assert grid.fastest_cluster().name == "fast"
+        assert grid.slowest_cluster().name == "slow"
+
+    def test_fastest_at_specific_group(self) -> None:
+        grid = GridSpec.of([_cluster("a"), _cluster("b", factor=2.0)])
+        assert grid.fastest_cluster(group_size=5).name == "a"
+
+    def test_describe(self) -> None:
+        grid = GridSpec.of([_cluster("a"), _cluster("b")])
+        text = grid.describe()
+        assert "2 cluster(s)" in text
+        assert "a:" in text and "b:" in text
+
+
+class TestHomogeneousGrid:
+    def test_builds_identical_clusters(self) -> None:
+        grid = homogeneous_grid(3, 25, reference_timing())
+        assert len(grid) == 3
+        assert all(c.resources == 25 for c in grid)
+        assert grid.names == ("cluster0", "cluster1", "cluster2")
+
+    def test_rejects_zero_clusters(self) -> None:
+        with pytest.raises(PlatformError):
+            homogeneous_grid(0, 25, reference_timing())
+
+    def test_name_prefix(self) -> None:
+        grid = homogeneous_grid(2, 10, reference_timing(), name_prefix="site")
+        assert grid.names == ("site0", "site1")

@@ -1,0 +1,92 @@
+"""Tests for the extended Grid'5000 site catalog."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import constants
+from repro.exceptions import PlatformError
+from repro.platform.gridfive import (
+    SITE_CATALOG,
+    catalog_cluster,
+    catalog_grid,
+    site_names,
+)
+
+
+class TestCatalogContents:
+    def test_nine_sites(self) -> None:
+        assert len(site_names()) == 9
+
+    def test_testbed_scale(self) -> None:
+        # Bolze et al. 2006: ~2800 processors over 9 sites.
+        total = sum(
+            procs
+            for site in SITE_CATALOG.values()
+            for procs, _t11 in site.values()
+        )
+        assert 2000 <= total <= 3500
+
+    def test_speeds_inside_paper_envelope(self) -> None:
+        for site in SITE_CATALOG.values():
+            for _procs, t11 in site.values():
+                assert (
+                    constants.FASTEST_MAIN_11_SECONDS
+                    <= t11
+                    <= constants.SLOWEST_MAIN_11_SECONDS
+                )
+
+    def test_unique_cluster_names(self) -> None:
+        names = [n for site in SITE_CATALOG.values() for n in site]
+        assert len(names) == len(set(names))
+
+    def test_envelope_extremes_present(self) -> None:
+        speeds = [
+            t11 for site in SITE_CATALOG.values() for _p, t11 in site.values()
+        ]
+        assert min(speeds) == constants.FASTEST_MAIN_11_SECONDS
+        assert max(speeds) == constants.SLOWEST_MAIN_11_SECONDS
+
+
+class TestBuilders:
+    def test_catalog_cluster(self) -> None:
+        c = catalog_cluster("gdx")
+        assert c.resources == 342
+        assert c.main_time(11) == pytest.approx(1470.0)
+
+    def test_unknown_cluster(self) -> None:
+        with pytest.raises(PlatformError):
+            catalog_cluster("bluegene")
+
+    def test_full_grid(self) -> None:
+        grid = catalog_grid()
+        assert len(grid) == sum(len(s) for s in SITE_CATALOG.values())
+        assert grid.fastest_cluster().name == "sagittaire"
+        assert grid.slowest_cluster().name == "azur"
+
+    def test_site_selection(self) -> None:
+        grid = catalog_grid(("lyon", "sophia"))
+        assert set(grid.names) == {
+            "sagittaire", "capricorne", "azur", "helios", "sol",
+        }
+
+    def test_unknown_site(self) -> None:
+        with pytest.raises(PlatformError):
+            catalog_grid(("luxembourg",))
+
+    def test_resource_cap(self) -> None:
+        grid = catalog_grid(("orsay",), max_resources_per_cluster=50)
+        assert all(c.resources <= 50 for c in grid)
+        # Both orsay clusters exceed 50 natural processors, so both cap.
+        assert grid.cluster_by_name("gdx").resources == 50
+        assert grid.cluster_by_name("netgdx").resources == 50
+        # A cluster already under the cap keeps its natural size.
+        grenoble = catalog_grid(("grenoble",), max_resources_per_cluster=50)
+        assert grenoble.cluster_by_name("idpot").resources == 48
+
+    def test_grid_schedulable_end_to_end(self) -> None:
+        from repro.middleware.deployment import run_campaign
+
+        grid = catalog_grid(("lyon",), max_resources_per_cluster=30)
+        result = run_campaign(grid, 4, 3, "knapsack")
+        assert result.makespan > 0

@@ -1,0 +1,92 @@
+"""Unit tests for the randomized platform generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import constants
+from repro.exceptions import PlatformError
+from repro.platform.heterogeneity import (
+    perturbed_timing,
+    random_cluster,
+    random_grid,
+)
+from repro.platform.timing import reference_timing
+
+
+class TestRandomCluster:
+    def test_within_envelope(self, rng: np.random.Generator) -> None:
+        for _ in range(20):
+            c = random_cluster(rng)
+            assert 11 <= c.resources <= 120
+            t11 = c.main_time(11)
+            assert (
+                constants.FASTEST_MAIN_11_SECONDS
+                <= t11
+                <= constants.SLOWEST_MAIN_11_SECONDS
+            )
+
+    def test_reproducible_from_seed(self) -> None:
+        a = random_cluster(np.random.default_rng(7))
+        b = random_cluster(np.random.default_rng(7))
+        assert a.resources == b.resources
+        assert a.main_time(8) == pytest.approx(b.main_time(8))
+
+    def test_different_seeds_differ(self) -> None:
+        a = random_cluster(np.random.default_rng(1))
+        b = random_cluster(np.random.default_rng(2))
+        assert (a.resources, a.main_time(8)) != (b.resources, b.main_time(8))
+
+    def test_rejects_unschedulable_min_resources(self, rng) -> None:
+        with pytest.raises(PlatformError):
+            random_cluster(rng, min_resources=3)
+
+    def test_rejects_inverted_bounds(self, rng) -> None:
+        with pytest.raises(PlatformError):
+            random_cluster(rng, min_resources=50, max_resources=20)
+        with pytest.raises(PlatformError):
+            random_cluster(rng, min_t11=2000.0, max_t11=1000.0)
+        with pytest.raises(PlatformError):
+            random_cluster(rng, serial_fraction_range=(0.5, 0.2))
+
+
+class TestRandomGrid:
+    def test_sizes_and_names(self, rng) -> None:
+        grid = random_grid(rng, 4)
+        assert len(grid) == 4
+        assert grid.names == ("random0", "random1", "random2", "random3")
+
+    def test_rejects_zero_clusters(self, rng) -> None:
+        with pytest.raises(PlatformError):
+            random_grid(rng, 0)
+
+
+class TestPerturbedTiming:
+    def test_stays_close_to_base(self, rng) -> None:
+        base = reference_timing()
+        noisy = perturbed_timing(base, rng, relative_noise=0.05)
+        for g in base.group_sizes:
+            ratio = noisy.main_time(g) / base.main_time(g)
+            assert 0.90 <= ratio <= 1.10
+
+    def test_preserves_monotonicity(self, rng) -> None:
+        base = reference_timing()
+        for _ in range(25):
+            noisy = perturbed_timing(base, rng, relative_noise=0.2)
+            assert noisy.is_monotone()
+
+    def test_zero_noise_is_identity(self, rng) -> None:
+        base = reference_timing()
+        noisy = perturbed_timing(base, rng, relative_noise=0.0)
+        for g in base.group_sizes:
+            assert noisy.main_time(g) == pytest.approx(base.main_time(g))
+
+    def test_post_time_untouched(self, rng) -> None:
+        base = reference_timing()
+        noisy = perturbed_timing(base, rng)
+        assert noisy.post_time() == base.post_time()
+
+    def test_rejects_bad_noise(self, rng) -> None:
+        with pytest.raises(PlatformError):
+            perturbed_timing(reference_timing(), rng, relative_noise=1.0)

@@ -1,0 +1,192 @@
+"""Unit tests for the timing models."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import constants
+from repro.exceptions import PlatformError
+from repro.platform.timing import (
+    AmdahlTimingModel,
+    ScaledTimingModel,
+    TableTimingModel,
+    reference_timing,
+)
+
+
+class TestAmdahlTimingModel:
+    def test_group_range_matches_paper(self) -> None:
+        model = reference_timing()
+        assert model.min_group == 4
+        assert model.max_group == 11
+        assert model.group_sizes == tuple(range(4, 12))
+
+    def test_calibration_anchor(self) -> None:
+        model = AmdahlTimingModel.calibrated(1262.0)
+        assert model.main_time(11) == pytest.approx(1262.0)
+
+    def test_monotone_decreasing(self) -> None:
+        model = reference_timing()
+        times = [model.main_time(g) for g in model.group_sizes]
+        assert all(a > b for a, b in zip(times, times[1:]))
+        assert model.is_monotone()
+
+    def test_atmosphere_procs_capped_at_eight(self) -> None:
+        model = reference_timing()
+        assert model.atmosphere_procs(4) == 1
+        assert model.atmosphere_procs(11) == 8
+
+    def test_speedup_structure(self) -> None:
+        # T(G) - serial part scales exactly as 1/(G-3).
+        model = AmdahlTimingModel(serial_seconds=100.0, parallel_seconds=800.0,
+                                  pre_seconds=0.0)
+        assert model.main_time(4) == pytest.approx(900.0)
+        assert model.main_time(5) == pytest.approx(500.0)
+        assert model.main_time(11) == pytest.approx(200.0)
+
+    def test_post_time_default(self) -> None:
+        assert reference_timing().post_time() == constants.POST_SECONDS
+
+    def test_serial_fraction_zero_is_pure_parallel(self) -> None:
+        model = AmdahlTimingModel.calibrated(802.0, serial_fraction=0.0,
+                                             pre_seconds=2.0)
+        # pcr = 800 at 8 atmosphere procs -> 6400 total parallel work.
+        assert model.main_time(4) == pytest.approx(2.0 + 6400.0)
+
+    def test_rejects_negative_serial(self) -> None:
+        with pytest.raises(PlatformError):
+            AmdahlTimingModel(-1.0, 100.0)
+
+    def test_rejects_nonpositive_parallel(self) -> None:
+        with pytest.raises(PlatformError):
+            AmdahlTimingModel(1.0, 0.0)
+
+    def test_rejects_bad_serial_fraction(self) -> None:
+        with pytest.raises(PlatformError):
+            AmdahlTimingModel.calibrated(1000.0, serial_fraction=1.0)
+
+    def test_rejects_anchor_below_pre(self) -> None:
+        with pytest.raises(PlatformError):
+            AmdahlTimingModel.calibrated(1.0, pre_seconds=2.0)
+
+    def test_validate_group_bounds(self) -> None:
+        model = reference_timing()
+        with pytest.raises(PlatformError):
+            model.main_time(3)
+        with pytest.raises(PlatformError):
+            model.main_time(12)
+
+    def test_validate_group_type(self) -> None:
+        with pytest.raises(PlatformError):
+            reference_timing().validate_group(7.0)  # type: ignore[arg-type]
+
+    def test_work_is_u_shaped(self) -> None:
+        # Processor-seconds per task: adding atmosphere processors to a
+        # tiny group amortizes the 3 sequential processors (work drops),
+        # while near the scaling limit extra processors are mostly waste
+        # (work rises).  The knapsack arbitrates exactly this U-shape.
+        model = reference_timing()
+        works = [model.work(g) for g in model.group_sizes]
+        pivot = works.index(min(works))
+        assert 0 < pivot < len(works) - 1, "minimum must be interior"
+        assert all(a > b for a, b in zip(works[: pivot + 1], works[1 : pivot + 1]))
+        assert all(a < b for a, b in zip(works[pivot:], works[pivot + 1 :]))
+
+    def test_efficiency_at_min_group_is_one(self) -> None:
+        model = reference_timing()
+        assert model.efficiency(model.min_group) == pytest.approx(1.0)
+
+    def test_efficiency_declines_past_the_sweet_spot(self) -> None:
+        # Efficiency (inverse of per-task work, normalized) peaks at the
+        # work minimum and declines afterwards.
+        model = reference_timing()
+        effs = [model.efficiency(g) for g in model.group_sizes]
+        peak = effs.index(max(effs))
+        assert all(a > b for a, b in zip(effs[peak:], effs[peak + 1 :]))
+        assert effs[-1] < effs[peak]
+
+
+class TestTableTimingModel:
+    def test_lookup(self) -> None:
+        model = TableTimingModel({4: 100.0, 5: 90.0, 6: 85.0})
+        assert model.main_time(5) == 90.0
+        assert model.min_group == 4
+        assert model.max_group == 6
+
+    def test_rejects_empty(self) -> None:
+        with pytest.raises(PlatformError):
+            TableTimingModel({})
+
+    def test_rejects_gap_in_sizes(self) -> None:
+        with pytest.raises(PlatformError):
+            TableTimingModel({4: 100.0, 6: 80.0})
+
+    def test_rejects_nonpositive_times(self) -> None:
+        with pytest.raises(PlatformError):
+            TableTimingModel({4: 0.0})
+
+    def test_rejects_nonpositive_post(self) -> None:
+        with pytest.raises(PlatformError):
+            TableTimingModel({4: 100.0}, post_seconds=0.0)
+
+    def test_rejects_non_int_sizes(self) -> None:
+        with pytest.raises(PlatformError):
+            TableTimingModel({4.5: 100.0})  # type: ignore[dict-item]
+
+    def test_table_round_trip(self) -> None:
+        src = reference_timing()
+        copy = TableTimingModel(src.main_time_table(), post_seconds=src.post_time())
+        for g in src.group_sizes:
+            assert copy.main_time(g) == pytest.approx(src.main_time(g))
+
+    def test_non_monotone_table_is_representable(self) -> None:
+        # The model stores what it is given; monotonicity is a property
+        # check, not a constructor constraint (real benchmarks are noisy).
+        model = TableTimingModel({4: 100.0, 5: 120.0})
+        assert not model.is_monotone()
+
+
+class TestScaledTimingModel:
+    def test_scales_main_and_post(self) -> None:
+        base = reference_timing()
+        slow = ScaledTimingModel(base, 2.0)
+        assert slow.main_time(8) == pytest.approx(2.0 * base.main_time(8))
+        assert slow.post_time() == pytest.approx(2.0 * base.post_time())
+
+    def test_pinned_post(self) -> None:
+        base = reference_timing()
+        slow = ScaledTimingModel(base, 2.0, scale_post=False)
+        assert slow.post_time() == pytest.approx(base.post_time())
+
+    def test_identity_factor(self) -> None:
+        base = reference_timing()
+        same = ScaledTimingModel(base, 1.0)
+        assert same.main_time(7) == pytest.approx(base.main_time(7))
+
+    def test_rejects_nonpositive_factor(self) -> None:
+        with pytest.raises(PlatformError):
+            ScaledTimingModel(reference_timing(), 0.0)
+
+    def test_inherits_group_range(self) -> None:
+        scaled = ScaledTimingModel(reference_timing(), 1.3)
+        assert scaled.min_group == 4
+        assert scaled.max_group == 11
+
+
+class TestDerivedHelpers:
+    def test_main_time_table_keys(self) -> None:
+        table = reference_timing().main_time_table()
+        assert sorted(table) == list(range(4, 12))
+
+    def test_speedup_reference_point(self) -> None:
+        model = reference_timing()
+        assert model.speedup(model.min_group) == pytest.approx(1.0)
+        assert model.speedup(model.max_group) > 1.0
+
+    def test_posts_per_main_positive(self) -> None:
+        model = reference_timing()
+        assert model.posts_per_main() == math.floor(
+            model.main_time(11) / model.post_time()
+        )

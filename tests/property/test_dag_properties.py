@@ -1,0 +1,108 @@
+"""Property-based tests for the DAG toolkit and workflow builders."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workflow.dag import DAG
+from repro.workflow.fusion import fuse_ocean_atmosphere
+from repro.workflow.ocean_atmosphere import (
+    EnsembleSpec,
+    ensemble_dag,
+    fused_ensemble_dag,
+    scenario_dag,
+)
+from repro.workflow.task import Task, TaskKind
+
+
+@st.composite
+def random_dags(draw) -> DAG:
+    """Random DAGs built by only adding forward edges (always acyclic)."""
+    n = draw(st.integers(min_value=0, max_value=25))
+    dag = DAG()
+    tasks = [
+        Task(f"t{i}", TaskKind.PRE, 0, i, float(draw(st.integers(0, 100))))
+        for i in range(n)
+    ]
+    for task in tasks:
+        dag.add_task(task)
+    for j in range(1, n):
+        preds = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=j - 1),
+                max_size=3,
+                unique=True,
+            )
+        )
+        for i in preds:
+            dag.add_edge(tasks[i].id, tasks[j].id)
+    return dag
+
+
+@given(random_dags())
+@settings(max_examples=100, deadline=None)
+def test_topological_order_is_a_valid_linearization(dag: DAG) -> None:
+    order = dag.topological_order()
+    assert len(order) == len(dag)
+    position = {tid: i for i, tid in enumerate(order)}
+    for tid in dag.task_ids():
+        for succ in dag.successors(tid):
+            assert position[tid] < position[succ]
+
+
+@given(random_dags())
+@settings(max_examples=100, deadline=None)
+def test_critical_path_bounds(dag: DAG) -> None:
+    length, path = dag.critical_path()
+    assert 0.0 <= length <= dag.total_work() + 1e-9
+    # The path itself must be a real chain whose durations sum to length.
+    total = sum(dag.task(tid).nominal_seconds for tid in path)
+    assert abs(total - length) < 1e-9
+    for a, b in zip(path, path[1:]):
+        assert dag.has_edge(a, b)
+
+
+@given(random_dags())
+@settings(max_examples=100, deadline=None)
+def test_adjacency_maps_stay_symmetric(dag: DAG) -> None:
+    dag.validate()
+    for tid in dag.task_ids():
+        for succ in dag.successors(tid):
+            assert tid in dag.predecessors(succ)
+
+
+@given(
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=1, max_value=6),
+)
+@settings(max_examples=30, deadline=None)
+def test_fusion_round_trip_any_dimensions(ns: int, nm: int) -> None:
+    spec = EnsembleSpec(ns, nm)
+    fused = fuse_ocean_atmosphere(ensemble_dag(spec))
+    direct = fused_ensemble_dag(spec)
+    assert set(fused.task_ids()) == set(direct.task_ids())
+    for tid in fused.task_ids():
+        assert set(fused.successors(tid)) == set(direct.successors(tid))
+
+
+@given(st.integers(min_value=1, max_value=10))
+@settings(max_examples=20, deadline=None)
+def test_scenario_dag_task_and_edge_counts(months: int) -> None:
+    dag = scenario_dag(months)
+    assert len(dag) == 6 * months
+    # 5 in-month edges per month + 2 restart edges per consecutive pair.
+    assert dag.edge_count() == 5 * months + 2 * (months - 1)
+
+
+@given(random_dags())
+@settings(max_examples=60, deadline=None)
+def test_serialization_round_trip_random_dags(dag: DAG) -> None:
+    """dumps/loads is the identity on arbitrary DAGs."""
+    from repro.workflow.serialize import dumps_dag, loads_dag
+
+    restored = loads_dag(dumps_dag(dag))
+    assert set(restored.task_ids()) == set(dag.task_ids())
+    for tid in dag.task_ids():
+        assert restored.task(tid) == dag.task(tid)
+        assert set(restored.successors(tid)) == set(dag.successors(tid))

@@ -1,0 +1,125 @@
+"""Property-based tests for the simulator.
+
+Every randomized (grouping, ensemble, timing) triple must produce a
+schedule that passes the independent validator, and the makespan must
+respect analytic lower bounds.  This is the suite that guards the
+engine's invariants far beyond the hand-written cases.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.grouping import Grouping
+from repro.platform.timing import TableTimingModel
+from repro.simulation.engine import simulate
+from repro.simulation.validate import validate_schedule
+from repro.workflow.ocean_atmosphere import EnsembleSpec
+
+
+@st.composite
+def instances(draw):
+    """A random (grouping, spec, timing) triple, always feasible."""
+    min_g = draw(st.integers(min_value=1, max_value=4))
+    span = draw(st.integers(min_value=0, max_value=5))
+    max_g = min_g + span
+    base = draw(st.floats(min_value=10.0, max_value=500.0))
+    # Non-increasing main-time table.
+    decrements = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=30.0),
+            min_size=span + 1,
+            max_size=span + 1,
+        )
+    )
+    table = {}
+    current = base + sum(decrements)
+    for g, dec in zip(range(min_g, max_g + 1), decrements):
+        table[g] = current
+        current -= dec
+    tp = draw(st.floats(min_value=1.0, max_value=100.0))
+    timing = TableTimingModel(table, post_seconds=tp)
+
+    scenarios = draw(st.integers(min_value=1, max_value=6))
+    months = draw(st.integers(min_value=1, max_value=8))
+    spec = EnsembleSpec(scenarios, months)
+
+    n_groups = draw(st.integers(min_value=1, max_value=scenarios))
+    sizes = draw(
+        st.lists(
+            st.integers(min_value=min_g, max_value=max_g),
+            min_size=n_groups,
+            max_size=n_groups,
+        )
+    )
+    post_pool = draw(st.integers(min_value=0, max_value=6))
+    slack = draw(st.integers(min_value=0, max_value=4))
+    grouping = Grouping.from_sizes(
+        sizes, sum(sizes) + post_pool + slack, post_pool=post_pool
+    )
+    return grouping, spec, timing
+
+
+@given(instances())
+@settings(max_examples=120, deadline=None)
+def test_schedule_always_validates(instance) -> None:
+    grouping, spec, timing = instance
+    result = simulate(grouping, spec, timing, record_trace=True)
+    validate_schedule(result, timing)
+
+
+@given(instances())
+@settings(max_examples=120, deadline=None)
+def test_makespan_respects_lower_bounds(instance) -> None:
+    grouping, spec, timing = instance
+    result = simulate(grouping, spec, timing)
+    fastest = min(timing.main_time(g) for g in grouping.group_sizes)
+    # Chain bound: some scenario runs all its months sequentially, each
+    # at least as long as the fastest group's time, plus one post.
+    chain_bound = spec.months * fastest + timing.post_time()
+    assert result.makespan >= chain_bound - 1e-6
+    # Wave bound: n_tasks mains over n_groups concurrent slots.
+    waves = math.ceil(
+        spec.total_months / len(grouping.group_sizes)
+    )
+    assert result.main_makespan >= waves * fastest - 1e-6
+
+
+@given(instances())
+@settings(max_examples=60, deadline=None)
+def test_makespan_monotone_in_workload(instance) -> None:
+    """More months (or scenarios) can never finish sooner.
+
+    Note: doubling NM does *not* double the makespan in general — a
+    half-empty final wave packs proportionally better at 2·NM — so only
+    monotonicity is claimed.
+    """
+    grouping, spec, timing = instance
+    base = simulate(grouping, spec, timing)
+    more_months = simulate(
+        grouping, EnsembleSpec(spec.scenarios, spec.months + 1), timing
+    )
+    assert more_months.makespan >= base.makespan - 1e-6
+    assert more_months.main_makespan >= base.main_makespan - 1e-6
+    more_scenarios = simulate(
+        grouping, EnsembleSpec(spec.scenarios + 1, spec.months), timing
+    )
+    assert more_scenarios.makespan >= base.makespan - 1e-6
+
+
+@given(instances())
+@settings(max_examples=60, deadline=None)
+def test_post_pool_never_hurts(instance) -> None:
+    """Adding a dedicated post processor can only help (or tie)."""
+    grouping, spec, timing = instance
+    more_posts = Grouping(
+        grouping.group_sizes,
+        grouping.post_pool + 1,
+        grouping.total_resources + 1,
+    )
+    base = simulate(grouping, spec, timing)
+    better = simulate(more_posts, spec, timing)
+    assert better.makespan <= base.makespan + 1e-6

@@ -1,0 +1,53 @@
+"""Property-based tests for the middleware protocol."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.middleware.deployment import run_campaign
+from repro.platform.cluster import ClusterSpec
+from repro.platform.grid import GridSpec
+from repro.platform.timing import ScaledTimingModel, reference_timing
+
+
+@st.composite
+def grids(draw) -> GridSpec:
+    n = draw(st.integers(min_value=1, max_value=4))
+    clusters = []
+    for i in range(n):
+        factor = draw(
+            st.floats(min_value=0.7, max_value=2.5, allow_nan=False)
+        )
+        resources = draw(st.integers(min_value=11, max_value=60))
+        clusters.append(
+            ClusterSpec(
+                f"c{i}", resources, ScaledTimingModel(reference_timing(), factor)
+            )
+        )
+    return GridSpec.of(clusters)
+
+
+@given(
+    grids(),
+    st.integers(min_value=1, max_value=6),
+    st.integers(min_value=1, max_value=6),
+)
+@settings(max_examples=40, deadline=None)
+def test_campaign_invariants(grid, scenarios, months) -> None:
+    """Prediction equals execution; every scenario runs exactly once;
+    the makespan never beats the best single cluster on fewer resources."""
+    result = run_campaign(grid, scenarios, months, "knapsack")
+    # Exactness of the performance vectors.
+    assert abs(result.makespan - result.predicted_makespan) < 1e-6
+    # Completeness: all scenarios executed exactly once.
+    executed = sorted(
+        s for report in result.reports for s in report.scenario_ids
+    )
+    assert executed == list(range(scenarios))
+    # Non-idle reports only.
+    assert all(report.scenario_ids for report in result.reports)
+    # Vectors are per-cluster non-decreasing (validated in-message), and
+    # the campaign can never finish before a single month anywhere.
+    fastest_month = min(c.main_time(c.timing.max_group) for c in grid)
+    assert result.makespan >= months * fastest_month / scenarios

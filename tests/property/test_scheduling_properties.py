@@ -1,0 +1,166 @@
+"""Property-based tests for heuristics, formulas, and repartition."""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.basic import basic_grouping, best_uniform_group
+from repro.core.heuristics import HeuristicName, plan_grouping
+from repro.core.makespan import analytic_breakdown
+from repro.core.repartition import repartition_dags
+from repro.platform.cluster import ClusterSpec
+from repro.platform.timing import TableTimingModel
+from repro.simulation.engine import simulate
+from repro.workflow.ocean_atmosphere import EnsembleSpec
+
+
+@st.composite
+def clusters(draw) -> ClusterSpec:
+    """Random admissible clusters with the paper's 4..11 group range."""
+    base = draw(st.floats(min_value=500.0, max_value=3000.0))
+    decrements = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=300.0), min_size=8, max_size=8
+        )
+    )
+    table = {}
+    current = base + sum(decrements)
+    for g, dec in zip(range(4, 12), decrements):
+        table[g] = current
+        current -= dec
+    tp = draw(st.floats(min_value=10.0, max_value=400.0))
+    resources = draw(st.integers(min_value=4, max_value=130))
+    return ClusterSpec(
+        "random", resources, TableTimingModel(table, post_seconds=tp)
+    )
+
+
+@st.composite
+def specs(draw) -> EnsembleSpec:
+    return EnsembleSpec(
+        draw(st.integers(min_value=1, max_value=10)),
+        draw(st.integers(min_value=1, max_value=12)),
+    )
+
+
+@given(clusters(), specs())
+@settings(max_examples=80, deadline=None)
+def test_every_heuristic_produces_admissible_groupings(cluster, spec) -> None:
+    for heuristic in HeuristicName:
+        grouping = plan_grouping(cluster, spec, heuristic)
+        assert grouping.total_resources == cluster.resources
+        assert grouping.used_resources <= cluster.resources
+        assert grouping.n_groups <= spec.scenarios
+        for size in grouping.group_sizes:
+            assert 4 <= size <= 11
+
+
+@given(clusters(), specs())
+@settings(max_examples=60, deadline=None)
+def test_basic_grouping_simulates_close_to_analytic(cluster, spec) -> None:
+    g = best_uniform_group(cluster, spec)
+    breakdown = analytic_breakdown(
+        cluster.resources, g, spec.scenarios, spec.months,
+        cluster.main_time(g), cluster.post_time(),
+    )
+    result = simulate(basic_grouping(cluster, spec), spec, cluster.timing)
+    # The main phase is exact; the post estimate is an approximation.
+    assert result.main_makespan <= breakdown.main_makespan + 1e-6
+    assert result.makespan <= breakdown.makespan * 1.25 + cluster.post_time()
+
+
+@given(clusters(), specs())
+@settings(max_examples=60, deadline=None)
+def test_main_phase_matches_equation_one(cluster, spec) -> None:
+    grouping = basic_grouping(cluster, spec)
+    g = grouping.group_sizes[0]
+    waves = math.ceil(spec.total_months / grouping.n_groups)
+    result = simulate(grouping, spec, cluster.timing)
+    # Sequential accumulation in the engine vs one multiplication here:
+    # equal up to float rounding.
+    expected = waves * cluster.main_time(g)
+    assert math.isclose(result.main_makespan, expected, rel_tol=1e-12)
+
+
+@st.composite
+def performance_matrices(draw):
+    n_clusters = draw(st.integers(min_value=1, max_value=4))
+    ns = draw(st.integers(min_value=1, max_value=6))
+    matrix = []
+    for _ in range(n_clusters):
+        steps = draw(
+            st.lists(
+                st.floats(min_value=0.5, max_value=100.0),
+                min_size=ns,
+                max_size=ns,
+            )
+        )
+        row = list(itertools.accumulate(steps))
+        matrix.append(row)
+    return matrix, ns
+
+
+@given(performance_matrices())
+@settings(max_examples=100, deadline=None)
+def test_repartition_is_complete_and_consistent(case) -> None:
+    matrix, ns = case
+    rep = repartition_dags(matrix, ns)
+    assert sum(rep.counts) == ns
+    assert len(rep.assignment) == ns
+    for d, c in enumerate(rep.assignment):
+        assert 0 <= c < len(matrix)
+    assert rep.makespan == max(
+        matrix[i][rep.counts[i] - 1]
+        for i in range(len(matrix))
+        if rep.counts[i] > 0
+    )
+
+
+@given(performance_matrices())
+@settings(max_examples=50, deadline=None)
+def test_repartition_optimality_small(case) -> None:
+    """Algorithm 1 matches brute force on every generated instance."""
+    matrix, ns = case
+    if len(matrix) ** ns > 5000:
+        return  # keep the brute force cheap
+    rep = repartition_dags(matrix, ns)
+    best = min(
+        max(
+            matrix[c][assign.count(c) - 1]
+            for c in range(len(matrix))
+            if assign.count(c) > 0
+        )
+        for assign in itertools.product(range(len(matrix)), repeat=ns)
+    )
+    assert rep.makespan <= best + 1e-9
+
+
+@given(clusters(), specs())
+@settings(max_examples=60, deadline=None)
+def test_analytic_formula_tracks_simulator_for_every_g(cluster, spec) -> None:
+    """Equations 1-5 stay within a tight band of the simulator, per G."""
+    from repro.core.grouping import Grouping
+
+    for g in range(4, 12):
+        nbmax = min(spec.scenarios, cluster.resources // g)
+        if nbmax == 0:
+            continue
+        breakdown = analytic_breakdown(
+            cluster.resources, g, spec.scenarios, spec.months,
+            cluster.main_time(g), cluster.post_time(),
+        )
+        simulated = simulate(
+            Grouping.uniform(g, nbmax, cluster.resources), spec, cluster.timing
+        )
+        # Main phase exact; total within the post-tail estimate's slack.
+        assert math.isclose(
+            simulated.main_makespan, breakdown.main_makespan, rel_tol=1e-12
+        )
+        slack = 2 * cluster.post_time() * math.ceil(
+            spec.total_months / cluster.resources + 1
+        )
+        assert abs(simulated.makespan - breakdown.makespan) <= slack

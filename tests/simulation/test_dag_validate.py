@@ -1,0 +1,108 @@
+"""Tests for the DAG-schedule validator."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.grouping import Grouping
+from repro.exceptions import ValidationError
+from repro.platform.timing import TableTimingModel
+from repro.simulation.dag_engine import simulate_dag
+from repro.simulation.dag_validate import validate_dag_schedule
+from repro.workflow.ocean_atmosphere import EnsembleSpec, fused_ensemble_dag
+
+
+@pytest.fixture
+def setup():
+    timing = TableTimingModel(
+        {g: 100.0 for g in range(4, 12)}, post_seconds=180.0
+    )
+    dag = fused_ensemble_dag(EnsembleSpec(3, 4))
+    grouping = Grouping((4, 4), 1, 9)
+    result = simulate_dag(dag, grouping, timing, record_trace=True)
+    return result, dag, timing
+
+
+def _tamper(result, index, **changes):
+    records = list(result.records)
+    records[index] = replace(records[index], **changes)
+    return replace(result, records=tuple(records))
+
+
+class TestAccepts:
+    def test_good_schedule(self, setup) -> None:
+        result, dag, timing = setup
+        validate_dag_schedule(result, dag, timing)
+
+    def test_untraced_rejected(self, setup) -> None:
+        result, dag, timing = setup
+        with pytest.raises(ValidationError):
+            validate_dag_schedule(replace(result, records=()), dag, timing)
+
+
+class TestCatches:
+    def test_unknown_task(self, setup) -> None:
+        result, dag, timing = setup
+        bad = _tamper(result, 0, task_id="ghost")
+        with pytest.raises(ValidationError):
+            validate_dag_schedule(bad, dag, timing)
+
+    def test_missing_task(self, setup) -> None:
+        result, dag, timing = setup
+        bad = replace(result, records=result.records[1:])
+        with pytest.raises(ValidationError) as exc:
+            validate_dag_schedule(bad, dag, timing)
+        assert "never scheduled" in str(exc.value)
+
+    def test_duplicate_task(self, setup) -> None:
+        result, dag, timing = setup
+        bad = _tamper(result, 1, task_id=result.records[0].task_id)
+        with pytest.raises(ValidationError):
+            validate_dag_schedule(bad, dag, timing)
+
+    def test_dependency_violation(self, setup) -> None:
+        result, dag, timing = setup
+        # Find a seq record and move it before its producer.
+        idx = next(
+            i for i, r in enumerate(result.records) if r.kind == "seq"
+        )
+        rec = result.records[idx]
+        bad = _tamper(result, idx, start=0.0, end=rec.duration)
+        with pytest.raises(ValidationError):
+            validate_dag_schedule(bad, dag, timing)
+
+    def test_wrong_main_duration(self, setup) -> None:
+        result, dag, timing = setup
+        idx = next(
+            i for i, r in enumerate(result.records) if r.kind == "main"
+        )
+        rec = result.records[idx]
+        bad = _tamper(result, idx, end=rec.start + 1.0)
+        with pytest.raises(ValidationError):
+            validate_dag_schedule(bad, dag, timing)
+
+    def test_wrong_seq_scale(self, setup) -> None:
+        result, dag, timing = setup
+        with pytest.raises(ValidationError):
+            validate_dag_schedule(result, dag, timing, seq_scale=2.0)
+
+    def test_misreported_makespan(self, setup) -> None:
+        result, dag, timing = setup
+        bad = replace(result, makespan=result.makespan + 1.0)
+        with pytest.raises(ValidationError):
+            validate_dag_schedule(bad, dag, timing)
+
+    def test_double_booked_processor(self, setup) -> None:
+        result, dag, timing = setup
+        seqs = [i for i, r in enumerate(result.records) if r.kind == "seq"]
+        a, b = seqs[0], seqs[1]
+        ra = result.records[a]
+        bad = _tamper(
+            result, b,
+            start=ra.start, end=ra.end,
+            procs_start=ra.procs_start, procs_stop=ra.procs_stop,
+        )
+        with pytest.raises(ValidationError):
+            validate_dag_schedule(bad, dag, timing)

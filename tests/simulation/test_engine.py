@@ -1,0 +1,196 @@
+"""Unit tests for the discrete-event makespan simulator."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.grouping import Grouping
+from repro.exceptions import SimulationError
+from repro.platform.benchmarks import benchmark_cluster
+from repro.platform.timing import TableTimingModel, reference_timing
+from repro.simulation.engine import simulate, simulate_on_cluster
+from repro.simulation.validate import validate_schedule
+from repro.workflow.ocean_atmosphere import EnsembleSpec
+
+
+def _flat(tg: float = 100.0, tp: float = 10.0) -> TableTimingModel:
+    """A constant table so durations are easy to reason about."""
+    return TableTimingModel({g: tg for g in range(4, 12)}, post_seconds=tp)
+
+
+class TestMainPhase:
+    def test_single_group_single_scenario_is_a_chain(self) -> None:
+        timing = _flat()
+        grouping = Grouping((4,), 0, 4)
+        result = simulate(grouping, EnsembleSpec(1, 5), timing, record_trace=True)
+        mains = sorted(result.records_of_kind("main"), key=lambda r: r.month)
+        for m, rec in enumerate(mains):
+            assert rec.start == pytest.approx(m * 100.0)
+            assert rec.end == pytest.approx((m + 1) * 100.0)
+        assert result.main_makespan == pytest.approx(500.0)
+
+    def test_uniform_groups_run_in_waves(self) -> None:
+        # nbmax groups, NS=nbmax scenarios: perfect wave structure.
+        timing = _flat()
+        grouping = Grouping((4, 4, 4), 0, 12)
+        result = simulate(grouping, EnsembleSpec(3, 4), timing, record_trace=True)
+        assert result.main_makespan == pytest.approx(4 * 100.0)
+        # Every main starts on a wave boundary.
+        for rec in result.records_of_kind("main"):
+            assert rec.start % 100.0 == pytest.approx(0.0)
+
+    def test_wave_count_matches_formula(self) -> None:
+        # nbmax=3 groups, 5 scenarios x 3 months = 15 tasks -> 5 waves.
+        timing = _flat()
+        grouping = Grouping((4, 4, 4), 0, 12)
+        result = simulate(grouping, EnsembleSpec(5, 3), timing)
+        assert result.main_makespan == pytest.approx(
+            math.ceil(15 / 3) * 100.0
+        )
+
+    def test_least_advanced_scenario_priority(self) -> None:
+        # 2 groups, 3 scenarios: after the first wave (s0 on g0, s1 on
+        # g1), the waiting s2 must run before s0/s1 get their month 2.
+        timing = _flat()
+        grouping = Grouping((4, 4), 0, 8)
+        result = simulate(grouping, EnsembleSpec(3, 2), timing, record_trace=True)
+        second_wave = [
+            r for r in result.records_of_kind("main")
+            if r.start == pytest.approx(100.0)
+        ]
+        assert {r.scenario for r in second_wave} >= {2}
+
+    def test_fastest_free_group_wins_ties(self) -> None:
+        # Heterogeneous groups: at t=0 both are free; the single scenario
+        # must start on the faster (larger) group.
+        timing = reference_timing()
+        grouping = Grouping((11, 4), 0, 15)
+        result = simulate(
+            grouping, EnsembleSpec(2, 1), timing, record_trace=True
+        )
+        mains = result.records_of_kind("main")
+        s0 = next(r for r in mains if r.scenario == 0)
+        assert s0.group == 0  # groups are emitted largest-first
+
+    def test_scenario_chain_dependency_respected(self) -> None:
+        # More groups than needed: a scenario still cannot overlap itself.
+        timing = _flat()
+        grouping = Grouping((4, 4, 4), 0, 12)
+        result = simulate(grouping, EnsembleSpec(3, 5), timing, record_trace=True)
+        validate_schedule(result, timing)
+
+    def test_groups_capped_by_cardinality_check(self) -> None:
+        timing = _flat()
+        grouping = Grouping((4, 4, 4), 0, 12)
+        with pytest.raises(Exception):
+            simulate(grouping, EnsembleSpec(2, 5), timing)
+        # Escape hatch for degenerate studies:
+        result = simulate(
+            grouping, EnsembleSpec(2, 5), timing, enforce_cardinality=False
+        )
+        assert result.makespan > 0
+
+
+class TestPostPhase:
+    def test_posts_run_on_dedicated_pool_during_mains(self) -> None:
+        timing = _flat(100.0, 10.0)
+        grouping = Grouping((4,), 1, 5)
+        result = simulate(grouping, EnsembleSpec(1, 3), timing, record_trace=True)
+        posts = sorted(result.records_of_kind("post"), key=lambda r: r.month)
+        # post(m) starts right when main(m) ends.
+        for m, rec in enumerate(posts):
+            assert rec.start == pytest.approx((m + 1) * 100.0)
+        assert result.makespan == pytest.approx(310.0)
+
+    def test_no_post_pool_defers_posts_to_the_end(self) -> None:
+        timing = _flat(100.0, 10.0)
+        grouping = Grouping((4,), 0, 4)
+        result = simulate(grouping, EnsembleSpec(1, 3), timing, record_trace=True)
+        posts = result.records_of_kind("post")
+        # All posts wait for the group to retire at t=300, then the 4
+        # processors chew 3 posts in one 10-s slice.
+        assert all(p.start >= 300.0 for p in posts)
+        assert result.makespan == pytest.approx(310.0)
+
+    def test_retired_group_absorbs_posts(self) -> None:
+        # 2 groups, 2 scenarios with different month counts is impossible
+        # (spec is rectangular) — instead: 2 groups, 3 scenarios, so one
+        # group retires a wave early when tasks run out.
+        timing = _flat(100.0, 10.0)
+        grouping = Grouping((4, 4), 0, 8)
+        result = simulate(grouping, EnsembleSpec(3, 1), timing, record_trace=True)
+        # 3 mains on 2 groups: waves at 0 and 100.  Wave 2 uses 1 group;
+        # the other retires at t=100 and its procs serve posts.
+        assert result.main_makespan == pytest.approx(200.0)
+        assert result.makespan == pytest.approx(210.0)
+
+    def test_post_backlog_overpass(self) -> None:
+        # Deliberately starved post pool: 1 processor digests 1 post per
+        # 10 s while each 20-s wave of 4 mains produces 4.
+        timing = _flat(20.0, 10.0)
+        grouping = Grouping((4, 4, 4, 4), 1, 17)
+        spec = EnsembleSpec(4, 5)
+        result = simulate(grouping, spec, timing, record_trace=True)
+        # 5 waves of mains end at t=100; 20 posts at 10 s each: the pool
+        # does 2 per wave (2 fit in each 20-s wave), backlog spills past
+        # the mains.  16 procs + 1 pool chew the rest quickly after.
+        assert result.makespan > result.main_makespan
+        validate_schedule(result, timing)
+
+    def test_makespan_includes_post_tail(self) -> None:
+        timing = _flat(100.0, 60.0)
+        grouping = Grouping((4,), 0, 4)
+        result = simulate(grouping, EnsembleSpec(1, 1), timing)
+        assert result.makespan == pytest.approx(160.0)
+
+
+class TestTraceControl:
+    def test_no_trace_by_default(self, fast_cluster, small_spec) -> None:
+        grouping = Grouping.uniform(11, 4, fast_cluster.resources)
+        result = simulate(grouping, small_spec, fast_cluster.timing)
+        assert not result.has_trace
+        assert result.records == ()
+
+    def test_trace_counts(self, fast_cluster, small_spec) -> None:
+        grouping = Grouping.uniform(11, 4, fast_cluster.resources)
+        result = simulate(
+            grouping, small_spec, fast_cluster.timing, record_trace=True
+        )
+        n = small_spec.scenarios * small_spec.months
+        assert len(result.records_of_kind("main")) == n
+        assert len(result.records_of_kind("post")) == n
+
+    def test_makespan_identical_with_and_without_trace(
+        self, fast_cluster, paper_spec
+    ) -> None:
+        grouping = Grouping.uniform(10, 5, fast_cluster.resources)
+        a = simulate(grouping, paper_spec, fast_cluster.timing)
+        b = simulate(
+            grouping, paper_spec, fast_cluster.timing, record_trace=True
+        )
+        assert a.makespan == pytest.approx(b.makespan)
+        assert a.main_makespan == pytest.approx(b.main_makespan)
+
+
+class TestSimulateOnCluster:
+    def test_size_mismatch_rejected(self, fast_cluster, small_spec) -> None:
+        grouping = Grouping.uniform(4, 2, 20)  # sized for R=20, not 53
+        with pytest.raises(SimulationError):
+            simulate_on_cluster(fast_cluster, grouping, small_spec)
+
+    def test_cluster_name_propagates(self, small_spec) -> None:
+        cluster = benchmark_cluster("azur", 22)
+        grouping = Grouping.uniform(5, 4, 22)
+        result = simulate_on_cluster(cluster, grouping, small_spec)
+        assert result.cluster_name == "azur"
+
+
+class TestDeterminism:
+    def test_repeat_runs_identical(self, fast_cluster, paper_spec) -> None:
+        grouping = Grouping((11, 11, 10, 10, 7), 4, fast_cluster.resources)
+        a = simulate(grouping, paper_spec, fast_cluster.timing, record_trace=True)
+        b = simulate(grouping, paper_spec, fast_cluster.timing, record_trace=True)
+        assert a.makespan == b.makespan
+        assert a.records == b.records

@@ -1,0 +1,87 @@
+"""Unit tests for TaskRecord and SimulationResult."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.grouping import Grouping
+from repro.exceptions import SimulationError
+from repro.simulation.events import SimulationResult, TaskRecord
+from repro.workflow.ocean_atmosphere import EnsembleSpec
+
+
+def _record(**overrides) -> TaskRecord:
+    defaults = dict(
+        kind="main", scenario=0, month=0, start=0.0, end=100.0,
+        group=0, procs_start=0, procs_stop=4,
+    )
+    defaults.update(overrides)
+    return TaskRecord(**defaults)  # type: ignore[arg-type]
+
+
+class TestTaskRecord:
+    def test_derived_quantities(self) -> None:
+        rec = _record()
+        assert rec.duration == pytest.approx(100.0)
+        assert rec.n_procs == 4
+        assert list(rec.procs) == [0, 1, 2, 3]
+
+    def test_rejects_unknown_kind(self) -> None:
+        with pytest.raises(SimulationError):
+            _record(kind="setup")
+
+    def test_rejects_negative_duration(self) -> None:
+        with pytest.raises(SimulationError):
+            _record(end=-1.0)
+
+    def test_rejects_empty_proc_range(self) -> None:
+        with pytest.raises(SimulationError):
+            _record(procs_stop=0)
+
+    def test_zero_duration_allowed(self) -> None:
+        rec = _record(end=0.0)
+        assert rec.duration == 0.0
+
+
+class TestSimulationResult:
+    def _result(self, **overrides) -> SimulationResult:
+        defaults = dict(
+            makespan=200.0,
+            main_makespan=150.0,
+            grouping=Grouping((4,), 0, 4),
+            spec=EnsembleSpec(1, 2),
+            records=(
+                _record(month=0, start=0.0, end=75.0),
+                _record(month=1, start=75.0, end=150.0),
+                _record(kind="post", month=0, start=75.0, end=100.0,
+                        group=-1, procs_start=0, procs_stop=1),
+                _record(kind="post", month=1, start=150.0, end=200.0,
+                        group=-1, procs_start=0, procs_stop=1),
+            ),
+        )
+        defaults.update(overrides)
+        return SimulationResult(**defaults)  # type: ignore[arg-type]
+
+    def test_records_of_kind(self) -> None:
+        result = self._result()
+        assert len(result.records_of_kind("main")) == 2
+        assert len(result.records_of_kind("post")) == 2
+
+    def test_record_for(self) -> None:
+        result = self._result()
+        rec = result.record_for("post", 0, 1)
+        assert rec.end == pytest.approx(200.0)
+        with pytest.raises(SimulationError):
+            result.record_for("main", 5, 5)
+
+    def test_rejects_main_exceeding_total(self) -> None:
+        with pytest.raises(SimulationError):
+            self._result(main_makespan=300.0)
+
+    def test_rejects_negative_makespans(self) -> None:
+        with pytest.raises(SimulationError):
+            self._result(makespan=-1.0, main_makespan=-1.0)
+
+    def test_has_trace(self) -> None:
+        assert self._result().has_trace
+        assert not self._result(records=()).has_trace

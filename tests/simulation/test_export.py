@@ -1,0 +1,88 @@
+"""Tests for trace export formats."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.grouping import Grouping
+from repro.exceptions import SimulationError
+from repro.platform.timing import TableTimingModel
+from repro.simulation.engine import simulate
+from repro.simulation.export import to_chrome_trace, trace_to_csv
+from repro.workflow.ocean_atmosphere import EnsembleSpec
+
+
+@pytest.fixture(scope="module")
+def traced():
+    timing = TableTimingModel(
+        {g: 100.0 for g in range(4, 12)}, post_seconds=10.0
+    )
+    grouping = Grouping((4, 4), 1, 9)
+    return simulate(grouping, EnsembleSpec(2, 3), timing, record_trace=True)
+
+
+class TestChromeTrace:
+    def test_valid_json_envelope(self, traced) -> None:
+        payload = json.loads(to_chrome_trace(traced))
+        assert "traceEvents" in payload
+        assert payload["displayTimeUnit"] == "ms"
+
+    def test_event_counts(self, traced) -> None:
+        payload = json.loads(to_chrome_trace(traced))
+        events = payload["traceEvents"]
+        metadata = [e for e in events if e["ph"] == "M"]
+        slices = [e for e in events if e["ph"] == "X"]
+        # 1 process-name + 9 thread-name metadata records.
+        assert len(metadata) == 10
+        # 6 mains x 4 procs + 6 posts x 1 proc.
+        assert len(slices) == 6 * 4 + 6
+
+    def test_slices_carry_task_identity(self, traced) -> None:
+        payload = json.loads(to_chrome_trace(traced))
+        slices = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        mains = [e for e in slices if e["cat"] == "main"]
+        assert all(e["name"].startswith("main(") for e in mains)
+        assert all(
+            set(e["args"]) == {"scenario", "month", "group"} for e in slices
+        )
+
+    def test_lane_ids_are_processors(self, traced) -> None:
+        payload = json.loads(to_chrome_trace(traced))
+        tids = {
+            e["tid"] for e in payload["traceEvents"] if e["ph"] == "X"
+        }
+        assert tids <= set(range(9))
+
+    def test_requires_trace(self, traced) -> None:
+        from dataclasses import replace
+
+        with pytest.raises(SimulationError):
+            to_chrome_trace(replace(traced, records=()))
+
+
+class TestCsvExport:
+    def test_one_row_per_occurrence(self, traced) -> None:
+        lines = trace_to_csv(traced).splitlines()
+        assert lines[0].startswith("kind,scenario,month")
+        assert len(lines) == 1 + 12  # header + 6 mains + 6 posts
+
+    def test_rows_parse_back(self, traced) -> None:
+        lines = trace_to_csv(traced).splitlines()[1:]
+        for line in lines:
+            cells = line.split(",")
+            assert cells[0] in ("main", "post")
+            float(cells[3])  # start
+            float(cells[4])  # end
+
+    def test_sorted_by_start(self, traced) -> None:
+        lines = trace_to_csv(traced).splitlines()[1:]
+        starts = [float(line.split(",")[3]) for line in lines]
+        assert starts == sorted(starts)
+
+    def test_requires_trace(self, traced) -> None:
+        from dataclasses import replace
+
+        with pytest.raises(SimulationError):
+            trace_to_csv(replace(traced, records=()))

@@ -1,0 +1,36 @@
+"""Unit tests for the processor-id layout."""
+
+from __future__ import annotations
+
+from repro.core.grouping import Grouping
+from repro.simulation.groups import post_pool_range, proc_ranges
+
+
+class TestProcRanges:
+    def test_contiguous_non_overlapping(self) -> None:
+        grouping = Grouping((8, 7, 4), 3, 22)
+        ranges = proc_ranges(grouping)
+        assert ranges == [range(0, 8), range(8, 15), range(15, 19)]
+
+    def test_post_pool_follows_groups(self) -> None:
+        grouping = Grouping((8, 7, 4), 3, 22)
+        assert post_pool_range(grouping) == range(19, 22)
+
+    def test_empty_post_pool(self) -> None:
+        grouping = Grouping((5, 5), 0, 10)
+        assert len(post_pool_range(grouping)) == 0
+
+    def test_idle_processors_get_no_ids(self) -> None:
+        # 2 idle processors at the tail belong to nobody.
+        grouping = Grouping((5,), 1, 8)
+        ranges = proc_ranges(grouping)
+        pool = post_pool_range(grouping)
+        used = {p for rng in ranges for p in rng} | set(pool)
+        assert used == set(range(6))
+
+    def test_full_cover_when_no_idle(self) -> None:
+        grouping = Grouping((6, 5), 4, 15)
+        ranges = proc_ranges(grouping)
+        pool = post_pool_range(grouping)
+        used = sorted({p for rng in ranges for p in rng} | set(pool))
+        assert used == list(range(15))

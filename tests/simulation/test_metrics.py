@@ -1,0 +1,82 @@
+"""Unit tests for schedule metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.grouping import Grouping
+from repro.exceptions import SimulationError
+from repro.platform.timing import TableTimingModel
+from repro.simulation.engine import simulate
+from repro.simulation.metrics import (
+    busy_seconds_by_kind,
+    fairness_spread,
+    idle_seconds,
+    scenario_finish_times,
+    utilization,
+)
+from repro.workflow.ocean_atmosphere import EnsembleSpec
+
+
+@pytest.fixture
+def timing() -> TableTimingModel:
+    return TableTimingModel({g: 100.0 for g in range(4, 12)}, post_seconds=10.0)
+
+
+@pytest.fixture
+def traced(timing):
+    grouping = Grouping((4, 4), 1, 9)
+    return simulate(grouping, EnsembleSpec(2, 3), timing, record_trace=True)
+
+
+class TestBusyAccounting:
+    def test_busy_seconds_exact(self, traced) -> None:
+        busy = busy_seconds_by_kind(traced)
+        # 6 mains x 100 s x 4 procs; 6 posts x 10 s x 1 proc.
+        assert busy["main"] == pytest.approx(6 * 100.0 * 4)
+        assert busy["post"] == pytest.approx(6 * 10.0 * 1)
+
+    def test_utilization_in_unit_interval(self, traced) -> None:
+        u = utilization(traced)
+        assert 0.0 < u <= 1.0
+
+    def test_utilization_plus_idle_is_capacity(self, traced) -> None:
+        capacity = traced.grouping.total_resources * traced.makespan
+        busy = sum(busy_seconds_by_kind(traced).values())
+        assert busy + idle_seconds(traced) == pytest.approx(capacity)
+
+    def test_requires_trace(self, timing) -> None:
+        grouping = Grouping((4,), 0, 4)
+        result = simulate(grouping, EnsembleSpec(1, 1), timing)
+        with pytest.raises(SimulationError):
+            utilization(result)
+
+    def test_full_machine_high_utilization(self, timing) -> None:
+        # One group covering the whole machine and no posts pool: mains
+        # back-to-back => utilization near TG/(TG+TP-ish tail).
+        grouping = Grouping((4,), 0, 4)
+        result = simulate(grouping, EnsembleSpec(1, 10), timing, record_trace=True)
+        assert utilization(result) > 0.9
+
+
+class TestScenarioFinish:
+    def test_finish_times_are_main_ends(self, traced) -> None:
+        finishes = scenario_finish_times(traced)
+        assert set(finishes) == {0, 1}
+        mains = traced.records_of_kind("main")
+        for s in (0, 1):
+            expected = max(r.end for r in mains if r.scenario == s)
+            assert finishes[s] == pytest.approx(expected)
+
+    def test_fairness_zero_when_synchronized(self, timing) -> None:
+        # 2 identical groups, 2 scenarios: both finish simultaneously.
+        grouping = Grouping((4, 4), 1, 9)
+        result = simulate(grouping, EnsembleSpec(2, 3), timing, record_trace=True)
+        assert fairness_spread(result) == pytest.approx(0.0)
+
+    def test_fairness_positive_when_staggered(self, timing) -> None:
+        # 1 group, 2 scenarios: strict alternation, the last month of one
+        # scenario lands one slot before the other's.
+        grouping = Grouping((4,), 0, 4)
+        result = simulate(grouping, EnsembleSpec(2, 3), timing, record_trace=True)
+        assert fairness_spread(result) > 0.0

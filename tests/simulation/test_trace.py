@@ -1,0 +1,75 @@
+"""Unit tests for Gantt rendering and trace summaries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.grouping import Grouping
+from repro.exceptions import SimulationError
+from repro.platform.timing import TableTimingModel
+from repro.simulation.engine import simulate
+from repro.simulation.trace import render_gantt, trace_summary
+from repro.workflow.ocean_atmosphere import EnsembleSpec
+
+
+@pytest.fixture
+def traced():
+    timing = TableTimingModel({g: 100.0 for g in range(4, 12)}, post_seconds=10.0)
+    grouping = Grouping((4, 4), 1, 9)
+    return simulate(grouping, EnsembleSpec(2, 3), timing, record_trace=True)
+
+
+class TestGantt:
+    def test_one_row_per_processor(self, traced) -> None:
+        chart = render_gantt(traced, width=50)
+        rows = [l for l in chart.splitlines() if l.startswith("p")]
+        assert len(rows) == 9
+
+    def test_busy_processors_show_main_glyph(self, traced) -> None:
+        chart = render_gantt(traced, width=50)
+        p0 = next(l for l in chart.splitlines() if l.startswith("p   0"))
+        assert "#" in p0
+
+    def test_post_pool_shows_post_glyph(self, traced) -> None:
+        chart = render_gantt(traced, width=50)
+        p8 = next(l for l in chart.splitlines() if l.startswith("p   8"))
+        assert "o" in p8
+        assert "#" not in p8
+
+    def test_downsampling(self, traced) -> None:
+        chart = render_gantt(traced, width=50, max_rows=3)
+        rows = [l for l in chart.splitlines() if l.startswith("p")]
+        assert len(rows) == 3
+
+    def test_requires_trace(self, traced) -> None:
+        from dataclasses import replace
+
+        with pytest.raises(SimulationError):
+            render_gantt(replace(traced, records=()))
+
+    def test_rejects_tiny_width(self, traced) -> None:
+        with pytest.raises(SimulationError):
+            render_gantt(traced, width=5)
+
+    def test_header_mentions_makespan(self, traced) -> None:
+        chart = render_gantt(traced, width=50)
+        assert f"makespan={traced.makespan:.0f}s" in chart
+
+
+class TestSummary:
+    def test_mentions_core_numbers(self, traced) -> None:
+        text = trace_summary(traced)
+        assert "2 scenarios x 3 months" in text
+        assert "main tasks: 6" in text
+        assert "post tasks: 6" in text
+        assert "total makespan" in text
+
+    def test_post_wait_statistics(self, traced) -> None:
+        text = trace_summary(traced)
+        assert "post wait" in text
+
+    def test_requires_trace(self, traced) -> None:
+        from dataclasses import replace
+
+        with pytest.raises(SimulationError):
+            trace_summary(replace(traced, records=()))

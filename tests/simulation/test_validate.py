@@ -1,0 +1,151 @@
+"""Unit tests for the independent schedule validator.
+
+Beyond accepting correct schedules (covered all over the suite), the
+validator must actually *catch* corrupted ones — each test here breaks a
+specific invariant and expects a ValidationError naming it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.grouping import Grouping
+from repro.exceptions import ValidationError
+from repro.platform.timing import TableTimingModel
+from repro.simulation.engine import simulate
+from repro.simulation.events import SimulationResult, TaskRecord
+from repro.simulation.validate import validate_schedule
+from repro.workflow.ocean_atmosphere import EnsembleSpec
+
+
+@pytest.fixture
+def timing() -> TableTimingModel:
+    return TableTimingModel(
+        {g: 100.0 for g in range(4, 12)}, post_seconds=10.0
+    )
+
+
+@pytest.fixture
+def good(timing) -> SimulationResult:
+    grouping = Grouping((4, 4), 1, 9)
+    return simulate(
+        grouping, EnsembleSpec(2, 3), timing, record_trace=True
+    )
+
+
+def _tamper(result: SimulationResult, index: int, **changes) -> SimulationResult:
+    records = list(result.records)
+    records[index] = replace(records[index], **changes)
+    return replace(result, records=tuple(records))
+
+
+class TestValidatorAcceptsCorrect:
+    def test_good_schedule_passes(self, good, timing) -> None:
+        validate_schedule(good, timing)
+
+    def test_untraced_rejected(self, good, timing) -> None:
+        bare = replace(good, records=())
+        with pytest.raises(ValidationError):
+            validate_schedule(bare, timing)
+
+
+class TestValidatorCatchesCorruption:
+    def test_duplicate_main(self, good, timing) -> None:
+        mains = [i for i, r in enumerate(good.records) if r.kind == "main"]
+        a, b = mains[0], mains[1]
+        bad = _tamper(
+            good, b,
+            scenario=good.records[a].scenario,
+            month=good.records[a].month,
+        )
+        with pytest.raises(ValidationError):
+            validate_schedule(bad, timing)
+
+    def test_task_outside_ensemble(self, good, timing) -> None:
+        bad = _tamper(good, 0, scenario=99)
+        with pytest.raises(ValidationError):
+            validate_schedule(bad, timing)
+
+    def test_chain_dependency_violation(self, good, timing) -> None:
+        # Move a month-1 main to start before its month-0 predecessor ends.
+        idx = next(
+            i for i, r in enumerate(good.records)
+            if r.kind == "main" and r.month == 1
+        )
+        bad = _tamper(good, idx, start=0.0, end=100.0)
+        with pytest.raises(ValidationError):
+            validate_schedule(bad, timing)
+
+    def test_post_before_main_violation(self, good, timing) -> None:
+        idx = next(
+            i for i, r in enumerate(good.records) if r.kind == "post"
+        )
+        bad = _tamper(good, idx, start=0.0, end=10.0)
+        with pytest.raises(ValidationError):
+            validate_schedule(bad, timing)
+
+    def test_wrong_main_duration(self, good, timing) -> None:
+        bad = _tamper(good, 0, end=good.records[0].start + 50.0)
+        with pytest.raises(ValidationError):
+            validate_schedule(bad, timing)
+
+    def test_wrong_post_duration(self, good, timing) -> None:
+        idx = next(i for i, r in enumerate(good.records) if r.kind == "post")
+        rec = good.records[idx]
+        bad = _tamper(good, idx, end=rec.start + 99.0)
+        with pytest.raises(ValidationError):
+            validate_schedule(bad, timing)
+
+    def test_main_on_wrong_procs(self, good, timing) -> None:
+        bad = _tamper(good, 0, procs_start=1, procs_stop=5)
+        with pytest.raises(ValidationError):
+            validate_schedule(bad, timing)
+
+    def test_post_on_many_procs(self, good, timing) -> None:
+        idx = next(i for i, r in enumerate(good.records) if r.kind == "post")
+        rec = good.records[idx]
+        bad = _tamper(good, idx, procs_stop=rec.procs_start + 2)
+        with pytest.raises(ValidationError):
+            validate_schedule(bad, timing)
+
+    def test_post_on_nonexistent_proc(self, good, timing) -> None:
+        idx = next(i for i, r in enumerate(good.records) if r.kind == "post")
+        bad = _tamper(good, idx, procs_start=500, procs_stop=501)
+        with pytest.raises(ValidationError):
+            validate_schedule(bad, timing)
+
+    def test_double_booked_processor(self, timing) -> None:
+        # Two posts overlapping on the same processor.
+        grouping = Grouping((4,), 1, 5)
+        result = simulate(
+            grouping, EnsembleSpec(1, 2), timing, record_trace=True
+        )
+        posts = [i for i, r in enumerate(result.records) if r.kind == "post"]
+        first = result.records[posts[0]]
+        bad = _tamper(
+            result, posts[1],
+            start=first.start, end=first.start + 10.0,
+            procs_start=first.procs_start, procs_stop=first.procs_stop,
+        )
+        # Fix expected counts: still one post per month, but overlapping.
+        with pytest.raises(ValidationError):
+            validate_schedule(bad, timing)
+
+    def test_missing_task(self, good, timing) -> None:
+        records = list(good.records)
+        del records[0]
+        bad = replace(good, records=tuple(records))
+        with pytest.raises(ValidationError):
+            validate_schedule(bad, timing)
+
+    def test_misreported_makespan(self, good, timing) -> None:
+        bad = replace(good, makespan=good.makespan + 5.0)
+        with pytest.raises(ValidationError):
+            validate_schedule(bad, timing)
+
+    def test_misreported_main_makespan(self, good, timing) -> None:
+        bad = replace(good, main_makespan=good.main_makespan - 5.0)
+        with pytest.raises(ValidationError):
+            validate_schedule(bad, timing)

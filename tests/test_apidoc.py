@@ -1,0 +1,31 @@
+"""The committed API reference must match the code."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.apidoc import generate_api_markdown
+
+API_MD = Path(__file__).resolve().parents[1] / "docs" / "API.md"
+
+
+class TestApiDoc:
+    def test_docs_api_md_is_in_sync(self) -> None:
+        committed = API_MD.read_text(encoding="utf-8")
+        generated = generate_api_markdown()
+        assert committed == generated, (
+            "docs/API.md is stale; regenerate with "
+            "`python -m repro.apidoc > docs/API.md`"
+        )
+
+    def test_reference_covers_every_subpackage(self) -> None:
+        text = generate_api_markdown()
+        for name in (
+            "repro.core", "repro.platform", "repro.workflow",
+            "repro.simulation", "repro.middleware", "repro.knapsack",
+            "repro.analysis", "repro.experiments",
+        ):
+            assert f"## `{name}`" in text
+
+    def test_no_undocumented_entries(self) -> None:
+        assert "(undocumented)" not in generate_api_markdown()

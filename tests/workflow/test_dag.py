@@ -1,0 +1,192 @@
+"""Unit tests for the generic DAG toolkit."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import WorkflowError
+from repro.workflow.dag import DAG
+from repro.workflow.task import Task, TaskKind
+
+
+def _task(name: str, seconds: float = 1.0, month: int = 0) -> Task:
+    return Task(name, TaskKind.PRE, 0, month, seconds)
+
+
+def _chain(*names: str) -> DAG:
+    dag = DAG()
+    for name in names:
+        dag.add_task(_task(name))
+    for a, b in zip(names, names[1:]):
+        dag.add_edge(f"{a}[s0,m0]", f"{b}[s0,m0]")
+    return dag
+
+
+class TestConstruction:
+    def test_add_and_len(self) -> None:
+        dag = _chain("a", "b", "c")
+        assert len(dag) == 3
+        assert dag.edge_count() == 2
+
+    def test_idempotent_task_insert(self) -> None:
+        dag = DAG()
+        dag.add_task(_task("a"))
+        dag.add_task(_task("a"))
+        assert len(dag) == 1
+
+    def test_conflicting_redefinition_rejected(self) -> None:
+        dag = DAG()
+        dag.add_task(_task("a", 1.0))
+        with pytest.raises(WorkflowError):
+            dag.add_task(_task("a", 2.0))
+
+    def test_edge_requires_known_endpoints(self) -> None:
+        dag = DAG()
+        dag.add_task(_task("a"))
+        with pytest.raises(WorkflowError):
+            dag.add_edge("a[s0,m0]", "ghost")
+        with pytest.raises(WorkflowError):
+            dag.add_edge("ghost", "a[s0,m0]")
+
+    def test_self_loop_rejected(self) -> None:
+        dag = DAG()
+        dag.add_task(_task("a"))
+        with pytest.raises(WorkflowError):
+            dag.add_edge("a[s0,m0]", "a[s0,m0]")
+
+    def test_duplicate_edge_ignored(self) -> None:
+        dag = _chain("a", "b")
+        dag.add_edge("a[s0,m0]", "b[s0,m0]")
+        assert dag.edge_count() == 1
+
+    def test_contains(self) -> None:
+        dag = _chain("a")
+        assert "a[s0,m0]" in dag
+        assert "b[s0,m0]" not in dag
+
+    def test_unknown_task_lookup(self) -> None:
+        with pytest.raises(WorkflowError):
+            DAG().task("nope")
+
+    def test_merge(self) -> None:
+        a = _chain("a", "b")
+        b = _chain("b", "c")
+        a.merge(b)
+        assert len(a) == 3
+        assert a.has_edge("a[s0,m0]", "b[s0,m0]")
+        assert a.has_edge("b[s0,m0]", "c[s0,m0]")
+
+
+class TestQueries:
+    def test_roots_and_leaves(self) -> None:
+        dag = _chain("a", "b", "c")
+        assert dag.roots() == ["a[s0,m0]"]
+        assert dag.leaves() == ["c[s0,m0]"]
+
+    def test_successors_predecessors(self) -> None:
+        dag = _chain("a", "b", "c")
+        assert dag.successors("b[s0,m0]") == ("c[s0,m0]",)
+        assert dag.predecessors("b[s0,m0]") == ("a[s0,m0]",)
+
+    def test_ancestors(self) -> None:
+        dag = _chain("a", "b", "c", "d")
+        assert dag.ancestors("d[s0,m0]") == {
+            "a[s0,m0]",
+            "b[s0,m0]",
+            "c[s0,m0]",
+        }
+        assert dag.ancestors("a[s0,m0]") == set()
+
+    def test_group_by(self) -> None:
+        dag = DAG()
+        dag.add_task(Task("x", TaskKind.PRE, 0, 0, 1.0))
+        dag.add_task(Task("y", TaskKind.POST, 0, 0, 1.0))
+        groups = dag.group_by(lambda t: t.kind)
+        assert {k.value for k in groups} == {"pre", "post"}
+
+
+class TestTopologicalOrder:
+    def test_respects_edges(self) -> None:
+        dag = _chain("a", "b", "c")
+        order = dag.topological_order()
+        assert order.index("a[s0,m0]") < order.index("b[s0,m0]")
+        assert order.index("b[s0,m0]") < order.index("c[s0,m0]")
+
+    def test_deterministic_for_independent_nodes(self) -> None:
+        dag = DAG()
+        for name in ("z", "m", "a"):
+            dag.add_task(_task(name))
+        # Insertion order, not alphabetical.
+        assert dag.topological_order() == ["z[s0,m0]", "m[s0,m0]", "a[s0,m0]"]
+
+    def test_cycle_detected(self) -> None:
+        dag = _chain("a", "b")
+        # Force a cycle through the internal maps the public API protects.
+        dag._succs["b[s0,m0]"].append("a[s0,m0]")
+        dag._preds["a[s0,m0]"].append("b[s0,m0]")
+        with pytest.raises(WorkflowError) as exc:
+            dag.topological_order()
+        assert "cycle" in str(exc.value)
+
+    def test_empty_dag(self) -> None:
+        assert DAG().topological_order() == []
+
+
+class TestCriticalPath:
+    def test_simple_chain(self) -> None:
+        dag = DAG()
+        dag.add_task(_task("a", 5.0))
+        dag.add_task(_task("b", 7.0))
+        dag.add_edge("a[s0,m0]", "b[s0,m0]")
+        length, path = dag.critical_path()
+        assert length == pytest.approx(12.0)
+        assert path == ["a[s0,m0]", "b[s0,m0]"]
+
+    def test_diamond_takes_heavier_branch(self) -> None:
+        dag = DAG()
+        for name, sec in (("s", 1.0), ("l", 10.0), ("r", 2.0), ("t", 1.0)):
+            dag.add_task(_task(name, sec))
+        dag.add_edge("s[s0,m0]", "l[s0,m0]")
+        dag.add_edge("s[s0,m0]", "r[s0,m0]")
+        dag.add_edge("l[s0,m0]", "t[s0,m0]")
+        dag.add_edge("r[s0,m0]", "t[s0,m0]")
+        length, path = dag.critical_path()
+        assert length == pytest.approx(12.0)
+        assert path == ["s[s0,m0]", "l[s0,m0]", "t[s0,m0]"]
+
+    def test_custom_duration_function(self) -> None:
+        dag = _chain("a", "b")
+        length, _ = dag.critical_path(lambda t: 100.0)
+        assert length == pytest.approx(200.0)
+
+    def test_negative_duration_rejected(self) -> None:
+        dag = _chain("a")
+        with pytest.raises(WorkflowError):
+            dag.critical_path(lambda t: -1.0)
+
+    def test_empty_dag(self) -> None:
+        assert DAG().critical_path() == (0.0, [])
+
+    def test_total_work(self) -> None:
+        dag = DAG()
+        dag.add_task(_task("a", 5.0))
+        dag.add_task(_task("b", 7.0))
+        assert dag.total_work() == pytest.approx(12.0)
+
+
+class TestSubgraph:
+    def test_induced_edges(self) -> None:
+        dag = _chain("a", "b", "c")
+        sub = dag.subgraph(["a[s0,m0]", "b[s0,m0]"])
+        assert len(sub) == 2
+        assert sub.has_edge("a[s0,m0]", "b[s0,m0]")
+        assert not sub.has_edge("b[s0,m0]", "c[s0,m0]")
+
+    def test_unknown_member_rejected(self) -> None:
+        dag = _chain("a")
+        with pytest.raises(WorkflowError):
+            dag.subgraph(["ghost"])
+
+    def test_validate_passes_on_builders(self) -> None:
+        dag = _chain("a", "b", "c")
+        dag.validate()  # should not raise

@@ -1,0 +1,54 @@
+"""Unit tests for the data-transfer model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import constants
+from repro.exceptions import ConfigurationError
+from repro.workflow.data import DataTransferModel
+
+
+class TestDataTransferModel:
+    def test_transfer_time_composition(self) -> None:
+        model = DataTransferModel(bandwidth_bytes_per_s=1e6, latency_s=0.5)
+        assert model.transfer_time(2_000_000) == pytest.approx(0.5 + 2.0)
+
+    def test_zero_bytes_costs_latency_only(self) -> None:
+        model = DataTransferModel(latency_s=0.01)
+        assert model.transfer_time(0) == pytest.approx(0.01)
+
+    def test_inter_month_volume(self) -> None:
+        model = DataTransferModel(bandwidth_bytes_per_s=1e9 / 8, latency_s=0.0)
+        expected = constants.INTER_MONTH_DATA_BYTES / (1e9 / 8)
+        assert model.inter_month_transfer_time() == pytest.approx(expected)
+        # 120 MB at 1 Gbit/s is about a second — negligible vs a 1260 s
+        # main task, which is why Section 4.1 folds it into T[G].
+        assert model.inter_month_transfer_time() < 2.0
+
+    def test_migration_penalty_grows_with_history(self) -> None:
+        model = DataTransferModel()
+        penalties = [model.migration_penalty(m) for m in (0, 12, 120)]
+        assert penalties[0] < penalties[1] < penalties[2]
+
+    def test_migration_at_zero_months_is_one_restart_volume(self) -> None:
+        model = DataTransferModel(bandwidth_bytes_per_s=1e6, latency_s=0.0)
+        assert model.migration_penalty(0) == pytest.approx(
+            constants.INTER_MONTH_DATA_BYTES / 1e6
+        )
+
+    def test_rejects_bad_bandwidth(self) -> None:
+        with pytest.raises(ConfigurationError):
+            DataTransferModel(bandwidth_bytes_per_s=0.0)
+
+    def test_rejects_negative_latency(self) -> None:
+        with pytest.raises(ConfigurationError):
+            DataTransferModel(latency_s=-1.0)
+
+    def test_rejects_negative_bytes(self) -> None:
+        with pytest.raises(ConfigurationError):
+            DataTransferModel().transfer_time(-1)
+
+    def test_rejects_negative_months(self) -> None:
+        with pytest.raises(ConfigurationError):
+            DataTransferModel().migration_penalty(-1)

@@ -1,0 +1,94 @@
+"""Unit tests for the Figure 1 -> Figure 2 fusion transformation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import WorkflowError
+from repro.workflow.dag import DAG
+from repro.workflow.fusion import fuse_ocean_atmosphere
+from repro.workflow.ocean_atmosphere import (
+    EnsembleSpec,
+    ensemble_dag,
+    fused_ensemble_dag,
+    fused_scenario_dag,
+    scenario_dag,
+)
+from repro.workflow.task import Task, TaskKind, task_id
+
+
+def _same_dag(a: DAG, b: DAG) -> bool:
+    if set(a.task_ids()) != set(b.task_ids()):
+        return False
+    for tid in a.task_ids():
+        if a.task(tid) != b.task(tid):
+            return False
+        if set(a.successors(tid)) != set(b.successors(tid)):
+            return False
+    return True
+
+
+class TestFusionRoundTrip:
+    @pytest.mark.parametrize("months", [1, 2, 5, 12])
+    def test_matches_direct_builder(self, months: int) -> None:
+        fused = fuse_ocean_atmosphere(scenario_dag(months))
+        direct = fused_scenario_dag(months)
+        assert _same_dag(fused, direct)
+
+    def test_ensemble_round_trip(self) -> None:
+        spec = EnsembleSpec(3, 4)
+        fused = fuse_ocean_atmosphere(ensemble_dag(spec))
+        direct = fused_ensemble_dag(spec)
+        assert _same_dag(fused, direct)
+
+    def test_durations_are_conserved(self) -> None:
+        fine = scenario_dag(3)
+        fused = fuse_ocean_atmosphere(fine)
+        assert fused.total_work() == pytest.approx(fine.total_work())
+
+    def test_fused_mains_are_moldable(self) -> None:
+        fused = fuse_ocean_atmosphere(scenario_dag(2))
+        for t in fused.tasks():
+            if t.kind is TaskKind.MAIN:
+                assert t.moldable
+
+
+class TestFusionValidation:
+    def test_rejects_month_without_main(self) -> None:
+        dag = DAG()
+        dag.add_task(Task("cof", TaskKind.POST, 0, 0, 60.0))
+        with pytest.raises(WorkflowError) as exc:
+            fuse_ocean_atmosphere(dag)
+        assert "exactly one MAIN" in str(exc.value)
+
+    def test_rejects_two_mains_in_one_month(self) -> None:
+        dag = DAG()
+        dag.add_task(Task("pcr", TaskKind.MAIN, 0, 0, 100.0, moldable=True))
+        dag.add_task(Task("pcr2", TaskKind.MAIN, 0, 0, 100.0, moldable=True))
+        with pytest.raises(WorkflowError):
+            fuse_ocean_atmosphere(dag)
+
+    def test_rejects_cross_scenario_edge(self) -> None:
+        dag = DAG()
+        dag.add_task(Task("pcr", TaskKind.MAIN, 0, 0, 100.0, moldable=True))
+        dag.add_task(Task("pcr", TaskKind.MAIN, 1, 0, 100.0, moldable=True))
+        dag.add_edge(task_id("pcr", 0, 0), task_id("pcr", 1, 0))
+        with pytest.raises(WorkflowError) as exc:
+            fuse_ocean_atmosphere(dag)
+        assert "cross-scenario" in str(exc.value)
+
+    def test_rejects_non_contiguous_months(self) -> None:
+        dag = DAG()
+        dag.add_task(Task("pcr", TaskKind.MAIN, 0, 0, 100.0, moldable=True))
+        dag.add_task(Task("pcr", TaskKind.MAIN, 0, 2, 100.0, moldable=True))
+        with pytest.raises(WorkflowError) as exc:
+            fuse_ocean_atmosphere(dag)
+        assert "contiguous" in str(exc.value)
+
+    def test_month_without_posts_is_legal(self) -> None:
+        # A main-only month fuses to a single MAIN node.
+        dag = DAG()
+        dag.add_task(Task("pcr", TaskKind.MAIN, 0, 0, 100.0, moldable=True))
+        fused = fuse_ocean_atmosphere(dag)
+        assert len(fused) == 1
+        assert next(iter(fused.tasks())).kind is TaskKind.MAIN

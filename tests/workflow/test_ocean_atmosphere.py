@@ -1,0 +1,167 @@
+"""Unit tests for the Ocean-Atmosphere DAG builders (Figures 1 and 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import constants
+from repro.exceptions import WorkflowError
+from repro.workflow.ocean_atmosphere import (
+    EnsembleSpec,
+    ensemble_dag,
+    fused_ensemble_dag,
+    fused_scenario_dag,
+    monthly_dag,
+    scenario_dag,
+)
+from repro.workflow.task import TaskKind, task_id
+
+
+class TestEnsembleSpec:
+    def test_total_months(self) -> None:
+        assert EnsembleSpec(10, 12).total_months == 120
+
+    def test_paper_default(self) -> None:
+        spec = EnsembleSpec.paper_default()
+        assert spec.scenarios == 10
+        assert spec.months == 1800  # 150 years x 12
+
+    def test_rejects_bad_dimensions(self) -> None:
+        with pytest.raises(WorkflowError):
+            EnsembleSpec(0, 12)
+        with pytest.raises(WorkflowError):
+            EnsembleSpec(10, 0)
+
+
+class TestMonthlyDag:
+    def test_six_tasks(self) -> None:
+        dag = monthly_dag()
+        assert len(dag) == 6
+        names = {t.name for t in dag.tasks()}
+        assert names == {"caif", "mp", "pcr", "cof", "emi", "cd"}
+
+    def test_figure1_durations(self) -> None:
+        dag = monthly_dag()
+        expected = {
+            "caif": constants.CAIF_SECONDS,
+            "mp": constants.MP_SECONDS,
+            "pcr": constants.PCR_SECONDS,
+            "cof": constants.COF_SECONDS,
+            "emi": constants.EMI_SECONDS,
+            "cd": constants.CD_SECONDS,
+        }
+        for t in dag.tasks():
+            assert t.nominal_seconds == expected[t.name]
+
+    def test_pcr_is_the_only_moldable_task(self) -> None:
+        dag = monthly_dag()
+        moldable = [t.name for t in dag.tasks() if t.moldable]
+        assert moldable == ["pcr"]
+
+    def test_in_month_dependencies(self) -> None:
+        dag = monthly_dag()
+        pcr = task_id("pcr", 0, 0)
+        assert set(dag.predecessors(pcr)) == {
+            task_id("caif", 0, 0),
+            task_id("mp", 0, 0),
+        }
+        # Post chain: pcr -> cof -> emi -> cd.
+        assert dag.successors(pcr) == (task_id("cof", 0, 0),)
+        assert dag.successors(task_id("cof", 0, 0)) == (task_id("emi", 0, 0),)
+        assert dag.successors(task_id("emi", 0, 0)) == (task_id("cd", 0, 0),)
+
+    def test_roots_are_pre_tasks(self) -> None:
+        dag = monthly_dag()
+        roots = {dag.task(t).name for t in dag.roots()}
+        assert roots == {"caif", "mp"}
+
+
+class TestScenarioDag:
+    def test_task_count_scales(self) -> None:
+        assert len(scenario_dag(5)) == 30
+
+    def test_inter_month_restart_edges(self) -> None:
+        dag = scenario_dag(3)
+        for month in (1, 2):
+            assert dag.has_edge(
+                task_id("pcr", 0, month - 1), task_id("caif", 0, month)
+            )
+            assert dag.has_edge(
+                task_id("pcr", 0, month - 1), task_id("mp", 0, month)
+            )
+
+    def test_posts_never_feed_the_next_month(self) -> None:
+        dag = scenario_dag(3)
+        for month in range(3):
+            for name in ("cof", "emi", "cd"):
+                for succ in dag.successors(task_id(name, 0, month)):
+                    assert dag.task(succ).month == month
+
+    def test_rejects_zero_months(self) -> None:
+        with pytest.raises(WorkflowError):
+            scenario_dag(0)
+
+    def test_critical_path_is_pcr_chain(self) -> None:
+        dag = scenario_dag(4)
+        length, path = dag.critical_path()
+        pcr_months = [p for p in path if p.startswith("pcr")]
+        assert len(pcr_months) == 4
+        # month 0's caif (1 s) + 4 pcr + one 1-s pre task between each
+        # consecutive pcr pair + the last month's 180-s post chain.
+        assert length == pytest.approx(1.0 + 4 * 1260.0 + 3 * 1.0 + 180.0)
+
+
+class TestEnsembleDag:
+    def test_scenarios_are_disconnected(self) -> None:
+        dag = ensemble_dag(EnsembleSpec(3, 2))
+        assert len(dag) == 3 * 2 * 6
+        for tid in dag.task_ids():
+            t = dag.task(tid)
+            for succ in dag.successors(tid):
+                assert dag.task(succ).scenario == t.scenario
+
+    def test_root_count(self) -> None:
+        dag = ensemble_dag(EnsembleSpec(3, 2))
+        # Each scenario's month 0 has two roots: caif and mp.
+        assert len(dag.roots()) == 6
+
+
+class TestFusedDags:
+    def test_two_tasks_per_month(self) -> None:
+        dag = fused_scenario_dag(4)
+        assert len(dag) == 8
+        kinds = [t.kind for t in dag.tasks()]
+        assert kinds.count(TaskKind.MAIN) == 4
+        assert kinds.count(TaskKind.POST) == 4
+
+    def test_fused_durations(self) -> None:
+        dag = fused_scenario_dag(1)
+        main = dag.task(task_id("main", 0, 0))
+        post = dag.task(task_id("post", 0, 0))
+        assert main.nominal_seconds == pytest.approx(2.0 + 1260.0)
+        assert post.nominal_seconds == pytest.approx(180.0)
+        assert main.moldable and not post.moldable
+
+    def test_figure2_shape(self) -> None:
+        dag = fused_scenario_dag(3)
+        for month in range(3):
+            assert dag.has_edge(
+                task_id("main", 0, month), task_id("post", 0, month)
+            )
+        for month in (1, 2):
+            assert dag.has_edge(
+                task_id("main", 0, month - 1), task_id("main", 0, month)
+            )
+        # Posts are leaves.
+        for month in range(3):
+            assert dag.successors(task_id("post", 0, month)) == ()
+
+    def test_fused_ensemble_counts(self) -> None:
+        dag = fused_ensemble_dag(EnsembleSpec(5, 3))
+        assert len(dag) == 5 * 3 * 2
+        # Edges per scenario: (months-1) chain + months post = 2*months-1.
+        assert dag.edge_count() == 5 * (2 * 3 - 1)
+
+    def test_rejects_zero_months(self) -> None:
+        with pytest.raises(WorkflowError):
+            fused_scenario_dag(0)

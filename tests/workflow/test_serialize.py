@@ -1,0 +1,106 @@
+"""Unit tests for DAG JSON serialization."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import WorkflowError
+from repro.workflow.ocean_atmosphere import (
+    EnsembleSpec,
+    ensemble_dag,
+    fused_ensemble_dag,
+    monthly_dag,
+)
+from repro.workflow.serialize import (
+    dag_from_dict,
+    dag_to_dict,
+    dumps_dag,
+    loads_dag,
+)
+
+
+def _same_dag(a, b) -> bool:
+    if set(a.task_ids()) != set(b.task_ids()):
+        return False
+    for tid in a.task_ids():
+        if a.task(tid) != b.task(tid):
+            return False
+        if set(a.successors(tid)) != set(b.successors(tid)):
+            return False
+    return True
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "builder",
+        [
+            lambda: monthly_dag(),
+            lambda: ensemble_dag(EnsembleSpec(2, 3)),
+            lambda: fused_ensemble_dag(EnsembleSpec(3, 4)),
+        ],
+    )
+    def test_round_trip_identity(self, builder) -> None:
+        original = builder()
+        assert _same_dag(original, loads_dag(dumps_dag(original)))
+
+    def test_dict_round_trip(self) -> None:
+        dag = fused_ensemble_dag(EnsembleSpec(2, 2))
+        assert _same_dag(dag, dag_from_dict(dag_to_dict(dag)))
+
+    def test_payload_shape(self) -> None:
+        payload = dag_to_dict(monthly_dag())
+        assert payload["format"] == "repro-dag/1"
+        assert len(payload["tasks"]) == 6
+        assert len(payload["edges"]) == 5
+        # JSON-clean: serializable without custom encoders.
+        json.dumps(payload)
+
+    def test_moldability_preserved(self) -> None:
+        restored = loads_dag(dumps_dag(monthly_dag()))
+        pcr = restored.task("pcr[s0,m0]")
+        assert pcr.moldable
+        assert not restored.task("cof[s0,m0]").moldable
+
+
+class TestMalformedInput:
+    def test_wrong_format_tag(self) -> None:
+        with pytest.raises(WorkflowError):
+            dag_from_dict({"format": "other/9", "tasks": [], "edges": []})
+
+    def test_not_a_dict(self) -> None:
+        with pytest.raises(WorkflowError):
+            dag_from_dict([1, 2, 3])  # type: ignore[arg-type]
+
+    def test_invalid_json(self) -> None:
+        with pytest.raises(WorkflowError):
+            loads_dag("{not json")
+
+    def test_malformed_task(self) -> None:
+        with pytest.raises(WorkflowError):
+            dag_from_dict(
+                {"format": "repro-dag/1", "tasks": [{"name": "x"}], "edges": []}
+            )
+
+    def test_unknown_kind(self) -> None:
+        task = {
+            "name": "x", "kind": "setup", "scenario": 0, "month": 0,
+            "nominal_seconds": 1.0,
+        }
+        with pytest.raises(WorkflowError):
+            dag_from_dict(
+                {"format": "repro-dag/1", "tasks": [task], "edges": []}
+            )
+
+    def test_malformed_edge(self) -> None:
+        payload = dag_to_dict(monthly_dag())
+        payload["edges"].append(["only-one-endpoint"])
+        with pytest.raises(WorkflowError):
+            dag_from_dict(payload)
+
+    def test_edge_to_unknown_task(self) -> None:
+        payload = dag_to_dict(monthly_dag())
+        payload["edges"].append(["pcr[s0,m0]", "ghost"])
+        with pytest.raises(WorkflowError):
+            dag_from_dict(payload)

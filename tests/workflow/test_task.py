@@ -1,0 +1,63 @@
+"""Unit tests for Task and task_id."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import WorkflowError
+from repro.workflow.task import Task, TaskKind, task_id
+
+
+class TestTaskId:
+    def test_format(self) -> None:
+        assert task_id("pcr", 3, 17) == "pcr[s3,m17]"
+
+    def test_task_id_property_matches_helper(self) -> None:
+        t = Task("pcr", TaskKind.MAIN, 2, 5, 1260.0, moldable=True)
+        assert t.id == task_id("pcr", 2, 5)
+
+
+class TestTask:
+    def test_frozen(self) -> None:
+        t = Task("cof", TaskKind.POST, 0, 0, 60.0)
+        with pytest.raises(AttributeError):
+            t.month = 3  # type: ignore[misc]
+
+    def test_rejects_empty_name(self) -> None:
+        with pytest.raises(WorkflowError):
+            Task("", TaskKind.PRE, 0, 0, 1.0)
+
+    def test_rejects_negative_indices(self) -> None:
+        with pytest.raises(WorkflowError):
+            Task("mp", TaskKind.PRE, -1, 0, 1.0)
+        with pytest.raises(WorkflowError):
+            Task("mp", TaskKind.PRE, 0, -1, 1.0)
+
+    def test_rejects_negative_duration(self) -> None:
+        with pytest.raises(WorkflowError):
+            Task("mp", TaskKind.PRE, 0, 0, -1.0)
+
+    def test_only_main_may_be_moldable(self) -> None:
+        with pytest.raises(WorkflowError):
+            Task("cof", TaskKind.POST, 0, 0, 60.0, moldable=True)
+        # MAIN moldable is fine.
+        Task("pcr", TaskKind.MAIN, 0, 0, 1260.0, moldable=True)
+
+    def test_zero_duration_allowed(self) -> None:
+        # Zero-cost bookkeeping tasks are legal DAG nodes.
+        t = Task("noop", TaskKind.PRE, 0, 0, 0.0)
+        assert t.nominal_seconds == 0.0
+
+    def test_label_is_one_based(self) -> None:
+        t = Task("pcr", TaskKind.MAIN, 0, 0, 1260.0, moldable=True)
+        assert t.label() == "pcr1(s1)"
+
+    def test_equality_is_structural(self) -> None:
+        a = Task("cd", TaskKind.POST, 1, 2, 60.0)
+        b = Task("cd", TaskKind.POST, 1, 2, 60.0)
+        assert a == b
+
+    def test_kind_values(self) -> None:
+        assert TaskKind.PRE.value == "pre"
+        assert TaskKind.MAIN.value == "main"
+        assert TaskKind.POST.value == "post"
