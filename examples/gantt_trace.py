@@ -9,6 +9,9 @@ Four configurations chosen to show the structures the paper draws:
    (Rleft) absorb the backlog.
 4. The knapsack grouping on the same machine, for contrast.
 
+The last configuration is also dumped as a Chrome Trace Event JSON file
+(open it at https://ui.perfetto.dev) next to the ASCII chart.
+
 Run::
 
     python examples/gantt_trace.py
@@ -16,12 +19,16 @@ Run::
 
 from __future__ import annotations
 
+import tempfile
+from pathlib import Path
+
 from repro import EnsembleSpec, Grouping, benchmark_cluster, simulate_on_cluster
 from repro.core.knapsack_grouping import knapsack_grouping
+from repro.obs.tracing import Tracer
 from repro.simulation.trace import render_gantt, trace_summary
 
 
-def show(title: str, cluster, grouping: Grouping, spec: EnsembleSpec) -> None:
+def show(title: str, cluster, grouping: Grouping, spec: EnsembleSpec):
     """Simulate one configuration and print its chart."""
     print("=" * 100)
     print(title)
@@ -31,6 +38,30 @@ def show(title: str, cluster, grouping: Grouping, spec: EnsembleSpec) -> None:
     print()
     print(render_gantt(result, width=96, max_rows=24))
     print()
+    return result
+
+
+def dump_chrome_trace(result) -> Path:
+    """Write one schedule as Chrome Trace Event JSON (for Perfetto).
+
+    Same schedule as the ASCII chart, one span per task: lane = first
+    processor of the task's group, 1 simulated second = 1 trace us.
+    """
+    tracer = Tracer()
+    for record in result.records:
+        tracer.add_complete_span(
+            f"{record.kind}(s{record.scenario},m{record.month})",
+            ts=record.start,
+            dur=record.duration,
+            tid=record.procs_start,
+            kind=record.kind,
+            group=record.group,
+        )
+    with tempfile.NamedTemporaryFile(
+        mode="w", suffix=".json", prefix="gantt_trace_", delete=False
+    ) as fh:
+        fh.write(tracer.to_chrome_json())
+        return Path(fh.name)
 
 
 def main() -> None:
@@ -67,12 +98,14 @@ def main() -> None:
     # 4. What the knapsack does with the same 22 processors.
     spec = EnsembleSpec(scenarios=5, months=5)
     grouping = knapsack_grouping(cluster, spec)
-    show(
+    result = show(
         f"Knapsack grouping on the same machine: {grouping.describe()}",
         cluster,
         grouping,
         spec,
     )
+    path = dump_chrome_trace(result)
+    print(f"chrome trace written to {path} (open in https://ui.perfetto.dev)")
 
 
 if __name__ == "__main__":

@@ -22,6 +22,7 @@ paper-versus-measured record of every figure.
 """
 
 from repro._version import __version__
+from repro import obs
 from repro.constants import GROUP_SIZES, POST_SECONDS, PCR_SECONDS
 from repro.exceptions import (
     ReproError,
@@ -88,6 +89,8 @@ from repro.simulation import (
 
 __all__ = [
     "__version__",
+    # observability subsystem
+    "obs",
     # constants
     "GROUP_SIZES",
     "POST_SECONDS",

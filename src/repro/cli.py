@@ -12,9 +12,16 @@ Subcommands::
     repro-oa recover   --fail chti --at-hours 5 ...
     repro-oa report    [--full] [--output report.md]
     repro-oa info                     # benchmark cluster database
+    repro-oa obs summary m.json       # digest a --metrics-out dump
+    repro-oa obs trace t.json         # digest a --trace-out file
 
 Figure subcommands accept ``--csv PATH`` to dump the plotted series for
-external plotting tools.
+external plotting tools.  ``simulate``, ``campaign``, ``recover``, and
+the figure sweeps accept ``--metrics-out PATH`` / ``--trace-out PATH``
+to collect the run's metrics registry and span trace
+(:mod:`repro.obs`); ``--trace-out`` writes Chrome Trace Event JSON, or
+JSONL when the path ends in ``.jsonl``.  ``--log LEVEL`` (or the
+``REPRO_LOG`` environment variable) turns on JSON structured logging.
 """
 
 from __future__ import annotations
@@ -38,6 +45,13 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument("--version", action="version", version=__version__)
+    parser.add_argument(
+        "--log", metavar="LEVEL", default=None,
+        help=(
+            "emit structured JSON logs at LEVEL (debug/info/warning/error); "
+            "defaults to the REPRO_LOG environment variable"
+        ),
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("fig1", help="application model check (Figures 1-2)")
@@ -83,6 +97,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-json", metavar="PATH", default=None,
         help="export the schedule as Chrome/Perfetto trace-event JSON",
     )
+    _add_obs_args(ps)
 
     pc = sub.add_parser("campaign", help="full middleware campaign on a grid")
     pc.add_argument("--clusters", type=int, default=3)
@@ -95,6 +110,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["basic", "redistribute", "allpost_end", "knapsack"],
     )
     pc.add_argument("--show-messages", action="store_true")
+    _add_obs_args(pc)
 
     pr = sub.add_parser("recover", help="campaign with a mid-flight cluster failure")
     pr.add_argument("--clusters", type=int, default=3)
@@ -111,6 +127,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="knapsack",
         choices=["basic", "redistribute", "allpost_end", "knapsack"],
     )
+    _add_obs_args(pr)
 
     pg = sub.add_parser(
         "generic",
@@ -141,12 +158,43 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     sub.add_parser("info", help="show the benchmark cluster database")
+
+    po = sub.add_parser("obs", help="observability utilities")
+    obs_sub = po.add_subparsers(dest="obs_command", required=True)
+    pos = obs_sub.add_parser(
+        "summary", help="summarize a --metrics-out JSON dump"
+    )
+    pos.add_argument("path", help="metrics dump written by --metrics-out")
+    pos.add_argument(
+        "--prometheus", action="store_true",
+        help="render Prometheus text exposition instead of tables",
+    )
+    pot = obs_sub.add_parser(
+        "trace", help="summarize a --trace-out trace file (JSON or JSONL)"
+    )
+    pot.add_argument("path", help="trace file written by --trace-out")
     return parser
+
+
+def _add_obs_args(parser: argparse.ArgumentParser) -> None:
+    """The shared observability output flags."""
+    parser.add_argument(
+        "--metrics-out", metavar="PATH", default=None,
+        help="write the run's metrics registry as JSON",
+    )
+    parser.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help=(
+            "write the run's span trace: Chrome trace-event JSON, or JSONL "
+            "when PATH ends in .jsonl"
+        ),
+    )
 
 
 def _add_sweep_args(
     parser: argparse.ArgumentParser, *, r_max: int, step: int
 ) -> None:
+    _add_obs_args(parser)
     parser.add_argument("--scenarios", type=int, default=10)
     parser.add_argument("--months", type=int, default=60)
     parser.add_argument("--r-min", type=int, default=11)
@@ -186,6 +234,64 @@ def _write_svg(path: str, xs, series, *, title, x_label, y_label) -> None:
         handle.write(svg + "\n")
 
 
+def _wants_obs(args: argparse.Namespace) -> bool:
+    """Whether the parsed command asked for any observability output."""
+    return bool(
+        getattr(args, "metrics_out", None) or getattr(args, "trace_out", None)
+    )
+
+
+def _obs_scope(args: argparse.Namespace):
+    """An enabled observability session, or a no-op context manager."""
+    from contextlib import nullcontext
+
+    from repro import obs
+
+    return obs.session() if _wants_obs(args) else nullcontext()
+
+
+def _obs_outputs(args: argparse.Namespace, records=()) -> list[str]:
+    """Write the requested metrics/trace files; return status lines.
+
+    ``records`` are simulated :class:`~repro.simulation.events.TaskRecord`
+    entries to project into the trace — one span per scheduled task,
+    on the simulated-schedule timeline (1 s -> 1 us, tid = first
+    processor of the task's range).
+    """
+    from repro import obs
+
+    parts: list[str] = []
+    if getattr(args, "trace_out", None):
+        tracer = obs.tracer()
+        for r in records:
+            tracer.add_complete_span(
+                f"{r.kind}(s{r.scenario},m{r.month})",
+                ts=r.start,
+                dur=r.duration,
+                tid=r.procs_start,
+                kind=r.kind,
+                scenario=r.scenario,
+                month=r.month,
+                group=r.group,
+            )
+        text = (
+            tracer.to_jsonl()
+            if args.trace_out.endswith(".jsonl")
+            else tracer.to_chrome_json()
+        )
+        with open(args.trace_out, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        parts.append(
+            f"span trace written to {args.trace_out} "
+            f"({len(tracer.spans)} spans; open JSON in Perfetto)"
+        )
+    if getattr(args, "metrics_out", None):
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            handle.write(obs.registry().to_json() + "\n")
+        parts.append(f"metrics written to {args.metrics_out}")
+    return parts
+
+
 def _cmd_fig3to6(_args: argparse.Namespace) -> str:
     from repro.experiments import fig3to6
 
@@ -198,15 +304,36 @@ def _cmd_fig9(_args: argparse.Namespace) -> str:
     return fig9_protocol.render(fig9_protocol.run())
 
 
+def _run_figure(args: argparse.Namespace, name: str, runner):
+    """Run one figure driver, optionally inside an observability session."""
+    import time
+
+    from repro import obs
+
+    with _obs_scope(args):
+        with obs.span(f"figure.{name}"):
+            started = time.perf_counter()
+            result = runner()
+            obs.observe(
+                "figure.seconds", time.perf_counter() - started, figure=name
+            )
+        extra = _obs_outputs(args)
+    return result, extra
+
+
 def _cmd_fig7(args: argparse.Namespace) -> str:
     from repro.experiments import fig7
 
-    result = fig7.run(
-        scenarios=args.scenarios,
-        months=args.months,
-        r_min=args.r_min,
-        r_max=args.r_max,
-        step=args.step,
+    result, extra = _run_figure(
+        args,
+        "fig7",
+        lambda: fig7.run(
+            scenarios=args.scenarios,
+            months=args.months,
+            r_min=args.r_min,
+            r_max=args.r_max,
+            step=args.step,
+        ),
     )
     if args.csv:
         _write_csv(
@@ -224,19 +351,23 @@ def _cmd_fig7(args: argparse.Namespace) -> str:
             x_label="resources (processors)",
             y_label="best grouping",
         )
-    return fig7.render(result, plot=not args.no_plot)
+    return "\n\n".join([fig7.render(result, plot=not args.no_plot)] + extra)
 
 
 def _cmd_fig8(args: argparse.Namespace) -> str:
     from repro.experiments import fig8
 
-    result = fig8.run(
-        scenarios=args.scenarios,
-        months=args.months,
-        r_min=args.r_min,
-        r_max=args.r_max,
-        step=args.step,
-        workers=args.workers,
+    result, extra = _run_figure(
+        args,
+        "fig8",
+        lambda: fig8.run(
+            scenarios=args.scenarios,
+            months=args.months,
+            r_min=args.r_min,
+            r_max=args.r_max,
+            step=args.step,
+            workers=args.workers,
+        ),
     )
     if args.csv:
         series: dict[str, list[float]] = {}
@@ -255,19 +386,23 @@ def _cmd_fig8(args: argparse.Namespace) -> str:
             x_label="resources (processors)",
             y_label="gain (%)",
         )
-    return fig8.render(result, plot=not args.no_plot)
+    return "\n\n".join([fig8.render(result, plot=not args.no_plot)] + extra)
 
 
 def _cmd_fig10(args: argparse.Namespace) -> str:
     from repro.experiments import fig10
 
-    result = fig10.run(
-        scenarios=args.scenarios,
-        months=args.months,
-        cluster_counts=tuple(args.clusters),
-        r_min=args.r_min,
-        r_max=args.r_max,
-        step=args.step,
+    result, extra = _run_figure(
+        args,
+        "fig10",
+        lambda: fig10.run(
+            scenarios=args.scenarios,
+            months=args.months,
+            cluster_counts=tuple(args.clusters),
+            r_min=args.r_min,
+            r_max=args.r_max,
+            step=args.step,
+        ),
     )
     if args.csv:
         _write_csv(
@@ -285,7 +420,7 @@ def _cmd_fig10(args: argparse.Namespace) -> str:
             x_label="clusters + resources/100",
             y_label="gain (%)",
         )
-    return fig10.render(result, plot=not args.no_plot)
+    return "\n\n".join([fig10.render(result, plot=not args.no_plot)] + extra)
 
 
 def _cmd_ablations(_args: argparse.Namespace) -> str:
@@ -307,19 +442,30 @@ def _cmd_simulate(args: argparse.Namespace) -> str:
     from repro.simulation.trace import render_gantt, trace_summary
     from repro.workflow.ocean_atmosphere import EnsembleSpec
 
-    cluster = benchmark_cluster(args.cluster, args.resources)
-    spec = EnsembleSpec(args.scenarios, args.months)
-    grouping = plan_grouping(cluster, spec, args.heuristic)
-    result = simulate_on_cluster(cluster, grouping, spec, record_trace=True)
-    parts = [trace_summary(result)]
-    if args.gantt:
-        parts.append(render_gantt(result))
-    if args.trace_json:
-        from repro.simulation.export import to_chrome_trace
+    from repro import obs
 
-        with open(args.trace_json, "w", encoding="utf-8") as handle:
-            handle.write(to_chrome_trace(result) + "\n")
-        parts.append(f"trace written to {args.trace_json} (open in Perfetto)")
+    with _obs_scope(args):
+        with obs.span(
+            "simulate", cluster=args.cluster, resources=args.resources
+        ):
+            cluster = benchmark_cluster(args.cluster, args.resources)
+            spec = EnsembleSpec(args.scenarios, args.months)
+            grouping = plan_grouping(cluster, spec, args.heuristic)
+            result = simulate_on_cluster(
+                cluster, grouping, spec, record_trace=True
+            )
+        parts = [trace_summary(result)]
+        if args.gantt:
+            parts.append(render_gantt(result))
+        if args.trace_json:
+            from repro.simulation.export import to_chrome_trace
+
+            with open(args.trace_json, "w", encoding="utf-8") as handle:
+                handle.write(to_chrome_trace(result) + "\n")
+            parts.append(
+                f"trace written to {args.trace_json} (open in Perfetto)"
+            )
+        parts.extend(_obs_outputs(args, result.records))
     return "\n\n".join(parts)
 
 
@@ -327,16 +473,21 @@ def _cmd_campaign(args: argparse.Namespace) -> str:
     from repro.middleware.deployment import run_campaign
     from repro.platform.benchmarks import benchmark_grid
 
-    grid = benchmark_grid(args.clusters, args.resources)
-    result = run_campaign(grid, args.scenarios, args.months, args.heuristic)
-    parts = [result.describe()]
-    if args.show_messages:
-        # Message log is on the network; re-run with an inspectable deployment.
-        from repro.middleware.deployment import deploy
+    with _obs_scope(args):
+        grid = benchmark_grid(args.clusters, args.resources)
+        result = run_campaign(
+            grid, args.scenarios, args.months, args.heuristic
+        )
+        parts = [result.describe()]
+        if args.show_messages:
+            # Message log is on the network; re-run with an inspectable
+            # deployment.
+            from repro.middleware.deployment import deploy
 
-        client, agent, _seds = deploy(grid)
-        client.run_campaign(args.scenarios, args.months, args.heuristic)
-        parts.append(agent.network.describe())
+            client, agent, _seds = deploy(grid)
+            client.run_campaign(args.scenarios, args.months, args.heuristic)
+            parts.append(agent.network.describe())
+        parts.extend(_obs_outputs(args))
     return "\n\n".join(parts)
 
 
@@ -347,15 +498,21 @@ def _cmd_recover(args: argparse.Namespace) -> str:
     )
     from repro.platform.benchmarks import benchmark_grid
 
-    grid = benchmark_grid(args.clusters, args.resources)
-    plan = run_campaign_with_failure(
-        grid,
-        args.scenarios,
-        args.months,
-        ClusterFailure(args.fail, args.at_hours * 3600.0),
-        heuristic=args.heuristic,
-    )
-    return plan.describe()
+    from repro import obs
+
+    with _obs_scope(args):
+        with obs.span("recover", fail=args.fail, at_hours=args.at_hours):
+            grid = benchmark_grid(args.clusters, args.resources)
+            plan = run_campaign_with_failure(
+                grid,
+                args.scenarios,
+                args.months,
+                ClusterFailure(args.fail, args.at_hours * 3600.0),
+                heuristic=args.heuristic,
+            )
+        parts = [plan.describe()]
+        parts.extend(_obs_outputs(args))
+    return "\n\n".join(parts)
 
 
 def _parse_table(text: str) -> dict[int, float]:
@@ -425,6 +582,30 @@ def _cmd_report(args: argparse.Namespace) -> str:
     return report
 
 
+def _cmd_obs(args: argparse.Namespace) -> str:
+    import json
+
+    from repro import obs
+    from repro.exceptions import ConfigurationError
+
+    try:
+        with open(args.path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as exc:
+        raise ConfigurationError(f"cannot read {args.path!r}: {exc}") from None
+    if args.obs_command == "summary":
+        try:
+            dump = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(
+                f"{args.path!r} is not a JSON metrics dump: {exc}"
+            ) from None
+        if args.prometheus:
+            return obs.prometheus_from_dump(dump).rstrip("\n")
+        return obs.render_metrics_summary(dump)
+    return obs.render_trace_summary(obs.load_trace_events(text))
+
+
 def _cmd_info(_args: argparse.Namespace) -> str:
     from repro.analysis.tables import format_table
     from repro.platform.benchmarks import (
@@ -462,12 +643,16 @@ _COMMANDS = {
     "generic": _cmd_generic,
     "report": _cmd_report,
     "info": _cmd_info,
+    "obs": _cmd_obs,
 }
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    from repro.obs import configure_logging
+
+    configure_logging(args.log)
     print(_COMMANDS[args.command](args))
     return 0
 

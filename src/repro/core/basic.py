@@ -10,6 +10,9 @@ Figure 7 reproducible.
 
 from __future__ import annotations
 
+import logging
+
+from repro import obs
 from repro.core.grouping import Grouping
 from repro.core.makespan import analytic_makespan
 from repro.exceptions import SchedulingError
@@ -17,6 +20,8 @@ from repro.platform.cluster import ClusterSpec
 from repro.workflow.ocean_atmosphere import EnsembleSpec
 
 __all__ = ["best_uniform_group", "basic_grouping"]
+
+_log = obs.get_logger(__name__)
 
 
 def best_uniform_group(cluster: ClusterSpec, spec: EnsembleSpec) -> int:
@@ -28,16 +33,52 @@ def best_uniform_group(cluster: ClusterSpec, spec: EnsembleSpec) -> int:
     tp = cluster.post_time()
     best_g: int | None = None
     best_ms = float("inf")
+    collect = obs.enabled()  # hoisted: the candidate loop stays branch-cheap
     for g in cluster.group_sizes:
         if g > cluster.resources:
+            if collect:
+                obs.inc(
+                    "heuristic.rejections",
+                    heuristic="basic",
+                    cluster=cluster.name,
+                    reason="group_exceeds_resources",
+                )
+                obs.log_event(
+                    _log, "heuristic.candidate_rejected",
+                    heuristic="basic", cluster=cluster.name, group=g,
+                    reason="group_exceeds_resources",
+                )
             continue
         ms = analytic_makespan(
             cluster.resources, g, spec.scenarios, spec.months,
             cluster.main_time(g), tp,
         )
+        if collect:
+            obs.inc(
+                "heuristic.candidate_evaluations",
+                heuristic="basic",
+                cluster=cluster.name,
+            )
+            obs.log_event(
+                _log, "heuristic.candidate_evaluated", level=logging.DEBUG,
+                heuristic="basic", cluster=cluster.name, group=g,
+                analytic_makespan_s=ms,
+            )
         if ms < best_ms:
             best_ms = ms
             best_g = g
+    if collect and best_g is not None:
+        obs.set_gauge(
+            "heuristic.chosen_group",
+            best_g,
+            heuristic="basic",
+            cluster=cluster.name,
+        )
+        obs.log_event(
+            _log, "heuristic.group_selected",
+            heuristic="basic", cluster=cluster.name, group=best_g,
+            analytic_makespan_s=best_ms,
+        )
     if best_g is None:
         raise SchedulingError(
             f"cluster {cluster.name!r} ({cluster.resources} processors) "

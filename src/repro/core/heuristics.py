@@ -8,8 +8,10 @@ experiments, the performance-vector service, and the CLI.
 from __future__ import annotations
 
 import enum
+import time
 from typing import Callable
 
+from repro import obs
 from repro.core.allpost_end import allpost_end_grouping
 from repro.core.basic import basic_grouping
 from repro.core.grouping import Grouping
@@ -67,10 +69,31 @@ def get_heuristic(name: HeuristicName | str) -> GroupingHeuristic:
     return HEURISTICS[key]
 
 
+_log = obs.get_logger(__name__)
+
+
 def plan_grouping(
     cluster: ClusterSpec,
     spec: EnsembleSpec,
     heuristic: HeuristicName | str = HeuristicName.BASIC,
 ) -> Grouping:
     """Plan a processor partition with the named heuristic."""
-    return get_heuristic(heuristic)(cluster, spec)
+    fn = get_heuristic(heuristic)
+    if not obs.enabled():
+        return fn(cluster, spec)
+    name = HeuristicName(heuristic).value
+    with obs.span("plan_grouping", heuristic=name, cluster=cluster.name):
+        started = time.perf_counter()
+        grouping = fn(cluster, spec)
+        elapsed = time.perf_counter() - started
+    obs.inc("heuristic.plans", heuristic=name, cluster=cluster.name)
+    obs.observe(
+        "heuristic.plan_seconds", elapsed, heuristic=name, cluster=cluster.name
+    )
+    obs.log_event(
+        _log, "heuristic.grouping_planned",
+        heuristic=name, cluster=cluster.name,
+        grouping=grouping.describe(), n_groups=grouping.n_groups,
+        plan_seconds=elapsed,
+    )
+    return grouping

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Callable
 
+from repro import obs
 from repro.core.grouping import Grouping
 from repro.exceptions import SchedulingError
 from repro.knapsack.dp import solve_dp
@@ -58,6 +59,15 @@ def knapsack_grouping(
     problem = knapsack_problem_for(cluster, spec)
     solution = solver(problem)
     sizes = solution.as_multiset()
+    if obs.enabled():
+        # One candidate evaluation per knapsack item: each admissible
+        # group size had its 1/T[g] value priced into the solve.
+        obs.inc(
+            "heuristic.candidate_evaluations",
+            len(problem.items),
+            heuristic="knapsack",
+            cluster=cluster.name,
+        )
     if not sizes:
         raise SchedulingError(
             f"cluster {cluster.name!r} ({cluster.resources} processors) "

@@ -2,8 +2,10 @@
 
 from __future__ import annotations
 
+import time
 from typing import Iterable, Sequence
 
+from repro import obs
 from repro.core.heuristics import HeuristicName, plan_grouping
 from repro.exceptions import ConfigurationError, SchedulingError
 from repro.platform.cluster import ClusterSpec
@@ -39,6 +41,12 @@ def simulated_makespan(
     cluster: ClusterSpec, spec: EnsembleSpec, heuristic: HeuristicName | str
 ) -> float:
     """Plan with ``heuristic`` and simulate; the figures' atomic step."""
+    if obs.enabled():
+        obs.inc(
+            "experiment.simulations",
+            heuristic=HeuristicName(heuristic).value,
+            cluster=cluster.name,
+        )
     grouping = plan_grouping(cluster, spec, heuristic)
     return simulate(
         grouping, spec, cluster.timing, cluster_name=cluster.name
@@ -96,11 +104,49 @@ def parallel_map(fn, items, *, workers: int | None = None) -> list:
         raise ConfigurationError(f"workers must be >= 0, got {workers!r}")
     items = list(items)
     if workers in (None, 0, 1) or len(items) <= 1:
-        return [fn(item) for item in items]
+        if not obs.enabled():
+            return [fn(item) for item in items]
+        results = []
+        for item in items:
+            started = time.perf_counter()
+            results.append(fn(item))
+            obs.observe(
+                "runner.item_seconds", time.perf_counter() - started,
+                mode="serial",
+            )
+        obs.inc("runner.items", len(items), mode="serial")
+        return results
     from concurrent.futures import ProcessPoolExecutor
+    from functools import partial
 
+    if not obs.enabled():
+        with ProcessPoolExecutor(max_workers=workers) as executor:
+            return list(executor.map(fn, items))
+    # Timed wrapper: each worker reports its busy seconds back with the
+    # result, so the parent can account pool utilization without any
+    # cross-process metrics plumbing.  Values and order are unchanged.
+    started = time.perf_counter()
     with ProcessPoolExecutor(max_workers=workers) as executor:
-        return list(executor.map(fn, items))
+        timed = list(executor.map(partial(_timed_call, fn), items))
+    wall = time.perf_counter() - started
+    results = [result for result, _ in timed]
+    busy = sum(seconds for _, seconds in timed)
+    for _, seconds in timed:
+        obs.observe("runner.item_seconds", seconds, mode="process")
+    obs.inc("runner.items", len(items), mode="process")
+    obs.set_gauge("runner.workers", workers, mode="process")
+    if wall > 0:
+        obs.set_gauge(
+            "runner.utilization", busy / (workers * wall), mode="process"
+        )
+    return results
+
+
+def _timed_call(fn, item) -> tuple:
+    """Run ``fn(item)`` and return ``(result, busy_seconds)`` (picklable)."""
+    started = time.perf_counter()
+    result = fn(item)
+    return result, time.perf_counter() - started
 
 
 def cycle_names(names: Iterable[str], count: int) -> list[str]:

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from repro import obs
 from repro.core.heuristics import HeuristicName
 from repro.middleware.agent import Agent
 from repro.middleware.client import CampaignResult, Client
@@ -11,6 +12,8 @@ from repro.platform.grid import GridSpec
 from repro.workflow.data import DataTransferModel
 
 __all__ = ["deploy", "run_campaign"]
+
+_log = obs.get_logger(__name__)
 
 
 def deploy(
@@ -26,6 +29,11 @@ def deploy(
     seds = [SeD(cluster) for cluster in grid]
     for sed in seds:
         agent.register(sed)
+    obs.inc("middleware.deployments")
+    obs.log_event(
+        _log, "middleware.deployed",
+        clusters=[sed.name for sed in seds],
+    )
     return Client(agent), agent, seds
 
 
@@ -38,5 +46,20 @@ def run_campaign(
     link: DataTransferModel | None = None,
 ) -> CampaignResult:
     """Deploy over ``grid`` and execute one full ensemble campaign."""
-    client, _agent, _seds = deploy(grid, link=link)
-    return client.run_campaign(scenarios, months, heuristic)
+    with obs.span(
+        "campaign", clusters=len(grid), scenarios=scenarios, months=months
+    ):
+        client, _agent, _seds = deploy(grid, link=link)
+        result = client.run_campaign(scenarios, months, heuristic)
+    obs.inc("campaign.runs")
+    obs.set_gauge("campaign.makespan_seconds", result.makespan)
+    obs.set_gauge(
+        "campaign.predicted_makespan_seconds", result.predicted_makespan
+    )
+    obs.log_event(
+        _log, "campaign.completed",
+        clusters=len(grid), scenarios=scenarios, months=months,
+        makespan_s=result.makespan,
+        predicted_makespan_s=result.predicted_makespan,
+    )
+    return result

@@ -30,9 +30,10 @@ computation lost, and where every interrupted scenario restarted.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass, field
 
-from repro import constants
+from repro import constants, obs
 from repro.core.heuristics import HeuristicName
 from repro.core.knapsack_grouping import knapsack_grouping
 from repro.core.performance_vector import performance_vector
@@ -47,6 +48,8 @@ from repro.workflow.data import DataTransferModel
 from repro.workflow.ocean_atmosphere import EnsembleSpec, fused_scenario_dag
 
 __all__ = ["ClusterFailure", "RecoveryPlan", "run_campaign_with_failure"]
+
+_log = obs.get_logger(__name__)
 
 
 @dataclass(frozen=True)
@@ -263,6 +266,7 @@ def run_campaign_with_failure(
         )
 
     # What survived on the failed cluster?
+    detection_started = time.perf_counter()
     done_local, pending_local, lost = _months_done_at(
         failed_cluster, len(local), months, heuristic, failure.at_time
     )
@@ -281,6 +285,15 @@ def run_campaign_with_failure(
         for global_id in completed
         if remaining.get(global_id, 0) > 0 or pending[global_id] > 0
     )
+    obs.inc("recovery.failures_detected", cluster=failure.cluster_name)
+    obs.log_event(
+        _log, "recovery.failure_detected",
+        cluster=failure.cluster_name,
+        at_time_s=failure.at_time,
+        interrupted_scenarios=interrupted,
+        lost_work_processor_seconds=lost,
+        detection_seconds=time.perf_counter() - detection_started,
+    )
 
     # Greedy reassignment, longest-remaining first, exact evaluation.
     survivors = [
@@ -292,6 +305,7 @@ def run_campaign_with_failure(
     for scenario in sorted(
         interrupted, key=lambda s: (-remaining.get(s, 0), s)
     ):
+        decision_started = time.perf_counter()
         migration = link.migration_penalty(completed[scenario])
         best_name = None
         best_finish = float("inf")
@@ -314,6 +328,31 @@ def run_campaign_with_failure(
             assigned[best_name][scenario] = remaining[scenario]
         assigned_posts[best_name] += pending[scenario]
         reassignment[scenario] = best_name
+        # Recovery latency: how long past the failure instant this
+        # scenario's work now runs on its new home (simulated seconds).
+        recovery_latency = best_finish - failure.at_time
+        obs.inc(
+            "recovery.resubmissions",
+            source=failure.cluster_name,
+            target=best_name,
+        )
+        obs.observe(
+            "recovery.resubmission_latency_seconds",
+            recovery_latency,
+            target=best_name,
+        )
+        obs.log_event(
+            _log, "recovery.resubmission",
+            scenario=scenario,
+            source=failure.cluster_name,
+            target=best_name,
+            remaining_months=remaining.get(scenario, 0),
+            pending_posts=pending[scenario],
+            migration_penalty_s=migration,
+            projected_finish_s=best_finish,
+            recovery_latency_s=recovery_latency,
+            decision_seconds=time.perf_counter() - decision_started,
+        )
 
     cluster_finish: dict[str, float] = {}
     for name, cluster in survivors:
@@ -335,6 +374,19 @@ def run_campaign_with_failure(
         )
 
     makespan = max(cluster_finish.values())
+    obs.set_gauge("recovery.makespan_seconds", makespan)
+    obs.set_gauge(
+        "recovery.delay_seconds", makespan - original_makespan
+    )
+    obs.log_event(
+        _log, "recovery.completed",
+        cluster=failure.cluster_name,
+        resubmissions=len(reassignment),
+        makespan_s=makespan,
+        original_makespan_s=original_makespan,
+        delay_s=makespan - original_makespan,
+        lost_work_processor_seconds=lost,
+    )
     return RecoveryPlan(
         failure=failure,
         original_repartition=repartition,

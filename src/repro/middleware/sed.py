@@ -10,6 +10,7 @@ the makespan simulator).
 
 from __future__ import annotations
 
+from repro import obs
 from repro.core.heuristics import plan_grouping
 from repro.core.performance_vector import performance_vector
 from repro.exceptions import MiddlewareError
@@ -25,6 +26,8 @@ from repro.simulation.events import SimulationResult
 from repro.workflow.ocean_atmosphere import EnsembleSpec
 
 __all__ = ["SeD"]
+
+_log = obs.get_logger(__name__)
 
 
 class SeD:
@@ -47,8 +50,10 @@ class SeD:
 
     def handle_request(self, request: ServiceRequest) -> PerformanceReply:
         """Step 2: compute this cluster's performance vector."""
-        spec = EnsembleSpec(request.scenarios, request.months)
-        vector = performance_vector(self.cluster, spec, request.heuristic)
+        obs.inc("middleware.requests", cluster=self.name)
+        with obs.span("sed.handle_request", cluster=self.name):
+            spec = EnsembleSpec(request.scenarios, request.months)
+            vector = performance_vector(self.cluster, spec, request.heuristic)
         return PerformanceReply(self.name, tuple(vector))
 
     def execute(self, order: ExecutionOrder) -> ExecutionReport:
@@ -63,10 +68,29 @@ class SeD:
                 f"order addressed to {order.cluster_name!r} delivered to "
                 f"SeD {self.name!r}"
             )
-        spec = EnsembleSpec(len(order.scenario_ids), order.months)
-        grouping = plan_grouping(self.cluster, spec, order.heuristic)
-        result = simulate(
-            grouping, spec, self.cluster.timing, cluster_name=self.name
+        obs.inc("middleware.submissions", cluster=self.name)
+        with obs.span(
+            "sed.execute",
+            cluster=self.name,
+            scenarios=len(order.scenario_ids),
+        ):
+            spec = EnsembleSpec(len(order.scenario_ids), order.months)
+            grouping = plan_grouping(self.cluster, spec, order.heuristic)
+            result = simulate(
+                grouping, spec, self.cluster.timing, cluster_name=self.name
+            )
+        obs.set_gauge(
+            "middleware.execution_makespan_seconds",
+            result.makespan,
+            cluster=self.name,
+        )
+        obs.log_event(
+            _log, "sed.executed",
+            cluster=self.name,
+            scenarios=list(order.scenario_ids),
+            months=order.months,
+            heuristic=order.heuristic.value,
+            makespan_s=result.makespan,
         )
         self._last_result = result
         return ExecutionReport(

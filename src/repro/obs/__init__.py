@@ -1,0 +1,99 @@
+"""repro.obs — the instrumentation subsystem.
+
+Three layers, all dependency-free:
+
+* **metrics** — a labeled registry of counters, gauges, and histograms
+  (p50/p95/p99), exported as JSON or Prometheus text
+  (:mod:`repro.obs.metrics`);
+* **tracing** — nested wall-clock spans plus simulated-schedule slices,
+  exported as Chrome ``chrome://tracing`` JSON or JSONL
+  (:mod:`repro.obs.tracing`);
+* **structured logging** — stdlib logging with a JSON formatter and the
+  ``REPRO_LOG`` switch (:mod:`repro.obs.log`).
+
+Collection is **off by default** and every instrumentation helper
+no-ops against a global null sink, so the instrumented hot paths cost
+one branch when disabled.  Turn it on for a scoped block::
+
+    from repro import obs
+
+    with obs.session() as (registry, tracer):
+        result = simulate_on_cluster(cluster, grouping, spec)
+        print(registry.to_json())
+        print(tracer.to_chrome_json())
+
+or via the CLI: ``repro-oa simulate --metrics-out m.json --trace-out
+t.json`` then ``repro-oa obs summary m.json``.
+"""
+
+from __future__ import annotations
+
+from repro.obs.log import (
+    JsonFormatter,
+    configure_logging,
+    get_logger,
+    log_event,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    prometheus_from_dump,
+)
+from repro.obs.runtime import (
+    add_span,
+    disable,
+    enable,
+    enabled,
+    inc,
+    observe,
+    registry,
+    reset,
+    session,
+    set_gauge,
+    span,
+    tracer,
+)
+from repro.obs.summary import (
+    load_trace_events,
+    render_metrics_summary,
+    render_trace_summary,
+)
+from repro.obs.tracing import SIM_PID, WALL_PID, Span, Tracer
+
+__all__ = [
+    # runtime switch + helpers
+    "enabled",
+    "enable",
+    "disable",
+    "reset",
+    "session",
+    "registry",
+    "tracer",
+    "inc",
+    "set_gauge",
+    "observe",
+    "span",
+    "add_span",
+    # metrics
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "prometheus_from_dump",
+    # tracing
+    "Span",
+    "Tracer",
+    "WALL_PID",
+    "SIM_PID",
+    # logging
+    "JsonFormatter",
+    "get_logger",
+    "log_event",
+    "configure_logging",
+    # summaries
+    "load_trace_events",
+    "render_metrics_summary",
+    "render_trace_summary",
+]

@@ -1,0 +1,130 @@
+"""Structured logging on top of the standard library.
+
+Every library log line is an *event*: a short dotted name plus a flat
+payload of fields.  :func:`log_event` carries the payload through
+stdlib logging's ``extra`` mechanism and :class:`JsonFormatter` renders
+one JSON object per line, so ``REPRO_LOG=info repro-oa recover ...``
+produces machine-readable logs with zero dependencies.
+
+Nothing is emitted unless logging is configured — either by the host
+application in the usual stdlib ways, or by :func:`configure_logging`,
+which reads the ``REPRO_LOG`` environment variable (a level name such
+as ``debug`` or ``info``) and installs a JSON handler on the ``repro``
+logger namespace.  The CLI's ``--log LEVEL`` switch calls the same
+function.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import sys
+from typing import IO
+
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "JsonFormatter",
+    "get_logger",
+    "log_event",
+    "configure_logging",
+]
+
+#: Environment variable consulted by :func:`configure_logging`.
+ENV_VAR = "REPRO_LOG"
+
+#: Root of the library's logger namespace.
+ROOT_LOGGER = "repro"
+
+#: Marker attribute identifying handlers installed by this module.
+_HANDLER_TAG = "_repro_obs_handler"
+
+
+class JsonFormatter(logging.Formatter):
+    """Format each record as one JSON object per line.
+
+    The object carries ``ts`` (epoch seconds), ``level``, ``logger``,
+    ``event`` (the log message), the structured fields attached by
+    :func:`log_event`, and — when present — ``exc`` with the formatted
+    traceback.  Non-serializable field values degrade to ``str``.
+    """
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: dict[str, object] = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "event": record.getMessage(),
+        }
+        fields = getattr(record, "fields", None)
+        if isinstance(fields, dict):
+            for key, value in fields.items():
+                if key not in payload:
+                    payload[key] = value
+        if record.exc_info:
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload, default=str, sort_keys=False)
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger inside the ``repro`` namespace.
+
+    ``get_logger("middleware.recovery")`` and
+    ``get_logger("repro.middleware.recovery")`` name the same logger.
+    """
+    if name == ROOT_LOGGER or name.startswith(ROOT_LOGGER + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}")
+
+
+def log_event(
+    logger: logging.Logger,
+    event: str,
+    *,
+    level: int = logging.INFO,
+    **fields: object,
+) -> None:
+    """Emit one structured event with a flat field payload.
+
+    The ``isEnabledFor`` guard keeps disabled-by-default logging cheap
+    on the paths that call this often.
+    """
+    if logger.isEnabledFor(level):
+        logger.log(level, event, extra={"fields": fields})
+
+
+def configure_logging(
+    spec: str | None = None, *, stream: IO[str] | None = None
+) -> logging.Handler | None:
+    """Install a JSON handler on the ``repro`` logger namespace.
+
+    ``spec`` is a level name (``debug``, ``info``, ``warning``,
+    ``error``); when ``None`` the ``REPRO_LOG`` environment variable is
+    consulted, and when that is unset/empty nothing happens and ``None``
+    is returned.  Re-configuration replaces the previously installed
+    handler, so the function is idempotent.  Returns the installed
+    handler (tests use it to capture output via ``stream``).
+    """
+    if spec is None:
+        spec = os.environ.get(ENV_VAR, "")
+    spec = spec.strip()
+    if not spec:
+        return None
+    level = logging.getLevelName(spec.upper())
+    if not isinstance(level, int):
+        raise ConfigurationError(
+            f"unknown log level {spec!r}; use debug/info/warning/error"
+        )
+    root = logging.getLogger(ROOT_LOGGER)
+    for handler in list(root.handlers):
+        if getattr(handler, _HANDLER_TAG, False):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(JsonFormatter())
+    setattr(handler, _HANDLER_TAG, True)
+    root.addHandler(handler)
+    root.setLevel(level)
+    # JSON lines are self-contained; don't also feed the stdlib root logger.
+    root.propagate = False
+    return handler

@@ -1,0 +1,312 @@
+"""Zero-dependency metrics primitives and the labeled registry.
+
+Three instrument kinds, mirroring the Prometheus data model at the
+smallest scale that serves the experiments:
+
+* :class:`Counter` — monotonically increasing totals (heuristic
+  evaluations, simulated tasks, middleware submissions);
+* :class:`Gauge` — last-write-wins values (makespans, chosen group
+  sizes, worker utilization);
+* :class:`Histogram` — full-sample distributions with p50/p95/p99
+  summaries (planning latencies, per-point sweep timings).
+
+Every instrument is identified by a name plus a label set, so one
+logical metric fans out into series per heuristic, cluster, or figure.
+:class:`MetricsRegistry` owns the instruments and renders them as a
+JSON document (the ``--metrics-out`` dump) or Prometheus text
+exposition format.
+
+The registry is deliberately not thread-safe: the simulator is
+single-process, and the parallel experiment path aggregates in the
+parent only.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Iterable, Mapping
+
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "prometheus_from_dump",
+]
+
+#: The summary quantiles every histogram reports.
+QUANTILES: tuple[float, ...] = (0.5, 0.95, 0.99)
+
+LabelItems = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: Mapping[str, object]) -> LabelItems:
+    """Normalize a label mapping into a hashable, sorted key."""
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ConfigurationError(
+                f"counters only go up; cannot add {amount!r}"
+            )
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down; reads report the last write."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the gauge's value."""
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Adjust the gauge by ``amount`` (may be negative)."""
+        self.value += amount
+
+
+class Histogram:
+    """A distribution of observed samples with quantile summaries.
+
+    Samples are kept in full — experiment runs observe at most tens of
+    thousands of values, so exact quantiles are affordable and simpler
+    than a streaming sketch.  Quantiles use the nearest-rank definition:
+    ``q`` of ``n`` sorted samples is element ``ceil(q * n) - 1``.
+    """
+
+    __slots__ = ("_samples", "_sorted")
+
+    def __init__(self) -> None:
+        self._samples: list[float] = []
+        self._sorted = True
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        value = float(value)
+        if self._samples and value < self._samples[-1]:
+            self._sorted = False
+        self._samples.append(value)
+
+    @property
+    def count(self) -> int:
+        """Number of samples observed."""
+        return len(self._samples)
+
+    @property
+    def sum(self) -> float:
+        """Sum of all samples."""
+        return math.fsum(self._samples)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean (0.0 when empty)."""
+        return self.sum / len(self._samples) if self._samples else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Nearest-rank quantile of the observed samples.
+
+        Raises :class:`~repro.exceptions.ConfigurationError` for ``q``
+        outside ``(0, 1]`` or when no samples were observed.
+        """
+        if not 0.0 < q <= 1.0:
+            raise ConfigurationError(f"quantile must be in (0, 1], got {q!r}")
+        if not self._samples:
+            raise ConfigurationError("quantile of an empty histogram")
+        if not self._sorted:
+            self._samples.sort()
+            self._sorted = True
+        rank = max(math.ceil(q * len(self._samples)) - 1, 0)
+        return self._samples[rank]
+
+    def summary(self) -> dict[str, float]:
+        """Count, sum, min/max/mean, and the standard quantiles."""
+        if not self._samples:
+            return {"count": 0, "sum": 0.0}
+        out: dict[str, float] = {
+            "count": self.count,
+            "sum": self.sum,
+            "min": min(self._samples),
+            "max": max(self._samples),
+            "mean": self.mean,
+        }
+        for q in QUANTILES:
+            out[f"p{int(q * 100)}"] = self.quantile(q)
+        return out
+
+
+class MetricsRegistry:
+    """Get-or-create home of every (name, labels) instrument series."""
+
+    def __init__(self) -> None:
+        self._counters: dict[tuple[str, LabelItems], Counter] = {}
+        self._gauges: dict[tuple[str, LabelItems], Gauge] = {}
+        self._histograms: dict[tuple[str, LabelItems], Histogram] = {}
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        """The counter series for ``name`` + ``labels`` (created on first use)."""
+        return self._counters.setdefault((name, _label_key(labels)), Counter())
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        """The gauge series for ``name`` + ``labels`` (created on first use)."""
+        return self._gauges.setdefault((name, _label_key(labels)), Gauge())
+
+    def histogram(self, name: str, **labels: object) -> Histogram:
+        """The histogram series for ``name`` + ``labels`` (created on first use)."""
+        return self._histograms.setdefault(
+            (name, _label_key(labels)), Histogram()
+        )
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)
+
+    @staticmethod
+    def _grouped(
+        table: Mapping[tuple[str, LabelItems], object],
+    ) -> dict[str, list[tuple[LabelItems, object]]]:
+        grouped: dict[str, list[tuple[LabelItems, object]]] = {}
+        for (name, labels), instrument in sorted(table.items()):
+            grouped.setdefault(name, []).append((labels, instrument))
+        return grouped
+
+    def as_dict(self) -> dict[str, object]:
+        """The whole registry as a plain-JSON-serializable document.
+
+        This is the ``--metrics-out`` schema: three top-level maps
+        (``counters`` / ``gauges`` / ``histograms``), each from metric
+        name to a list of ``{"labels": {...}, ...}`` series entries.
+        """
+        counters = {
+            name: [
+                {"labels": dict(labels), "value": c.value}
+                for labels, c in series
+            ]
+            for name, series in self._grouped(self._counters).items()
+        }
+        gauges = {
+            name: [
+                {"labels": dict(labels), "value": g.value}
+                for labels, g in series
+            ]
+            for name, series in self._grouped(self._gauges).items()
+        }
+        histograms = {
+            name: [
+                {"labels": dict(labels), **h.summary()}
+                for labels, h in series
+            ]
+            for name, series in self._grouped(self._histograms).items()
+        }
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+        }
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        """The registry dump as a JSON string."""
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
+
+    def to_prometheus(self, *, prefix: str = "repro_") -> str:
+        """Render the registry in Prometheus text exposition format.
+
+        Metric names are sanitized (dots become underscores), counters
+        gain the conventional ``_total`` suffix, and histograms render
+        as summaries: one ``{quantile="..."}`` sample per standard
+        quantile plus ``_sum`` and ``_count``.
+        """
+        return prometheus_from_dump(self.as_dict(), prefix=prefix)
+
+
+def _prom_name(prefix: str, name: str) -> str:
+    sanitized = "".join(
+        ch if ch.isalnum() or ch == "_" else "_" for ch in name
+    )
+    return prefix + sanitized
+
+
+def _prom_labels(labels: Mapping[str, object], extra: str = "") -> str:
+    parts = [f'{k}="{v}"' for k, v in sorted(labels.items())]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _prom_number(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def prometheus_from_dump(
+    dump: Mapping[str, object], *, prefix: str = "repro_"
+) -> str:
+    """Render a registry dump (``MetricsRegistry.as_dict``) as Prometheus text.
+
+    Working off the dump rather than a live registry lets the CLI
+    convert a ``--metrics-out`` file written by an earlier run.
+    """
+    lines: list[str] = []
+
+    def _series(section: str) -> Iterable[tuple[str, list]]:
+        table = dump.get(section, {})
+        if not isinstance(table, Mapping):
+            raise ConfigurationError(
+                f"metrics dump section {section!r} is not a mapping"
+            )
+        return sorted(table.items())
+
+    for name, series in _series("counters"):
+        metric = _prom_name(prefix, name) + "_total"
+        lines.append(f"# TYPE {metric} counter")
+        for entry in series:
+            lines.append(
+                f"{metric}{_prom_labels(entry.get('labels', {}))} "
+                f"{_prom_number(entry['value'])}"
+            )
+    for name, series in _series("gauges"):
+        metric = _prom_name(prefix, name)
+        lines.append(f"# TYPE {metric} gauge")
+        for entry in series:
+            lines.append(
+                f"{metric}{_prom_labels(entry.get('labels', {}))} "
+                f"{_prom_number(entry['value'])}"
+            )
+    for name, series in _series("histograms"):
+        metric = _prom_name(prefix, name)
+        lines.append(f"# TYPE {metric} summary")
+        for entry in series:
+            labels = entry.get("labels", {})
+            for q in QUANTILES:
+                key = f"p{int(q * 100)}"
+                if key in entry:
+                    qlabel = f'quantile="{q}"'
+                    lines.append(
+                        f"{metric}{_prom_labels(labels, qlabel)} "
+                        f"{_prom_number(entry[key])}"
+                    )
+            lines.append(
+                f"{metric}_sum{_prom_labels(labels)} "
+                f"{_prom_number(entry.get('sum', 0.0))}"
+            )
+            lines.append(
+                f"{metric}_count{_prom_labels(labels)} "
+                f"{_prom_number(entry.get('count', 0))}"
+            )
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,150 @@
+"""Global observability state: one switch, one registry, one tracer.
+
+Instrumentation sites throughout the library call the module-level
+helpers (:func:`inc`, :func:`set_gauge`, :func:`observe`, :func:`span`,
+:func:`add_span`).  All of them fast-path to a no-op while observability
+is disabled — the default — so the figure sweeps and benchmarks pay one
+attribute read and branch per call site, nothing more.  Hot loops hoist
+even that with ``if enabled():``.
+
+:func:`session` is the scoped way to turn collection on: it resets the
+registry and tracer, enables collection for the ``with`` body, and
+restores the previous switch state afterwards — the CLI wraps every
+``--metrics-out`` / ``--trace-out`` run in one.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
+
+__all__ = [
+    "enabled",
+    "enable",
+    "disable",
+    "reset",
+    "registry",
+    "tracer",
+    "session",
+    "inc",
+    "set_gauge",
+    "observe",
+    "span",
+    "add_span",
+]
+
+_enabled = False
+_registry = MetricsRegistry()
+_tracer = Tracer()
+
+
+class _NullSpan:
+    """Shared, stateless no-op context manager for disabled tracing."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+def enabled() -> bool:
+    """Whether observability collection is currently on."""
+    return _enabled
+
+
+def enable() -> None:
+    """Turn collection on (metrics and spans start recording)."""
+    global _enabled
+    _enabled = True
+
+
+def disable() -> None:
+    """Turn collection off (instrumentation reverts to no-ops)."""
+    global _enabled
+    _enabled = False
+
+
+def reset() -> None:
+    """Discard all collected metrics and spans (fresh registry + tracer)."""
+    global _registry, _tracer
+    _registry = MetricsRegistry()
+    _tracer = Tracer()
+
+
+def registry() -> MetricsRegistry:
+    """The process-global metrics registry."""
+    return _registry
+
+
+def tracer() -> Tracer:
+    """The process-global span tracer."""
+    return _tracer
+
+
+@contextmanager
+def session(*, fresh: bool = True) -> Iterator[tuple[MetricsRegistry, Tracer]]:
+    """Enable collection for a scoped block; restore the switch after.
+
+    Yields ``(registry, tracer)`` for export at the end of the block.
+    ``fresh`` (default) resets both first so the dump covers exactly
+    this session.
+    """
+    global _enabled
+    previous = _enabled
+    if fresh:
+        reset()
+    _enabled = True
+    try:
+        yield _registry, _tracer
+    finally:
+        _enabled = previous
+
+
+def inc(name: str, amount: float = 1.0, **labels: object) -> None:
+    """Increment a counter series; no-op while disabled."""
+    if _enabled:
+        _registry.counter(name, **labels).inc(amount)
+
+
+def set_gauge(name: str, value: float, **labels: object) -> None:
+    """Set a gauge series; no-op while disabled."""
+    if _enabled:
+        _registry.gauge(name, **labels).set(value)
+
+
+def observe(name: str, value: float, **labels: object) -> None:
+    """Record a histogram sample; no-op while disabled."""
+    if _enabled:
+        _registry.histogram(name, **labels).observe(value)
+
+
+def span(name: str, **args: object):
+    """A wall-clock span context manager; shared no-op while disabled."""
+    if _enabled:
+        return _tracer.span(name, **args)
+    return _NULL_SPAN
+
+
+def add_span(
+    name: str,
+    *,
+    ts: float,
+    dur: float,
+    pid: int = 1,
+    tid: int = 0,
+    **args: object,
+) -> None:
+    """Record an already-timed span; no-op while disabled."""
+    if _enabled:
+        _tracer.add_complete_span(
+            name, ts=ts, dur=dur, pid=pid, tid=tid, **args
+        )

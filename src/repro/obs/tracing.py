@@ -1,0 +1,217 @@
+"""Span tracing: nested wall-clock spans and simulated-time slices.
+
+A :class:`Tracer` records two kinds of spans into one timeline:
+
+* **wall-clock spans** via the :meth:`Tracer.span` context manager —
+  nested automatically (the enclosing open span becomes the parent),
+  timed with :func:`time.monotonic` so clock adjustments never produce
+  negative durations;
+* **complete spans** via :meth:`Tracer.add_complete_span` — already
+  timed intervals, used to project simulated schedules (one span per
+  scheduled task) into the same trace.
+
+Exports target the Chrome *Trace Event* format (open the file in
+``chrome://tracing`` or https://ui.perfetto.dev) and JSONL — one event
+object per line — for ad-hoc ``jq``/pandas analysis.  Simulated spans
+conventionally live under ``pid=1`` with the processor id as ``tid``;
+wall-clock spans under ``pid=0`` (see :data:`WALL_PID` /
+:data:`SIM_PID`).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Mapping
+
+__all__ = ["Span", "Tracer", "WALL_PID", "SIM_PID"]
+
+#: ``pid`` of wall-clock (host process) spans in exported traces.
+WALL_PID = 0
+
+#: ``pid`` of simulated-schedule spans in exported traces.
+SIM_PID = 1
+
+
+@dataclass(frozen=True)
+class Span:
+    """One completed span on the trace timeline.
+
+    ``ts`` and ``dur`` are microseconds: real microseconds for
+    wall-clock spans, and by convention one simulated second maps to
+    one microsecond for simulated spans (a 40-hour campaign then sits
+    comfortably within the viewer's zoom range).
+    """
+
+    span_id: int
+    parent_id: int | None
+    name: str
+    ts: float
+    dur: float
+    pid: int = WALL_PID
+    tid: int = 0
+    args: Mapping[str, object] = field(default_factory=dict)
+
+    @property
+    def end(self) -> float:
+        """The span's end timestamp in microseconds."""
+        return self.ts + self.dur
+
+    def as_event(self) -> dict[str, object]:
+        """The span as one Chrome complete ("X") trace event."""
+        args = dict(self.args)
+        args["span_id"] = self.span_id
+        if self.parent_id is not None:
+            args["parent_id"] = self.parent_id
+        return {
+            "name": self.name,
+            "ph": "X",
+            "ts": self.ts,
+            "dur": self.dur,
+            "pid": self.pid,
+            "tid": self.tid,
+            "args": args,
+        }
+
+
+class Tracer:
+    """Collects spans; exports Chrome trace JSON and JSONL."""
+
+    def __init__(self, *, clock: Callable[[], float] = time.monotonic) -> None:
+        self._clock = clock
+        self._epoch = clock()
+        self._next_id = 1
+        self._stack: list[int] = []
+        self.spans: list[Span] = []
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def _now_us(self) -> float:
+        return (self._clock() - self._epoch) * 1e6
+
+    def _allocate_id(self) -> int:
+        span_id = self._next_id
+        self._next_id += 1
+        return span_id
+
+    @property
+    def current_span_id(self) -> int | None:
+        """Id of the innermost open wall-clock span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    @contextmanager
+    def span(
+        self, name: str, *, tid: int = 0, **args: object
+    ) -> Iterator[int]:
+        """Open a wall-clock span; yields its id for correlation.
+
+        Spans nest: a span opened inside another records the outer one
+        as its parent.  The span is appended on exit (even when the
+        body raises), so ``tracer.spans`` holds completed spans in
+        completion order.
+        """
+        span_id = self._allocate_id()
+        parent = self.current_span_id
+        self._stack.append(span_id)
+        start = self._now_us()
+        try:
+            yield span_id
+        finally:
+            end = self._now_us()
+            self._stack.pop()
+            self.spans.append(
+                Span(
+                    span_id=span_id,
+                    parent_id=parent,
+                    name=name,
+                    ts=start,
+                    dur=end - start,
+                    pid=WALL_PID,
+                    tid=tid,
+                    args=dict(args),
+                )
+            )
+
+    def add_complete_span(
+        self,
+        name: str,
+        *,
+        ts: float,
+        dur: float,
+        pid: int = SIM_PID,
+        tid: int = 0,
+        parent_id: int | None = None,
+        **args: object,
+    ) -> Span:
+        """Record an already-timed interval (e.g. one simulated task).
+
+        ``parent_id`` defaults to the innermost open wall-clock span so
+        simulated slices stay correlated with the call that produced
+        them.
+        """
+        if parent_id is None:
+            parent_id = self.current_span_id
+        span = Span(
+            span_id=self._allocate_id(),
+            parent_id=parent_id,
+            name=name,
+            ts=ts,
+            dur=dur,
+            pid=pid,
+            tid=tid,
+            args=dict(args),
+        )
+        self.spans.append(span)
+        return span
+
+    def _metadata_events(self) -> list[dict[str, object]]:
+        events: list[dict[str, object]] = []
+        pids = {span.pid for span in self.spans}
+        if WALL_PID in pids:
+            events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": WALL_PID,
+                    "args": {"name": "wall clock"},
+                }
+            )
+        if SIM_PID in pids:
+            events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": SIM_PID,
+                    "args": {"name": "simulated schedule (1 s -> 1 us)"},
+                }
+            )
+            for tid in sorted(
+                {s.tid for s in self.spans if s.pid == SIM_PID}
+            ):
+                events.append(
+                    {
+                        "name": "thread_name",
+                        "ph": "M",
+                        "pid": SIM_PID,
+                        "tid": tid,
+                        "args": {"name": f"processor {tid}"},
+                    }
+                )
+        return events
+
+    def to_chrome_json(self, *, indent: int | None = None) -> str:
+        """The whole trace as Chrome Trace Event JSON."""
+        events = self._metadata_events()
+        events.extend(span.as_event() for span in self.spans)
+        return json.dumps(
+            {"traceEvents": events, "displayTimeUnit": "ms"}, indent=indent
+        )
+
+    def to_jsonl(self) -> str:
+        """The trace as JSONL: one complete-span event object per line."""
+        return "\n".join(
+            json.dumps(span.as_event(), sort_keys=True) for span in self.spans
+        )

@@ -37,6 +37,7 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.core.grouping import Grouping
 from repro.exceptions import SimulationError
 from repro.platform.timing import TimingModel
@@ -319,6 +320,17 @@ def simulate_dag(
                 f"ready — cyclic or dangling dependencies"
             )
 
+    if obs.enabled():
+        obs.inc("simulation.dag_runs")
+        obs.inc("simulation.dag_tasks", len(mains), kind="main")
+        obs.inc("simulation.dag_tasks", len(seq_tasks), kind="seq")
+        obs.inc(
+            "engine.events_dispatched",
+            len(mains) + len(seq_tasks),
+            cluster="dag",
+        )
+        obs.set_gauge("simulation.dag_makespan_seconds", makespan)
+        obs.set_gauge("simulation.dag_main_makespan_seconds", main_makespan)
     return DagSimulationResult(
         makespan=makespan,
         main_makespan=main_makespan,

@@ -28,7 +28,9 @@ Complexity: ``O(NS·NM · (NS + log NS))`` for the main phase and
 from __future__ import annotations
 
 import heapq
+from dataclasses import dataclass, field
 
+from repro import obs
 from repro.core.grouping import Grouping
 from repro.exceptions import SimulationError
 from repro.platform.cluster import ClusterSpec
@@ -38,6 +40,14 @@ from repro.simulation.groups import post_pool_range, proc_ranges
 from repro.workflow.ocean_atmosphere import EnsembleSpec
 
 __all__ = ["simulate", "simulate_on_cluster"]
+
+
+@dataclass
+class _EngineStats:
+    """Per-run accounting collected only while observability is enabled."""
+
+    events: int = 0
+    tasks_per_group: list[int] = field(default_factory=list)
 
 
 def simulate(
@@ -76,8 +86,12 @@ def simulate(
     tp = timing.post_time()
     ranges = proc_ranges(grouping)
 
+    stats = _EngineStats() if obs.enabled() else None
+    if stats is not None:
+        stats.tasks_per_group = [0] * len(group_times)
+
     main_records, post_ready, group_last_end = _run_main_phase(
-        spec, group_times, ranges, record_trace
+        spec, group_times, ranges, record_trace, stats
     )
     main_makespan = max((end for _, _, _, end in post_ready), default=0.0)
 
@@ -89,6 +103,11 @@ def simulate(
     records: tuple[TaskRecord, ...] = ()
     if record_trace:
         records = tuple(main_records + post_records)
+    if stats is not None:
+        _publish_stats(
+            stats, cluster_name, spec, group_times, group_last_end,
+            makespan, main_makespan, len(post_ready),
+        )
     return SimulationResult(
         makespan=makespan,
         main_makespan=main_makespan,
@@ -121,11 +140,60 @@ def simulate_on_cluster(
     )
 
 
+def _publish_stats(
+    stats: _EngineStats,
+    cluster_name: str,
+    spec: EnsembleSpec,
+    group_times: list[float],
+    group_last_end: list[float],
+    makespan: float,
+    main_makespan: float,
+    n_posts: int,
+) -> None:
+    """Flush one run's accounting to the global metrics registry.
+
+    *Waves* is the deepest group's task count — how many times the
+    busiest group turned around; *idle seconds* is the main phase's
+    processor-level slack: for each group, the gap between its last
+    task's end and the time it spent computing, weighted by nothing
+    (group-level, matching the paper's per-group reasoning).
+    """
+    obs.inc("simulation.runs", cluster=cluster_name)
+    obs.inc(
+        "simulation.tasks",
+        spec.scenarios * spec.months,
+        cluster=cluster_name,
+        kind="main",
+    )
+    obs.inc("simulation.tasks", n_posts, cluster=cluster_name, kind="post")
+    obs.inc("engine.events_dispatched", stats.events, cluster=cluster_name)
+    obs.set_gauge(
+        "simulation.makespan_seconds", makespan, cluster=cluster_name
+    )
+    obs.set_gauge(
+        "simulation.main_makespan_seconds", main_makespan, cluster=cluster_name
+    )
+    if stats.tasks_per_group:
+        obs.set_gauge(
+            "engine.waves", max(stats.tasks_per_group), cluster=cluster_name
+        )
+        idle = sum(
+            last_end - tasks * gt
+            for last_end, tasks, gt in zip(
+                group_last_end, stats.tasks_per_group, group_times
+            )
+        )
+        obs.set_gauge(
+            "engine.idle_seconds", idle, cluster=cluster_name, phase="main"
+        )
+
+
 def _run_main_phase(
     spec: EnsembleSpec,
     group_times: list[float],
     ranges: list[range],
     record_trace: bool,
+    stats: _EngineStats | None = None,
 ) -> tuple[list[TaskRecord], list[tuple[float, int, int, float]], list[float]]:
     """Schedule every main task; return (records, post-ready list, last ends).
 
@@ -163,6 +231,8 @@ def _run_main_phase(
             heapq.heappush(running, (end, group, scenario))
             waiting.remove(scenario)
             unstarted -= 1
+            if stats is not None:
+                stats.tasks_per_group[group] += 1
             if record_trace:
                 records.append(
                     TaskRecord(
@@ -184,6 +254,8 @@ def _run_main_phase(
 
     while running:
         now, group, scenario = heapq.heappop(running)
+        if stats is not None:
+            stats.events += 1
         month = months_done[scenario]
         months_done[scenario] += 1
         group_last_end[group] = now

@@ -45,16 +45,22 @@ def render_gantt(
     if horizon <= 0:
         return "(empty schedule)"
 
-    # occupancy[proc] = list of (start, end, kind)
+    rows = min(total, max_rows)
+    step = total / rows
+    rendered = {int(row * step) for row in range(rows)}
+
+    # occupancy[proc] = list of (start, end, kind) — only for processors
+    # that will actually appear as rows, so down-sampled renders of large
+    # clusters do not pay for intervals nobody looks at.
     occupancy: dict[int, list[tuple[float, float, str]]] = {
-        p: [] for p in range(total)
+        p: [] for p in rendered
     }
     for record in result.records:
         for proc in record.procs:
-            occupancy[proc].append((record.start, record.end, record.kind))
-
-    rows = min(total, max_rows)
-    step = total / rows
+            if proc in rendered:
+                occupancy[proc].append(
+                    (record.start, record.end, record.kind)
+                )
     dt = horizon / width
     lines: list[str] = []
     header = (

@@ -49,6 +49,7 @@ class TestExamplesRun:
         assert "Figure 3 shape" in out
         assert "Figure 4 shape" in out
         assert "legend" in out
+        assert "chrome trace written to" in out
 
     def test_heterogeneity_study(self, capsys) -> None:
         out = _run_example("heterogeneity_study", capsys, argv=["1234"])

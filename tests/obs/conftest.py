@@ -1,0 +1,17 @@
+"""Shared fixtures: keep the global obs switch clean between tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_state():
+    """Leave every test with obs disabled and an empty registry/tracer."""
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()

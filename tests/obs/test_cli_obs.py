@@ -1,0 +1,120 @@
+"""End-to-end tests: --trace-out/--metrics-out flags and the obs command."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def _run(capsys, *argv: str) -> str:
+    assert main(list(argv)) == 0
+    return capsys.readouterr().out
+
+
+class TestTraceOut:
+    def test_chrome_json_loads_with_one_span_per_task(
+        self, capsys, tmp_path
+    ) -> None:
+        trace = tmp_path / "trace.json"
+        _run(
+            capsys, "simulate", "--resources", "32",
+            "--scenarios", "5", "--months", "6",
+            "--trace-out", str(trace),
+        )
+        doc = json.loads(trace.read_text())
+        complete = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        tasks = [
+            e for e in complete
+            if e["name"].startswith(("main(", "post("))
+        ]
+        # One span per scheduled task: 5 scenarios x 6 months, main + post.
+        assert len(tasks) == 2 * 5 * 6
+        for event in tasks:
+            for key in ("ts", "dur", "pid", "tid"):
+                assert key in event
+
+    def test_jsonl_round_trip(self, capsys, tmp_path) -> None:
+        trace = tmp_path / "trace.jsonl"
+        _run(
+            capsys, "simulate", "--resources", "32",
+            "--scenarios", "3", "--months", "4",
+            "--trace-out", str(trace),
+        )
+        events = [
+            json.loads(line)
+            for line in trace.read_text().strip().splitlines()
+        ]
+        assert len(events) >= 2 * 3 * 4
+        assert all(e["ph"] == "X" for e in events)
+
+
+class TestMetricsOut:
+    def test_dump_contains_heuristic_and_makespan_metrics(
+        self, capsys, tmp_path
+    ) -> None:
+        metrics = tmp_path / "metrics.json"
+        _run(
+            capsys, "simulate", "--resources", "32",
+            "--metrics-out", str(metrics),
+        )
+        dump = json.loads(metrics.read_text())
+        assert "heuristic.candidate_evaluations" in dump["counters"]
+        assert "simulation.makespan_seconds" in dump["gauges"]
+
+    def test_campaign_also_supports_the_flags(self, capsys, tmp_path) -> None:
+        metrics = tmp_path / "metrics.json"
+        _run(
+            capsys, "campaign", "--clusters", "2", "--resources", "30",
+            "--scenarios", "4", "--months", "6",
+            "--metrics-out", str(metrics),
+        )
+        dump = json.loads(metrics.read_text())
+        assert "campaign.makespan_seconds" in dump["gauges"]
+
+
+class TestObsCommand:
+    @pytest.fixture
+    def artifacts(self, capsys, tmp_path):
+        metrics = tmp_path / "m.json"
+        trace = tmp_path / "t.json"
+        _run(
+            capsys, "simulate", "--resources", "32",
+            "--scenarios", "3", "--months", "4",
+            "--metrics-out", str(metrics), "--trace-out", str(trace),
+        )
+        return metrics, trace
+
+    def test_summary_renders_tables(self, capsys, artifacts) -> None:
+        metrics, _trace = artifacts
+        out = _run(capsys, "obs", "summary", str(metrics))
+        assert "counters:" in out
+        assert "simulation.makespan_seconds" in out
+
+    def test_summary_prometheus(self, capsys, artifacts) -> None:
+        metrics, _trace = artifacts
+        out = _run(capsys, "obs", "summary", str(metrics), "--prometheus")
+        assert "# TYPE repro_simulation_runs_total counter" in out
+
+    def test_trace_summary(self, capsys, artifacts) -> None:
+        _metrics, trace = artifacts
+        out = _run(capsys, "obs", "trace", str(trace))
+        assert "span(s)" in out
+        assert "simulate" in out
+
+    def test_summary_rejects_missing_file(self, tmp_path) -> None:
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            main(["obs", "summary", str(tmp_path / "nope.json")])
+
+    def test_obs_flags_leave_the_switch_off(self, capsys, tmp_path) -> None:
+        from repro import obs
+
+        _run(
+            capsys, "simulate", "--resources", "32",
+            "--metrics-out", str(tmp_path / "m.json"),
+        )
+        assert not obs.enabled()

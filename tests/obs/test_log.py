@@ -1,0 +1,100 @@
+"""Tests for the structured-logging integration."""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.obs.log import (
+    ENV_VAR,
+    ROOT_LOGGER,
+    configure_logging,
+    get_logger,
+    log_event,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_handlers():
+    """Remove any handler configure_logging installed during a test."""
+    yield
+    root = logging.getLogger(ROOT_LOGGER)
+    for handler in list(root.handlers):
+        if getattr(handler, "_repro_obs_handler", False):
+            root.removeHandler(handler)
+    root.setLevel(logging.NOTSET)
+    root.propagate = True
+
+
+def _configured_stream(level: str = "info") -> io.StringIO:
+    stream = io.StringIO()
+    assert configure_logging(level, stream=stream) is not None
+    return stream
+
+
+class TestGetLogger:
+    def test_prefixes_bare_names(self) -> None:
+        assert get_logger("middleware.recovery").name == (
+            "repro.middleware.recovery"
+        )
+
+    def test_keeps_qualified_names(self) -> None:
+        assert get_logger("repro.core.basic").name == "repro.core.basic"
+
+
+class TestConfigureLogging:
+    def test_unset_spec_is_a_no_op(self, monkeypatch) -> None:
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        assert configure_logging() is None
+
+    def test_env_var_fallback(self, monkeypatch) -> None:
+        monkeypatch.setenv(ENV_VAR, "info")
+        handler = configure_logging()
+        assert handler is not None
+        assert logging.getLogger(ROOT_LOGGER).level == logging.INFO
+
+    def test_rejects_unknown_level(self) -> None:
+        with pytest.raises(ConfigurationError):
+            configure_logging("chatty")
+
+    def test_reconfiguration_replaces_the_handler(self) -> None:
+        configure_logging("info", stream=io.StringIO())
+        configure_logging("debug", stream=io.StringIO())
+        root = logging.getLogger(ROOT_LOGGER)
+        tagged = [
+            h for h in root.handlers
+            if getattr(h, "_repro_obs_handler", False)
+        ]
+        assert len(tagged) == 1
+        assert root.level == logging.DEBUG
+
+
+class TestJsonOutput:
+    def test_events_are_one_json_object_per_line(self) -> None:
+        stream = _configured_stream()
+        log = get_logger("test.unit")
+        log_event(log, "thing.happened", cluster="chti", latency_s=1.5)
+        log_event(log, "other.thing", n=2)
+        lines = stream.getvalue().strip().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["event"] == "thing.happened"
+        assert first["level"] == "info"
+        assert first["logger"] == "repro.test.unit"
+        assert first["cluster"] == "chti"
+        assert first["latency_s"] == 1.5
+
+    def test_below_threshold_events_are_dropped(self) -> None:
+        stream = _configured_stream("warning")
+        log_event(get_logger("test.unit"), "quiet", level=logging.INFO)
+        assert stream.getvalue() == ""
+
+    def test_non_serializable_fields_degrade_to_str(self) -> None:
+        stream = _configured_stream()
+        log_event(get_logger("test.unit"), "odd", payload={1, 2})
+        payload = json.loads(stream.getvalue())
+        assert isinstance(payload["payload"], str)

@@ -1,0 +1,124 @@
+"""Unit tests for the metrics registry and its exporters."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    prometheus_from_dump,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self) -> None:
+        c = Counter()
+        assert c.value == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_rejects_negative_increments(self) -> None:
+        with pytest.raises(ConfigurationError):
+            Counter().inc(-1.0)
+
+
+class TestGauge:
+    def test_set_and_inc(self) -> None:
+        g = Gauge()
+        g.set(10.0)
+        g.inc(-3.0)
+        assert g.value == 7.0
+
+
+class TestHistogram:
+    def test_nearest_rank_quantiles(self) -> None:
+        h = Histogram()
+        for v in range(1, 101):
+            h.observe(float(v))
+        assert h.quantile(0.5) == 50.0
+        assert h.quantile(0.95) == 95.0
+        assert h.quantile(0.99) == 99.0
+        assert h.quantile(1.0) == 100.0
+
+    def test_single_sample_summary(self) -> None:
+        h = Histogram()
+        h.observe(42.0)
+        s = h.summary()
+        assert s["count"] == 1
+        assert s["min"] == s["max"] == s["mean"] == s["p50"] == 42.0
+
+    def test_quantiles_unsorted_input(self) -> None:
+        h = Histogram()
+        for v in (9.0, 1.0, 5.0, 3.0, 7.0):
+            h.observe(v)
+        assert h.quantile(0.5) == 5.0
+
+    def test_empty_histogram_rejects_quantile(self) -> None:
+        with pytest.raises(ConfigurationError):
+            Histogram().quantile(0.5)
+
+
+class TestRegistry:
+    def test_same_name_and_labels_share_a_series(self) -> None:
+        reg = MetricsRegistry()
+        reg.counter("hits", cluster="a").inc()
+        reg.counter("hits", cluster="a").inc()
+        reg.counter("hits", cluster="b").inc()
+        dump = reg.as_dict()
+        series = dump["counters"]["hits"]
+        by_labels = {s["labels"]["cluster"]: s["value"] for s in series}
+        assert by_labels == {"a": 2.0, "b": 1.0}
+
+    def test_as_dict_has_all_sections(self) -> None:
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.gauge("g").set(1.0)
+        reg.histogram("h").observe(1.0)
+        dump = reg.as_dict()
+        assert set(dump) >= {"counters", "gauges", "histograms"}
+        assert dump["histograms"]["h"][0]["p95"] == 1.0
+
+    def test_to_json_round_trips(self) -> None:
+        reg = MetricsRegistry()
+        reg.gauge("makespan.seconds", cluster="chti").set(123.0)
+        dump = json.loads(reg.to_json())
+        assert dump["gauges"]["makespan.seconds"][0]["value"] == 123.0
+
+    def test_prometheus_counters_get_total_suffix(self) -> None:
+        reg = MetricsRegistry()
+        reg.counter("heuristic.plans", heuristic="knapsack").inc(3.0)
+        text = reg.to_prometheus()
+        assert (
+            'repro_heuristic_plans_total{heuristic="knapsack"} 3' in text
+        )
+        assert "# TYPE repro_heuristic_plans_total counter" in text
+
+    def test_prometheus_histograms_render_as_summaries(self) -> None:
+        reg = MetricsRegistry()
+        for v in (1.0, 2.0, 3.0):
+            reg.histogram("lat").observe(v)
+        text = reg.to_prometheus()
+        assert 'repro_lat{quantile="0.5"} 2' in text
+        assert "repro_lat_count 3" in text
+        assert "repro_lat_sum 6" in text
+
+
+class TestPrometheusFromDump:
+    def test_matches_registry_export(self) -> None:
+        reg = MetricsRegistry()
+        reg.counter("c", k="v").inc()
+        reg.gauge("g").set(2.0)
+        reg.histogram("h").observe(5.0)
+        dump = json.loads(reg.to_json())
+        assert prometheus_from_dump(dump) == reg.to_prometheus()
+
+    def test_rejects_malformed_dump(self) -> None:
+        with pytest.raises(ConfigurationError):
+            prometheus_from_dump({"counters": "not-a-mapping"})

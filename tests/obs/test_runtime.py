@@ -1,0 +1,107 @@
+"""Tests for the global obs switch, session scoping, and the facade."""
+
+from __future__ import annotations
+
+from repro import obs
+from repro.obs.runtime import _NULL_SPAN
+
+
+class TestSwitch:
+    def test_disabled_by_default(self) -> None:
+        assert not obs.enabled()
+
+    def test_facade_is_a_no_op_while_disabled(self) -> None:
+        obs.inc("some.counter", cluster="x")
+        obs.set_gauge("some.gauge", 1.0)
+        obs.observe("some.hist", 1.0)
+        obs.add_span("task", ts=0.0, dur=1.0)
+        with obs.span("ignored"):
+            pass
+        assert len(obs.registry()) == 0
+        assert len(obs.tracer()) == 0
+
+    def test_disabled_span_reuses_the_null_singleton(self) -> None:
+        assert obs.span("a") is _NULL_SPAN
+        assert obs.span("b", k="v") is _NULL_SPAN
+
+    def test_enable_records_and_disable_stops(self) -> None:
+        obs.enable()
+        obs.inc("hits")
+        obs.disable()
+        obs.inc("hits")
+        series = obs.registry().as_dict()["counters"]["hits"]
+        assert series[0]["value"] == 1.0
+
+
+class TestSession:
+    def test_yields_fresh_registry_and_tracer(self) -> None:
+        obs.enable()
+        obs.inc("stale")
+        with obs.session() as (registry, tracer):
+            assert obs.enabled()
+            assert len(registry) == 0
+            assert len(tracer) == 0
+            obs.inc("fresh")
+            assert registry.counter("fresh").value == 1.0
+
+    def test_restores_prior_switch_state(self) -> None:
+        assert not obs.enabled()
+        with obs.session():
+            assert obs.enabled()
+        assert not obs.enabled()
+
+    def test_restores_enabled_state_too(self) -> None:
+        obs.enable()
+        with obs.session():
+            pass
+        assert obs.enabled()
+
+
+class TestInstrumentationPopulation:
+    def test_simulation_populates_counters_and_gauges(self) -> None:
+        from repro.core.heuristics import plan_grouping
+        from repro.platform.benchmarks import benchmark_cluster
+        from repro.simulation.engine import simulate
+        from repro.workflow.ocean_atmosphere import EnsembleSpec
+
+        cluster = benchmark_cluster("sagittaire", resources=32)
+        spec = EnsembleSpec(scenarios=5, months=12)
+        with obs.session() as (registry, _tracer):
+            grouping = plan_grouping(cluster, spec, "knapsack")
+            simulate(grouping, spec, cluster.timing, cluster_name=cluster.name)
+            dump = registry.as_dict()
+        assert "heuristic.candidate_evaluations" in dump["counters"]
+        assert "simulation.makespan_seconds" in dump["gauges"]
+        tasks = dump["counters"]["simulation.tasks"]
+        by_kind = {
+            s["labels"]["kind"]: s["value"] for s in tasks
+        }
+        assert by_kind["main"] == 5 * 12
+        assert by_kind["post"] == 5 * 12
+
+    def test_basic_heuristic_counts_rejections(self) -> None:
+        from repro.core.basic import basic_grouping
+        from repro.platform.benchmarks import benchmark_cluster
+        from repro.workflow.ocean_atmosphere import EnsembleSpec
+
+        cluster = benchmark_cluster("sagittaire", resources=8)
+        with obs.session() as (registry, _tracer):
+            basic_grouping(cluster, EnsembleSpec(scenarios=4, months=6))
+            dump = registry.as_dict()
+        assert "heuristic.candidate_evaluations" in dump["counters"]
+        assert "heuristic.rejections" in dump["counters"]
+        assert "heuristic.chosen_group" in dump["gauges"]
+
+    def test_campaign_populates_middleware_metrics(self) -> None:
+        from repro.middleware.deployment import run_campaign
+        from repro.platform.benchmarks import benchmark_grid
+
+        grid = benchmark_grid(2, 30)
+        with obs.session() as (registry, tracer):
+            run_campaign(grid, scenarios=4, months=6)
+            dump = registry.as_dict()
+            names = {s.name for s in tracer.spans}
+        assert "middleware.submissions" in dump["counters"]
+        assert "campaign.makespan_seconds" in dump["gauges"]
+        assert "campaign" in names
+        assert "sed.execute" in names

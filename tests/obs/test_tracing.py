@@ -1,0 +1,118 @@
+"""Unit tests for the span tracer and its Chrome-trace exporters."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.tracing import SIM_PID, WALL_PID, Tracer
+
+
+class FakeClock:
+    """A manually advanced monotonic clock for deterministic spans."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        """Move the clock forward."""
+        self.now += seconds
+
+
+@pytest.fixture
+def clock() -> FakeClock:
+    return FakeClock()
+
+
+class TestNesting:
+    def test_inner_span_records_outer_as_parent(self, clock) -> None:
+        tracer = Tracer(clock=clock)
+        with tracer.span("outer") as outer_id:
+            with tracer.span("inner") as inner_id:
+                clock.advance(1.0)
+        spans = {s.name: s for s in tracer.spans}
+        assert spans["inner"].span_id == inner_id
+        assert spans["inner"].parent_id == outer_id
+        assert spans["outer"].parent_id is None
+
+    def test_siblings_share_the_same_parent(self, clock) -> None:
+        tracer = Tracer(clock=clock)
+        with tracer.span("outer") as outer_id:
+            with tracer.span("a"):
+                clock.advance(1.0)
+            with tracer.span("b"):
+                clock.advance(1.0)
+        by_name = {s.name: s for s in tracer.spans}
+        assert by_name["a"].parent_id == outer_id
+        assert by_name["b"].parent_id == outer_id
+
+    def test_span_recorded_even_when_body_raises(self, clock) -> None:
+        tracer = Tracer(clock=clock)
+        with pytest.raises(RuntimeError):
+            with tracer.span("doomed"):
+                raise RuntimeError("boom")
+        assert [s.name for s in tracer.spans] == ["doomed"]
+        assert tracer.current_span_id is None
+
+    def test_complete_span_adopts_open_wall_span(self, clock) -> None:
+        tracer = Tracer(clock=clock)
+        with tracer.span("simulate") as sim_id:
+            added = tracer.add_complete_span(
+                "main(s0,m0)", ts=0.0, dur=100.0, tid=3
+            )
+        assert added.parent_id == sim_id
+        assert added.pid == SIM_PID
+        assert added.tid == 3
+
+
+class TestDurations:
+    def test_wall_spans_measure_in_microseconds(self, clock) -> None:
+        tracer = Tracer(clock=clock)
+        with tracer.span("work"):
+            clock.advance(0.25)
+        (span,) = tracer.spans
+        assert span.dur == pytest.approx(250_000.0)
+        assert span.pid == WALL_PID
+
+
+class TestChromeExport:
+    def test_events_carry_the_required_schema(self, clock) -> None:
+        tracer = Tracer(clock=clock)
+        with tracer.span("outer", figure="fig7"):
+            clock.advance(1.0)
+        tracer.add_complete_span("task", ts=5.0, dur=2.0, tid=1)
+        doc = json.loads(tracer.to_chrome_json())
+        assert "traceEvents" in doc
+        complete = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(complete) == 2
+        for event in complete:
+            for key in ("name", "ts", "dur", "pid", "tid"):
+                assert key in event, f"missing {key!r}"
+            assert isinstance(event["ts"], (int, float))
+            assert isinstance(event["dur"], (int, float))
+        outer = next(e for e in complete if e["name"] == "outer")
+        assert outer["args"]["figure"] == "fig7"
+
+    def test_metadata_names_both_processes(self, clock) -> None:
+        tracer = Tracer(clock=clock)
+        with tracer.span("wall"):
+            clock.advance(1.0)
+        tracer.add_complete_span("sim", ts=0.0, dur=1.0)
+        doc = json.loads(tracer.to_chrome_json())
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        pids = {e["pid"] for e in meta if e["name"] == "process_name"}
+        assert {WALL_PID, SIM_PID} <= pids
+
+    def test_jsonl_one_event_per_line(self, clock) -> None:
+        tracer = Tracer(clock=clock)
+        with tracer.span("a"):
+            clock.advance(1.0)
+        tracer.add_complete_span("b", ts=0.0, dur=1.0)
+        lines = tracer.to_jsonl().strip().splitlines()
+        events = [json.loads(line) for line in lines]
+        assert [e["name"] for e in events] == ["a", "b"]
+        assert all(e["ph"] == "X" for e in events)

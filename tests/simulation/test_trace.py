@@ -41,6 +41,24 @@ class TestGantt:
         rows = [l for l in chart.splitlines() if l.startswith("p")]
         assert len(rows) == 3
 
+    def test_downsampled_rows_match_full_render(self, traced) -> None:
+        # The down-sampled renderer only collects occupancy for rendered
+        # processors; each surviving row must be identical to the same
+        # processor's row in a full render.
+        full = {
+            line.split("|")[0]: line
+            for line in render_gantt(traced, width=50).splitlines()
+            if line.startswith("p")
+        }
+        sampled = [
+            line
+            for line in render_gantt(traced, width=50, max_rows=3).splitlines()
+            if line.startswith("p")
+        ]
+        assert len(sampled) == 3
+        for line in sampled:
+            assert line == full[line.split("|")[0]]
+
     def test_requires_trace(self, traced) -> None:
         from dataclasses import replace
 

@@ -23,7 +23,7 @@ class TestApiDoc:
         for name in (
             "repro.core", "repro.platform", "repro.workflow",
             "repro.simulation", "repro.middleware", "repro.knapsack",
-            "repro.analysis", "repro.experiments",
+            "repro.analysis", "repro.experiments", "repro.obs",
         ):
             assert f"## `{name}`" in text
 
