@@ -33,6 +33,7 @@ from repro.exceptions import (
     SimulationError,
     KnapsackError,
     MiddlewareError,
+    ServiceError,
     ValidationError,
 )
 from repro.platform import (
@@ -104,6 +105,7 @@ __all__ = [
     "SimulationError",
     "KnapsackError",
     "MiddlewareError",
+    "ServiceError",
     "ValidationError",
     # platform
     "TimingModel",

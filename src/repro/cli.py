@@ -15,6 +15,15 @@ Subcommands::
     repro-oa obs summary m.json       # digest a --metrics-out dump
     repro-oa obs trace t.json         # digest a --trace-out file
 
+Campaign service (:mod:`repro.service`)::
+
+    repro-oa serve   --db runs.db [--port 4321] [--workers 2]
+    repro-oa submit  --kind campaign --param clusters=3 [--wait]
+    repro-oa status  RUN_ID
+    repro-oa result  RUN_ID
+    repro-oa runs    [--state queued]
+    repro-oa cancel  RUN_ID
+
 Figure subcommands accept ``--csv PATH`` to dump the plotted series for
 external plotting tools.  ``simulate``, ``campaign``, ``recover``, and
 the figure sweeps accept ``--metrics-out PATH`` / ``--trace-out PATH``
@@ -32,7 +41,7 @@ from typing import Sequence
 
 from repro._version import __version__
 
-__all__ = ["build_parser", "main"]
+__all__ = ["add_obs_flags", "build_parser", "finalize_obs", "main"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -97,7 +106,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-json", metavar="PATH", default=None,
         help="export the schedule as Chrome/Perfetto trace-event JSON",
     )
-    _add_obs_args(ps)
+    add_obs_flags(ps)
 
     pc = sub.add_parser("campaign", help="full middleware campaign on a grid")
     pc.add_argument("--clusters", type=int, default=3)
@@ -110,7 +119,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["basic", "redistribute", "allpost_end", "knapsack"],
     )
     pc.add_argument("--show-messages", action="store_true")
-    _add_obs_args(pc)
+    add_obs_flags(pc)
 
     pr = sub.add_parser("recover", help="campaign with a mid-flight cluster failure")
     pr.add_argument("--clusters", type=int, default=3)
@@ -127,7 +136,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="knapsack",
         choices=["basic", "redistribute", "allpost_end", "knapsack"],
     )
-    _add_obs_args(pr)
+    add_obs_flags(pr)
 
     pg = sub.add_parser(
         "generic",
@@ -159,6 +168,72 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("info", help="show the benchmark cluster database")
 
+    psrv = sub.add_parser(
+        "serve", help="run the persistent campaign service (repro.service)"
+    )
+    psrv.add_argument(
+        "--db", metavar="PATH", default="runs.db",
+        help="SQLite run store path (created if missing; default: runs.db)",
+    )
+    psrv.add_argument("--host", default="127.0.0.1")
+    psrv.add_argument("--port", type=int, default=4321)
+    psrv.add_argument(
+        "--workers", type=int, default=2,
+        help="worker processes (concurrent jobs)",
+    )
+    psrv.add_argument(
+        "--job-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-job wall-clock budget (default: unlimited)",
+    )
+    psrv.add_argument(
+        "--max-attempts", type=int, default=3,
+        help="executions per run before it lands in 'failed'",
+    )
+    add_obs_flags(psrv)
+
+    psub = sub.add_parser("submit", help="queue a job on a running service")
+    _add_service_endpoint(psub)
+    psub.add_argument(
+        "--kind", required=True,
+        help="job kind (campaign, simulate, fig7, fig8, fig9, fig10, sleep)",
+    )
+    psub.add_argument(
+        "--param", action="append", default=[], metavar="KEY=VALUE",
+        help="job parameter; VALUE is parsed as JSON, falling back to text",
+    )
+    psub.add_argument(
+        "--max-attempts", type=int, default=None,
+        help="override the server's retry budget for this run",
+    )
+    psub.add_argument(
+        "--wait", action="store_true",
+        help="poll until the run reaches a terminal state",
+    )
+    psub.add_argument(
+        "--timeout", type=float, default=600.0,
+        help="--wait polling budget in seconds",
+    )
+
+    pst = sub.add_parser("status", help="show one run's state and attempts")
+    _add_service_endpoint(pst)
+    pst.add_argument("run_id", help="run id returned by submit")
+
+    pres = sub.add_parser("result", help="fetch a finished run's result")
+    _add_service_endpoint(pres)
+    pres.add_argument("run_id", help="run id returned by submit")
+
+    pruns = sub.add_parser("runs", help="list runs known to the service")
+    _add_service_endpoint(pruns)
+    pruns.add_argument(
+        "--state", default=None,
+        choices=["queued", "running", "done", "failed", "cancelled"],
+    )
+    pruns.add_argument("--limit", type=int, default=20)
+
+    pcan = sub.add_parser("cancel", help="cancel a queued run")
+    _add_service_endpoint(pcan)
+    pcan.add_argument("run_id", help="run id returned by submit")
+
     po = sub.add_parser("obs", help="observability utilities")
     obs_sub = po.add_subparsers(dest="obs_command", required=True)
     pos = obs_sub.add_parser(
@@ -176,8 +251,14 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _add_obs_args(parser: argparse.ArgumentParser) -> None:
-    """The shared observability output flags."""
+def add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared ``--metrics-out``/``--trace-out`` flags.
+
+    Every long-running subcommand (simulate, campaign, recover, the
+    figure sweeps, and the campaign service) takes the same two
+    observability outputs; pair with :func:`finalize_obs` to write
+    them after the run.
+    """
     parser.add_argument(
         "--metrics-out", metavar="PATH", default=None,
         help="write the run's metrics registry as JSON",
@@ -191,10 +272,16 @@ def _add_obs_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_service_endpoint(parser: argparse.ArgumentParser) -> None:
+    """The shared client-side service address flags."""
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=4321)
+
+
 def _add_sweep_args(
     parser: argparse.ArgumentParser, *, r_max: int, step: int
 ) -> None:
-    _add_obs_args(parser)
+    add_obs_flags(parser)
     parser.add_argument("--scenarios", type=int, default=10)
     parser.add_argument("--months", type=int, default=60)
     parser.add_argument("--r-min", type=int, default=11)
@@ -250,7 +337,7 @@ def _obs_scope(args: argparse.Namespace):
     return obs.session() if _wants_obs(args) else nullcontext()
 
 
-def _obs_outputs(args: argparse.Namespace, records=()) -> list[str]:
+def finalize_obs(args: argparse.Namespace, records=()) -> list[str]:
     """Write the requested metrics/trace files; return status lines.
 
     ``records`` are simulated :class:`~repro.simulation.events.TaskRecord`
@@ -317,7 +404,7 @@ def _run_figure(args: argparse.Namespace, name: str, runner):
             obs.observe(
                 "figure.seconds", time.perf_counter() - started, figure=name
             )
-        extra = _obs_outputs(args)
+        extra = finalize_obs(args)
     return result, extra
 
 
@@ -436,9 +523,7 @@ def _cmd_ablations(_args: argparse.Namespace) -> str:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> str:
-    from repro.core.heuristics import plan_grouping
-    from repro.platform.benchmarks import benchmark_cluster
-    from repro.simulation.engine import simulate_on_cluster
+    from repro.experiments.runner import run_cluster_simulation
     from repro.simulation.trace import render_gantt, trace_summary
     from repro.workflow.ocean_atmosphere import EnsembleSpec
 
@@ -448,11 +533,12 @@ def _cmd_simulate(args: argparse.Namespace) -> str:
         with obs.span(
             "simulate", cluster=args.cluster, resources=args.resources
         ):
-            cluster = benchmark_cluster(args.cluster, args.resources)
-            spec = EnsembleSpec(args.scenarios, args.months)
-            grouping = plan_grouping(cluster, spec, args.heuristic)
-            result = simulate_on_cluster(
-                cluster, grouping, spec, record_trace=True
+            result = run_cluster_simulation(
+                args.cluster,
+                args.resources,
+                EnsembleSpec(args.scenarios, args.months),
+                args.heuristic,
+                record_trace=True,
             )
         parts = [trace_summary(result)]
         if args.gantt:
@@ -465,7 +551,7 @@ def _cmd_simulate(args: argparse.Namespace) -> str:
             parts.append(
                 f"trace written to {args.trace_json} (open in Perfetto)"
             )
-        parts.extend(_obs_outputs(args, result.records))
+        parts.extend(finalize_obs(args, result.records))
     return "\n\n".join(parts)
 
 
@@ -487,7 +573,7 @@ def _cmd_campaign(args: argparse.Namespace) -> str:
             client, agent, _seds = deploy(grid)
             client.run_campaign(args.scenarios, args.months, args.heuristic)
             parts.append(agent.network.describe())
-        parts.extend(_obs_outputs(args))
+        parts.extend(finalize_obs(args))
     return "\n\n".join(parts)
 
 
@@ -511,7 +597,7 @@ def _cmd_recover(args: argparse.Namespace) -> str:
                 heuristic=args.heuristic,
             )
         parts = [plan.describe()]
-        parts.extend(_obs_outputs(args))
+        parts.extend(finalize_obs(args))
     return "\n\n".join(parts)
 
 
@@ -582,6 +668,141 @@ def _cmd_report(args: argparse.Namespace) -> str:
     return report
 
 
+def _cmd_serve(args: argparse.Namespace) -> str:
+    import asyncio
+
+    from repro.service.queue import QueueConfig
+    from repro.service.server import CampaignServer
+
+    config = QueueConfig(
+        max_workers=args.workers,
+        job_timeout=args.job_timeout,
+        max_attempts=args.max_attempts,
+    )
+    server = CampaignServer(
+        args.db, host=args.host, port=args.port, queue_config=config
+    )
+
+    async def _run() -> None:
+        port = await server.start()
+        print(
+            f"campaign service listening on {args.host}:{port} "
+            f"(db={args.db}, workers={config.max_workers}) — "
+            f"Ctrl-C drains and stops",
+            flush=True,
+        )
+        await server.serve_forever()
+
+    with _obs_scope(args):
+        asyncio.run(_run())
+        extra = finalize_obs(args)
+    return "\n".join(
+        ["campaign service stopped (queued runs persist in the store)"]
+        + extra
+    )
+
+
+def _parse_job_params(pairs: list[str]) -> dict:
+    """Parse repeated ``--param KEY=VALUE`` flags (VALUE as JSON or text)."""
+    import json
+
+    from repro.exceptions import ConfigurationError
+
+    params = {}
+    for pair in pairs:
+        key, sep, raw = pair.partition("=")
+        if not sep or not key:
+            raise ConfigurationError(
+                f"malformed --param {pair!r}; expected KEY=VALUE"
+            )
+        try:
+            params[key] = json.loads(raw)
+        except json.JSONDecodeError:
+            params[key] = raw
+    return params
+
+
+def _describe_run(status: dict) -> str:
+    """One run summary, formatted for terminal output."""
+    lines = [
+        f"run {status['run_id']}: kind={status['kind']} "
+        f"state={status['state']} "
+        f"attempts={status['attempts']}/{status['max_attempts']}",
+    ]
+    if status.get("error"):
+        lines.append(f"  error: {status['error']}")
+    return "\n".join(lines)
+
+
+def _cmd_submit(args: argparse.Namespace) -> str:
+    from repro.service.client import ServiceClient
+
+    with ServiceClient(args.host, args.port) as client:
+        run_id = client.submit(
+            args.kind,
+            _parse_job_params(args.param),
+            max_attempts=args.max_attempts,
+        )
+        parts = [f"submitted {args.kind} as run {run_id}"]
+        if args.wait:
+            status = client.wait(run_id, timeout=args.timeout)
+            parts.append(_describe_run(status))
+    return "\n".join(parts)
+
+
+def _cmd_status(args: argparse.Namespace) -> str:
+    from repro.service.client import ServiceClient
+
+    with ServiceClient(args.host, args.port) as client:
+        return _describe_run(client.status(args.run_id))
+
+
+def _cmd_result(args: argparse.Namespace) -> str:
+    import json
+
+    from repro.service.client import ServiceClient
+
+    with ServiceClient(args.host, args.port) as client:
+        payload = client.result(args.run_id)
+    return json.dumps(payload["result"], indent=2)
+
+
+def _cmd_runs(args: argparse.Namespace) -> str:
+    from repro.analysis.tables import format_table
+    from repro.service.client import ServiceClient
+
+    with ServiceClient(args.host, args.port) as client:
+        runs = client.runs(args.state, limit=args.limit)
+        health = client.health()
+    if not runs:
+        header = "no matching runs"
+    else:
+        header = format_table(
+            ["run", "kind", "state", "attempts", "error"],
+            [
+                [
+                    r["run_id"],
+                    r["kind"],
+                    r["state"],
+                    f"{r['attempts']}/{r['max_attempts']}",
+                    (r["error"] or "")[:40],
+                ]
+                for r in runs
+            ],
+        )
+    jobs = health["jobs"]
+    counts = ", ".join(f"{state}={jobs[state]}" for state in jobs)
+    return f"{header}\n\nserver: {counts}"
+
+
+def _cmd_cancel(args: argparse.Namespace) -> str:
+    from repro.service.client import ServiceClient
+
+    with ServiceClient(args.host, args.port) as client:
+        status = client.cancel(args.run_id)
+    return _describe_run(status)
+
+
 def _cmd_obs(args: argparse.Namespace) -> str:
     import json
 
@@ -644,6 +865,12 @@ _COMMANDS = {
     "report": _cmd_report,
     "info": _cmd_info,
     "obs": _cmd_obs,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
+    "status": _cmd_status,
+    "result": _cmd_result,
+    "runs": _cmd_runs,
+    "cancel": _cmd_cancel,
 }
 
 

@@ -17,6 +17,7 @@ __all__ = [
     "SimulationError",
     "KnapsackError",
     "MiddlewareError",
+    "ServiceError",
     "ValidationError",
 ]
 
@@ -56,6 +57,20 @@ class KnapsackError(ReproError, ValueError):
 
 class MiddlewareError(ReproError, RuntimeError):
     """A middleware protocol step was violated (wrong message, no servers...)."""
+
+
+class ServiceError(ReproError, RuntimeError):
+    """The campaign service refused or failed an operation.
+
+    Carries an optional machine-readable ``code`` (one of the wire
+    protocol's typed error codes, see :mod:`repro.service.protocol`) so
+    that clients can branch on the failure kind without parsing
+    messages.
+    """
+
+    def __init__(self, message: str, *, code: str = "internal") -> None:
+        super().__init__(message)
+        self.code = code
 
 
 class ValidationError(ReproError, AssertionError):

@@ -1,17 +1,25 @@
-"""JSON persistence for figure results.
+"""JSON persistence for figure and campaign results.
 
 Reproduction runs are artifacts worth archiving: serializing a figure's
 result object lets a run be stored next to the paper PDF, diffed against
 future library versions, or re-rendered without re-simulating.  Each
-``dump_*``/``load_*`` pair round-trips exactly (tested), and every
-payload carries a ``figure`` tag plus the library version that produced
-it.
+codec round-trips exactly (tested), and every payload carries a
+``figure`` tag plus the library version that produced it.
+
+Beyond the dedicated figure codecs, :class:`GenericResult` provides the
+escape hatch for every other job kind — fig9 protocol traces, ablation
+tables, campaign summaries from the :mod:`repro.service` run store —
+any JSON-representable payload tagged with a ``kind``.  Third parties
+can also plug their own result classes in with :func:`register_codec`,
+so one serializer (:func:`dump_result`/:func:`load_result`) covers
+every job the service can run.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any
+from dataclasses import dataclass, field
+from typing import Any, Callable
 
 from repro._version import __version__
 from repro.analysis.stats import SeriesStats
@@ -21,9 +29,46 @@ from repro.experiments.fig8 import Fig8Result
 from repro.experiments.fig10 import Fig10Result
 
 __all__ = [
+    "GenericResult",
     "dump_result",
     "load_result",
+    "register_codec",
+    "registered_tags",
 ]
+
+
+@dataclass(frozen=True)
+class GenericResult:
+    """A tagged, JSON-representable result payload.
+
+    The one-size-fits-all envelope for job kinds without a dedicated
+    result dataclass: ``kind`` names the producer (``"fig9"``,
+    ``"ablations"``, ``"campaign"``, ...) and ``data`` holds anything
+    :func:`json.dumps` accepts.  Construction validates the payload is
+    actually serializable so a bad result fails at the producer, not in
+    the run store.
+    """
+
+    kind: str
+    data: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.kind or not isinstance(self.kind, str):
+            raise ConfigurationError(
+                f"GenericResult kind must be a non-empty string, "
+                f"got {self.kind!r}"
+            )
+        if not isinstance(self.data, dict):
+            raise ConfigurationError(
+                f"GenericResult data must be a dict, "
+                f"got {type(self.data).__name__}"
+            )
+        try:
+            json.dumps(self.data)
+        except (TypeError, ValueError) as exc:
+            raise ConfigurationError(
+                f"GenericResult data is not JSON-representable: {exc}"
+            ) from exc
 
 
 def _stats_to_dict(stats: SeriesStats) -> dict[str, float]:
@@ -127,15 +172,59 @@ def _fig10_restore(raw: dict[str, Any]) -> Fig10Result:
     )
 
 
-_CODECS = {
+def _generic_payload(result: GenericResult) -> dict[str, Any]:
+    return {"kind": result.kind, "data": result.data}
+
+
+def _generic_restore(raw: dict[str, Any]) -> GenericResult:
+    data = raw["data"]
+    if not isinstance(data, dict):
+        raise ConfigurationError(
+            f"generic payload data must be a dict, got {type(data).__name__}"
+        )
+    return GenericResult(kind=str(raw["kind"]), data=data)
+
+
+_CODECS: dict[str, tuple[type, Callable, Callable]] = {
     "fig7": (Fig7Result, _fig7_payload, _fig7_restore),
     "fig8": (Fig8Result, _fig8_payload, _fig8_restore),
     "fig10": (Fig10Result, _fig10_payload, _fig10_restore),
+    "generic": (GenericResult, _generic_payload, _generic_restore),
 }
 
+#: Any result object a codec can round-trip.
+ResultObject = Any
 
-def dump_result(result: Fig7Result | Fig8Result | Fig10Result) -> str:
-    """Serialize a figure result to a JSON string."""
+
+def register_codec(
+    tag: str,
+    cls: type,
+    encode: Callable[[Any], dict[str, Any]],
+    decode: Callable[[dict[str, Any]], Any],
+) -> None:
+    """Plug a new result class into :func:`dump_result`/:func:`load_result`.
+
+    ``encode`` must produce a JSON-representable dict and ``decode``
+    must invert it exactly.  Registering an already-taken tag with a
+    different class is an error; re-registering the same class is a
+    no-op (idempotent imports).
+    """
+    existing = _CODECS.get(tag)
+    if existing is not None and existing[0] is not cls:
+        raise ConfigurationError(
+            f"result tag {tag!r} is already registered "
+            f"for {existing[0].__name__}"
+        )
+    _CODECS[tag] = (cls, encode, decode)
+
+
+def registered_tags() -> tuple[str, ...]:
+    """Every result tag :func:`load_result` currently understands."""
+    return tuple(_CODECS)
+
+
+def dump_result(result: ResultObject) -> str:
+    """Serialize a registered result object to a JSON string."""
     for figure, (cls, encode, _decode) in _CODECS.items():
         if isinstance(result, cls):
             return json.dumps(
@@ -150,8 +239,8 @@ def dump_result(result: Fig7Result | Fig8Result | Fig10Result) -> str:
     )
 
 
-def load_result(text: str) -> Fig7Result | Fig8Result | Fig10Result:
-    """Deserialize a figure result from :func:`dump_result` output."""
+def load_result(text: str) -> ResultObject:
+    """Deserialize a result object from :func:`dump_result` output."""
     try:
         payload = json.loads(text)
     except json.JSONDecodeError as exc:

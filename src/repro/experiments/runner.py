@@ -17,6 +17,7 @@ __all__ = [
     "IMPROVEMENT_LABELS",
     "simulated_makespan",
     "makespans_by_heuristic",
+    "run_cluster_simulation",
     "resource_sweep",
     "parallel_map",
 ]
@@ -76,6 +77,32 @@ def makespans_by_heuristic(
             f"({cluster.resources} processors)"
         )
     return result
+
+
+def run_cluster_simulation(
+    cluster_name: str,
+    resources: int,
+    spec: EnsembleSpec,
+    heuristic: HeuristicName | str,
+    *,
+    record_trace: bool = False,
+):
+    """Plan and simulate one ensemble on a named benchmark cluster.
+
+    The single-cluster job callable: module-level (hence picklable for
+    worker processes) and parameterized by plain values, it is the path
+    both ``repro-oa simulate`` and the campaign service's ``simulate``
+    job kind go through.  Returns the full
+    :class:`~repro.simulation.engine.SimulationResult`.
+    """
+    from repro.platform.benchmarks import benchmark_cluster
+    from repro.simulation.engine import simulate_on_cluster
+
+    cluster = benchmark_cluster(cluster_name, resources)
+    grouping = plan_grouping(cluster, spec, heuristic)
+    return simulate_on_cluster(
+        cluster, grouping, spec, record_trace=record_trace
+    )
 
 
 def resource_sweep(

@@ -1,0 +1,70 @@
+"""repro.service — the persistent campaign service.
+
+The paper's client/MA/SeD protocol (§5, Figure 9) is a one-shot call
+chain: a campaign lives and dies with the submitting interpreter.  This
+subsystem turns it into a *service* — campaigns are submitted to a
+long-running server, survive restarts, and are shared between users:
+
+* :mod:`repro.service.store` — SQLite-backed run store (WAL mode,
+  schema versioning): every submission, state transition, result, and
+  error is durable;
+* :mod:`repro.service.workers` — the registry of job kinds (campaign,
+  simulate, figure sweeps, ...) and the picklable worker entry point;
+* :mod:`repro.service.queue` — asyncio dispatcher over a
+  ``ProcessPoolExecutor`` with per-job timeout, bounded retry with
+  exponential backoff, and graceful drain;
+* :mod:`repro.service.protocol` — versioned NDJSON wire protocol with
+  typed error replies;
+* :mod:`repro.service.server` / :mod:`repro.service.client` — the
+  asyncio TCP server and the blocking client.
+
+CLI: ``repro-oa serve | submit | status | result | runs | cancel``.
+See ``docs/SERVICE.md`` for the architecture and failure semantics.
+"""
+
+from __future__ import annotations
+
+from repro.service.client import ServiceClient
+from repro.service.protocol import (
+    ERROR_CODES,
+    OPERATIONS,
+    PROTOCOL_VERSION,
+    Request,
+    Response,
+)
+from repro.service.queue import JobQueue, QueueConfig
+from repro.service.server import CampaignServer, ServerHandle, serve_in_thread
+from repro.service.store import RUN_STATES, SCHEMA_VERSION, RunRecord, RunStore
+from repro.service.workers import (
+    JobKind,
+    execute_job,
+    job_kinds,
+    validate_job,
+)
+
+__all__ = [
+    # store
+    "RunStore",
+    "RunRecord",
+    "RUN_STATES",
+    "SCHEMA_VERSION",
+    # workers
+    "JobKind",
+    "job_kinds",
+    "validate_job",
+    "execute_job",
+    # queue
+    "JobQueue",
+    "QueueConfig",
+    # protocol
+    "PROTOCOL_VERSION",
+    "OPERATIONS",
+    "ERROR_CODES",
+    "Request",
+    "Response",
+    # server/client
+    "CampaignServer",
+    "ServerHandle",
+    "serve_in_thread",
+    "ServiceClient",
+]

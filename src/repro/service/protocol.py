@@ -1,0 +1,217 @@
+"""The campaign service wire protocol — versioned NDJSON over TCP.
+
+One request, one response, each a single JSON object on its own line
+(newline-delimited JSON).  Requests carry the protocol version, an
+operation name, and an operation payload::
+
+    {"v": 1, "op": "submit", "payload": {"kind": "campaign", "params": {...}}}
+
+Responses echo the operation and either carry a payload or a typed
+error::
+
+    {"v": 1, "ok": true,  "op": "submit", "payload": {"run_id": "..."}}
+    {"v": 1, "ok": false, "op": "submit",
+     "error": {"code": "unknown-kind", "message": "..."}}
+
+Error codes are a closed set (:data:`ERROR_CODES`) so clients can
+branch on machine-readable failures; the human-readable message is
+advisory.  Unknown protocol versions are refused with ``bad-version``
+rather than guessed at — the version is the contract.
+
+Operations: ``submit``, ``status``, ``result``, ``list``, ``cancel``,
+``health`` (:data:`OPERATIONS`).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.exceptions import ServiceError
+
+__all__ = [
+    "ERROR_CODES",
+    "OPERATIONS",
+    "PROTOCOL_VERSION",
+    "Request",
+    "Response",
+    "decode_request",
+    "decode_response",
+    "encode_request",
+    "encode_response",
+    "error_response",
+    "ok_response",
+]
+
+#: Wire protocol generation; bump on incompatible message changes.
+PROTOCOL_VERSION = 1
+
+#: The closed set of request operations.
+OPERATIONS: tuple[str, ...] = (
+    "submit",
+    "status",
+    "result",
+    "list",
+    "cancel",
+    "health",
+)
+
+#: Machine-readable failure codes a response may carry.
+ERROR_CODES: tuple[str, ...] = (
+    "bad-request",      # malformed JSON / missing fields
+    "bad-version",      # protocol version mismatch
+    "unknown-op",       # operation not in OPERATIONS
+    "unknown-kind",     # submit with an unregistered job kind
+    "bad-params",       # job parameters failed validation
+    "unknown-run",      # no run with that id
+    "not-finished",     # result requested before the run finished
+    "job-failed",       # result requested for a failed run
+    "not-cancellable",  # cancel on a non-queued run
+    "bad-transition",   # illegal state-machine move (internal misuse)
+    "schema-version",   # store written by a newer library
+    "injected",         # deliberately-failing diagnostic job
+    "job-crashed",      # non-library exception inside a worker
+    "timeout",          # job exceeded the per-job wall-clock budget
+    "internal",         # anything else
+)
+
+
+@dataclass(frozen=True)
+class Request:
+    """One decoded client request."""
+
+    op: str
+    payload: dict[str, Any] = field(default_factory=dict)
+    v: int = PROTOCOL_VERSION
+
+
+@dataclass(frozen=True)
+class Response:
+    """One decoded server response."""
+
+    op: str
+    ok: bool
+    payload: dict[str, Any] = field(default_factory=dict)
+    error_code: str | None = None
+    error_message: str | None = None
+    v: int = PROTOCOL_VERSION
+
+    def raise_for_error(self) -> "Response":
+        """Raise a typed :class:`ServiceError` if this is an error reply."""
+        if self.ok:
+            return self
+        raise ServiceError(
+            self.error_message or "service request failed",
+            code=self.error_code or "internal",
+        )
+
+
+def encode_request(request: Request) -> str:
+    """Serialize a request to one NDJSON line (no trailing newline)."""
+    return json.dumps(
+        {"v": request.v, "op": request.op, "payload": request.payload}
+    )
+
+
+def encode_response(response: Response) -> str:
+    """Serialize a response to one NDJSON line (no trailing newline)."""
+    body: dict[str, Any] = {
+        "v": response.v,
+        "ok": response.ok,
+        "op": response.op,
+    }
+    if response.ok:
+        body["payload"] = response.payload
+    else:
+        body["error"] = {
+            "code": response.error_code or "internal",
+            "message": response.error_message or "",
+        }
+    return json.dumps(body)
+
+
+def _parse_line(line: str, what: str) -> dict[str, Any]:
+    try:
+        body = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ServiceError(
+            f"malformed {what} line: {exc}", code="bad-request"
+        ) from None
+    if not isinstance(body, dict):
+        raise ServiceError(
+            f"{what} must be a JSON object, "
+            f"got {type(body).__name__}",
+            code="bad-request",
+        )
+    return body
+
+
+def _check_version(body: dict[str, Any], what: str) -> int:
+    version = body.get("v")
+    if version != PROTOCOL_VERSION:
+        raise ServiceError(
+            f"{what} protocol version {version!r} is not supported "
+            f"(this library speaks {PROTOCOL_VERSION})",
+            code="bad-version",
+        )
+    return version
+
+
+def decode_request(line: str) -> Request:
+    """Parse and validate one request line; typed errors on any defect."""
+    body = _parse_line(line, "request")
+    version = _check_version(body, "request")
+    op = body.get("op")
+    if op not in OPERATIONS:
+        raise ServiceError(
+            f"unknown operation {op!r}; expected one of {OPERATIONS}",
+            code="unknown-op",
+        )
+    payload = body.get("payload", {})
+    if not isinstance(payload, dict):
+        raise ServiceError(
+            f"request payload must be an object, "
+            f"got {type(payload).__name__}",
+            code="bad-request",
+        )
+    return Request(op=op, payload=payload, v=version)
+
+
+def decode_response(line: str) -> Response:
+    """Parse one response line (client side)."""
+    body = _parse_line(line, "response")
+    version = _check_version(body, "response")
+    op = str(body.get("op", ""))
+    if body.get("ok"):
+        payload = body.get("payload", {})
+        if not isinstance(payload, dict):
+            raise ServiceError(
+                f"response payload must be an object, "
+                f"got {type(payload).__name__}",
+                code="bad-request",
+            )
+        return Response(op=op, ok=True, payload=payload, v=version)
+    error = body.get("error", {})
+    if not isinstance(error, dict):
+        error = {}
+    return Response(
+        op=op,
+        ok=False,
+        error_code=str(error.get("code", "internal")),
+        error_message=str(error.get("message", "")),
+        v=version,
+    )
+
+
+def ok_response(op: str, payload: dict[str, Any]) -> Response:
+    """Build a success reply."""
+    return Response(op=op, ok=True, payload=payload)
+
+
+def error_response(op: str, exc: ServiceError) -> Response:
+    """Build a typed error reply from a service exception."""
+    code = exc.code if exc.code in ERROR_CODES else "internal"
+    return Response(
+        op=op, ok=False, error_code=code, error_message=str(exc)
+    )

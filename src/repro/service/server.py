@@ -1,0 +1,355 @@
+"""The campaign server — asyncio TCP front-end over store and queue.
+
+One :class:`CampaignServer` owns the three moving parts: a
+:class:`~repro.service.store.RunStore` (durable state), a
+:class:`~repro.service.queue.JobQueue` (execution), and an asyncio TCP
+listener speaking the NDJSON protocol of
+:mod:`repro.service.protocol`.  Connections are cheap: each request
+line is answered with exactly one response line, and a client may hold
+the connection open for many requests.
+
+Two hosting modes:
+
+* :func:`CampaignServer.serve_forever` — the CLI's blocking mode, with
+  SIGINT/SIGTERM triggering a graceful drain (in-flight jobs finish,
+  queued jobs persist for the next start);
+* :func:`serve_in_thread` — an in-process server on a background
+  thread, used by the tests, the example, and the throughput benchmark.
+  Its handle exposes ``stop()`` (graceful) and ``kill()`` (abandon
+  in-flight work — the crash-injection path).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from typing import Any
+
+from repro import obs
+from repro._version import __version__
+from repro.exceptions import ServiceError
+from repro.service import protocol
+from repro.service.queue import JobQueue, QueueConfig
+from repro.service.store import RunStore
+from repro.service.workers import job_kinds, validate_job
+
+__all__ = ["CampaignServer", "ServerHandle", "serve_in_thread"]
+
+_log = obs.get_logger(__name__)
+
+
+class CampaignServer:
+    """TCP campaign service over a run store (see module docstring)."""
+
+    def __init__(
+        self,
+        db_path: str,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        queue_config: QueueConfig | None = None,
+    ) -> None:
+        self.db_path = db_path
+        self.host = host
+        self._requested_port = port
+        self.queue_config = queue_config or QueueConfig()
+        self.store: RunStore | None = None
+        self.queue: JobQueue | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._connections: set[asyncio.Task] = set()
+        self._writers: set[asyncio.StreamWriter] = set()
+        self._started_at = 0.0
+        self._port: int | None = None
+
+    @property
+    def port(self) -> int:
+        """The bound port (valid once started)."""
+        if self._port is None:
+            raise ServiceError("server is not started", code="internal")
+        return self._port
+
+    async def start(self) -> int:
+        """Open the store, recover, start the queue and listener.
+
+        Returns the bound port (useful with ``port=0``).
+        """
+        if self._server is not None:
+            raise ServiceError("server already started", code="internal")
+        self.store = RunStore(self.db_path)
+        self.queue = JobQueue(self.store, self.queue_config)
+        recovered = await self.queue.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self._requested_port
+        )
+        self._port = self._server.sockets[0].getsockname()[1]
+        self._started_at = time.time()
+        obs.log_event(
+            _log, "service.started",
+            host=self.host, port=self._port, db=self.db_path,
+            recovered=recovered, workers=self.queue_config.max_workers,
+        )
+        return self._port
+
+    async def stop(self, *, graceful: bool = True) -> None:
+        """Close the listener and stop the queue; graceful finishes jobs."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        # Open client connections park in readline(); closing their
+        # transports feeds them EOF so the handlers exit normally
+        # (cancelling them instead trips asyncio's stream callbacks).
+        for writer in list(self._writers):
+            writer.close()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        self._connections.clear()
+        self._writers.clear()
+        if self.queue is not None:
+            await self.queue.stop(graceful=graceful)
+            self.queue = None
+        if self.store is not None:
+            self.store.close()
+            self.store = None
+        self._port = None
+        obs.log_event(_log, "service.stopped", graceful=graceful)
+
+    async def serve_forever(self) -> None:
+        """Block until SIGINT/SIGTERM, then drain gracefully (CLI mode)."""
+        import signal
+
+        stop_event = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop_event.set)
+            except NotImplementedError:  # pragma: no cover - non-POSIX
+                pass
+        await stop_event.wait()
+        await self.stop(graceful=True)
+
+    # -- connection handling ----------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+        self._writers.add(writer)
+        obs.inc("service.connections")
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                response = self._respond(line.decode("utf-8", "replace"))
+                writer.write(
+                    (protocol.encode_response(response) + "\n").encode()
+                )
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            if task is not None:
+                self._connections.discard(task)
+            self._writers.discard(writer)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    def _respond(self, line: str) -> protocol.Response:
+        """Decode, dispatch, and wrap one request line."""
+        op = "?"
+        try:
+            request = protocol.decode_request(line)
+            op = request.op
+            payload = self._dispatch(request)
+            obs.inc("service.requests", op=op, outcome="ok")
+            return protocol.ok_response(op, payload)
+        except ServiceError as exc:
+            obs.inc("service.requests", op=op, outcome=exc.code)
+            return protocol.error_response(op, exc)
+        except Exception as exc:  # pragma: no cover - defensive
+            obs.inc("service.requests", op=op, outcome="internal")
+            return protocol.error_response(
+                op, ServiceError(f"internal error: {exc!r}", code="internal")
+            )
+
+    # -- operations --------------------------------------------------------
+
+    def _dispatch(self, request: protocol.Request) -> dict[str, Any]:
+        assert self.store is not None and self.queue is not None
+        handler = getattr(self, f"_op_{request.op}")
+        return handler(request.payload)
+
+    def _require_run_id(self, payload: dict[str, Any]) -> str:
+        run_id = payload.get("run_id")
+        if not isinstance(run_id, str) or not run_id:
+            raise ServiceError(
+                "payload must carry a non-empty 'run_id' string",
+                code="bad-request",
+            )
+        return run_id
+
+    def _op_submit(self, payload: dict[str, Any]) -> dict[str, Any]:
+        kind = payload.get("kind")
+        if not isinstance(kind, str):
+            raise ServiceError(
+                "submit payload must carry a 'kind' string",
+                code="bad-request",
+            )
+        params = payload.get("params", {})
+        if not isinstance(params, dict):
+            raise ServiceError(
+                f"submit params must be an object, "
+                f"got {type(params).__name__}",
+                code="bad-params",
+            )
+        clean = validate_job(kind, params)
+        max_attempts = payload.get(
+            "max_attempts", self.queue_config.max_attempts
+        )
+        if not isinstance(max_attempts, int) or max_attempts < 1:
+            raise ServiceError(
+                f"max_attempts must be a positive integer, "
+                f"got {max_attempts!r}",
+                code="bad-request",
+            )
+        run_id = self.store.submit(kind, clean, max_attempts=max_attempts)
+        obs.inc("service.submissions", kind=kind)
+        self.queue.kick()
+        return {"run_id": run_id, "state": "queued", "kind": kind}
+
+    def _op_status(self, payload: dict[str, Any]) -> dict[str, Any]:
+        record = self.store.get(self._require_run_id(payload))
+        return record.summary()
+
+    def _op_result(self, payload: dict[str, Any]) -> dict[str, Any]:
+        record = self.store.get(self._require_run_id(payload))
+        if record.state == "failed":
+            raise ServiceError(
+                f"run {record.run_id} failed after {record.attempts} "
+                f"attempt(s): {record.error}",
+                code="job-failed",
+            )
+        if record.state != "done" or record.result is None:
+            raise ServiceError(
+                f"run {record.run_id} is {record.state}; "
+                f"result is only available once done",
+                code="not-finished",
+            )
+        return {
+            "run_id": record.run_id,
+            "kind": record.kind,
+            "result": json.loads(record.result),
+        }
+
+    def _op_list(self, payload: dict[str, Any]) -> dict[str, Any]:
+        state = payload.get("state")
+        if state is not None and not isinstance(state, str):
+            raise ServiceError(
+                f"list state filter must be a string, got {state!r}",
+                code="bad-request",
+            )
+        limit = payload.get("limit", 100)
+        if not isinstance(limit, int) or limit < 1:
+            raise ServiceError(
+                f"limit must be a positive integer, got {limit!r}",
+                code="bad-request",
+            )
+        records = self.store.list_runs(state, limit=limit)
+        return {"runs": [record.summary() for record in records]}
+
+    def _op_cancel(self, payload: dict[str, Any]) -> dict[str, Any]:
+        record = self.store.cancel(self._require_run_id(payload))
+        obs.inc("service.cancellations")
+        return record.summary()
+
+    def _op_health(self, payload: dict[str, Any]) -> dict[str, Any]:
+        counts = self.store.counts_by_state()
+        return {
+            "version": __version__,
+            "protocol": protocol.PROTOCOL_VERSION,
+            "uptime_seconds": time.time() - self._started_at,
+            "workers": self.queue_config.max_workers,
+            "queue_depth": counts["queued"],
+            "jobs": counts,
+            "kinds": [kind.name for kind in job_kinds()],
+        }
+
+
+class ServerHandle:
+    """A server running on a background thread (tests/examples/benches)."""
+
+    def __init__(self, thread: threading.Thread, loop, server, port: int):
+        self._thread = thread
+        self._loop = loop
+        self._server = server
+        self.port = port
+
+    def _shutdown(self, graceful: bool) -> None:
+        if not self._thread.is_alive():
+            return
+
+        async def _stop() -> None:
+            await self._server.stop(graceful=graceful)
+
+        future = asyncio.run_coroutine_threadsafe(_stop(), self._loop)
+        future.result(timeout=60)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=60)
+
+    def stop(self) -> None:
+        """Graceful shutdown: in-flight jobs finish and are recorded."""
+        self._shutdown(graceful=True)
+
+    def kill(self) -> None:
+        """Crash-style shutdown: abandon in-flight work (rows stay running)."""
+        self._shutdown(graceful=False)
+
+
+def serve_in_thread(
+    db_path: str,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    queue_config: QueueConfig | None = None,
+) -> ServerHandle:
+    """Start a :class:`CampaignServer` on a daemon thread; returns its handle.
+
+    The call blocks until the listener is bound, so ``handle.port`` is
+    immediately usable by a client.
+    """
+    import concurrent.futures
+
+    started: concurrent.futures.Future = concurrent.futures.Future()
+    loop = asyncio.new_event_loop()
+    server = CampaignServer(
+        db_path, host=host, port=port, queue_config=queue_config
+    )
+
+    def _run() -> None:
+        asyncio.set_event_loop(loop)
+
+        async def _start() -> None:
+            try:
+                bound = await server.start()
+                started.set_result(bound)
+            except BaseException as exc:  # pragma: no cover - startup failure
+                started.set_exception(exc)
+
+        loop.run_until_complete(_start())
+        loop.run_forever()
+        # Drain cancelled callbacks after stop() so the loop closes clean.
+        loop.run_until_complete(asyncio.sleep(0))
+        loop.close()
+
+    thread = threading.Thread(target=_run, name="repro-service", daemon=True)
+    thread.start()
+    bound_port = started.result(timeout=30)
+    return ServerHandle(thread, loop, server, bound_port)

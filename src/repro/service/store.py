@@ -1,0 +1,371 @@
+"""The persistent run store — SQLite-backed campaign bookkeeping.
+
+Every submitted job becomes a row in a single ``runs`` table: its kind,
+parameters, state machine position (``queued -> running -> done/failed``,
+with ``cancelled`` as a side exit), attempt count, backoff deadline, and
+— once finished — either the serialized result envelope
+(:func:`repro.experiments.results_io.dump_result`) or the recorded
+error.  The database is the *only* durable state of the campaign
+service: a server restart replays ``recover_interrupted`` and resumes
+exactly where the previous process died.
+
+Design points:
+
+* **WAL journal** — readers (``repro-oa runs`` against the file, a
+  second server replica probing health) never block the dispatcher's
+  writes.
+* **Schema versioning** — ``PRAGMA user_version`` stamps the layout;
+  opening a database written by a *newer* library refuses loudly
+  instead of corrupting it.
+* **Single-writer discipline** — all mutation goes through this class
+  under one lock, so the store is safe to share between the asyncio
+  dispatcher and CLI threads in the same process.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+import time
+import uuid
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.exceptions import ServiceError
+
+__all__ = [
+    "RUN_STATES",
+    "SCHEMA_VERSION",
+    "RunRecord",
+    "RunStore",
+]
+
+#: Current on-disk layout, stamped into ``PRAGMA user_version``.
+SCHEMA_VERSION = 1
+
+#: Legal ``runs.state`` values, in lifecycle order.
+RUN_STATES: tuple[str, ...] = (
+    "queued",
+    "running",
+    "done",
+    "failed",
+    "cancelled",
+)
+
+#: States a run can never leave.
+_TERMINAL = frozenset({"done", "failed", "cancelled"})
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One submitted job, as stored."""
+
+    run_id: str
+    kind: str
+    params: dict[str, Any]
+    state: str
+    created_at: float
+    updated_at: float
+    attempts: int
+    max_attempts: int
+    not_before: float
+    error: str | None
+    result: str | None
+
+    @property
+    def finished(self) -> bool:
+        """Whether the run reached a terminal state."""
+        return self.state in _TERMINAL
+
+    def summary(self) -> dict[str, Any]:
+        """The wire-friendly projection (everything but the result body)."""
+        return {
+            "run_id": self.run_id,
+            "kind": self.kind,
+            "params": self.params,
+            "state": self.state,
+            "created_at": self.created_at,
+            "updated_at": self.updated_at,
+            "attempts": self.attempts,
+            "max_attempts": self.max_attempts,
+            "error": self.error,
+        }
+
+
+def _row_to_record(row: sqlite3.Row) -> RunRecord:
+    return RunRecord(
+        run_id=row["run_id"],
+        kind=row["kind"],
+        params=json.loads(row["params"]),
+        state=row["state"],
+        created_at=row["created_at"],
+        updated_at=row["updated_at"],
+        attempts=row["attempts"],
+        max_attempts=row["max_attempts"],
+        not_before=row["not_before"],
+        error=row["error"],
+        result=row["result"],
+    )
+
+
+class RunStore:
+    """SQLite persistence for submitted runs (see module docstring)."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = str(path)
+        self._lock = threading.RLock()
+        self._conn = sqlite3.connect(
+            self.path, check_same_thread=False, timeout=10.0
+        )
+        self._conn.row_factory = sqlite3.Row
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=NORMAL")
+        self._migrate()
+
+    # -- schema ------------------------------------------------------------
+
+    def _migrate(self) -> None:
+        """Create or validate the schema; refuse newer-than-known layouts."""
+        with self._lock, self._conn:
+            version = self._conn.execute("PRAGMA user_version").fetchone()[0]
+            if version > SCHEMA_VERSION:
+                raise ServiceError(
+                    f"run store {self.path!r} has schema version {version}, "
+                    f"newer than this library's {SCHEMA_VERSION}; "
+                    f"upgrade the library instead of downgrading the data",
+                    code="schema-version",
+                )
+            if version == SCHEMA_VERSION:
+                return
+            self._conn.execute(
+                """
+                CREATE TABLE IF NOT EXISTS runs (
+                    run_id       TEXT PRIMARY KEY,
+                    kind         TEXT NOT NULL,
+                    params       TEXT NOT NULL,
+                    state        TEXT NOT NULL,
+                    created_at   REAL NOT NULL,
+                    updated_at   REAL NOT NULL,
+                    attempts     INTEGER NOT NULL DEFAULT 0,
+                    max_attempts INTEGER NOT NULL DEFAULT 3,
+                    not_before   REAL NOT NULL DEFAULT 0,
+                    error        TEXT,
+                    result       TEXT
+                )
+                """
+            )
+            self._conn.execute(
+                "CREATE INDEX IF NOT EXISTS runs_by_state "
+                "ON runs (state, not_before, created_at)"
+            )
+            self._conn.execute(f"PRAGMA user_version = {SCHEMA_VERSION}")
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def submit(
+        self,
+        kind: str,
+        params: dict[str, Any],
+        *,
+        max_attempts: int = 3,
+    ) -> str:
+        """Persist a new queued run; returns its id."""
+        if max_attempts < 1:
+            raise ServiceError(
+                f"max_attempts must be >= 1, got {max_attempts!r}",
+                code="bad-request",
+            )
+        run_id = uuid.uuid4().hex[:12]
+        now = time.time()
+        with self._lock, self._conn:
+            self._conn.execute(
+                "INSERT INTO runs (run_id, kind, params, state, created_at,"
+                " updated_at, attempts, max_attempts, not_before)"
+                " VALUES (?, ?, ?, 'queued', ?, ?, 0, ?, 0)",
+                (run_id, kind, json.dumps(params), now, now, max_attempts),
+            )
+        return run_id
+
+    def get(self, run_id: str) -> RunRecord:
+        """Fetch one run; raises ``unknown-run`` if absent."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT * FROM runs WHERE run_id = ?", (run_id,)
+            ).fetchone()
+        if row is None:
+            raise ServiceError(
+                f"no run with id {run_id!r}", code="unknown-run"
+            )
+        return _row_to_record(row)
+
+    def claim_next(self, now: float | None = None) -> RunRecord | None:
+        """Atomically move the oldest eligible queued run to ``running``.
+
+        Eligible means its backoff deadline (``not_before``) has passed.
+        The claim bumps ``attempts``, so a claimed run already counts
+        the execution about to happen.  Returns ``None`` when nothing
+        is runnable right now.
+        """
+        now = time.time() if now is None else now
+        with self._lock, self._conn:
+            row = self._conn.execute(
+                "SELECT * FROM runs WHERE state = 'queued' AND"
+                " not_before <= ? ORDER BY created_at, run_id LIMIT 1",
+                (now,),
+            ).fetchone()
+            if row is None:
+                return None
+            self._conn.execute(
+                "UPDATE runs SET state = 'running', attempts = attempts + 1,"
+                " updated_at = ? WHERE run_id = ?",
+                (now, row["run_id"]),
+            )
+        return self.get(row["run_id"])
+
+    def next_eligible_at(self) -> float | None:
+        """Earliest ``not_before`` among queued runs (backoff wake-up)."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT MIN(not_before) AS t FROM runs WHERE state = 'queued'"
+            ).fetchone()
+        return None if row["t"] is None else float(row["t"])
+
+    def mark_done(self, run_id: str, result: str) -> None:
+        """Record success and the serialized result envelope."""
+        self._transition(run_id, "running", "done", result=result)
+
+    def mark_failed(self, run_id: str, error: str) -> None:
+        """Record terminal failure with its error message."""
+        self._transition(run_id, "running", "failed", error=error)
+
+    def requeue_for_retry(
+        self, run_id: str, error: str, *, not_before: float
+    ) -> None:
+        """Put a failed execution back in the queue with a backoff deadline."""
+        self._transition(
+            run_id, "running", "queued", error=error, not_before=not_before
+        )
+
+    def cancel(self, run_id: str) -> RunRecord:
+        """Cancel a queued run; running/terminal runs refuse."""
+        record = self.get(run_id)
+        if record.state != "queued":
+            raise ServiceError(
+                f"run {run_id!r} is {record.state}, only queued runs "
+                f"can be cancelled",
+                code="not-cancellable",
+            )
+        self._transition(run_id, "queued", "cancelled")
+        return self.get(run_id)
+
+    def recover_interrupted(self) -> int:
+        """Requeue runs a dead server left ``running`` (crash recovery).
+
+        Called on server startup *before* the dispatcher starts: any row
+        still marked running belongs to a process that no longer exists,
+        so its execution is lost and must be redone.  The interrupted
+        attempt stays counted.  Returns the number of recovered runs.
+        """
+        now = time.time()
+        with self._lock, self._conn:
+            cursor = self._conn.execute(
+                "UPDATE runs SET state = 'queued', not_before = 0,"
+                " updated_at = ? WHERE state = 'running'",
+                (now,),
+            )
+            return cursor.rowcount
+
+    def _transition(
+        self,
+        run_id: str,
+        expect: str,
+        state: str,
+        *,
+        result: str | None = None,
+        error: str | None = None,
+        not_before: float = 0.0,
+    ) -> None:
+        with self._lock, self._conn:
+            cursor = self._conn.execute(
+                "UPDATE runs SET state = ?, updated_at = ?, not_before = ?,"
+                " result = COALESCE(?, result), error = COALESCE(?, error)"
+                " WHERE run_id = ? AND state = ?",
+                (
+                    state,
+                    time.time(),
+                    not_before,
+                    result,
+                    error,
+                    run_id,
+                    expect,
+                ),
+            )
+            if cursor.rowcount != 1:
+                actual = self.get(run_id).state  # raises unknown-run if absent
+                raise ServiceError(
+                    f"run {run_id!r} is {actual}, expected {expect} "
+                    f"(cannot move to {state})",
+                    code="bad-transition",
+                )
+
+    # -- queries -----------------------------------------------------------
+
+    def list_runs(
+        self, state: str | None = None, *, limit: int = 100
+    ) -> list[RunRecord]:
+        """Runs newest-first, optionally filtered by state."""
+        if state is not None and state not in RUN_STATES:
+            raise ServiceError(
+                f"unknown state {state!r}; expected one of {RUN_STATES}",
+                code="bad-request",
+            )
+        query = "SELECT * FROM runs"
+        args: tuple = ()
+        if state is not None:
+            query += " WHERE state = ?"
+            args = (state,)
+        query += " ORDER BY created_at DESC, run_id LIMIT ?"
+        with self._lock:
+            rows = self._conn.execute(query, args + (limit,)).fetchall()
+        return [_row_to_record(row) for row in rows]
+
+    def counts_by_state(self) -> dict[str, int]:
+        """``{state: count}`` over every known state (zeros included)."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT state, COUNT(*) AS n FROM runs GROUP BY state"
+            ).fetchall()
+        counts = {state: 0 for state in RUN_STATES}
+        for row in rows:
+            counts[row["state"]] = row["n"]
+        return counts
+
+    def queue_depth(self) -> int:
+        """Number of queued runs (including backoff waits)."""
+        return self.counts_by_state()["queued"]
+
+    def unfinished(self) -> list[RunRecord]:
+        """Every run not yet in a terminal state, oldest first."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT * FROM runs WHERE state IN ('queued', 'running')"
+                " ORDER BY created_at, run_id"
+            ).fetchall()
+        return [_row_to_record(row) for row in rows]
+
+    # -- plumbing ----------------------------------------------------------
+
+    def close(self) -> None:
+        """Close the underlying connection (idempotent)."""
+        with self._lock:
+            self._conn.close()
+
+    def __enter__(self) -> "RunStore":
+        """Context-manager entry: the store itself."""
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        """Context-manager exit: close the connection."""
+        self.close()

@@ -1,0 +1,388 @@
+"""Job kinds and the worker-process entry point.
+
+A *job kind* names a unit of work the campaign service knows how to
+run: a full middleware campaign, a single-cluster simulation, a figure
+sweep, the fig9 protocol trace.  Each kind validates its parameters at
+submission time (so the server rejects garbage before it is queued) and
+produces a result object that
+:func:`repro.experiments.results_io.dump_result` can serialize — one
+serializer for every job kind is what lets the run store treat results
+uniformly.
+
+:func:`execute_job` is the function shipped to
+:class:`~concurrent.futures.ProcessPoolExecutor` workers.  It is
+module-level (picklable), takes only plain values, and returns the
+serialized result string, so nothing non-picklable ever crosses the
+process boundary.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+from repro.exceptions import ReproError, ServiceError
+
+__all__ = [
+    "JobKind",
+    "execute_job",
+    "job_kinds",
+    "validate_job",
+]
+
+_HEURISTICS = ("basic", "redistribute", "allpost_end", "knapsack")
+
+
+def _as_int(params: Mapping[str, Any], key: str, default: int, *, low: int = 1) -> int:
+    """Pull a bounded integer parameter with a typed error on garbage."""
+    value = params.get(key, default)
+    try:
+        value = int(value)
+    except (TypeError, ValueError):
+        raise ServiceError(
+            f"parameter {key!r} must be an integer, got {value!r}",
+            code="bad-params",
+        ) from None
+    if value < low:
+        raise ServiceError(
+            f"parameter {key!r} must be >= {low}, got {value}",
+            code="bad-params",
+        )
+    return value
+
+
+def _as_heuristic(params: Mapping[str, Any]) -> str:
+    value = str(params.get("heuristic", "knapsack"))
+    if value not in _HEURISTICS:
+        raise ServiceError(
+            f"unknown heuristic {value!r}; expected one of {_HEURISTICS}",
+            code="bad-params",
+        )
+    return value
+
+
+# ---------------------------------------------------------------------------
+# Job implementations (all module-level: they run in worker processes).
+# ---------------------------------------------------------------------------
+
+
+def _validate_campaign(params: Mapping[str, Any]) -> dict[str, Any]:
+    return {
+        "clusters": _as_int(params, "clusters", 3),
+        "resources": _as_int(params, "resources", 40),
+        "scenarios": _as_int(params, "scenarios", 10),
+        "months": _as_int(params, "months", 12),
+        "heuristic": _as_heuristic(params),
+    }
+
+
+def _run_campaign(params: Mapping[str, Any]):
+    from repro.experiments.results_io import GenericResult
+    from repro.middleware.deployment import run_campaign
+    from repro.platform.benchmarks import benchmark_grid
+
+    grid = benchmark_grid(params["clusters"], params["resources"])
+    result = run_campaign(
+        grid, params["scenarios"], params["months"], params["heuristic"]
+    )
+    return GenericResult(
+        kind="campaign",
+        data={
+            "makespan": result.makespan,
+            "predicted_makespan": result.predicted_makespan,
+            "control_plane_seconds": result.control_plane_seconds,
+            "scenarios": params["scenarios"],
+            "months": params["months"],
+            "heuristic": params["heuristic"],
+            "clusters": [
+                {
+                    "name": report.cluster_name,
+                    "scenarios": list(report.scenario_ids),
+                    "grouping": report.grouping.describe(),
+                    "makespan": report.makespan,
+                }
+                for report in result.reports
+            ],
+        },
+    )
+
+
+def _validate_simulate(params: Mapping[str, Any]) -> dict[str, Any]:
+    return {
+        "cluster": str(params.get("cluster", "sagittaire")),
+        "resources": _as_int(params, "resources", 53),
+        "scenarios": _as_int(params, "scenarios", 10),
+        "months": _as_int(params, "months", 12),
+        "heuristic": _as_heuristic(params),
+    }
+
+
+def _run_simulate(params: Mapping[str, Any]):
+    from repro.experiments.results_io import GenericResult
+    from repro.experiments.runner import run_cluster_simulation
+    from repro.workflow.ocean_atmosphere import EnsembleSpec
+
+    spec = EnsembleSpec(params["scenarios"], params["months"])
+    result = run_cluster_simulation(
+        params["cluster"], params["resources"], spec, params["heuristic"]
+    )
+    return GenericResult(
+        kind="simulate",
+        data={
+            "makespan": result.makespan,
+            "cluster": params["cluster"],
+            "resources": params["resources"],
+            "scenarios": params["scenarios"],
+            "months": params["months"],
+            "heuristic": params["heuristic"],
+        },
+    )
+
+
+def _validate_sweep(params: Mapping[str, Any]) -> dict[str, Any]:
+    clean = {
+        "scenarios": _as_int(params, "scenarios", 10),
+        "months": _as_int(params, "months", 12),
+        "r_min": _as_int(params, "r_min", 11),
+        "r_max": _as_int(params, "r_max", 40),
+        "step": _as_int(params, "step", 4),
+    }
+    if clean["r_max"] < clean["r_min"]:
+        raise ServiceError(
+            f"r_max ({clean['r_max']}) must be >= r_min ({clean['r_min']})",
+            code="bad-params",
+        )
+    return clean
+
+
+def _run_fig7(params: Mapping[str, Any]):
+    from repro.experiments import fig7
+
+    return fig7.run(
+        scenarios=params["scenarios"],
+        months=params["months"],
+        r_min=params["r_min"],
+        r_max=params["r_max"],
+        step=params["step"],
+    )
+
+
+def _run_fig8(params: Mapping[str, Any]):
+    from repro.experiments import fig8
+
+    return fig8.run(
+        scenarios=params["scenarios"],
+        months=params["months"],
+        r_min=params["r_min"],
+        r_max=params["r_max"],
+        step=params["step"],
+    )
+
+
+def _validate_fig10(params: Mapping[str, Any]) -> dict[str, Any]:
+    clean = _validate_sweep(params)
+    raw = params.get("clusters", [2, 3])
+    if not isinstance(raw, (list, tuple)) or not raw:
+        raise ServiceError(
+            f"parameter 'clusters' must be a non-empty list, got {raw!r}",
+            code="bad-params",
+        )
+    clean["clusters"] = [_as_int({"n": n}, "n", 0, low=1) for n in raw]
+    return clean
+
+
+def _run_fig10(params: Mapping[str, Any]):
+    from repro.experiments import fig10
+
+    return fig10.run(
+        scenarios=params["scenarios"],
+        months=params["months"],
+        cluster_counts=tuple(params["clusters"]),
+        r_min=params["r_min"],
+        r_max=params["r_max"],
+        step=params["step"],
+    )
+
+
+def _validate_fig9(params: Mapping[str, Any]) -> dict[str, Any]:
+    return {
+        "clusters": _as_int(params, "clusters", 2),
+        "resources": _as_int(params, "resources", 25),
+        "scenarios": _as_int(params, "scenarios", 4),
+        "months": _as_int(params, "months", 6),
+        "heuristic": _as_heuristic(params),
+    }
+
+
+def _run_fig9(params: Mapping[str, Any]):
+    from repro.experiments import fig9_protocol
+    from repro.experiments.results_io import GenericResult
+    from repro.platform.benchmarks import benchmark_grid
+
+    result = fig9_protocol.run(
+        grid=benchmark_grid(params["clusters"], params["resources"]),
+        scenarios=params["scenarios"],
+        months=params["months"],
+        heuristic=params["heuristic"],
+    )
+    return GenericResult(
+        kind="fig9",
+        data={
+            "makespan": result.campaign.makespan,
+            "predicted_makespan": result.campaign.predicted_makespan,
+            "participants": list(result.participants),
+            "message_kinds": result.kinds_in_order(),
+            "messages": [
+                {
+                    "sender": entry.sender,
+                    "receiver": entry.receiver,
+                    "kind": entry.kind,
+                    "nbytes": entry.nbytes,
+                }
+                for entry in result.log
+            ],
+        },
+    )
+
+
+def _validate_sleep(params: Mapping[str, Any]) -> dict[str, Any]:
+    try:
+        seconds = float(params.get("seconds", 0.0))
+    except (TypeError, ValueError):
+        raise ServiceError(
+            f"parameter 'seconds' must be a number, "
+            f"got {params.get('seconds')!r}",
+            code="bad-params",
+        ) from None
+    if seconds < 0:
+        raise ServiceError(
+            f"parameter 'seconds' must be >= 0, got {seconds}",
+            code="bad-params",
+        )
+    return {"seconds": seconds, "fail": bool(params.get("fail", False))}
+
+
+def _run_sleep(params: Mapping[str, Any]):
+    from repro.experiments.results_io import GenericResult
+
+    if params["seconds"]:
+        time.sleep(params["seconds"])
+    if params["fail"]:
+        raise ServiceError("sleep job asked to fail", code="injected")
+    return GenericResult(kind="sleep", data={"slept": params["seconds"]})
+
+
+# ---------------------------------------------------------------------------
+# Registry.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class JobKind:
+    """One unit of work the service can execute."""
+
+    name: str
+    description: str
+    validate: Callable[[Mapping[str, Any]], dict[str, Any]]
+    run: Callable[[Mapping[str, Any]], Any]
+
+
+_KINDS: dict[str, JobKind] = {
+    kind.name: kind
+    for kind in (
+        JobKind(
+            "campaign",
+            "full middleware campaign on a benchmark grid",
+            _validate_campaign,
+            _run_campaign,
+        ),
+        JobKind(
+            "simulate",
+            "single-cluster ensemble simulation",
+            _validate_simulate,
+            _run_simulate,
+        ),
+        JobKind(
+            "fig7",
+            "optimal-grouping sweep (Figure 7)",
+            _validate_sweep,
+            _run_fig7,
+        ),
+        JobKind(
+            "fig8",
+            "homogeneous-cluster gains sweep (Figure 8)",
+            _validate_sweep,
+            _run_fig8,
+        ),
+        JobKind(
+            "fig10",
+            "grid gains sweep with repartition (Figure 10)",
+            _validate_fig10,
+            _run_fig10,
+        ),
+        JobKind(
+            "fig9",
+            "live protocol trace (Figure 9)",
+            _validate_fig9,
+            _run_fig9,
+        ),
+        JobKind(
+            "sleep",
+            "diagnostic no-op job (optionally failing) for tests and benchmarks",
+            _validate_sleep,
+            _run_sleep,
+        ),
+    )
+}
+
+
+def job_kinds() -> tuple[JobKind, ...]:
+    """Every registered job kind, in registration order."""
+    return tuple(_KINDS.values())
+
+
+def validate_job(kind: str, params: Mapping[str, Any]) -> dict[str, Any]:
+    """Check a submission and return its normalized parameters.
+
+    Raises :class:`~repro.exceptions.ServiceError` with code
+    ``unknown-kind`` or ``bad-params``; the server maps these straight
+    to typed wire errors, so invalid work is refused before it touches
+    the queue.
+    """
+    job = _KINDS.get(kind)
+    if job is None:
+        raise ServiceError(
+            f"unknown job kind {kind!r}; "
+            f"expected one of {tuple(_KINDS)}",
+            code="unknown-kind",
+        )
+    if not isinstance(params, Mapping):
+        raise ServiceError(
+            f"params must be an object, got {type(params).__name__}",
+            code="bad-params",
+        )
+    return job.validate(params)
+
+
+def execute_job(kind: str, params: dict[str, Any]) -> str:
+    """Run one job to completion; the worker-process entry point.
+
+    Returns the result serialized with
+    :func:`repro.experiments.results_io.dump_result`.  Library errors
+    propagate as :class:`~repro.exceptions.ReproError` subclasses —
+    they pickle cleanly back to the dispatcher, which decides between
+    retry and terminal failure.
+    """
+    from repro.experiments.results_io import dump_result
+
+    clean = validate_job(kind, params)
+    try:
+        result = _KINDS[kind].run(clean)
+    except ReproError:
+        raise
+    except Exception as exc:  # pragma: no cover - defensive normalization
+        raise ServiceError(
+            f"job kind {kind!r} crashed: {exc!r}", code="job-crashed"
+        ) from exc
+    return dump_result(result)

@@ -6,7 +6,13 @@ import pytest
 
 from repro.exceptions import ConfigurationError
 from repro.experiments import fig7, fig8, fig10
-from repro.experiments.results_io import dump_result, load_result
+from repro.experiments.results_io import (
+    GenericResult,
+    dump_result,
+    load_result,
+    register_codec,
+    registered_tags,
+)
 
 
 class TestRoundTrips:
@@ -59,3 +65,59 @@ class TestMalformed:
     def test_unserializable_type(self) -> None:
         with pytest.raises(ConfigurationError):
             dump_result("not a result")  # type: ignore[arg-type]
+
+
+class TestGenericResults:
+    def test_round_trip(self) -> None:
+        original = GenericResult(
+            kind="ablation",
+            data={"makespan": 4044.0, "clusters": ["chti", "grelon"]},
+        )
+        restored = load_result(dump_result(original))
+        assert restored == original
+
+    def test_fig9_style_payload(self) -> None:
+        # The shape the campaign service stores for protocol captures.
+        original = GenericResult(
+            kind="fig9",
+            data={
+                "message_kinds": ["ServiceRequest", "ExecutionReport"],
+                "total_bytes": 1840,
+            },
+        )
+        assert load_result(dump_result(original)).data["total_bytes"] == 1840
+
+    def test_rejects_empty_kind(self) -> None:
+        with pytest.raises(ConfigurationError):
+            GenericResult(kind="", data={})
+
+    def test_rejects_non_dict_data(self) -> None:
+        with pytest.raises(ConfigurationError):
+            GenericResult(kind="x", data=[1, 2])  # type: ignore[arg-type]
+
+    def test_rejects_unserializable_data(self) -> None:
+        with pytest.raises(ConfigurationError):
+            GenericResult(kind="x", data={"conn": object()})
+
+
+class TestRegistry:
+    def test_known_tags(self) -> None:
+        assert {"fig7", "fig8", "fig10", "generic"} <= set(registered_tags())
+
+    def test_reregistering_same_class_is_idempotent(self) -> None:
+        register_codec(
+            "generic",
+            GenericResult,
+            lambda r: {"kind": r.kind, "data": r.data},
+            lambda p: GenericResult(kind=p["kind"], data=p["data"]),
+        )
+        assert registered_tags().count("generic") == 1
+
+    def test_conflicting_tag_rejected(self) -> None:
+        class Impostor:
+            pass
+
+        with pytest.raises(ConfigurationError):
+            register_codec(
+                "generic", Impostor, lambda r: {}, lambda p: Impostor()
+            )

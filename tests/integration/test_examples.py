@@ -11,8 +11,6 @@ import importlib.util
 import sys
 from pathlib import Path
 
-import pytest
-
 EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
 
 
@@ -71,3 +69,9 @@ class TestExamplesRun:
         assert "19 clusters over 9 sites" in out
         assert "idle clusters" in out
         assert "sensitivity of" in out
+
+    def test_service_campaign(self, capsys) -> None:
+        out = _run_example("service_campaign", capsys)
+        assert "campaign service on 127.0.0.1:" in out
+        assert out.count("done") >= 3
+        assert "stored makespans" in out

@@ -1,0 +1,102 @@
+"""Unit tests for the NDJSON wire protocol."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import ServiceError
+from repro.service import protocol
+from repro.service.protocol import (
+    ERROR_CODES,
+    PROTOCOL_VERSION,
+    Request,
+    decode_request,
+    decode_response,
+    encode_request,
+    encode_response,
+    error_response,
+    ok_response,
+)
+
+
+class TestRequestCodec:
+    def test_round_trip(self) -> None:
+        request = Request(op="submit", payload={"kind": "campaign"})
+        decoded = decode_request(encode_request(request))
+        assert decoded == request
+
+    def test_one_line(self) -> None:
+        line = encode_request(Request(op="health"))
+        assert "\n" not in line
+        assert json.loads(line)["v"] == PROTOCOL_VERSION
+
+    def test_malformed_json(self) -> None:
+        with pytest.raises(ServiceError) as exc:
+            decode_request("{nope")
+        assert exc.value.code == "bad-request"
+
+    def test_non_object(self) -> None:
+        with pytest.raises(ServiceError) as exc:
+            decode_request("[1, 2]")
+        assert exc.value.code == "bad-request"
+
+    def test_version_mismatch(self) -> None:
+        line = json.dumps({"v": 99, "op": "health", "payload": {}})
+        with pytest.raises(ServiceError) as exc:
+            decode_request(line)
+        assert exc.value.code == "bad-version"
+
+    def test_missing_version(self) -> None:
+        with pytest.raises(ServiceError) as exc:
+            decode_request(json.dumps({"op": "health"}))
+        assert exc.value.code == "bad-version"
+
+    def test_unknown_op(self) -> None:
+        line = json.dumps({"v": 1, "op": "explode", "payload": {}})
+        with pytest.raises(ServiceError) as exc:
+            decode_request(line)
+        assert exc.value.code == "unknown-op"
+
+    def test_bad_payload_type(self) -> None:
+        line = json.dumps({"v": 1, "op": "health", "payload": [1]})
+        with pytest.raises(ServiceError) as exc:
+            decode_request(line)
+        assert exc.value.code == "bad-request"
+
+
+class TestResponseCodec:
+    def test_ok_round_trip(self) -> None:
+        response = ok_response("status", {"state": "done"})
+        decoded = decode_response(encode_response(response))
+        assert decoded.ok
+        assert decoded.payload == {"state": "done"}
+        assert decoded.raise_for_error() is decoded
+
+    def test_error_round_trip(self) -> None:
+        response = error_response(
+            "result", ServiceError("not yet", code="not-finished")
+        )
+        decoded = decode_response(encode_response(response))
+        assert not decoded.ok
+        assert decoded.error_code == "not-finished"
+        with pytest.raises(ServiceError) as exc:
+            decoded.raise_for_error()
+        assert exc.value.code == "not-finished"
+        assert "not yet" in str(exc.value)
+
+    def test_unlisted_code_collapses_to_internal(self) -> None:
+        response = error_response(
+            "submit", ServiceError("odd", code="made-up-code")
+        )
+        assert response.error_code == "internal"
+
+    def test_every_advertised_code_is_a_string(self) -> None:
+        assert all(isinstance(code, str) for code in ERROR_CODES)
+        assert "internal" in ERROR_CODES
+
+    def test_operations_closed_set(self) -> None:
+        assert set(protocol.OPERATIONS) == {
+            "submit", "status", "result", "list", "cancel", "health",
+        }

@@ -1,0 +1,109 @@
+"""Unit tests for job-kind validation and worker execution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ServiceError
+from repro.experiments.results_io import GenericResult, load_result
+from repro.service.workers import (
+    execute_job,
+    job_kinds,
+    validate_job,
+)
+
+
+class TestValidation:
+    def test_unknown_kind(self) -> None:
+        with pytest.raises(ServiceError) as exc:
+            validate_job("teleport", {})
+        assert exc.value.code == "unknown-kind"
+
+    def test_defaults_filled_in(self) -> None:
+        clean = validate_job("campaign", {})
+        assert clean["clusters"] == 3
+        assert clean["heuristic"] == "knapsack"
+
+    def test_bad_integer(self) -> None:
+        with pytest.raises(ServiceError) as exc:
+            validate_job("campaign", {"clusters": "many"})
+        assert exc.value.code == "bad-params"
+
+    def test_bad_heuristic(self) -> None:
+        with pytest.raises(ServiceError) as exc:
+            validate_job("simulate", {"heuristic": "magic"})
+        assert exc.value.code == "bad-params"
+
+    def test_sweep_bounds(self) -> None:
+        with pytest.raises(ServiceError) as exc:
+            validate_job("fig7", {"r_min": 30, "r_max": 20})
+        assert exc.value.code == "bad-params"
+
+    def test_fig10_clusters_must_be_list(self) -> None:
+        with pytest.raises(ServiceError):
+            validate_job("fig10", {"clusters": 3})
+
+    def test_sleep_rejects_negative(self) -> None:
+        with pytest.raises(ServiceError):
+            validate_job("sleep", {"seconds": -1})
+
+    def test_every_kind_is_described(self) -> None:
+        kinds = job_kinds()
+        assert {k.name for k in kinds} >= {
+            "campaign", "simulate", "fig7", "fig8", "fig9", "fig10",
+        }
+        assert all(k.description for k in kinds)
+
+
+class TestExecution:
+    def test_sleep_round_trip(self) -> None:
+        result = load_result(execute_job("sleep", {"seconds": 0}))
+        assert isinstance(result, GenericResult)
+        assert result.kind == "sleep"
+
+    def test_sleep_injected_failure(self) -> None:
+        with pytest.raises(ServiceError) as exc:
+            execute_job("sleep", {"fail": True})
+        assert exc.value.code == "injected"
+
+    def test_simulate_produces_makespan(self) -> None:
+        text = execute_job(
+            "simulate",
+            {"cluster": "sagittaire", "resources": 30,
+             "scenarios": 4, "months": 3},
+        )
+        result = load_result(text)
+        assert result.kind == "simulate"
+        assert result.data["makespan"] > 0
+
+    def test_campaign_reports_clusters(self) -> None:
+        result = load_result(
+            execute_job(
+                "campaign",
+                {"clusters": 2, "resources": 25,
+                 "scenarios": 4, "months": 3},
+            )
+        )
+        assert result.kind == "campaign"
+        assert result.data["makespan"] > 0
+        assert len(result.data["clusters"]) >= 1
+
+    def test_fig9_captures_protocol(self) -> None:
+        result = load_result(
+            execute_job("fig9", {"scenarios": 3, "months": 2})
+        )
+        assert result.kind == "fig9"
+        assert result.data["message_kinds"][0] == "ServiceRequest"
+        assert result.data["message_kinds"][-1] == "ExecutionReport"
+
+    def test_fig7_uses_native_codec(self) -> None:
+        from repro.experiments.fig7 import Fig7Result
+
+        text = execute_job(
+            "fig7",
+            {"scenarios": 4, "months": 3, "r_min": 11,
+             "r_max": 20, "step": 4},
+        )
+        result = load_result(text)
+        assert isinstance(result, Fig7Result)
+        assert len(result.resources) == len(result.best_group)

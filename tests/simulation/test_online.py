@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core.heuristics import plan_grouping
-from repro.exceptions import SimulationError
+from repro.exceptions import SimulationError, WorkflowError
 from repro.platform.benchmarks import benchmark_cluster
 from repro.platform.timing import TableTimingModel
 from repro.simulation.engine import simulate
@@ -54,6 +54,38 @@ class TestOnlineEngine:
         b = simulate_online(spec, timing, 37)
         assert a.makespan == b.makespan
         assert a.width_histogram == b.width_histogram
+
+
+class TestEdgeCases:
+    def test_empty_scenario_list_rejected(self) -> None:
+        # An ensemble with no scenarios is rejected at spec construction,
+        # before any engine sees it.
+        with pytest.raises(WorkflowError):
+            EnsembleSpec(0, 5)
+        with pytest.raises(WorkflowError):
+            EnsembleSpec(3, 0)
+
+    def test_single_processor_cluster(self) -> None:
+        # One processor can never host the minimum group width.
+        for policy in ("greedy-max", "knapsack-aware"):
+            with pytest.raises(SimulationError):
+                simulate_online(EnsembleSpec(1, 1), _flat(), 1, policy=policy)
+
+    def test_submission_burst_exceeds_capacity(self) -> None:
+        # 50 scenarios on an 11-processor machine: only a couple run per
+        # wave, yet every month of every scenario still completes.
+        spec = EnsembleSpec(50, 2)
+        result = simulate_online(spec, _flat(), 11)
+        assert sum(result.width_histogram.values()) == 100
+        # At most two groups of >=4 fit in 11 processors, so the burst
+        # is serialized over many waves, not run at once.
+        assert result.main_makespan >= 100.0 * (100 / 2)
+
+    def test_burst_serialization_matches_both_policies(self) -> None:
+        spec = EnsembleSpec(50, 2)
+        for policy in ("greedy-max", "knapsack-aware"):
+            result = simulate_online(spec, _flat(), 11, policy=policy)
+            assert sum(result.width_histogram.values()) == 100
 
 
 class TestPolicyComparison:

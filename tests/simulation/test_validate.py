@@ -15,7 +15,7 @@ from repro.core.grouping import Grouping
 from repro.exceptions import ValidationError
 from repro.platform.timing import TableTimingModel
 from repro.simulation.engine import simulate
-from repro.simulation.events import SimulationResult, TaskRecord
+from repro.simulation.events import SimulationResult
 from repro.simulation.validate import validate_schedule
 from repro.workflow.ocean_atmosphere import EnsembleSpec
 
