@@ -66,6 +66,9 @@ from repro.core import (
     Grouping,
     analytic_makespan,
     analytic_breakdown,
+    cached_analytic_makespan,
+    cached_simulated_makespan,
+    makespan_cache_stats,
     basic_grouping,
     best_uniform_group,
     redistribute_grouping,
@@ -135,6 +138,9 @@ __all__ = [
     "Grouping",
     "analytic_makespan",
     "analytic_breakdown",
+    "cached_analytic_makespan",
+    "cached_simulated_makespan",
+    "makespan_cache_stats",
     "basic_grouping",
     "best_uniform_group",
     "redistribute_grouping",

@@ -6,6 +6,7 @@ Subcommands::
     repro-oa fig7  [--months 60 ...]  # optimal grouping staircase
     repro-oa fig8  [--step 1 ...]     # homogeneous gains, mean ± std
     repro-oa fig10 [--step 4 ...]     # grid gains with Algorithm 1
+    repro-oa sweep [--out sweep.ndjson ...]  # batched resumable grid sweep
     repro-oa ablations                # design-decision studies
     repro-oa simulate  --cluster sagittaire --resources 53 ...
     repro-oa campaign  --clusters 3 --resources 40 ...
@@ -88,6 +89,60 @@ def build_parser() -> argparse.ArgumentParser:
         default=[2, 3, 4, 5],
         help="cluster counts to sweep (default: 2 3 4 5)",
     )
+
+    psw = sub.add_parser(
+        "sweep",
+        help="batched parameter-grid sweep through the memoized kernels",
+    )
+    psw.add_argument(
+        "--clusters", nargs="+", default=["sagittaire"], metavar="NAME",
+        help="benchmark cluster names (default: sagittaire)",
+    )
+    psw.add_argument("--r-min", type=int, default=11)
+    psw.add_argument("--r-max", type=int, default=120)
+    psw.add_argument("--step", type=int, default=1)
+    psw.add_argument(
+        "--scenarios", type=int, nargs="+", default=[10],
+        help="NS values to sweep (default: 10)",
+    )
+    psw.add_argument(
+        "--months", type=int, nargs="+", default=[12],
+        help="NM values to sweep (default: 12)",
+    )
+    psw.add_argument(
+        "--heuristics", nargs="+", default=None,
+        choices=["basic", "redistribute", "allpost_end", "knapsack"],
+        help="heuristics to sweep (default: all four)",
+    )
+    psw.add_argument(
+        "--workers", type=int, default=None,
+        help="fan chunks out over N worker processes",
+    )
+    psw.add_argument(
+        "--chunk-size", type=int, default=None,
+        help="points per journaled chunk (default: 32)",
+    )
+    psw.add_argument(
+        "--max-chunks", type=int, default=None,
+        help="stop after N chunks (resume later from the journal)",
+    )
+    psw.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="NDJSON journal: completed chunks append here and a rerun resumes",
+    )
+    psw.add_argument(
+        "--no-resume", action="store_true",
+        help="overwrite the journal instead of resuming from it",
+    )
+    psw.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the memoized makespan kernels (baseline timing)",
+    )
+    psw.add_argument(
+        "--table", action="store_true",
+        help="print every evaluated row, not just the summary",
+    )
+    add_obs_flags(psw)
 
     sub.add_parser("ablations", help="design-decision ablation studies")
 
@@ -195,7 +250,10 @@ def build_parser() -> argparse.ArgumentParser:
     _add_service_endpoint(psub)
     psub.add_argument(
         "--kind", required=True,
-        help="job kind (campaign, simulate, fig7, fig8, fig9, fig10, sleep)",
+        help=(
+            "job kind (campaign, simulate, fig7, fig8, fig9, fig10, sweep, "
+            "sleep)"
+        ),
     )
     psub.add_argument(
         "--param", action="append", default=[], metavar="KEY=VALUE",
@@ -508,6 +566,80 @@ def _cmd_fig10(args: argparse.Namespace) -> str:
             y_label="gain (%)",
         )
     return "\n\n".join([fig10.render(result, plot=not args.no_plot)] + extra)
+
+
+def _cmd_sweep(args: argparse.Namespace) -> str:
+    from repro.analysis.tables import format_table
+    from repro.core.makespan import makespan_cache_stats
+    from repro.experiments.sweep import SweepGrid, run_sweep
+
+    from repro import obs
+
+    grid = SweepGrid.from_ranges(
+        clusters=tuple(args.clusters),
+        r_min=args.r_min,
+        r_max=args.r_max,
+        step=args.step,
+        scenarios=tuple(args.scenarios),
+        months=tuple(args.months),
+        heuristics=tuple(args.heuristics) if args.heuristics else None,
+    )
+    with _obs_scope(args):
+        with obs.span("sweep.cli", points=grid.size):
+            result = run_sweep(
+                grid,
+                workers=args.workers,
+                chunk_size=args.chunk_size,
+                journal_path=args.out,
+                resume=not args.no_resume,
+                max_chunks=args.max_chunks,
+                use_cache=not args.no_cache,
+            )
+        extra = finalize_obs(args)
+
+    summary = result.summary()
+    parts = [
+        f"sweep over {summary['points']} points "
+        f"({len(grid.clusters)} clusters x {len(grid.resources)} resource "
+        f"counts x {len(grid.scenarios)} NS x {len(grid.months)} NM x "
+        f"{len(grid.heuristics)} heuristics): "
+        f"{summary['evaluated']} evaluated, "
+        f"{summary['infeasible']} infeasible"
+        + ("" if result.complete else " — partial; rerun to continue"),
+        "wins by heuristic: "
+        + ", ".join(f"{h}={n}" for h, n in summary["wins"].items()),
+    ]
+    if args.table:
+        parts.append(
+            format_table(
+                ["cluster", "R", "NS", "NM", "heuristic", "makespan (s)", "grouping"],
+                [
+                    [
+                        row.point.cluster,
+                        row.point.resources,
+                        row.point.scenarios,
+                        row.point.months,
+                        row.point.heuristic,
+                        "-" if row.makespan is None else f"{row.makespan:.1f}",
+                        row.grouping,
+                    ]
+                    for row in result.rows
+                ],
+            )
+        )
+    if not args.no_cache and (args.workers or 0) <= 1:
+        stats = makespan_cache_stats()
+        parts.append(
+            "kernel cache: "
+            + "; ".join(
+                f"{kind} {c['hits']} hits / {c['misses']} misses "
+                f"({c['size']} entries)"
+                for kind, c in stats.items()
+            )
+        )
+    if args.out:
+        parts.append(f"journal: {args.out} (rerun with the same grid to resume)")
+    return "\n\n".join(parts + extra)
 
 
 def _cmd_ablations(_args: argparse.Namespace) -> str:
@@ -857,6 +989,7 @@ _COMMANDS = {
     "fig7": _cmd_fig7,
     "fig8": _cmd_fig8,
     "fig10": _cmd_fig10,
+    "sweep": _cmd_sweep,
     "ablations": _cmd_ablations,
     "simulate": _cmd_simulate,
     "campaign": _cmd_campaign,

@@ -20,7 +20,19 @@ processors be partitioned into moldable-task groups?*
 """
 
 from repro.core.grouping import Grouping
-from repro.core.makespan import analytic_makespan, MakespanBreakdown, analytic_breakdown
+from repro.core.makespan import (
+    MakespanBreakdown,
+    analytic_breakdown,
+    analytic_makespan,
+    cached_analytic_breakdown,
+    cached_analytic_makespan,
+    cached_simulated_makespan,
+    clear_makespan_cache,
+    makespan_cache_disabled,
+    makespan_cache_enabled,
+    makespan_cache_stats,
+    set_makespan_cache_enabled,
+)
 from repro.core.basic import basic_grouping, best_uniform_group
 from repro.core.redistribute import redistribute_grouping
 from repro.core.allpost_end import allpost_end_grouping
@@ -47,6 +59,14 @@ __all__ = [
     "analytic_makespan",
     "analytic_breakdown",
     "MakespanBreakdown",
+    "cached_analytic_breakdown",
+    "cached_analytic_makespan",
+    "cached_simulated_makespan",
+    "clear_makespan_cache",
+    "makespan_cache_disabled",
+    "makespan_cache_enabled",
+    "makespan_cache_stats",
+    "set_makespan_cache_enabled",
     "basic_grouping",
     "best_uniform_group",
     "redistribute_grouping",

@@ -14,7 +14,7 @@ import logging
 
 from repro import obs
 from repro.core.grouping import Grouping
-from repro.core.makespan import analytic_makespan
+from repro.core.makespan import cached_analytic_makespan
 from repro.exceptions import SchedulingError
 from repro.platform.cluster import ClusterSpec
 from repro.workflow.ocean_atmosphere import EnsembleSpec
@@ -49,7 +49,7 @@ def best_uniform_group(cluster: ClusterSpec, spec: EnsembleSpec) -> int:
                     reason="group_exceeds_resources",
                 )
             continue
-        ms = analytic_makespan(
+        ms = cached_analytic_makespan(
             cluster.resources, g, spec.scenarios, spec.months,
             cluster.main_time(g), tp,
         )

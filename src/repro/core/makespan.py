@@ -25,11 +25,30 @@ Notation (mirroring the paper)::
 from __future__ import annotations
 
 import math
+from contextlib import contextmanager
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator
 
 from repro.exceptions import SchedulingError
 
-__all__ = ["MakespanBreakdown", "analytic_breakdown", "analytic_makespan"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports core)
+    from repro.core.grouping import Grouping
+    from repro.platform.timing import TimingModel
+    from repro.workflow.ocean_atmosphere import EnsembleSpec
+
+__all__ = [
+    "MakespanBreakdown",
+    "analytic_breakdown",
+    "analytic_makespan",
+    "cached_analytic_breakdown",
+    "cached_analytic_makespan",
+    "cached_simulated_makespan",
+    "clear_makespan_cache",
+    "makespan_cache_disabled",
+    "makespan_cache_enabled",
+    "makespan_cache_stats",
+    "set_makespan_cache_enabled",
+]
 
 #: Guard for ``⌊TG/TP⌋`` on float inputs: 1259.999999 / 180 must floor
 #: like 1260 / 180 would.
@@ -165,3 +184,186 @@ def analytic_makespan(
     return analytic_breakdown(
         resources, group_size, scenarios, months, tg, tp
     ).makespan
+
+
+# ---------------------------------------------------------------------------
+# Memoized kernels.
+#
+# Figure sweeps evaluate the same (R, G, NS, NM, TG, TP) kernel many times:
+# every heuristic re-scores the same candidate groups, and neighbouring
+# sweep points share groupings outright.  Both the analytic formulas and
+# the event simulator are pure functions of those inputs, so a process-
+# local memo turns the duplicates into dict lookups.  Caches are keyed on
+# the exact float timing vector — no rounding — so a hit is bit-for-bit
+# identical to a recomputation (the differential-oracle tests enforce
+# this with the cache both enabled and disabled).
+# ---------------------------------------------------------------------------
+
+#: FIFO eviction bound per cache — generous for any figure-scale sweep
+#: (fig7's full grid needs a few hundred entries) while keeping a
+#: runaway campaign's memory flat.
+_CACHE_MAXSIZE = 1 << 16
+
+_analytic_cache: dict[tuple, MakespanBreakdown] = {}
+_simulated_cache: dict[tuple, float] = {}
+_cache_enabled = True
+_cache_counters = {
+    "analytic": {"hits": 0, "misses": 0},
+    "simulated": {"hits": 0, "misses": 0},
+}
+
+
+def _record(kind: str, outcome: str) -> None:
+    """Count a lookup locally and mirror it into the metrics registry."""
+    _cache_counters[kind]["hits" if outcome == "hit" else "misses"] += 1
+    from repro import obs  # deferred: keep the formula module import-light
+
+    if obs.enabled():
+        obs.inc("makespan.cache", kind=kind, outcome=outcome)
+
+
+def set_makespan_cache_enabled(enabled: bool) -> bool:
+    """Switch the memo caches on or off; returns the previous setting.
+
+    Disabling does not clear stored entries — re-enabling resumes with
+    the warm cache.  The switch is process-local, like the caches.
+    """
+    global _cache_enabled
+    previous = _cache_enabled
+    _cache_enabled = bool(enabled)
+    return previous
+
+
+def makespan_cache_enabled() -> bool:
+    """Whether the memo caches are currently consulted."""
+    return _cache_enabled
+
+
+@contextmanager
+def makespan_cache_disabled() -> Iterator[None]:
+    """Context manager running its body with the memo caches bypassed."""
+    previous = set_makespan_cache_enabled(False)
+    try:
+        yield
+    finally:
+        set_makespan_cache_enabled(previous)
+
+
+def clear_makespan_cache() -> None:
+    """Drop every cached kernel and zero the hit/miss counters."""
+    _analytic_cache.clear()
+    _simulated_cache.clear()
+    for counters in _cache_counters.values():
+        counters["hits"] = 0
+        counters["misses"] = 0
+
+
+def makespan_cache_stats() -> dict[str, dict[str, int]]:
+    """Hit/miss/size counters per kernel kind (``analytic``/``simulated``)."""
+    return {
+        "analytic": {
+            "hits": _cache_counters["analytic"]["hits"],
+            "misses": _cache_counters["analytic"]["misses"],
+            "size": len(_analytic_cache),
+        },
+        "simulated": {
+            "hits": _cache_counters["simulated"]["hits"],
+            "misses": _cache_counters["simulated"]["misses"],
+            "size": len(_simulated_cache),
+        },
+    }
+
+
+def _store(cache: dict, key: tuple, value) -> None:
+    """Insert with FIFO eviction (dicts preserve insertion order)."""
+    if len(cache) >= _CACHE_MAXSIZE:
+        cache.pop(next(iter(cache)))
+    cache[key] = value
+
+
+def cached_analytic_breakdown(
+    resources: int,
+    group_size: int,
+    scenarios: int,
+    months: int,
+    tg: float,
+    tp: float,
+) -> MakespanBreakdown:
+    """Memoized :func:`analytic_breakdown`, keyed on all six inputs.
+
+    The returned :class:`MakespanBreakdown` is frozen, so sharing one
+    instance across callers is safe.  Errors (infeasible ``G``) are not
+    cached — they re-raise on every call, exactly like the uncached path.
+    """
+    if not _cache_enabled:
+        return analytic_breakdown(resources, group_size, scenarios, months, tg, tp)
+    key = (resources, group_size, scenarios, months, tg, tp)
+    hit = _analytic_cache.get(key)
+    if hit is not None:
+        _record("analytic", "hit")
+        return hit
+    _record("analytic", "miss")
+    value = analytic_breakdown(resources, group_size, scenarios, months, tg, tp)
+    _store(_analytic_cache, key, value)
+    return value
+
+
+def cached_analytic_makespan(
+    resources: int,
+    group_size: int,
+    scenarios: int,
+    months: int,
+    tg: float,
+    tp: float,
+) -> float:
+    """Memoized :func:`analytic_makespan` (see :func:`cached_analytic_breakdown`)."""
+    return cached_analytic_breakdown(
+        resources, group_size, scenarios, months, tg, tp
+    ).makespan
+
+
+def simulation_cache_key(
+    grouping: "Grouping", spec: "EnsembleSpec", timing: "TimingModel"
+) -> tuple:
+    """The exact inputs the event simulator's makespan depends on.
+
+    ``(group-size vector, post pool, NS, NM, TG vector, TP)`` — the
+    cluster's name and any timing-model internals beyond the evaluated
+    times are deliberately excluded, so identical kernels reached from
+    different clusters share one entry.
+    """
+    return (
+        grouping.group_sizes,
+        grouping.post_pool,
+        spec.scenarios,
+        spec.months,
+        tuple(timing.main_time(g) for g in grouping.group_sizes),
+        timing.post_time(),
+    )
+
+
+def cached_simulated_makespan(
+    grouping: "Grouping", spec: "EnsembleSpec", timing: "TimingModel"
+) -> float:
+    """Memoized event-simulator makespan for one grouping/ensemble/timing.
+
+    The simulator is deterministic in :func:`simulation_cache_key`, so a
+    cache hit returns the bit-identical float a fresh
+    :func:`repro.simulation.engine.simulate` call would produce.  Only
+    the scalar makespan is cached; callers needing traces or the full
+    :class:`~repro.simulation.events.SimulationResult` should call the
+    engine directly.
+    """
+    from repro.simulation.engine import simulate
+
+    if not _cache_enabled:
+        return simulate(grouping, spec, timing).makespan
+    key = simulation_cache_key(grouping, spec, timing)
+    hit = _simulated_cache.get(key)
+    if hit is not None:
+        _record("simulated", "hit")
+        return hit
+    _record("simulated", "miss")
+    value = simulate(grouping, spec, timing).makespan
+    _store(_simulated_cache, key, value)
+    return value

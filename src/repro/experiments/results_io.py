@@ -248,6 +248,11 @@ def load_result(text: str) -> ResultObject:
     if not isinstance(payload, dict) or "figure" not in payload:
         raise ConfigurationError("payload is not a figure-result envelope")
     figure = payload["figure"]
+    if figure == "sweep" and figure not in _CODECS:
+        # The sweep codec registers on import; load lazily so reading a
+        # sweep result does not require the producer to have run first.
+        import repro.experiments.sweep  # noqa: F401
+
     if figure not in _CODECS:
         raise ConfigurationError(f"unknown figure tag {figure!r}")
     _cls, _encode, decode = _CODECS[figure]

@@ -246,6 +246,57 @@ def _run_fig9(params: Mapping[str, Any]):
     )
 
 
+def _validate_grid_sweep(params: Mapping[str, Any]) -> dict[str, Any]:
+    clean = _validate_sweep(params)
+    raw_clusters = params.get("clusters", ["sagittaire"])
+    if not isinstance(raw_clusters, (list, tuple)) or not raw_clusters:
+        raise ServiceError(
+            f"parameter 'clusters' must be a non-empty list of cluster "
+            f"names, got {raw_clusters!r}",
+            code="bad-params",
+        )
+    clean["clusters"] = [str(name) for name in raw_clusters]
+    raw_heuristics = params.get("heuristics", list(_HEURISTICS))
+    if not isinstance(raw_heuristics, (list, tuple)) or not raw_heuristics:
+        raise ServiceError(
+            f"parameter 'heuristics' must be a non-empty list, "
+            f"got {raw_heuristics!r}",
+            code="bad-params",
+        )
+    for name in raw_heuristics:
+        if name not in _HEURISTICS:
+            raise ServiceError(
+                f"unknown heuristic {name!r}; expected one of {_HEURISTICS}",
+                code="bad-params",
+            )
+    clean["heuristics"] = [str(name) for name in raw_heuristics]
+    # Jobs already run inside a pool worker, so the sweep itself stays
+    # serial by default; opt into nested workers explicitly if the
+    # deployment allows it.
+    clean["workers"] = _as_int(params, "workers", 0, low=0)
+    clean["chunk_size"] = _as_int(params, "chunk_size", 32)
+    return clean
+
+
+def _run_grid_sweep(params: Mapping[str, Any]):
+    from repro.experiments.sweep import SweepGrid, run_sweep
+
+    grid = SweepGrid.from_ranges(
+        clusters=tuple(params["clusters"]),
+        r_min=params["r_min"],
+        r_max=params["r_max"],
+        step=params["step"],
+        scenarios=(params["scenarios"],),
+        months=(params["months"],),
+        heuristics=tuple(params["heuristics"]),
+    )
+    return run_sweep(
+        grid,
+        workers=params["workers"] or None,
+        chunk_size=params["chunk_size"],
+    )
+
+
 def _validate_sleep(params: Mapping[str, Any]) -> dict[str, Any]:
     try:
         seconds = float(params.get("seconds", 0.0))
@@ -326,6 +377,12 @@ _KINDS: dict[str, JobKind] = {
             "live protocol trace (Figure 9)",
             _validate_fig9,
             _run_fig9,
+        ),
+        JobKind(
+            "sweep",
+            "declarative parameter-grid sweep through the memoized kernels",
+            _validate_grid_sweep,
+            _run_grid_sweep,
         ),
         JobKind(
             "sleep",

@@ -23,6 +23,17 @@ Post-task phase
 Complexity: ``O(NS·NM · (NS + log NS))`` for the main phase and
 ``O(NS·NM · log R)`` for the post phase; a full paper-scale experiment
 (10 × 1800 months) simulates in well under a second.
+
+Two implementations
+    The *reference* path carries per-task records and per-event metrics
+    hooks and scans the waiting set linearly — readable, instrumented,
+    and the arbiter of correctness.  The *fast* path replays the exact
+    same policy with heaps and no bookkeeping; it runs whenever neither
+    traces nor metrics are requested.  Both produce bit-identical
+    makespans (the scheduling decisions, and therefore every float
+    operation on event times, are the same) — the differential-oracle
+    tests pin this, and the ``fast`` argument of :func:`simulate` exists
+    so they can force either path.
 """
 
 from __future__ import annotations
@@ -58,6 +69,7 @@ def simulate(
     cluster_name: str = "cluster",
     record_trace: bool = False,
     enforce_cardinality: bool = True,
+    fast: bool | None = None,
 ) -> SimulationResult:
     """Simulate one ensemble on one cluster under a fixed grouping.
 
@@ -75,6 +87,13 @@ def simulate(
     enforce_cardinality:
         Reject groupings with more groups than scenarios (the paper's
         rule).  Disable only for deliberately degenerate test inputs.
+    fast:
+        ``None`` (default) picks automatically: the bookkeeping-free
+        fast path when neither traces nor metrics are requested, the
+        instrumented reference path otherwise.  ``True``/``False``
+        force one implementation — forcing ``True`` is incompatible
+        with ``record_trace`` and skips metrics; forcing ``False``
+        exists for differential testing and baseline benchmarks.
     """
     if enforce_cardinality:
         grouping.validate_against(timing, spec.scenarios)
@@ -84,9 +103,29 @@ def simulate(
 
     group_times = [timing.main_time(g) for g in grouping.group_sizes]
     tp = timing.post_time()
-    ranges = proc_ranges(grouping)
 
     stats = _EngineStats() if obs.enabled() else None
+    use_fast = (not record_trace and stats is None) if fast is None else fast
+    if use_fast:
+        if record_trace:
+            raise SimulationError(
+                "fast=True cannot record traces; use fast=False or fast=None"
+            )
+        ready_times, group_last_end = _run_main_phase_fast(spec, group_times)
+        main_makespan = ready_times[-1] if ready_times else 0.0
+        post_makespan = _run_post_phase_fast(
+            grouping, ready_times, group_last_end, tp
+        )
+        return SimulationResult(
+            makespan=max(main_makespan, post_makespan),
+            main_makespan=main_makespan,
+            grouping=grouping,
+            spec=spec,
+            cluster_name=cluster_name,
+            records=(),
+        )
+
+    ranges = proc_ranges(grouping)
     if stats is not None:
         stats.tasks_per_group = [0] * len(group_times)
 
@@ -317,3 +356,97 @@ def _run_post_phase(
                 TaskRecord("post", scenario, month, start, end, -1, proc, proc + 1)
             )
     return records, makespan
+
+
+def _run_main_phase_fast(
+    spec: EnsembleSpec, group_times: list[float]
+) -> tuple[list[float], list[float]]:
+    """The main phase without records or metrics; heaps replace scans.
+
+    Replays :func:`_run_main_phase` decision-for-decision: the waiting
+    set becomes a heap of ``(months_done, wait_since, scenario)`` (keys
+    are frozen while a scenario waits, so entries never go stale) and
+    the free-group sort becomes a heap of ``(T[g], g)``.  Identical
+    choices mean identical float arithmetic on event times, so the
+    returned ready times and group last-ends are bit-for-bit those of
+    the reference path.  Returns ``(ready_times, group_last_end)`` with
+    ready times in completion order — nondecreasing, so the last entry
+    is the main-phase makespan and the post phase needs no sort.
+    """
+    ns, nm = spec.scenarios, spec.months
+    months_done = [0] * ns
+    unstarted = ns * nm
+
+    # Both comprehensions produce ascending sequences — already valid heaps.
+    waiting: list[tuple[int, float, int]] = [(0, 0.0, s) for s in range(ns)]
+    idle: list[tuple[float, int]] = sorted(
+        (gt, g) for g, gt in enumerate(group_times)
+    )
+    running: list[tuple[float, int, int]] = []
+    group_last_end = [0.0] * len(group_times)
+    ready_times: list[float] = []
+
+    push, pop = heapq.heappush, heapq.heappop
+    now = 0.0
+    while True:
+        while idle and waiting and unstarted > 0:
+            gt, group = pop(idle)
+            _, _, scenario = pop(waiting)
+            push(running, (now + gt, group, scenario))
+            unstarted -= 1
+        if not running:
+            break
+        now, group, scenario = pop(running)
+        done = months_done[scenario] + 1
+        months_done[scenario] = done
+        group_last_end[group] = now
+        ready_times.append(now)
+        if done < nm:
+            push(waiting, (done, now, scenario))
+        push(idle, (group_times[group], group))
+
+    if unstarted != 0 or waiting:
+        raise SimulationError(
+            f"main phase ended with {unstarted} unstarted tasks and "
+            f"{len(waiting)} waiting scenarios — engine invariant broken"
+        )
+    return ready_times, group_last_end
+
+
+def _run_post_phase_fast(
+    grouping: Grouping,
+    ready_times: list[float],
+    group_last_end: list[float],
+    tp: float,
+) -> float:
+    """The post phase on a float-only processor heap; returns its makespan.
+
+    Processor identity never affects timing — the pool pops the earliest
+    ``available_from`` either way — so the heap holds bare floats.  The
+    ready list arrives sorted (main-phase completion order), and posts of
+    equal ready time are interchangeable: whatever order they claim the
+    two earliest processors in, the resulting pool and end-time multisets
+    are identical, hence the same makespan as the reference path.
+    """
+    pool: list[float] = [0.0] * grouping.post_pool
+    for group, size in enumerate(grouping.group_sizes):
+        pool.extend([group_last_end[group]] * size)
+    heapq.heapify(pool)
+
+    if not pool:
+        if ready_times:
+            raise SimulationError(
+                "no processor ever becomes available for post-processing "
+                "tasks — grouping has no post pool and no groups?"
+            )
+        return 0.0
+
+    push, pop = heapq.heappush, heapq.heappop
+    makespan = 0.0
+    for ready in ready_times:
+        free_at = pop(pool)
+        end = (free_at if free_at > ready else ready) + tp
+        push(pool, end)
+        if end > makespan:
+            makespan = end
+    return makespan

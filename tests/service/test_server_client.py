@@ -131,7 +131,12 @@ class TestAcceptance:
                     ids.append(client.submit("sleep", {"seconds": 1.5}))
                 for _ in range(3):
                     ids.append(client.submit("campaign", CAMPAIGN))
-            time.sleep(0.4)  # let the first sleep job get claimed
+                # Poll until the first sleep job is actually claimed — a
+                # fixed sleep here raced the worker on loaded machines.
+                deadline = time.monotonic() + 30.0
+                while client.status(ids[0])["state"] != "running":
+                    assert time.monotonic() < deadline, "job never claimed"
+                    time.sleep(0.02)
         finally:
             handle.kill()  # crash-style: no drain, rows stay 'running'
 

@@ -50,9 +50,25 @@ class TestValidation:
     def test_every_kind_is_described(self) -> None:
         kinds = job_kinds()
         assert {k.name for k in kinds} >= {
-            "campaign", "simulate", "fig7", "fig8", "fig9", "fig10",
+            "campaign", "simulate", "fig7", "fig8", "fig9", "fig10", "sweep",
         }
         assert all(k.description for k in kinds)
+
+    def test_grid_sweep_defaults(self) -> None:
+        clean = validate_job("sweep", {})
+        assert clean["clusters"] == ["sagittaire"]
+        assert clean["workers"] == 0
+        assert clean["chunk_size"] == 32
+
+    def test_grid_sweep_rejects_bad_heuristics(self) -> None:
+        with pytest.raises(ServiceError) as exc:
+            validate_job("sweep", {"heuristics": ["magic"]})
+        assert exc.value.code == "bad-params"
+
+    def test_grid_sweep_rejects_bad_range(self) -> None:
+        with pytest.raises(ServiceError) as exc:
+            validate_job("sweep", {"r_min": 30, "r_max": 20})
+        assert exc.value.code == "bad-params"
 
 
 class TestExecution:
@@ -107,3 +123,22 @@ class TestExecution:
         result = load_result(text)
         assert isinstance(result, Fig7Result)
         assert len(result.resources) == len(result.best_group)
+
+    def test_grid_sweep_uses_native_codec(self) -> None:
+        from repro.experiments.sweep import SweepGrid, SweepResult, run_sweep
+
+        text = execute_job(
+            "sweep",
+            {"scenarios": 4, "months": 3, "r_min": 11,
+             "r_max": 20, "step": 4, "heuristics": ["basic", "knapsack"]},
+        )
+        result = load_result(text)
+        assert isinstance(result, SweepResult)
+        assert result.complete
+        direct = run_sweep(
+            SweepGrid.from_ranges(
+                r_min=11, r_max=20, step=4, scenarios=(4,), months=(3,),
+                heuristics=("basic", "knapsack"),
+            )
+        )
+        assert result == direct

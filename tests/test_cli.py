@@ -199,3 +199,32 @@ class TestNewCommands:
         assert "Perfetto" in out
         payload = json.loads(path.read_text())
         assert payload["traceEvents"]
+
+    def test_sweep_small(self, capsys) -> None:
+        out = _run(
+            capsys, "sweep", "--r-min", "11", "--r-max", "26", "--step", "5",
+            "--scenarios", "4", "--months", "3", "--table",
+        )
+        assert "sweep over" in out
+        assert "wins by heuristic" in out
+        assert "makespan (s)" in out
+
+    def test_sweep_journal_resume(self, capsys, tmp_path) -> None:
+        journal = tmp_path / "sweep.ndjson"
+        out = _run(
+            capsys, "sweep", "--r-min", "11", "--r-max", "26", "--step", "5",
+            "--scenarios", "4", "--months", "3",
+            "--out", str(journal), "--chunk-size", "4", "--max-chunks", "1",
+        )
+        assert "partial; rerun to continue" in out
+        out = _run(
+            capsys, "sweep", "--r-min", "11", "--r-max", "26", "--step", "5",
+            "--scenarios", "4", "--months", "3",
+            "--out", str(journal), "--chunk-size", "4",
+        )
+        assert "partial" not in out
+        assert journal.exists()
+
+    def test_sweep_rejects_unknown_heuristic(self) -> None:
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--heuristics", "magic"])
