@@ -11,6 +11,7 @@ Subcommands::
     repro-oa simulate  --cluster sagittaire --resources 53 ...
     repro-oa campaign  --clusters 3 --resources 40 ...
     repro-oa recover   --fail chti --at-hours 5 ...
+    repro-oa faults    --seed 7 --mtbf-hours 6 [--resilience]
     repro-oa report    [--full] [--output report.md]
     repro-oa info                     # benchmark cluster database
     repro-oa obs summary m.json       # digest a --metrics-out dump
@@ -193,6 +194,45 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_obs_flags(pr)
 
+    pf = sub.add_parser(
+        "faults",
+        help="campaign replanned through a seeded multi-failure trace",
+    )
+    pf.add_argument("--clusters", type=int, default=3)
+    pf.add_argument("--resources", type=int, default=30)
+    pf.add_argument("--scenarios", type=int, default=9)
+    pf.add_argument("--months", type=int, default=24)
+    pf.add_argument(
+        "--heuristic",
+        default="knapsack",
+        choices=["basic", "redistribute", "allpost_end", "knapsack"],
+    )
+    pf.add_argument("--seed", type=int, default=0)
+    pf.add_argument(
+        "--mtbf-hours", type=float, default=6.0,
+        help="mean time between failures per cluster (hours)",
+    )
+    pf.add_argument(
+        "--mttr-hours", type=float, default=1.0,
+        help="mean outage duration (hours)",
+    )
+    pf.add_argument(
+        "--outages-only", action="store_true",
+        help="no permanent crashes: every cluster eventually rejoins",
+    )
+    pf.add_argument(
+        "--resilience", action="store_true",
+        help=(
+            "run the MTBF-sweep resilience study "
+            "(experiments/resilience) instead of a single trace"
+        ),
+    )
+    pf.add_argument(
+        "--trials", type=int, default=3,
+        help="traces averaged per MTBF point (with --resilience)",
+    )
+    add_obs_flags(pf)
+
     pg = sub.add_parser(
         "generic",
         help="schedule a generic moldable-chain workload (future-work extension)",
@@ -243,6 +283,18 @@ def build_parser() -> argparse.ArgumentParser:
     psrv.add_argument(
         "--max-attempts", type=int, default=3,
         help="executions per run before it lands in 'failed'",
+    )
+    psrv.add_argument(
+        "--chaos-rate", type=float, default=0.0, metavar="P",
+        help=(
+            "arm chaos testing: probability per job execution of an "
+            "injected failure, split evenly over crash/timeout/error "
+            "(default: 0 = off)"
+        ),
+    )
+    psrv.add_argument(
+        "--chaos-seed", type=int, default=0,
+        help="seed for the deterministic chaos decision stream",
     )
     add_obs_flags(psrv)
 
@@ -733,6 +785,65 @@ def _cmd_recover(args: argparse.Namespace) -> str:
     return "\n\n".join(parts)
 
 
+def _cmd_faults(args: argparse.Namespace) -> str:
+    from repro import obs
+    from repro.faults.trace import FaultProfile, FaultTrace, generate_trace
+    from repro.middleware.recovery import run_campaign_with_faults
+    from repro.platform.benchmarks import benchmark_grid
+
+    with _obs_scope(args):
+        parts: list[str]
+        if args.resilience:
+            from repro.experiments import resilience
+
+            result = resilience.run(
+                scenarios=args.scenarios,
+                months=args.months,
+                clusters=args.clusters,
+                resources=args.resources,
+                mttr_hours=args.mttr_hours,
+                trials=args.trials,
+                seed=args.seed,
+            )
+            parts = [resilience.render(result)]
+        else:
+            with obs.span(
+                "faults", seed=args.seed, mtbf_hours=args.mtbf_hours
+            ):
+                grid = benchmark_grid(args.clusters, args.resources)
+                baseline = run_campaign_with_faults(
+                    grid,
+                    args.scenarios,
+                    args.months,
+                    FaultTrace(),
+                    heuristic=args.heuristic,
+                )
+                if args.outages_only:
+                    profile = FaultProfile.outages_only(
+                        args.mtbf_hours * 3600.0, args.mttr_hours * 3600.0
+                    )
+                else:
+                    profile = FaultProfile(
+                        mtbf_seconds=args.mtbf_hours * 3600.0,
+                        mttr_seconds=args.mttr_hours * 3600.0,
+                    )
+                trace = generate_trace(
+                    {name: profile for name in grid.names},
+                    baseline.makespan,
+                    args.seed,
+                )
+                report = run_campaign_with_faults(
+                    grid,
+                    args.scenarios,
+                    args.months,
+                    trace,
+                    heuristic=args.heuristic,
+                )
+            parts = [report.describe()]
+        parts.extend(finalize_obs(args))
+    return "\n\n".join(parts)
+
+
 def _parse_table(text: str) -> dict[int, float]:
     """Parse '2:500,3:360' into a {procs: seconds} mapping."""
     from repro.exceptions import ConfigurationError
@@ -811,8 +922,14 @@ def _cmd_serve(args: argparse.Namespace) -> str:
         job_timeout=args.job_timeout,
         max_attempts=args.max_attempts,
     )
+    chaos = None
+    if args.chaos_rate > 0:
+        from repro.faults.chaos import ChaosConfig
+
+        chaos = ChaosConfig.storm(seed=args.chaos_seed, rate=args.chaos_rate)
     server = CampaignServer(
-        args.db, host=args.host, port=args.port, queue_config=config
+        args.db, host=args.host, port=args.port, queue_config=config,
+        chaos=chaos,
     )
 
     async def _run() -> None:
@@ -994,6 +1111,7 @@ _COMMANDS = {
     "simulate": _cmd_simulate,
     "campaign": _cmd_campaign,
     "recover": _cmd_recover,
+    "faults": _cmd_faults,
     "generic": _cmd_generic,
     "report": _cmd_report,
     "info": _cmd_info,

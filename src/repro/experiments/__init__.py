@@ -25,6 +25,7 @@ __all__ = [
     "fig9_protocol",
     "fig10",
     "ablations",
+    "resilience",
     "results_io",
     "runner",
 ]

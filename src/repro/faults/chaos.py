@@ -1,0 +1,125 @@
+"""Service-layer chaos injection — deterministic fault storms.
+
+The campaign service's retry/backoff and crash-recovery paths
+(:mod:`repro.service.queue`, ``RunStore.recover_interrupted``) were
+historically exercised by single hand-crafted faults.  A
+:class:`ChaosConfig` instead arms the dispatcher with a *seeded*
+monkey that, on each job execution, may inject one of three failure
+modes the real worker pool exhibits:
+
+* ``crash`` — the worker process dies (the pool is rebuilt, the
+  execution counts as a failed attempt);
+* ``timeout`` — the job exceeds its wall-clock budget (same handling
+  as a real :class:`asyncio.TimeoutError`);
+* ``error`` — a transient executor exception (plain failed attempt,
+  no pool rebuild).
+
+Decisions are a pure function of ``(seed, run_id, attempt)`` — not of
+scheduler interleaving — so a chaotic campaign is *replayable*: the
+same submissions under the same seed hit the same storms, which is what
+lets the chaos suite assert exact outcomes.  Injection happens behind
+the flag (``JobQueue(..., chaos=ChaosConfig(...))`` or ``repro-oa
+serve --chaos-rate``); a ``None`` config costs nothing.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro import obs
+from repro.exceptions import ServiceError
+
+__all__ = ["CHAOS_ACTIONS", "ChaosConfig", "ChaosMonkey"]
+
+_log = obs.get_logger(__name__)
+
+#: Injectable failure modes, in decision-threshold order.
+CHAOS_ACTIONS: tuple[str, ...] = ("crash", "timeout", "error")
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Per-execution injection probabilities plus the seed.
+
+    Each rate is the probability that one job *execution* suffers that
+    failure mode; the three rates must sum to at most 1.  ``seed``
+    anchors the deterministic decision stream.
+    """
+
+    seed: int = 0
+    crash_rate: float = 0.0
+    timeout_rate: float = 0.0
+    error_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        rates = (self.crash_rate, self.timeout_rate, self.error_rate)
+        if any(r < 0 or r > 1 for r in rates):
+            raise ServiceError(
+                f"chaos rates must be in [0, 1], got {rates!r}",
+                code="bad-request",
+            )
+        if sum(rates) > 1.0 + 1e-12:
+            raise ServiceError(
+                f"chaos rates must sum to <= 1, got {sum(rates)!r}",
+                code="bad-request",
+            )
+
+    @property
+    def total_rate(self) -> float:
+        """Probability that an execution suffers *some* injection."""
+        return self.crash_rate + self.timeout_rate + self.error_rate
+
+    @classmethod
+    def storm(cls, seed: int = 0, rate: float = 0.5) -> "ChaosConfig":
+        """A balanced storm splitting ``rate`` across all three modes."""
+        share = rate / 3.0
+        return cls(
+            seed=seed,
+            crash_rate=share,
+            timeout_rate=share,
+            error_rate=rate - 2 * share,
+        )
+
+
+class ChaosMonkey:
+    """The decision engine a :class:`~repro.service.queue.JobQueue` arms."""
+
+    def __init__(self, config: ChaosConfig) -> None:
+        self.config = config
+        self.injected = 0
+
+    def decide(self, run_id: str, attempt: int) -> str | None:
+        """Which failure (if any) execution ``attempt`` of ``run_id`` suffers.
+
+        Deterministic in ``(seed, run_id, attempt)`` — independent of
+        worker interleaving — and ``None`` means the execution proceeds
+        untouched.
+        """
+        if self.config.total_rate <= 0.0:
+            return None
+        roll = random.Random(
+            f"chaos:{self.config.seed}:{run_id}:{attempt}"
+        ).random()
+        threshold = 0.0
+        for action, rate in zip(
+            CHAOS_ACTIONS,
+            (
+                self.config.crash_rate,
+                self.config.timeout_rate,
+                self.config.error_rate,
+            ),
+        ):
+            threshold += rate
+            if roll < threshold:
+                return action
+        return None
+
+    def record(self, action: str, run_id: str, kind: str) -> None:
+        """Count one injection (metrics + structured log)."""
+        self.injected += 1
+        obs.inc("chaos.injected", action=action, kind=kind)
+        obs.log_event(
+            _log, "chaos.injected",
+            action=action, run_id=run_id, kind=kind, total=self.injected,
+        )

@@ -1,0 +1,430 @@
+"""Engine-level fault injection — the hook the simulators accept.
+
+A :class:`FaultHook` compiles one cluster's sub-trace into two things
+the engines can consume:
+
+* a **time warp** — a piecewise-linear monotone map between *fault-free
+  simulation time* and *wall-clock time*.  Outages contribute flat
+  segments (the whole cluster is stopped) and slowdowns stretched ones
+  (every processor runs ``factor`` times slower).  Because cluster-level
+  faults hit every processor identically, warping the fault-free
+  schedule is *exact*: the engine's greedy decisions depend only on the
+  order of completion events, and a monotone warp preserves that order;
+* a **crash instant** — the wall-clock time after which nothing more
+  runs.
+
+Checkpoint semantics follow the paper's monthly restart files: a month
+whose coupled run finished (warped end ≤ crash) wrote its restart data
+to shared storage and is *safe*; the month in flight at the crash is
+lost, as is every post task still pending.  :class:`FaultOutcome`
+reports exactly that split, so the middleware replanner can resume each
+scenario from its last completed month.
+
+An empty hook is guaranteed free: :func:`repro.simulation.engine.simulate`
+treats it as ``faults=None`` and keeps its bookkeeping-free fast path,
+so results are bit-for-bit those of the fault-free engine.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, replace
+
+from repro import obs
+from repro.exceptions import SimulationError
+from repro.faults.trace import FaultEvent, FaultKind, FaultTrace
+
+__all__ = ["FaultHook", "FaultOutcome", "simulate_with_faults"]
+
+_log = obs.get_logger(__name__)
+
+
+@dataclass(frozen=True)
+class _Window:
+    """One wall-clock interval with a uniform compute rate.
+
+    ``rate`` is progress per wall-clock second: ``0`` during an outage,
+    ``1/factor`` during a slowdown.
+    """
+
+    start: float
+    end: float
+    rate: float
+
+
+@dataclass(frozen=True)
+class FaultOutcome:
+    """What a fault trace did to one simulated schedule."""
+
+    cluster_name: str
+    #: wall-clock crash instant, or ``None`` when the schedule completed.
+    crash_at: float | None
+    #: months whose coupled run finished before the crash, per scenario.
+    completed_months: dict[int, int]
+    #: post tasks of completed months still pending at the crash.
+    pending_posts: dict[int, int]
+    #: coupled-run months destroyed (in flight or never started).
+    months_lost: int
+    #: processor-seconds of in-flight work destroyed (wall-clock).
+    lost_work_seconds: float
+    #: wall-clock makespan of the surviving schedule prefix.
+    makespan: float
+
+    @property
+    def crashed(self) -> bool:
+        """Whether the schedule was cut short."""
+        return self.crash_at is not None
+
+
+class FaultHook:
+    """A compiled, single-cluster fault injector (see module docstring)."""
+
+    def __init__(
+        self,
+        windows: tuple[_Window, ...] = (),
+        crash_at: float | None = None,
+    ) -> None:
+        self.windows = windows
+        self.crash_at = crash_at
+        # Prefix sums: progress accumulated at each window start, and the
+        # wall-clock position reached for each accumulated progress.
+        self._wall_starts = [w.start for w in windows]
+        self._progress_at_start: list[float] = []
+        acc = 0.0
+        prev_end = 0.0
+        for w in windows:
+            acc += w.start - prev_end  # rate-1 gap before the window
+            self._progress_at_start.append(acc)
+            acc += (w.end - w.start) * w.rate
+            prev_end = w.end
+        self._progress_after = acc
+        self._last_end = prev_end
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_trace(cls, trace: FaultTrace, cluster: str) -> "FaultHook":
+        """Compile one cluster's events into a hook.
+
+        The first crash wins; outage/slowdown windows after it are
+        unreachable and dropped.  Overlapping windows take the *slowest*
+        rate on the overlap (a stopped cluster cannot be merely slow).
+        """
+        events = [e for e in trace if e.cluster == cluster]
+        return cls.from_events(events, cluster=cluster)
+
+    @classmethod
+    def from_events(
+        cls, events: list[FaultEvent], *, cluster: str | None = None
+    ) -> "FaultHook":
+        """Compile a list of events (all for one cluster) into a hook."""
+        crash_at: float | None = None
+        raw: list[tuple[float, float, float]] = []
+        for event in sorted(events, key=FaultEvent.sort_key):
+            if cluster is not None and event.cluster != cluster:
+                raise SimulationError(
+                    f"fault hook for {cluster!r} got an event for "
+                    f"{event.cluster!r}"
+                )
+            if event.kind is FaultKind.CRASH:
+                if crash_at is None or event.at_time < crash_at:
+                    crash_at = event.at_time
+            elif event.kind is FaultKind.OUTAGE:
+                raw.append((event.at_time, event.end_time, 0.0))
+            elif event.kind is FaultKind.SLOWDOWN:
+                raw.append((event.at_time, event.end_time, 1.0 / event.factor))
+            # REJOIN is a campaign-level concept: a single-cluster
+            # schedule cannot absorb a revived cluster, so it is ignored.
+        if crash_at is not None:
+            raw = [
+                (s, min(e, crash_at), r)
+                for s, e, r in raw
+                if s < crash_at
+            ]
+        return cls(_normalize(raw), crash_at)
+
+    # -- the warp ----------------------------------------------------------
+
+    @property
+    def is_noop(self) -> bool:
+        """Whether this hook changes nothing (empty sub-trace)."""
+        return not self.windows and self.crash_at is None
+
+    def wallclock(self, p: float) -> float:
+        """Earliest wall-clock time at which fault-free progress ``p`` is reached."""
+        if not self.windows or p <= self._progress_at_start[0]:
+            return p
+        i = bisect.bisect_right(self._progress_at_start, p) - 1
+        w = self.windows[i]
+        done_at_start = self._progress_at_start[i]
+        in_window = (w.end - w.start) * w.rate
+        if p <= done_at_start + in_window:
+            if w.rate == 0.0:
+                # Progress p is reached exactly at the window start (the
+                # flat segment adds nothing) — p == done_at_start here.
+                return w.start
+            return w.start + (p - done_at_start) / w.rate
+        # Past this window: the remainder accrues at rate 1 after it.
+        return w.end + (p - done_at_start - in_window)
+
+    def progress(self, t: float) -> float:
+        """Fault-free progress accumulated by wall-clock time ``t``."""
+        if not self.windows or t <= self.windows[0].start:
+            return t
+        i = bisect.bisect_right(self._wall_starts, t) - 1
+        w = self.windows[i]
+        done_at_start = self._progress_at_start[i]
+        if t <= w.end:
+            return done_at_start + (t - w.start) * w.rate
+        return done_at_start + (w.end - w.start) * w.rate + (t - w.end)
+
+    def crash_progress(self) -> float | None:
+        """Fault-free time at which the crash lands (``None`` if no crash)."""
+        if self.crash_at is None:
+            return None
+        return self.progress(self.crash_at)
+
+    # -- application -------------------------------------------------------
+
+    def apply(self, result, *, keep_records: bool = True):
+        """Warp a traced :class:`~repro.simulation.events.SimulationResult`.
+
+        Returns ``(warped_result, outcome)``.  The input must carry
+        records (``record_trace=True``); the engines guarantee that when
+        a hook is passed.  Surviving records get warped start/end times;
+        tasks in flight at the crash (and everything after) are dropped.
+        """
+        if self.is_noop:
+            outcome = _completed_outcome(result)
+            if not keep_records:
+                result = replace(result, records=())
+            return result, outcome
+        if not result.records:
+            raise SimulationError(
+                "fault hooks need a traced simulation (record_trace=True)"
+            )
+        survivors = []
+        lost_work = 0.0
+        completed: dict[int, int] = {
+            s: 0 for s in range(result.spec.scenarios)
+        }
+        finished_posts: dict[int, int] = {
+            s: 0 for s in range(result.spec.scenarios)
+        }
+        for record in result.records:
+            start = self.wallclock(record.start)
+            end = self.wallclock(record.end)
+            if self.crash_at is not None and end > self.crash_at:
+                if start < self.crash_at:
+                    lost_work += (self.crash_at - start) * record.n_procs
+                continue
+            survivors.append(replace(record, start=start, end=end))
+            if record.kind == "main":
+                completed[record.scenario] += 1
+            else:
+                finished_posts[record.scenario] += 1
+        makespan = max((r.end for r in survivors), default=0.0)
+        main_makespan = max(
+            (r.end for r in survivors if r.kind == "main"), default=0.0
+        )
+        pending_posts = {
+            s: completed[s] - min(finished_posts[s], completed[s])
+            for s in completed
+        }
+        months_lost = (
+            result.spec.scenarios * result.spec.months
+            - sum(completed.values())
+            if self.crash_at is not None
+            else 0
+        )
+        warped = replace(
+            result,
+            makespan=makespan,
+            main_makespan=main_makespan,
+            records=tuple(survivors) if keep_records else (),
+        )
+        outcome = FaultOutcome(
+            cluster_name=result.cluster_name,
+            crash_at=self.crash_at,
+            completed_months=completed,
+            pending_posts=pending_posts,
+            months_lost=months_lost,
+            lost_work_seconds=lost_work,
+            makespan=makespan,
+        )
+        if obs.enabled():
+            obs.inc("faults.engine_injections", cluster=result.cluster_name)
+            if months_lost:
+                obs.inc(
+                    "faults.months_lost",
+                    months_lost,
+                    cluster=result.cluster_name,
+                )
+        return warped, outcome
+
+    def apply_dag(self, result, dag=None, *, keep_records: bool = True):
+        """Warp a traced :class:`~repro.simulation.dag_engine.DagSimulationResult`.
+
+        Returns ``(warped_result, outcome)``.  DAG records carry task
+        ids rather than ``(scenario, month)``; when ``dag`` is given its
+        tasks provide the scenario mapping for the outcome's
+        per-scenario accounting (otherwise ``completed_months`` and
+        ``pending_posts`` stay empty).  A completed sequential task
+        counts as a finished post; a sequential task whose predecessors
+        all survived but which did not finish counts as pending.
+        """
+        if self.is_noop:
+            empty = {}
+            if dag is not None:
+                scenarios = sorted({t.scenario for t in dag.tasks()})
+                mains = {s: 0 for s in scenarios}
+                for tid in dag.task_ids():
+                    task = dag.task(tid)
+                    if task.kind.value == "main":
+                        mains[task.scenario] += 1
+                completed, pending = mains, {s: 0 for s in scenarios}
+            else:
+                completed, pending = empty, empty
+            outcome = FaultOutcome(
+                cluster_name="dag",
+                crash_at=None,
+                completed_months=completed,
+                pending_posts=pending,
+                months_lost=0,
+                lost_work_seconds=0.0,
+                makespan=result.makespan,
+            )
+            if not keep_records:
+                result = replace(result, records=())
+            return result, outcome
+        if not result.records:
+            raise SimulationError(
+                "fault hooks need a traced simulation (record_trace=True)"
+            )
+        survivors = []
+        finished_ids: set[str] = set()
+        lost_work = 0.0
+        total_mains = 0
+        surviving_mains = 0
+        for record in result.records:
+            if record.kind == "main":
+                total_mains += 1
+            start = self.wallclock(record.start)
+            end = self.wallclock(record.end)
+            if self.crash_at is not None and end > self.crash_at:
+                if start < self.crash_at:
+                    procs = record.procs_stop - record.procs_start
+                    lost_work += (self.crash_at - start) * procs
+                continue
+            survivors.append(replace(record, start=start, end=end))
+            finished_ids.add(record.task_id)
+            if record.kind == "main":
+                surviving_mains += 1
+        makespan = max((r.end for r in survivors), default=0.0)
+        main_makespan = max(
+            (r.end for r in survivors if r.kind == "main"), default=0.0
+        )
+        completed: dict[int, int] = {}
+        pending: dict[int, int] = {}
+        if dag is not None:
+            scenarios = sorted({t.scenario for t in dag.tasks()})
+            completed = {s: 0 for s in scenarios}
+            pending = {s: 0 for s in scenarios}
+            for tid in dag.task_ids():
+                task = dag.task(tid)
+                if task.kind.value == "main":
+                    if tid in finished_ids:
+                        completed[task.scenario] += 1
+                elif tid not in finished_ids and all(
+                    p in finished_ids for p in dag.predecessors(tid)
+                ):
+                    pending[task.scenario] += 1
+        months_lost = total_mains - surviving_mains
+        warped = replace(
+            result,
+            makespan=makespan,
+            main_makespan=main_makespan,
+            records=tuple(survivors) if keep_records else (),
+        )
+        outcome = FaultOutcome(
+            cluster_name="dag",
+            crash_at=self.crash_at,
+            completed_months=completed,
+            pending_posts=pending,
+            months_lost=months_lost,
+            lost_work_seconds=lost_work,
+            makespan=makespan,
+        )
+        if obs.enabled():
+            obs.inc("faults.engine_injections", cluster="dag")
+            if months_lost:
+                obs.inc("faults.months_lost", months_lost, cluster="dag")
+        return warped, outcome
+
+
+def _normalize(raw: list[tuple[float, float, float]]) -> tuple[_Window, ...]:
+    """Resolve overlaps into disjoint windows, slowest rate winning."""
+    raw = [(s, e, r) for s, e, r in raw if e > s]
+    if not raw:
+        return ()
+    bounds = sorted({b for s, e, _ in raw for b in (s, e)})
+    windows: list[_Window] = []
+    for left, right in zip(bounds, bounds[1:]):
+        rates = [r for s, e, r in raw if s <= left and right <= e]
+        if not rates:
+            continue
+        rate = min(rates)
+        if windows and windows[-1].end == left and windows[-1].rate == rate:
+            windows[-1] = _Window(windows[-1].start, right, rate)
+        else:
+            windows.append(_Window(left, right, rate))
+    return tuple(windows)
+
+
+def _completed_outcome(result) -> FaultOutcome:
+    """The trivial outcome of an untouched schedule."""
+    return FaultOutcome(
+        cluster_name=result.cluster_name,
+        crash_at=None,
+        completed_months={
+            s: result.spec.months for s in range(result.spec.scenarios)
+        },
+        pending_posts={s: 0 for s in range(result.spec.scenarios)},
+        months_lost=0,
+        lost_work_seconds=0.0,
+        makespan=result.makespan,
+    )
+
+
+def simulate_with_faults(
+    grouping,
+    spec,
+    timing,
+    faults: FaultHook | FaultTrace,
+    *,
+    cluster_name: str = "cluster",
+    record_trace: bool = False,
+):
+    """Simulate one cluster under faults; return ``(result, outcome)``.
+
+    ``faults`` may be a pre-compiled :class:`FaultHook` or a full
+    :class:`~repro.faults.trace.FaultTrace` (compiled against
+    ``cluster_name``).  The convenience over the engine's ``faults``
+    keyword is the returned :class:`FaultOutcome` — the checkpoint-level
+    account the middleware replanner consumes.
+    """
+    from repro.simulation.engine import simulate
+
+    if isinstance(faults, FaultTrace):
+        faults = FaultHook.from_trace(faults, cluster_name)
+    if faults.is_noop:
+        result = simulate(
+            grouping, spec, timing,
+            cluster_name=cluster_name, record_trace=record_trace,
+        )
+        return result, _completed_outcome(result)
+    base = simulate(
+        grouping, spec, timing,
+        cluster_name=cluster_name, record_trace=True, fast=False,
+    )
+    return faults.apply(base, keep_records=record_trace)

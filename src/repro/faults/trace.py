@@ -1,0 +1,344 @@
+"""Seeded failure-trace generation — deterministic chaos for campaigns.
+
+The paper's multi-week ensemble campaign runs on Grid'5000, where real
+deployments see sites crash, drop off the network for hours, and run
+degraded.  This module models those regimes as an explicit, *seeded*
+artifact: a :class:`FaultTrace` is a sorted tuple of
+:class:`FaultEvent` values drawn from per-cluster MTBF/MTTR
+distributions, and the same ``(spec, seed)`` pair always produces the
+same trace bit-for-bit.  Traces are data, not behavior — they can be
+serialized next to a campaign result, replayed against a different
+heuristic, or handed to the engines
+(:func:`repro.faults.hooks.FaultHook.from_trace`) and the middleware
+replanner (:func:`repro.middleware.recovery.run_campaign_with_faults`).
+
+Three failure kinds cover the regimes the recovery machinery must
+survive:
+
+* ``crash`` — the cluster is lost permanently (unless a later
+  ``rejoin`` event revives it);
+* ``outage`` — the cluster is lost at ``at_time`` and rejoins, empty,
+  ``duration`` seconds later (transient site failure);
+* ``slowdown`` — every processor of the cluster runs ``factor`` times
+  slower during the window (degraded cooling, contended network).
+
+Each cluster draws from its own RNG stream (seeded from the trace seed
+*and* the cluster name), so adding a cluster to a spec never perturbs
+the events generated for the others.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+from repro import obs
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "FaultKind",
+    "FaultEvent",
+    "FaultTrace",
+    "FaultProfile",
+    "generate_trace",
+]
+
+_log = obs.get_logger(__name__)
+
+
+class FaultKind(enum.Enum):
+    """What a :class:`FaultEvent` does to its cluster."""
+
+    #: Permanent loss (until an explicit ``REJOIN``).
+    CRASH = "crash"
+
+    #: Transient loss for ``duration`` seconds; the cluster rejoins empty.
+    OUTAGE = "outage"
+
+    #: Every processor runs ``factor`` times slower for ``duration`` seconds.
+    SLOWDOWN = "slowdown"
+
+    #: A previously crashed cluster comes back, empty.  Never generated
+    #: by :func:`generate_trace` (outages carry their own rejoin); exists
+    #: for hand-written traces.
+    REJOIN = "rejoin"
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One failure (or recovery) at a wall-clock instant.
+
+    ``duration`` is meaningful for outages and slowdowns; ``factor``
+    only for slowdowns (how many times slower the cluster runs).
+    """
+
+    kind: FaultKind
+    cluster: str
+    at_time: float
+    duration: float = 0.0
+    factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.cluster:
+            raise ConfigurationError("fault event needs a cluster name")
+        if self.at_time < 0:
+            raise ConfigurationError(
+                f"fault time must be >= 0, got {self.at_time!r}"
+            )
+        if self.kind in (FaultKind.OUTAGE, FaultKind.SLOWDOWN):
+            if self.duration <= 0:
+                raise ConfigurationError(
+                    f"{self.kind.value} needs duration > 0, "
+                    f"got {self.duration!r}"
+                )
+        if self.kind is FaultKind.SLOWDOWN and self.factor <= 1.0:
+            raise ConfigurationError(
+                f"slowdown factor must be > 1, got {self.factor!r}"
+            )
+
+    @property
+    def end_time(self) -> float:
+        """When the event's effect ends (``inf`` for a crash)."""
+        if self.kind is FaultKind.CRASH:
+            return math.inf
+        if self.kind is FaultKind.REJOIN:
+            return self.at_time
+        return self.at_time + self.duration
+
+    def sort_key(self) -> tuple[float, str, str]:
+        """Deterministic event ordering: time, then cluster, then kind."""
+        return (self.at_time, self.cluster, self.kind.value)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-representable projection (inverse of :meth:`from_dict`)."""
+        return {
+            "kind": self.kind.value,
+            "cluster": self.cluster,
+            "at_time": self.at_time,
+            "duration": self.duration,
+            "factor": self.factor,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: Mapping[str, Any]) -> "FaultEvent":
+        """Rebuild an event from :meth:`to_dict` output."""
+        try:
+            return cls(
+                kind=FaultKind(raw["kind"]),
+                cluster=str(raw["cluster"]),
+                at_time=float(raw["at_time"]),
+                duration=float(raw.get("duration", 0.0)),
+                factor=float(raw.get("factor", 1.0)),
+            )
+        except (KeyError, ValueError) as exc:
+            raise ConfigurationError(
+                f"malformed fault event {raw!r}: {exc}"
+            ) from exc
+
+
+@dataclass(frozen=True)
+class FaultTrace:
+    """An immutable, time-sorted sequence of fault events."""
+
+    events: tuple[FaultEvent, ...] = ()
+
+    @classmethod
+    def of(cls, events: Iterable[FaultEvent]) -> "FaultTrace":
+        """A trace from any iterable, sorted deterministically."""
+        return cls(tuple(sorted(events, key=FaultEvent.sort_key)))
+
+    def __post_init__(self) -> None:
+        ordered = tuple(sorted(self.events, key=FaultEvent.sort_key))
+        if ordered != self.events:
+            raise ConfigurationError(
+                "fault trace events must be time-sorted; "
+                "build with FaultTrace.of(...)"
+            )
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether the trace injects nothing."""
+        return not self.events
+
+    def for_cluster(self, cluster: str) -> "FaultTrace":
+        """The sub-trace affecting one cluster."""
+        return FaultTrace(
+            tuple(e for e in self.events if e.cluster == cluster)
+        )
+
+    def clusters(self) -> tuple[str, ...]:
+        """Every cluster named by at least one event, sorted."""
+        return tuple(sorted({e.cluster for e in self.events}))
+
+    def counts_by_kind(self) -> dict[str, int]:
+        """``{kind: events}`` over the whole trace (zeros omitted)."""
+        counts: dict[str, int] = {}
+        for event in self.events:
+            counts[event.kind.value] = counts.get(event.kind.value, 0) + 1
+        return counts
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        """JSON-representable projection of every event, in order."""
+        return [event.to_dict() for event in self.events]
+
+    @classmethod
+    def from_dicts(cls, raw: Iterable[Mapping[str, Any]]) -> "FaultTrace":
+        """Rebuild a trace from :meth:`to_dicts` output."""
+        return cls.of(FaultEvent.from_dict(entry) for entry in raw)
+
+    def describe(self) -> str:
+        """Human-readable event listing."""
+        if not self.events:
+            return "fault trace: empty"
+        lines = [f"fault trace: {len(self.events)} event(s)"]
+        for event in self.events:
+            extra = ""
+            if event.kind is FaultKind.OUTAGE:
+                extra = f" for {event.duration / 3600:.2f} h"
+            elif event.kind is FaultKind.SLOWDOWN:
+                extra = (
+                    f" x{event.factor:.2f} for {event.duration / 3600:.2f} h"
+                )
+            lines.append(
+                f"  {event.at_time / 3600:7.2f} h  {event.kind.value:8s} "
+                f"{event.cluster}{extra}"
+            )
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class FaultProfile:
+    """Per-cluster failure statistics for :func:`generate_trace`.
+
+    ``mtbf_seconds`` is the mean of the exponential inter-failure gap,
+    ``mttr_seconds`` the mean of the exponential outage/slowdown
+    duration.  ``kind_weights`` splits arrivals between crash, outage,
+    and slowdown (weights are normalized; a zero weight disables the
+    kind).  ``slowdown_range`` bounds the uniform slowdown factor.
+    """
+
+    mtbf_seconds: float
+    mttr_seconds: float = 3600.0
+    kind_weights: tuple[float, float, float] = (0.1, 0.6, 0.3)
+    slowdown_range: tuple[float, float] = (1.5, 4.0)
+
+    def __post_init__(self) -> None:
+        if self.mtbf_seconds <= 0:
+            raise ConfigurationError(
+                f"mtbf_seconds must be > 0, got {self.mtbf_seconds!r}"
+            )
+        if self.mttr_seconds <= 0:
+            raise ConfigurationError(
+                f"mttr_seconds must be > 0, got {self.mttr_seconds!r}"
+            )
+        if len(self.kind_weights) != 3 or any(
+            w < 0 for w in self.kind_weights
+        ) or not any(w > 0 for w in self.kind_weights):
+            raise ConfigurationError(
+                f"kind_weights must be three non-negative weights with a "
+                f"positive sum, got {self.kind_weights!r}"
+            )
+        low, high = self.slowdown_range
+        if not (1.0 < low <= high):
+            raise ConfigurationError(
+                f"slowdown_range must satisfy 1 < low <= high, "
+                f"got {self.slowdown_range!r}"
+            )
+
+    @classmethod
+    def outages_only(
+        cls, mtbf_seconds: float, mttr_seconds: float = 3600.0
+    ) -> "FaultProfile":
+        """A profile that only takes clusters down transiently.
+
+        Every cluster eventually comes back, so a campaign under this
+        profile always completes — the right regime for degradation
+        sweeps (:mod:`repro.experiments.resilience`).
+        """
+        return cls(
+            mtbf_seconds=mtbf_seconds,
+            mttr_seconds=mttr_seconds,
+            kind_weights=(0.0, 1.0, 0.0),
+        )
+
+
+def _cluster_rng(seed: int, cluster: str) -> random.Random:
+    """An independent, deterministic RNG stream per (seed, cluster)."""
+    return random.Random(f"fault-trace:{seed}:{cluster}")
+
+
+def _pick_kind(rng: random.Random, weights: tuple[float, float, float]) -> FaultKind:
+    """Draw crash/outage/slowdown proportionally to ``weights``."""
+    total = sum(weights)
+    roll = rng.random() * total
+    if roll < weights[0]:
+        return FaultKind.CRASH
+    if roll < weights[0] + weights[1]:
+        return FaultKind.OUTAGE
+    return FaultKind.SLOWDOWN
+
+
+def generate_trace(
+    profiles: Mapping[str, FaultProfile],
+    horizon_seconds: float,
+    seed: int,
+) -> FaultTrace:
+    """Draw a deterministic failure trace over ``[0, horizon_seconds)``.
+
+    ``profiles`` maps cluster names to their failure statistics; a
+    cluster with no entry never fails.  Each cluster's arrivals follow
+    a renewal process — exponential time to the next failure, then the
+    failure's own duration (crashes end the cluster's stream) — so
+    events of one cluster never overlap.  Identical arguments yield a
+    bit-for-bit identical trace.
+    """
+    if horizon_seconds <= 0:
+        raise ConfigurationError(
+            f"horizon_seconds must be > 0, got {horizon_seconds!r}"
+        )
+    events: list[FaultEvent] = []
+    for cluster in sorted(profiles):
+        profile = profiles[cluster]
+        rng = _cluster_rng(seed, cluster)
+        now = 0.0
+        while True:
+            now += rng.expovariate(1.0 / profile.mtbf_seconds)
+            if now >= horizon_seconds:
+                break
+            kind = _pick_kind(rng, profile.kind_weights)
+            if kind is FaultKind.CRASH:
+                events.append(FaultEvent(kind, cluster, now))
+                break  # the stream dies with the cluster
+            duration = rng.expovariate(1.0 / profile.mttr_seconds)
+            # Degenerate draws would fail event validation; floor them.
+            duration = max(duration, 1.0)
+            if kind is FaultKind.SLOWDOWN:
+                low, high = profile.slowdown_range
+                factor = rng.uniform(low, high)
+                events.append(
+                    FaultEvent(kind, cluster, now, duration, factor)
+                )
+            else:
+                events.append(FaultEvent(kind, cluster, now, duration))
+            now += duration
+    trace = FaultTrace.of(events)
+    if obs.enabled():
+        for kind, count in trace.counts_by_kind().items():
+            obs.inc("faults.events_generated", count, kind=kind)
+    obs.log_event(
+        _log, "faults.trace_generated",
+        seed=seed,
+        horizon_s=horizon_seconds,
+        events=len(trace),
+        by_kind=trace.counts_by_kind(),
+    )
+    return trace

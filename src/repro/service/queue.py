@@ -7,11 +7,20 @@ per-run backoff deadlines), executes each on a
 :func:`repro.service.workers.execute_job`, and writes the outcome back:
 
 * success → ``done`` with the serialized result;
-* failure with attempts left → re-``queued`` with an exponential
-  backoff deadline (``base * factor**(attempt-1)``, capped);
+* failure with attempts left → re-``queued`` with a full-jitter
+  exponential backoff deadline (uniform over ``[0, min(base *
+  factor**(attempt-1), cap)]`` — simultaneous failures never retry in
+  lock-step);
 * failure on the last attempt → ``failed`` with the error recorded;
 * per-job timeout → treated as a failure (the stuck worker is
   abandoned and the pool rebuilt so the slot is not lost).
+
+A :class:`~repro.faults.chaos.ChaosConfig` arms the queue with
+deterministic fault injection: each claimed execution may be hit by an
+injected worker crash, forced timeout, or transient executor error
+*instead of* running, consuming the attempt and exercising exactly the
+retry/backoff and pool-rebuild paths above.  Decisions depend only on
+``(seed, run_id, attempt)``, so chaotic campaigns replay identically.
 
 Because every transition is a durable store write *before* the next
 claim, the queue is crash-safe: a process killed mid-job leaves the row
@@ -27,12 +36,14 @@ crash path, used deliberately by the resilience tests).
 from __future__ import annotations
 
 import asyncio
+import random
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
 from repro import obs
 from repro.exceptions import ReproError, ServiceError
+from repro.faults.chaos import ChaosConfig, ChaosMonkey
 from repro.service.store import RUN_STATES, RunRecord, RunStore
 from repro.service.workers import execute_job
 
@@ -57,6 +68,8 @@ class QueueConfig:
     backoff_factor: float = 2.0
     #: Upper bound on any single backoff delay.
     backoff_cap: float = 30.0
+    #: Seed for the backoff jitter stream; ``None`` seeds from the OS.
+    backoff_seed: int | None = None
     #: Idle dispatcher poll period in seconds.
     poll_interval: float = 0.05
 
@@ -72,20 +85,44 @@ class QueueConfig:
                 code="bad-request",
             )
 
-    def backoff(self, attempt: int) -> float:
-        """Retry delay after the ``attempt``-th failed execution."""
+    def backoff_ceiling(self, attempt: int) -> float:
+        """The capped exponential bound on the ``attempt``-th retry delay."""
         delay = self.backoff_base * self.backoff_factor ** max(0, attempt - 1)
         return min(delay, self.backoff_cap)
+
+    def backoff(self, attempt: int, rng: random.Random | None = None) -> float:
+        """Retry delay after the ``attempt``-th failed execution.
+
+        Full jitter (AWS style): uniform over ``[0, ceiling]`` where the
+        ceiling is the capped exponential of :meth:`backoff_ceiling` —
+        many jobs failing together spread their retries instead of
+        thundering back in lock-step.  Without an ``rng`` the ceiling
+        itself is returned (the deterministic worst case).
+        """
+        ceiling = self.backoff_ceiling(attempt)
+        if rng is None:
+            return ceiling
+        return rng.uniform(0.0, ceiling)
 
 
 class JobQueue:
     """Dispatch queued runs onto worker processes (see module docstring)."""
 
     def __init__(
-        self, store: RunStore, config: QueueConfig | None = None
+        self,
+        store: RunStore,
+        config: QueueConfig | None = None,
+        *,
+        chaos: ChaosConfig | None = None,
     ) -> None:
         self.store = store
         self.config = config or QueueConfig()
+        self.chaos = (
+            ChaosMonkey(chaos)
+            if chaos is not None and chaos.total_rate > 0
+            else None
+        )
+        self._backoff_rng = random.Random(self.config.backoff_seed)
         self._executor: ProcessPoolExecutor | None = None
         self._dispatcher: asyncio.Task | None = None
         self._active: set[asyncio.Task] = set()
@@ -163,22 +200,27 @@ class JobQueue:
             if len(self._active) >= self.config.max_workers:
                 await self._sleep(self.config.poll_interval)
                 continue
-            record = self.store.claim_next()
+            # One clock read per pass: the same instant decides both the
+            # claim's eligibility and the idle sleep, so a deadline that
+            # lands between two reads cannot make the job wait an extra
+            # poll interval.
+            now = time.time()
+            record = self.store.claim_next(now)
             if record is None:
-                await self._sleep(self._idle_delay())
+                await self._sleep(self._idle_delay(now))
                 continue
             task = asyncio.create_task(self._run_job(record))
             self._active.add(task)
             task.add_done_callback(self._job_finished)
             self._publish_metrics()
 
-    def _idle_delay(self) -> float:
-        """How long to sleep when nothing is claimable right now."""
+    def _idle_delay(self, now: float) -> float:
+        """How long to sleep when nothing was claimable at ``now``."""
         eligible_at = self.store.next_eligible_at()
         if eligible_at is None:
             return self.config.poll_interval
         return max(
-            0.0, min(self.config.poll_interval, eligible_at - time.time())
+            0.0, min(self.config.poll_interval, eligible_at - now)
         )
 
     async def _sleep(self, delay: float) -> None:
@@ -210,6 +252,12 @@ class JobQueue:
             kind=record.kind,
             attempt=record.attempts,
         ):
+            if self.chaos is not None:
+                action = self.chaos.decide(record.run_id, record.attempts)
+                if action is not None:
+                    self._inject_chaos(action, record)
+                    self._publish_metrics()
+                    return
             try:
                 future = loop.run_in_executor(
                     self._executor, execute_job, record.kind, record.params
@@ -252,6 +300,26 @@ class JobQueue:
                 )
         self._publish_metrics()
 
+    def _inject_chaos(self, action: str, record: RunRecord) -> None:
+        """Apply one injected failure, consuming this execution attempt.
+
+        Each action exercises the same code path its real counterpart
+        would: ``crash`` and ``timeout`` abandon the pool (rebuild),
+        ``error`` is a plain failed attempt.  The job itself never runs.
+        """
+        assert self.chaos is not None
+        self.chaos.record(action, record.run_id, record.kind)
+        if action == "crash":
+            self._rebuild_executor()
+            self._record_failure(record, "chaos: injected worker crash")
+        elif action == "timeout":
+            self._rebuild_executor()
+            self._record_failure(record, "chaos: injected forced timeout")
+        else:
+            self._record_failure(
+                record, "chaos: injected transient executor error"
+            )
+
     def _record_failure(self, record: RunRecord, error: str) -> None:
         """Route a failed execution to retry-with-backoff or terminal."""
         if record.attempts >= record.max_attempts:
@@ -263,7 +331,7 @@ class JobQueue:
                 attempt=record.attempts, error=error,
             )
             return
-        delay = self.config.backoff(record.attempts)
+        delay = self.config.backoff(record.attempts, self._backoff_rng)
         self.store.requeue_for_retry(
             record.run_id, error, not_before=time.time() + delay
         )

@@ -30,6 +30,7 @@ from typing import Any
 from repro import obs
 from repro._version import __version__
 from repro.exceptions import ServiceError
+from repro.faults.chaos import ChaosConfig
 from repro.service import protocol
 from repro.service.queue import JobQueue, QueueConfig
 from repro.service.store import RunStore
@@ -50,11 +51,13 @@ class CampaignServer:
         host: str = "127.0.0.1",
         port: int = 0,
         queue_config: QueueConfig | None = None,
+        chaos: "ChaosConfig | None" = None,
     ) -> None:
         self.db_path = db_path
         self.host = host
         self._requested_port = port
         self.queue_config = queue_config or QueueConfig()
+        self.chaos = chaos
         self.store: RunStore | None = None
         self.queue: JobQueue | None = None
         self._server: asyncio.AbstractServer | None = None
@@ -78,7 +81,7 @@ class CampaignServer:
         if self._server is not None:
             raise ServiceError("server already started", code="internal")
         self.store = RunStore(self.db_path)
-        self.queue = JobQueue(self.store, self.queue_config)
+        self.queue = JobQueue(self.store, self.queue_config, chaos=self.chaos)
         recovered = await self.queue.start()
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self._requested_port
@@ -319,18 +322,20 @@ def serve_in_thread(
     host: str = "127.0.0.1",
     port: int = 0,
     queue_config: QueueConfig | None = None,
+    chaos: ChaosConfig | None = None,
 ) -> ServerHandle:
     """Start a :class:`CampaignServer` on a daemon thread; returns its handle.
 
     The call blocks until the listener is bound, so ``handle.port`` is
-    immediately usable by a client.
+    immediately usable by a client.  ``chaos`` arms the queue with
+    deterministic fault injection (the chaos-test path).
     """
     import concurrent.futures
 
     started: concurrent.futures.Future = concurrent.futures.Future()
     loop = asyncio.new_event_loop()
     server = CampaignServer(
-        db_path, host=host, port=port, queue_config=queue_config
+        db_path, host=host, port=port, queue_config=queue_config, chaos=chaos
     )
 
     def _run() -> None:

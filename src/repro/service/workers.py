@@ -52,6 +52,26 @@ def _as_int(params: Mapping[str, Any], key: str, default: int, *, low: int = 1) 
     return value
 
 
+def _as_float(
+    params: Mapping[str, Any], key: str, default: float, *, low: float = 0.0
+) -> float:
+    """Pull a bounded float parameter with a typed error on garbage."""
+    value = params.get(key, default)
+    try:
+        value = float(value)
+    except (TypeError, ValueError):
+        raise ServiceError(
+            f"parameter {key!r} must be a number, got {value!r}",
+            code="bad-params",
+        ) from None
+    if value < low:
+        raise ServiceError(
+            f"parameter {key!r} must be >= {low}, got {value}",
+            code="bad-params",
+        )
+    return value
+
+
 def _as_heuristic(params: Mapping[str, Any]) -> str:
     value = str(params.get("heuristic", "knapsack"))
     if value not in _HEURISTICS:
@@ -297,6 +317,108 @@ def _run_grid_sweep(params: Mapping[str, Any]):
     )
 
 
+def _validate_faults(params: Mapping[str, Any]) -> dict[str, Any]:
+    clean = {
+        "clusters": _as_int(params, "clusters", 3),
+        "resources": _as_int(params, "resources", 40),
+        "scenarios": _as_int(params, "scenarios", 10),
+        "months": _as_int(params, "months", 12),
+        "heuristic": _as_heuristic(params),
+        "seed": _as_int(params, "seed", 0, low=0),
+        "mtbf_hours": _as_float(params, "mtbf_hours", 6.0, low=1e-6),
+        "mttr_hours": _as_float(params, "mttr_hours", 1.0, low=1e-6),
+        "outages_only": bool(params.get("outages_only", False)),
+    }
+    events = params.get("events")
+    if events is not None:
+        if not isinstance(events, (list, tuple)):
+            raise ServiceError(
+                f"parameter 'events' must be a list of fault events, "
+                f"got {events!r}",
+                code="bad-params",
+            )
+        from repro.exceptions import ConfigurationError
+        from repro.faults.trace import FaultTrace
+
+        try:
+            FaultTrace.from_dicts(events)
+        except ConfigurationError as exc:
+            raise ServiceError(
+                f"invalid fault event list: {exc}", code="bad-params"
+            ) from None
+        clean["events"] = [dict(entry) for entry in events]
+    else:
+        clean["events"] = None
+    return clean
+
+
+def _run_faults(params: Mapping[str, Any]):
+    from repro.experiments.results_io import GenericResult
+    from repro.faults.trace import FaultProfile, FaultTrace, generate_trace
+    from repro.middleware.recovery import run_campaign_with_faults
+    from repro.platform.benchmarks import benchmark_grid
+
+    grid = benchmark_grid(params["clusters"], params["resources"])
+    scenarios, months = params["scenarios"], params["months"]
+    heuristic = params["heuristic"]
+    baseline = run_campaign_with_faults(
+        grid, scenarios, months, FaultTrace(), heuristic=heuristic
+    )
+    if params["events"] is not None:
+        trace = FaultTrace.from_dicts(params["events"])
+    else:
+        profile = (
+            FaultProfile.outages_only(
+                params["mtbf_hours"] * 3600.0, params["mttr_hours"] * 3600.0
+            )
+            if params["outages_only"]
+            else FaultProfile(
+                mtbf_seconds=params["mtbf_hours"] * 3600.0,
+                mttr_seconds=params["mttr_hours"] * 3600.0,
+            )
+        )
+        trace = generate_trace(
+            {name: profile for name in grid.names},
+            baseline.makespan,
+            params["seed"],
+        )
+    report = run_campaign_with_faults(
+        grid, scenarios, months, trace, heuristic=heuristic
+    )
+    return GenericResult(
+        kind="faults",
+        data={
+            "original_makespan": report.original_makespan,
+            "makespan": report.makespan,
+            "delay": report.delay,
+            "replans": report.replans,
+            "months_lost": report.months_lost,
+            "lost_work_seconds": report.lost_work_seconds,
+            "seed": params["seed"],
+            "heuristic": heuristic,
+            "scenarios": scenarios,
+            "months": months,
+            "trace": trace.to_dicts(),
+            "events": [
+                {
+                    "kind": outcome.event.kind.value,
+                    "cluster": outcome.event.cluster,
+                    "at_time": outcome.event.at_time,
+                    "applied": outcome.applied,
+                    "reason": outcome.reason,
+                    "interrupted": list(outcome.interrupted),
+                    "reassignment": {
+                        str(s): t for s, t in outcome.reassignment.items()
+                    },
+                    "months_lost": outcome.months_lost,
+                    "makespan_after": outcome.makespan_after,
+                }
+                for outcome in report.events
+            ],
+        },
+    )
+
+
 def _validate_sleep(params: Mapping[str, Any]) -> dict[str, Any]:
     try:
         seconds = float(params.get("seconds", 0.0))
@@ -383,6 +505,12 @@ _KINDS: dict[str, JobKind] = {
             "declarative parameter-grid sweep through the memoized kernels",
             _validate_grid_sweep,
             _run_grid_sweep,
+        ),
+        JobKind(
+            "faults",
+            "campaign replanned through a seeded (or explicit) fault trace",
+            _validate_faults,
+            _run_faults,
         ),
         JobKind(
             "sleep",

@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro import obs
 from repro.core.grouping import Grouping
@@ -44,6 +45,9 @@ from repro.platform.timing import TimingModel
 from repro.simulation.groups import post_pool_range, proc_ranges
 from repro.workflow.dag import DAG
 from repro.workflow.task import Task, TaskKind
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults.hooks import FaultHook
 
 __all__ = ["DagTaskRecord", "DagSimulationResult", "simulate_dag"]
 
@@ -172,13 +176,30 @@ def simulate_dag(
     *,
     seq_scale: float = 1.0,
     record_trace: bool = False,
+    faults: "FaultHook | None" = None,
 ) -> DagSimulationResult:
     """Simulate a fused-style workflow DAG under a processor grouping.
 
     ``seq_scale`` multiplies every sequential task's ``nominal_seconds``
     (use ``timing.post_time() / constants.POST_SECONDS`` to put the
     satellites on the same machine-speed scale as the mains).
+
+    ``faults`` injects a compiled
+    :class:`~repro.faults.hooks.FaultHook`: a no-op hook (or ``None``)
+    changes nothing, a live one forces a traced run internally and
+    returns the warped, crash-truncated schedule (see
+    :meth:`~repro.faults.hooks.FaultHook.apply_dag`).
     """
+    if faults is not None and faults.is_noop:
+        faults = None
+    if faults is not None:
+        base = simulate_dag(
+            dag, grouping, timing, seq_scale=seq_scale, record_trace=True
+        )
+        warped, _outcome = faults.apply_dag(
+            base, dag, keep_records=record_trace
+        )
+        return warped
     if seq_scale < 0:
         raise SimulationError(f"seq_scale must be >= 0, got {seq_scale!r}")
     if len(dag) == 0:

@@ -40,6 +40,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro import obs
 from repro.core.grouping import Grouping
@@ -49,6 +50,9 @@ from repro.platform.timing import TimingModel
 from repro.simulation.events import SimulationResult, TaskRecord
 from repro.simulation.groups import post_pool_range, proc_ranges
 from repro.workflow.ocean_atmosphere import EnsembleSpec
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults.hooks import FaultHook
 
 __all__ = ["simulate", "simulate_on_cluster"]
 
@@ -70,6 +74,7 @@ def simulate(
     record_trace: bool = False,
     enforce_cardinality: bool = True,
     fast: bool | None = None,
+    faults: "FaultHook | None" = None,
 ) -> SimulationResult:
     """Simulate one ensemble on one cluster under a fixed grouping.
 
@@ -94,7 +99,35 @@ def simulate(
         force one implementation — forcing ``True`` is incompatible
         with ``record_trace`` and skips metrics; forcing ``False``
         exists for differential testing and baseline benchmarks.
+    faults:
+        A compiled :class:`~repro.faults.hooks.FaultHook` for this
+        cluster.  A no-op hook (or ``None``) leaves every path —
+        including fast-path auto-selection — untouched, so fault-free
+        results stay bit-for-bit identical.  A live hook forces the
+        traced reference path internally and returns the warped,
+        crash-truncated schedule; use
+        :func:`repro.faults.hooks.simulate_with_faults` when the
+        checkpoint-level :class:`~repro.faults.hooks.FaultOutcome` is
+        needed too.
     """
+    if faults is not None and faults.is_noop:
+        faults = None
+    if faults is not None:
+        if fast:
+            raise SimulationError(
+                "fast=True cannot inject faults; use fast=False or fast=None"
+            )
+        base = simulate(
+            grouping,
+            spec,
+            timing,
+            cluster_name=cluster_name,
+            record_trace=True,
+            enforce_cardinality=enforce_cardinality,
+            fast=False,
+        )
+        warped, _outcome = faults.apply(base, keep_records=record_trace)
+        return warped
     if enforce_cardinality:
         grouping.validate_against(timing, spec.scenarios)
     else:

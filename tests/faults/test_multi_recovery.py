@@ -1,0 +1,215 @@
+"""Multi-failure replanning: the trace-driven campaign recovery loop."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import MiddlewareError
+from repro.faults.trace import FaultEvent, FaultKind, FaultTrace
+from repro.middleware.recovery import (
+    ClusterFailure,
+    run_campaign_with_failure,
+    run_campaign_with_faults,
+)
+from repro.platform.benchmarks import benchmark_grid
+from repro.platform.grid import GridSpec
+
+NS, NM = 9, 24
+HOUR = 3600.0
+
+
+@pytest.fixture(scope="module")
+def grid() -> GridSpec:
+    return benchmark_grid(3, 30)
+
+
+def _crash(cluster: str, at_h: float) -> FaultEvent:
+    return FaultEvent(FaultKind.CRASH, cluster, at_h * HOUR)
+
+
+def _outage(cluster: str, at_h: float, hours: float) -> FaultEvent:
+    return FaultEvent(
+        FaultKind.OUTAGE, cluster, at_h * HOUR, duration=hours * HOUR
+    )
+
+
+class TestEmptyTrace:
+    def test_empty_trace_is_the_unperturbed_plan(self, grid) -> None:
+        report = run_campaign_with_faults(grid, NS, NM, FaultTrace())
+        assert report.replans == 0
+        assert report.events == ()
+        assert report.months_lost == 0
+        assert report.lost_work_seconds == 0.0
+        assert report.makespan == report.original_makespan
+        assert report.delay == 0.0
+        assert report.reassignment == {}
+
+
+class TestSingleCrashEquivalence:
+    @pytest.mark.parametrize("at_hours", [2.0, 5.0, 9.0])
+    def test_matches_single_failure_api_bit_for_bit(
+        self, grid, at_hours
+    ) -> None:
+        failure = ClusterFailure("chti", at_hours * HOUR)
+        plan = run_campaign_with_failure(grid, NS, NM, failure)
+        report = run_campaign_with_faults(
+            grid, NS, NM, FaultTrace.of([_crash("chti", at_hours)])
+        )
+        assert report.makespan == plan.makespan
+        assert report.original_makespan == plan.original_makespan
+        assert report.reassignment == plan.reassignment
+        assert report.lost_work_seconds == plan.lost_work_seconds
+        outcome = report.events[0]
+        assert outcome.applied
+        assert outcome.completed_months == plan.completed_months
+        assert outcome.pending_posts == plan.pending_posts
+        for name, finish in plan.cluster_finish.items():
+            assert report.cluster_finish[name] == finish
+
+
+class TestEventSemantics:
+    def test_outage_cluster_competes_for_its_own_work(self, grid) -> None:
+        report = run_campaign_with_faults(
+            grid, NS, NM, FaultTrace.of([_outage("chti", 3.0, 0.5)])
+        )
+        outcome = report.events[0]
+        assert outcome.applied
+        assert outcome.interrupted
+        # A short outage keeps the victim a candidate; all targets are
+        # real clusters (possibly chti itself after its rejoin).
+        assert set(outcome.reassignment.values()) <= set(grid.names)
+        assert report.makespan == max(report.cluster_finish.values())
+
+    def test_slowdown_is_a_replanner_noop(self, grid) -> None:
+        event = FaultEvent(
+            FaultKind.SLOWDOWN, "chti", 2 * HOUR,
+            duration=HOUR, factor=2.0,
+        )
+        report = run_campaign_with_faults(grid, NS, NM, FaultTrace.of([event]))
+        assert report.replans == 0
+        assert not report.events[0].applied
+        assert report.makespan == report.original_makespan
+
+    def test_crash_then_redundant_crash_is_noop(self, grid) -> None:
+        trace = FaultTrace.of([_crash("chti", 3.0), _crash("chti", 4.0)])
+        report = run_campaign_with_faults(grid, NS, NM, trace)
+        assert report.events[0].applied
+        assert not report.events[1].applied
+        assert "down" in report.events[1].reason
+
+    def test_rejoined_cluster_hosts_later_recovery(self, grid) -> None:
+        trace = FaultTrace.of(
+            [
+                _crash("chti", 3.0),
+                FaultEvent(FaultKind.REJOIN, "chti", 4 * HOUR),
+                _crash("grelon", 5.0),
+            ]
+        )
+        report = run_campaign_with_faults(grid, NS, NM, trace)
+        later = report.events[2]
+        assert later.applied
+        assert set(later.reassignment.values()) <= {"chti", "sagittaire"}
+
+    def test_two_sequential_crashes_replan_twice(self, grid) -> None:
+        trace = FaultTrace.of([_crash("chti", 3.0), _crash("grelon", 6.0)])
+        report = run_campaign_with_faults(grid, NS, NM, trace)
+        assert report.replans == 2
+        # Everything alive ends on the single survivor.
+        assert set(report.reassignment.values()) == {"sagittaire"}
+        assert report.makespan >= report.original_makespan
+
+    def test_all_clusters_down_raises(self, grid) -> None:
+        trace = FaultTrace.of(
+            [
+                _crash("chti", 2.0),
+                _crash("grelon", 3.0),
+                _crash("sagittaire", 4.0),
+            ]
+        )
+        with pytest.raises(MiddlewareError):
+            run_campaign_with_faults(grid, NS, NM, trace)
+
+    def test_unknown_cluster_raises(self, grid) -> None:
+        with pytest.raises(MiddlewareError):
+            run_campaign_with_faults(
+                grid, NS, NM, FaultTrace.of([_crash("ghost", 1.0)])
+            )
+
+
+class TestEdgeCases:
+    def test_failure_at_time_zero_loses_no_completed_months(
+        self, grid
+    ) -> None:
+        report = run_campaign_with_faults(
+            grid, NS, NM, FaultTrace.of([_crash("chti", 0.0)])
+        )
+        outcome = report.events[0]
+        assert outcome.applied
+        # Nothing had finished: every interrupted scenario restarts from
+        # month 0, and no in-flight work existed yet at t=0.
+        assert all(v == 0 for v in outcome.completed_months.values())
+        assert all(v == 0 for v in outcome.pending_posts.values())
+        assert outcome.lost_work_seconds == 0.0
+        # Matches the single-failure API at the same instant.
+        plan = run_campaign_with_failure(
+            grid, NS, NM, ClusterFailure("chti", 0.0)
+        )
+        assert report.makespan == plan.makespan
+        assert report.reassignment == plan.reassignment
+
+    def test_failure_after_campaign_end_is_a_noop(self, grid) -> None:
+        baseline = run_campaign_with_faults(grid, NS, NM, FaultTrace())
+        late = baseline.original_makespan + HOUR
+        report = run_campaign_with_faults(
+            grid, NS, NM,
+            FaultTrace.of([FaultEvent(FaultKind.CRASH, "chti", late)]),
+        )
+        assert report.replans == 0
+        assert not report.events[0].applied
+        assert report.makespan == report.original_makespan
+        # The single-failure API raises instead; the trace loop absorbs.
+        with pytest.raises(MiddlewareError):
+            run_campaign_with_failure(
+                grid, NS, NM, ClusterFailure("chti", late)
+            )
+
+    def test_failure_on_idle_cluster_is_a_noop(self, grid) -> None:
+        # One scenario: the repartition leaves at least one cluster
+        # without any assignment; crashing an idle cluster replans
+        # nothing.
+        report = run_campaign_with_faults(
+            grid, 1, NM, FaultTrace(),
+        )
+        busy = {
+            name for name, t in report.cluster_finish.items() if t > 0
+        }
+        idle = sorted(set(grid.names) - busy)
+        assert idle, "expected at least one idle cluster with NS=1"
+        crashed = run_campaign_with_faults(
+            grid, 1, NM, FaultTrace.of([_crash(idle[0], 1.0)])
+        )
+        assert crashed.replans == 0
+        assert not crashed.events[0].applied
+        assert crashed.makespan == report.makespan
+
+
+class TestDeterminism:
+    def test_identical_trace_identical_report(self, grid) -> None:
+        trace = FaultTrace.of(
+            [_outage("chti", 2.0, 1.0), _crash("grelon", 7.0)]
+        )
+        first = run_campaign_with_faults(grid, NS, NM, trace)
+        second = run_campaign_with_faults(grid, NS, NM, trace)
+        assert first.makespan == second.makespan
+        assert first.reassignment == second.reassignment
+        assert first.cluster_finish == second.cluster_finish
+        assert first.months_lost == second.months_lost
+        assert first.lost_work_seconds == second.lost_work_seconds
+
+    def test_describe_mentions_every_event(self, grid) -> None:
+        trace = FaultTrace.of(
+            [_outage("chti", 2.0, 1.0), _crash("grelon", 7.0)]
+        )
+        text = run_campaign_with_faults(grid, NS, NM, trace).describe()
+        assert "outage" in text and "crash" in text
+        assert "replan" in text

@@ -1,0 +1,168 @@
+"""Seeded fault-trace generation: determinism, structure, serialization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.faults.trace import (
+    FaultEvent,
+    FaultKind,
+    FaultProfile,
+    FaultTrace,
+    generate_trace,
+)
+
+DAY = 24 * 3600.0
+
+
+def _profiles(*names: str, mtbf: float = 4 * 3600.0) -> dict:
+    return {name: FaultProfile(mtbf_seconds=mtbf) for name in names}
+
+
+class TestFaultEvent:
+    def test_rejects_empty_cluster(self) -> None:
+        with pytest.raises(ConfigurationError):
+            FaultEvent(FaultKind.CRASH, "", 0.0)
+
+    def test_rejects_negative_time(self) -> None:
+        with pytest.raises(ConfigurationError):
+            FaultEvent(FaultKind.CRASH, "c", -1.0)
+
+    def test_outage_needs_duration(self) -> None:
+        with pytest.raises(ConfigurationError):
+            FaultEvent(FaultKind.OUTAGE, "c", 10.0, duration=0.0)
+
+    def test_slowdown_needs_factor_above_one(self) -> None:
+        with pytest.raises(ConfigurationError):
+            FaultEvent(FaultKind.SLOWDOWN, "c", 10.0, duration=5.0, factor=1.0)
+
+    def test_end_time_by_kind(self) -> None:
+        crash = FaultEvent(FaultKind.CRASH, "c", 10.0)
+        outage = FaultEvent(FaultKind.OUTAGE, "c", 10.0, duration=5.0)
+        rejoin = FaultEvent(FaultKind.REJOIN, "c", 10.0)
+        assert crash.end_time == float("inf")
+        assert outage.end_time == 15.0
+        assert rejoin.end_time == 10.0
+
+    def test_dict_roundtrip(self) -> None:
+        event = FaultEvent(
+            FaultKind.SLOWDOWN, "chti", 120.0, duration=60.0, factor=2.5
+        )
+        assert FaultEvent.from_dict(event.to_dict()) == event
+
+    def test_from_dict_rejects_garbage(self) -> None:
+        with pytest.raises(ConfigurationError):
+            FaultEvent.from_dict({"kind": "meteor", "cluster": "c"})
+
+
+class TestFaultTrace:
+    def test_of_sorts_events(self) -> None:
+        late = FaultEvent(FaultKind.OUTAGE, "a", 100.0, duration=5.0)
+        early = FaultEvent(FaultKind.CRASH, "b", 10.0)
+        trace = FaultTrace.of([late, early])
+        assert trace.events == (early, late)
+
+    def test_rejects_unsorted_constructor(self) -> None:
+        late = FaultEvent(FaultKind.OUTAGE, "a", 100.0, duration=5.0)
+        early = FaultEvent(FaultKind.CRASH, "b", 10.0)
+        with pytest.raises(ConfigurationError):
+            FaultTrace((late, early))
+
+    def test_empty_helpers(self) -> None:
+        trace = FaultTrace()
+        assert trace.is_empty
+        assert len(trace) == 0
+        assert trace.clusters() == ()
+        assert trace.counts_by_kind() == {}
+        assert "empty" in trace.describe()
+
+    def test_for_cluster_and_counts(self) -> None:
+        trace = FaultTrace.of(
+            [
+                FaultEvent(FaultKind.OUTAGE, "a", 1.0, duration=2.0),
+                FaultEvent(FaultKind.OUTAGE, "b", 2.0, duration=2.0),
+                FaultEvent(FaultKind.CRASH, "a", 9.0),
+            ]
+        )
+        assert trace.clusters() == ("a", "b")
+        assert trace.counts_by_kind() == {"outage": 2, "crash": 1}
+        sub = trace.for_cluster("a")
+        assert len(sub) == 2
+        assert all(e.cluster == "a" for e in sub)
+
+    def test_dicts_roundtrip(self) -> None:
+        trace = generate_trace(_profiles("a", "b"), DAY, seed=5)
+        assert FaultTrace.from_dicts(trace.to_dicts()) == trace
+
+
+class TestFaultProfile:
+    def test_rejects_bad_mtbf(self) -> None:
+        with pytest.raises(ConfigurationError):
+            FaultProfile(mtbf_seconds=0.0)
+
+    def test_rejects_bad_weights(self) -> None:
+        with pytest.raises(ConfigurationError):
+            FaultProfile(mtbf_seconds=1.0, kind_weights=(0.0, 0.0, 0.0))
+
+    def test_rejects_bad_slowdown_range(self) -> None:
+        with pytest.raises(ConfigurationError):
+            FaultProfile(mtbf_seconds=1.0, slowdown_range=(0.5, 2.0))
+
+    def test_outages_only_generates_only_outages(self) -> None:
+        profile = FaultProfile.outages_only(3600.0, 1800.0)
+        trace = generate_trace({"a": profile, "b": profile}, DAY, seed=11)
+        assert len(trace) > 0
+        assert set(trace.counts_by_kind()) == {"outage"}
+
+
+class TestGenerateTrace:
+    def test_rejects_bad_horizon(self) -> None:
+        with pytest.raises(ConfigurationError):
+            generate_trace(_profiles("a"), 0.0, seed=0)
+
+    def test_identical_seed_identical_trace(self) -> None:
+        spec = _profiles("a", "b", "c")
+        assert generate_trace(spec, DAY, 42) == generate_trace(spec, DAY, 42)
+
+    def test_different_seeds_differ(self) -> None:
+        spec = _profiles("a", "b", "c", mtbf=3600.0)
+        assert generate_trace(spec, DAY, 1) != generate_trace(spec, DAY, 2)
+
+    def test_events_are_sorted_and_within_horizon(self) -> None:
+        trace = generate_trace(_profiles("a", "b", mtbf=3600.0), DAY, 7)
+        times = [e.at_time for e in trace]
+        assert times == sorted(times)
+        assert all(0.0 <= t < DAY for t in times)
+
+    def test_adding_a_cluster_never_perturbs_the_others(self) -> None:
+        # Per-cluster RNG streams: the sub-trace for 'a' is invariant
+        # under the rest of the spec.
+        small = generate_trace(_profiles("a"), DAY, 9)
+        large = generate_trace(_profiles("a", "b", "z"), DAY, 9)
+        assert large.for_cluster("a") == small.for_cluster("a")
+
+    def test_crash_ends_a_cluster_stream(self) -> None:
+        # With crash-only weights every cluster gets at most one event.
+        profile = FaultProfile(
+            mtbf_seconds=1800.0, kind_weights=(1.0, 0.0, 0.0)
+        )
+        trace = generate_trace({"a": profile, "b": profile}, DAY, 3)
+        for cluster in ("a", "b"):
+            sub = trace.for_cluster(cluster)
+            assert len(sub) <= 1
+            assert all(e.kind is FaultKind.CRASH for e in sub)
+
+    def test_cluster_events_never_overlap(self) -> None:
+        profile = FaultProfile(
+            mtbf_seconds=1800.0, kind_weights=(0.0, 0.5, 0.5)
+        )
+        trace = generate_trace({"a": profile}, 7 * DAY, 13)
+        events = list(trace.for_cluster("a"))
+        assert len(events) >= 2
+        for prev, nxt in zip(events, events[1:]):
+            assert prev.end_time <= nxt.at_time
+
+    def test_unlisted_cluster_never_fails(self) -> None:
+        trace = generate_trace(_profiles("a", mtbf=1800.0), DAY, 21)
+        assert trace.for_cluster("ghost").is_empty

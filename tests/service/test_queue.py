@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import asyncio
+import random
 
 import pytest
 
@@ -46,14 +47,34 @@ class TestConfig:
         with pytest.raises(ServiceError):
             QueueConfig(job_timeout=0)
 
-    def test_backoff_schedule(self) -> None:
+    def test_backoff_ceiling_schedule(self) -> None:
         config = QueueConfig(
             backoff_base=0.5, backoff_factor=2.0, backoff_cap=3.0
         )
-        assert config.backoff(1) == pytest.approx(0.5)
-        assert config.backoff(2) == pytest.approx(1.0)
+        assert config.backoff_ceiling(1) == pytest.approx(0.5)
+        assert config.backoff_ceiling(2) == pytest.approx(1.0)
+        assert config.backoff_ceiling(3) == pytest.approx(2.0)
+        assert config.backoff_ceiling(10) == pytest.approx(3.0)  # capped
+        # Without an RNG the schedule degrades to the raw ceiling.
         assert config.backoff(3) == pytest.approx(2.0)
-        assert config.backoff(10) == pytest.approx(3.0)  # capped
+
+    def test_backoff_full_jitter_stays_within_bounds(self) -> None:
+        config = QueueConfig(
+            backoff_base=0.5, backoff_factor=2.0, backoff_cap=3.0
+        )
+        rng = random.Random(7)
+        for attempt in range(1, 16):
+            delay = config.backoff(attempt, rng)
+            assert 0.0 <= delay <= config.backoff_ceiling(attempt)
+            assert delay <= config.backoff_cap
+
+    def test_backoff_jitter_is_seed_deterministic(self) -> None:
+        config = QueueConfig(
+            backoff_base=0.5, backoff_factor=2.0, backoff_cap=3.0
+        )
+        first = [config.backoff(a, random.Random(3)) for a in range(1, 8)]
+        second = [config.backoff(a, random.Random(3)) for a in range(1, 8)]
+        assert first == second
 
 
 class TestDispatch:
@@ -94,7 +115,11 @@ class TestDispatch:
                     record = store.get(run_id)
                     assert record.state == "queued"
                     assert record.attempts == 1
-                    assert record.not_before > record.updated_at
+                    # Full jitter: the deadline lands anywhere in
+                    # [now, now + ceiling]; assert the bounds, not a
+                    # fixed offset (near-zero draws are legal).
+                    assert record.not_before >= record.updated_at - 1.0
+                    assert record.not_before <= record.updated_at + 5.0
                     assert "sleep job asked to fail" in record.error
                 finally:
                     await queue.stop()

@@ -47,6 +47,22 @@ class TestValidation:
         with pytest.raises(ServiceError):
             validate_job("sleep", {"seconds": -1})
 
+    def test_faults_defaults_filled_in(self) -> None:
+        clean = validate_job("faults", {})
+        assert clean["seed"] == 0
+        assert clean["mtbf_hours"] == 6.0
+        assert clean["outages_only"] is False
+
+    def test_faults_rejects_bad_events(self) -> None:
+        with pytest.raises(ServiceError):
+            validate_job("faults", {"events": [{"kind": "meteor"}]})
+        with pytest.raises(ServiceError):
+            validate_job("faults", {"events": "nope"})
+
+    def test_faults_rejects_bad_mtbf(self) -> None:
+        with pytest.raises(ServiceError):
+            validate_job("faults", {"mtbf_hours": 0})
+
     def test_every_kind_is_described(self) -> None:
         kinds = job_kinds()
         assert {k.name for k in kinds} >= {
@@ -123,6 +139,40 @@ class TestExecution:
         result = load_result(text)
         assert isinstance(result, Fig7Result)
         assert len(result.resources) == len(result.best_group)
+
+    def test_faults_replans_a_seeded_trace(self) -> None:
+        result = load_result(
+            execute_job(
+                "faults",
+                {"clusters": 3, "resources": 24, "scenarios": 4,
+                 "months": 6, "seed": 3, "mtbf_hours": 2.0,
+                 "outages_only": True},
+            )
+        )
+        assert result.kind == "faults"
+        assert result.data["makespan"] >= result.data["original_makespan"] \
+            or result.data["replans"] == 0
+        assert result.data["seed"] == 3
+        # The replayed trace ships with the result for exact replay.
+        assert isinstance(result.data["trace"], list)
+
+    def test_faults_accepts_explicit_events(self) -> None:
+        events = [
+            {"kind": "outage", "cluster": "chti",
+             "at_time": 2 * 3600.0, "duration": 1800.0}
+        ]
+        result = load_result(
+            execute_job(
+                "faults",
+                {"clusters": 3, "resources": 24, "scenarios": 4,
+                 "months": 6, "events": events},
+            )
+        )
+        assert result.kind == "faults"
+        assert result.data["trace"] == [
+            {"kind": "outage", "cluster": "chti",
+             "at_time": 7200.0, "duration": 1800.0, "factor": 1.0}
+        ]
 
     def test_grid_sweep_uses_native_codec(self) -> None:
         from repro.experiments.sweep import SweepGrid, SweepResult, run_sweep

@@ -92,6 +92,24 @@ class TestNewCommands:
         assert "restarted on" in out
         assert "lost work" in out
 
+    def test_faults(self, capsys) -> None:
+        out = _run(
+            capsys, "faults", "--clusters", "3", "--resources", "24",
+            "--scenarios", "6", "--months", "10", "--seed", "3",
+            "--mtbf-hours", "8",
+        )
+        assert "fault trace" in out
+        assert "makespan" in out
+
+    def test_faults_resilience(self, capsys) -> None:
+        out = _run(
+            capsys, "faults", "--resilience", "--clusters", "3",
+            "--resources", "24", "--scenarios", "4", "--months", "6",
+            "--trials", "1",
+        )
+        assert "MTBF" in out
+        assert "degradation" in out
+
     def test_fig7_csv_export(self, capsys, tmp_path) -> None:
         path = tmp_path / "fig7.csv"
         _run(
