@@ -46,7 +46,7 @@ def _diff_series(
             f"series {name!r} has {len(a)} vs {len(b)} points; compare runs "
             f"with identical sweep parameters"
         )
-    diffs = [abs(float(x) - float(y)) for x, y in zip(a, b)]
+    diffs = [abs(float(x) - float(y)) for x, y in zip(a, b, strict=True)]
     first = next((i for i, d in enumerate(diffs) if d > tol), None)
     return SeriesDrift(
         series=name,

@@ -69,7 +69,7 @@ def ascii_plot(
     for idx, (name, ys) in enumerate(series.items()):
         glyph = _GLYPHS[idx % len(_GLYPHS)]
         legend.append(f"{glyph} {name}")
-        for x, y in zip(xs, ys):
+        for x, y in zip(xs, ys, strict=True):
             grid[to_row(y)][to_col(x)] = glyph
 
     lines: list[str] = []
@@ -96,6 +96,6 @@ def series_to_csv(
             )
     lines = [",".join([x_label, *series.keys()])]
     for i, x in enumerate(xs):
-        cells = [repr(float(x))] + [repr(float(series[name][i])) for name in series]
+        cells = [repr(float(x)), *(repr(float(series[name][i])) for name in series)]
         lines.append(",".join(cells))
     return "\n".join(lines)

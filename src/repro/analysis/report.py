@@ -60,7 +60,7 @@ def _fig7_section(config: ReportConfig) -> str:
         step=config.fig7_step,
     )
     runs: list[tuple[int, int, int]] = []
-    for r, g in zip(result.resources, result.best_group):
+    for r, g in zip(result.resources, result.best_group, strict=True):
         if runs and runs[-1][2] == g:
             runs[-1] = (runs[-1][0], r, g)
         else:

@@ -86,7 +86,7 @@ def table_sensitivity(
     baseline_grouping = plan_grouping(base_cluster, spec, heuristic)
     baseline = simulate(baseline_grouping, spec, base_timing).makespan
 
-    entries = [f"T[{g}]" for g in base_timing.group_sizes] + ["TP"]
+    entries = [*(f"T[{g}]" for g in base_timing.group_sizes), "TP"]
     out: list[EntrySensitivity] = []
     for entry in entries:
         perturbed = _perturbed_timing(base_timing, entry, 1.0 + epsilon)

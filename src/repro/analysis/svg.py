@@ -183,7 +183,7 @@ def svg_line_chart(
     for index, (name, ys) in enumerate(series.items()):
         color = PALETTE[index % len(PALETTE)]
         points = " ".join(
-            f"{_fmt(sx(x))},{_fmt(sy(y))}" for x, y in zip(xs, ys)
+            f"{_fmt(sx(x))},{_fmt(sy(y))}" for x, y in zip(xs, ys, strict=True)
         )
         parts.append(
             f'<polyline fill="none" stroke="{color}" stroke-width="1.8" '

@@ -42,7 +42,7 @@ def format_table(
     ]
     lines: list[str] = []
     for i, cells in enumerate(rendered):
-        line = " | ".join(cell.rjust(w) for cell, w in zip(cells, widths))
+        line = " | ".join(cell.rjust(w) for cell, w in zip(cells, widths, strict=True))
         lines.append(line)
         if i == 0:
             lines.append("-+-".join("-" * w for w in widths))

@@ -263,6 +263,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("info", help="show the benchmark cluster database")
 
+    plint = sub.add_parser(
+        "lint",
+        help="run reprolint, the determinism & invariant checker",
+    )
+    from repro.lintkit.cli import add_lint_arguments
+
+    add_lint_arguments(plint)
+
     psrv = sub.add_parser(
         "serve", help="run the persistent campaign service (repro.service)"
     )
@@ -548,7 +556,7 @@ def _cmd_fig7(args: argparse.Namespace) -> str:
             x_label="resources (processors)",
             y_label="best grouping",
         )
-    return "\n\n".join([fig7.render(result, plot=not args.no_plot)] + extra)
+    return "\n\n".join([fig7.render(result, plot=not args.no_plot), *extra])
 
 
 def _cmd_fig8(args: argparse.Namespace) -> str:
@@ -583,7 +591,7 @@ def _cmd_fig8(args: argparse.Namespace) -> str:
             x_label="resources (processors)",
             y_label="gain (%)",
         )
-    return "\n\n".join([fig8.render(result, plot=not args.no_plot)] + extra)
+    return "\n\n".join([fig8.render(result, plot=not args.no_plot), *extra])
 
 
 def _cmd_fig10(args: argparse.Namespace) -> str:
@@ -617,7 +625,7 @@ def _cmd_fig10(args: argparse.Namespace) -> str:
             x_label="clusters + resources/100",
             y_label="gain (%)",
         )
-    return "\n\n".join([fig10.render(result, plot=not args.no_plot)] + extra)
+    return "\n\n".join([fig10.render(result, plot=not args.no_plot), *extra])
 
 
 def _cmd_sweep(args: argparse.Namespace) -> str:
@@ -946,8 +954,7 @@ def _cmd_serve(args: argparse.Namespace) -> str:
         asyncio.run(_run())
         extra = finalize_obs(args)
     return "\n".join(
-        ["campaign service stopped (queued runs persist in the store)"]
-        + extra
+        ["campaign service stopped (queued runs persist in the store)", *extra]
     )
 
 
@@ -1076,6 +1083,18 @@ def _cmd_obs(args: argparse.Namespace) -> str:
     return obs.render_trace_summary(obs.load_trace_events(text))
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Run reprolint; prints its own report and returns the exit code."""
+    from repro.exceptions import ConfigurationError
+    from repro.lintkit.cli import run_lint
+
+    try:
+        return run_lint(args)
+    except ConfigurationError as exc:
+        print(f"reprolint: {exc}", file=sys.stderr)
+        return 2
+
+
 def _cmd_info(_args: argparse.Namespace) -> str:
     from repro.analysis.tables import format_table
     from repro.platform.benchmarks import (
@@ -1088,11 +1107,13 @@ def _cmd_info(_args: argparse.Namespace) -> str:
         timing = benchmark_timing(name)
         table = timing.main_time_table()
         rows.append(
-            [name]
-            + [f"{table[g]:.0f}" for g in sorted(table)]
-            + [f"{timing.post_time():.0f}"]
+            [
+                name,
+                *(f"{table[g]:.0f}" for g in sorted(table)),
+                f"{timing.post_time():.0f}",
+            ]
         )
-    headers = ["cluster"] + [f"T[{g}]" for g in range(4, 12)] + ["TP"]
+    headers = ["cluster", *(f"T[{g}]" for g in range(4, 12)), "TP"]
     return (
         "synthetic Grid'5000-like benchmark database (seconds):\n"
         + format_table(headers, rows)
@@ -1115,6 +1136,7 @@ _COMMANDS = {
     "generic": _cmd_generic,
     "report": _cmd_report,
     "info": _cmd_info,
+    "lint": _cmd_lint,
     "obs": _cmd_obs,
     "serve": _cmd_serve,
     "submit": _cmd_submit,
@@ -1131,7 +1153,12 @@ def main(argv: Sequence[str] | None = None) -> int:
     from repro.obs import configure_logging
 
     configure_logging(args.log)
-    print(_COMMANDS[args.command](args))
+    result = _COMMANDS[args.command](args)
+    if isinstance(result, int):
+        # Commands with their own exit-code contract (lint) print
+        # their report themselves.
+        return result
+    print(result)
     return 0
 
 

@@ -274,7 +274,7 @@ def makespan_cache_stats() -> dict[str, dict[str, int]]:
     }
 
 
-def _store(cache: dict, key: tuple, value) -> None:
+def _store(cache: dict, key: tuple, value: object) -> None:
     """Insert with FIFO eviction (dicts preserve insertion order)."""
     if len(cache) >= _CACHE_MAXSIZE:
         cache.pop(next(iter(cache)))

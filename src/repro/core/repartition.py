@@ -76,7 +76,7 @@ def repartition_dags(
                 f"cluster {i}'s performance vector has {len(row)} entries; "
                 f"needs {n_scenarios}"
             )
-        if any(a > b + 1e-9 for a, b in zip(row, row[1:])):
+        if any(a > b + 1e-9 for a, b in zip(row, row[1:], strict=False)):
             raise SchedulingError(
                 f"cluster {i}'s performance vector is not non-decreasing"
             )

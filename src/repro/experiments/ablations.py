@@ -346,9 +346,9 @@ def main() -> None:  # pragma: no cover - thin CLI shim
     resources = sorted(next(iter(sens.values())))
     print(
         format_table(
-            ["R"] + [f"NM={m}" for m in months_values],
+            ["R", *(f"NM={m}" for m in months_values)],
             [
-                [r] + [sens[m][r]["knapsack"] for m in months_values]
+                [r, *(sens[m][r]["knapsack"] for m in months_values)]
                 for r in resources
             ],
         )
@@ -383,10 +383,13 @@ def main() -> None:  # pragma: no cover - thin CLI shim
     heuristics = ["basic", "redistribute", "allpost_end", "knapsack"]
     print(
         format_table(
-            ["R", "candidates"] + heuristics,
+            ["R", "candidates", *heuristics],
             [
-                [row["R"], int(row["candidates"])]
-                + [row[f"{h}_gap_pct"] for h in heuristics]
+                [
+                    row["R"],
+                    int(row["candidates"]),
+                    *(row[f"{h}_gap_pct"] for h in heuristics),
+                ]
                 for row in gaps_rows
             ],
         )

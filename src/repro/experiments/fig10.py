@@ -128,7 +128,7 @@ def run(
             continue
         gains[heuristic.value] = tuple(
             gain_percent(b, m)
-            for b, m in zip(base, makespans[heuristic.value])
+            for b, m in zip(base, makespans[heuristic.value], strict=True)
         )
     return Fig10Result(
         configurations=tuple(configurations),

@@ -152,8 +152,8 @@ def render(result: Fig8Result, *, plot: bool = True) -> str:
                     xs,
                     {
                         "mean": means,
-                        "mean+std": [m + s for m, s in zip(means, stds)],
-                        "mean-std": [m - s for m, s in zip(means, stds)],
+                        "mean+std": [m + s for m, s in zip(means, stds, strict=True)],
+                        "mean-std": [m - s for m, s in zip(means, stds, strict=True)],
                     },
                     x_label="resources (processors)",
                     y_label="gain (%)",
@@ -161,9 +161,7 @@ def render(result: Fig8Result, *, plot: bool = True) -> str:
                     height=12,
                 )
             )
-    headers = ["R"] + [
-        f"{name} mean±std" for name in result.stats
-    ]
+    headers = ["R", *(f"{name} mean±std" for name in result.stats)]
     rows = []
     for i, r in enumerate(result.resources):
         row: list[object] = [r]

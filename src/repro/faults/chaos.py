@@ -109,6 +109,7 @@ class ChaosMonkey:
                 self.config.timeout_rate,
                 self.config.error_rate,
             ),
+            strict=True,
         ):
             threshold += rate
             if roll < threshold:

@@ -369,7 +369,7 @@ def _normalize(raw: list[tuple[float, float, float]]) -> tuple[_Window, ...]:
         return ()
     bounds = sorted({b for s, e, _ in raw for b in (s, e)})
     windows: list[_Window] = []
-    for left, right in zip(bounds, bounds[1:]):
+    for left, right in zip(bounds, bounds[1:], strict=False):
         rates = [r for s, e, r in raw if s <= left and right <= e]
         if not rates:
             continue

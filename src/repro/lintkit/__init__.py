@@ -1,0 +1,63 @@
+"""repro.lintkit — the determinism & invariant checker (``reprolint``).
+
+A self-contained AST lint framework plus a rule pack encoding this
+repository's real invariants.  The headline guarantee of the repo —
+bit-for-bit reproducibility of sweeps, fault traces, and campaign
+recovery — rests on discipline that runtime tests can only sample:
+nothing *stops* a future change from reading the wall clock inside the
+simulation engine or minting a metric name the registry never declared.
+``reprolint`` machine-checks that discipline before the tests run.
+
+Layers:
+
+* :mod:`repro.lintkit.framework` — rule registry, per-file AST visitor
+  driver, ``# reprolint: ignore[RULE]`` pragmas;
+* :mod:`repro.lintkit.config` — ``[tool.reprolint]`` in ``pyproject.toml``
+  (deterministic packages, allowlists, per-rule severity);
+* :mod:`repro.lintkit.rules` — the shipped rule pack (D001/D002/D003,
+  M001, P001, A001);
+* :mod:`repro.lintkit.baseline` — grandfathered-finding fingerprints;
+* :mod:`repro.lintkit.reporters` — human-readable and JSON output.
+
+Run it as ``repro-oa lint`` or ``python -m repro.lintkit src/repro``;
+the CI gate fails on any non-baselined error-severity finding.
+"""
+
+from __future__ import annotations
+
+from repro.lintkit.baseline import (
+    fingerprint,
+    load_baseline,
+    write_baseline,
+)
+from repro.lintkit.config import LintConfig, load_config
+from repro.lintkit.framework import (
+    Checker,
+    FileContext,
+    Finding,
+    Rule,
+    all_rules,
+    get_rule,
+    register,
+)
+from repro.lintkit.reporters import render_json, render_text
+
+# Importing the rule pack populates the registry as a side effect.
+from repro.lintkit import rules as _rules  # noqa: F401
+
+__all__ = [
+    "Checker",
+    "FileContext",
+    "Finding",
+    "LintConfig",
+    "Rule",
+    "all_rules",
+    "fingerprint",
+    "get_rule",
+    "load_baseline",
+    "load_config",
+    "register",
+    "render_json",
+    "render_text",
+    "write_baseline",
+]

@@ -1,0 +1,132 @@
+"""Baseline files — grandfathering existing findings.
+
+Adopting a new rule on a living codebase usually surfaces findings
+that are real but not worth a rushed fix.  The baseline records their
+*fingerprints* so the CI gate only fails on new violations; the
+grandfathered ones surface as an informational count until the code
+they point at is cleaned up (at which point the stale entries are
+pruned by rewriting the file).
+
+Fingerprints are content-addressed rather than line-addressed:
+``relative-path :: rule-id :: normalized-source-line :: occurrence``.
+Inserting code above a grandfathered finding moves its line number but
+not its fingerprint, so baselines survive unrelated edits; editing the
+offending line itself invalidates the entry, which is exactly the
+moment a human should re-decide.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.exceptions import ConfigurationError
+from repro.lintkit.framework import Finding
+
+__all__ = [
+    "BASELINE_VERSION",
+    "fingerprint",
+    "load_baseline",
+    "partition",
+    "write_baseline",
+]
+
+#: Schema stamp of the baseline JSON document.
+BASELINE_VERSION = 1
+
+
+def fingerprint(finding: Finding, source_line: str, occurrence: int) -> str:
+    """Stable identity of one finding (see module docstring)."""
+    digest = hashlib.sha256(
+        "::".join(
+            (
+                finding.path.replace("\\", "/"),
+                finding.rule_id,
+                " ".join(source_line.split()),
+                str(occurrence),
+            )
+        ).encode("utf-8")
+    ).hexdigest()[:16]
+    return f"{finding.rule_id}:{digest}"
+
+
+def _fingerprints(findings: Sequence[Finding]) -> list[str]:
+    """Fingerprints for a finding list, resolving source lines.
+
+    Findings on identical source lines (same file, same rule, same
+    text) are disambiguated by occurrence index, so two copies of the
+    same sin each need their own baseline entry.
+    """
+    lines_cache: dict[str, list[str]] = {}
+    seen: dict[tuple[str, str, str], int] = {}
+    result: list[str] = []
+    for finding in findings:
+        if finding.path not in lines_cache:
+            try:
+                lines_cache[finding.path] = Path(finding.path).read_text(
+                    encoding="utf-8"
+                ).splitlines()
+            except OSError:
+                lines_cache[finding.path] = []
+        lines = lines_cache[finding.path]
+        text = (
+            lines[finding.line - 1]
+            if 0 < finding.line <= len(lines)
+            else ""
+        )
+        key = (finding.path, finding.rule_id, " ".join(text.split()))
+        occurrence = seen.get(key, 0)
+        seen[key] = occurrence + 1
+        result.append(fingerprint(finding, text, occurrence))
+    return result
+
+
+def load_baseline(path: str | Path) -> set[str]:
+    """Read the grandfathered fingerprints (empty set if absent)."""
+    path = Path(path)
+    if not path.is_file():
+        return set()
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ConfigurationError(
+            f"baseline file {str(path)!r} is unreadable: {exc}"
+        ) from None
+    if (
+        not isinstance(data, dict)
+        or data.get("version") != BASELINE_VERSION
+        or not isinstance(data.get("findings"), list)
+    ):
+        raise ConfigurationError(
+            f"baseline file {str(path)!r} is not a version-"
+            f"{BASELINE_VERSION} reprolint baseline"
+        )
+    return {str(item) for item in data["findings"]}
+
+
+def write_baseline(path: str | Path, findings: Sequence[Finding]) -> int:
+    """Write the baseline for ``findings``; returns the entry count."""
+    entries = sorted(set(_fingerprints(findings)))
+    document = {
+        "version": BASELINE_VERSION,
+        "tool": "reprolint",
+        "findings": entries,
+    }
+    Path(path).write_text(
+        json.dumps(document, indent=2) + "\n", encoding="utf-8"
+    )
+    return len(entries)
+
+
+def partition(
+    findings: Sequence[Finding], baselined: Iterable[str]
+) -> tuple[list[Finding], list[Finding]]:
+    """Split findings into ``(new, grandfathered)`` against a baseline."""
+    known = set(baselined)
+    fresh: list[Finding] = []
+    old: list[Finding] = []
+    for finding, print_ in zip(findings, _fingerprints(findings), strict=True):
+        (old if print_ in known else fresh).append(finding)
+    return fresh, old

@@ -1,0 +1,178 @@
+"""The reprolint command line — ``python -m repro.lintkit`` / ``repro-oa lint``.
+
+Exit codes follow the CI contract:
+
+* ``0`` — no non-baselined error-severity findings;
+* ``1`` — at least one gating finding (the CI gate trips);
+* ``2`` — usage or configuration error.
+
+``--write-baseline`` records the current findings as grandfathered and
+exits 0 — the adoption workflow for a new rule.  ``--strict`` promotes
+warning-severity findings to gating.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.exceptions import ConfigurationError
+from repro.lintkit import baseline as baseline_mod
+from repro.lintkit.config import find_pyproject, load_config
+from repro.lintkit.framework import Checker, all_rules
+from repro.lintkit.reporters import render_json, render_text
+
+__all__ = ["add_lint_arguments", "build_parser", "main", "run_lint"]
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the reprolint options (shared with ``repro-oa lint``)."""
+    parser.add_argument(
+        "paths", nargs="*", default=["src/repro"], metavar="PATH",
+        help="files or directories to check (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--config", metavar="PYPROJECT", default=None,
+        help=(
+            "pyproject.toml carrying [tool.reprolint] "
+            "(default: nearest one above the first PATH)"
+        ),
+    )
+    parser.add_argument(
+        "--baseline", metavar="PATH", default=None,
+        help="baseline file (default: [tool.reprolint].baseline)",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="record current findings as grandfathered and exit 0",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore the baseline file (report everything)",
+    )
+    parser.add_argument(
+        "--select", metavar="RULES", default=None,
+        help="comma-separated rule ids to run (default: all enabled)",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="warnings also gate the exit code",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The standalone ``python -m repro.lintkit`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description=(
+            "AST-based determinism & invariant checker for the repro "
+            "codebase (rules D001-D003, M001, P001, A001)"
+        ),
+    )
+    add_lint_arguments(parser)
+    return parser
+
+
+def _rule_catalogue() -> str:
+    lines = []
+    for rule_id, cls in all_rules().items():
+        lines.append(
+            f"{rule_id}  {cls.name:<22} {cls.default_severity:<7} "
+            f"{cls.description}"
+        )
+    return "\n".join(lines)
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Execute one lint run from parsed arguments; returns the exit code."""
+    if args.list_rules:
+        print(_rule_catalogue())
+        return 0
+
+    config_path = args.config
+    if config_path is None:
+        first = Path(args.paths[0]) if args.paths else Path.cwd()
+        found = find_pyproject(first)
+        config_path = str(found) if found is not None else None
+    config = load_config(config_path)
+
+    select = (
+        [r.strip() for r in args.select.split(",") if r.strip()]
+        if args.select
+        else None
+    )
+    try:
+        checker = Checker(config, select=select)
+    except KeyError as exc:
+        print(f"reprolint: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    checked = 0
+
+    def _count(_path: Path) -> None:
+        nonlocal checked
+        checked += 1
+
+    findings = checker.run(args.paths, on_file=_count)
+    if checked == 0:
+        print(
+            f"reprolint: no Python files under {args.paths!r}",
+            file=sys.stderr,
+        )
+        return 2
+
+    baseline_path = (
+        Path(args.baseline)
+        if args.baseline is not None
+        else config.baseline_path()
+    )
+    if args.write_baseline:
+        count = baseline_mod.write_baseline(baseline_path, findings)
+        print(
+            f"reprolint: wrote {count} fingerprint(s) to {baseline_path}"
+        )
+        return 0
+
+    baselined_prints: set[str] = set()
+    if not args.no_baseline:
+        baselined_prints = baseline_mod.load_baseline(baseline_path)
+    fresh, grandfathered = baseline_mod.partition(
+        findings, baselined_prints
+    )
+
+    renderer = render_json if args.format == "json" else render_text
+    print(
+        renderer(
+            fresh, baselined=len(grandfathered), checked_files=checked
+        )
+    )
+    gating = [
+        f
+        for f in fresh
+        if f.severity == "error" or args.strict
+    ]
+    return 1 if gating else 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return run_lint(args)
+    except ConfigurationError as exc:
+        print(f"reprolint: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

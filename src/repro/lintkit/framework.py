@@ -1,0 +1,380 @@
+"""The lint framework: findings, rules, pragmas, and the file driver.
+
+A :class:`Rule` inspects one parsed file (:class:`FileContext`) and
+yields :class:`Finding` objects.  Rules register themselves in a global
+registry via the :func:`register` decorator, so the CLI and the tests
+discover the shipped pack without hand-maintained lists.
+
+Suppression happens at two layers:
+
+* an inline pragma on the reported line —
+  ``# reprolint: ignore[D001]`` (several ids comma-separated) or a bare
+  ``# reprolint: ignore`` for every rule;
+* the baseline file (:mod:`repro.lintkit.baseline`), which grandfathers
+  existing findings without touching the source.
+
+The driver (:class:`Checker`) walks the requested paths, parses each
+``.py`` file once, runs every enabled rule over the shared context, and
+returns pragma-filtered findings sorted by location.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import tokenize
+from dataclasses import dataclass, field, replace
+from io import StringIO
+from pathlib import Path
+from typing import Callable, Iterable, Iterator
+
+from repro.lintkit.config import LintConfig
+
+__all__ = [
+    "Checker",
+    "FileContext",
+    "Finding",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "register",
+]
+
+#: Severities a finding may carry; only ``error`` gates the exit code.
+SEVERITIES: tuple[str, ...] = ("error", "warning")
+
+_PRAGMA = re.compile(
+    r"#\s*reprolint:\s*ignore(?:\[(?P<rules>[A-Z0-9,\s]+)\])?"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule_id: str
+    path: str
+    line: int
+    col: int
+    message: str
+    severity: str = "error"
+
+    def location(self) -> str:
+        """``path:line:col`` — the clickable anchor of the finding."""
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-reporter projection."""
+        return {
+            "rule": self.rule_id,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "severity": self.severity,
+            "message": self.message,
+        }
+
+
+class Rule:
+    """Base class of every lint rule.
+
+    Subclasses set the class attributes and implement :meth:`check`.
+    ``check`` receives the parsed file and yields findings; it must not
+    mutate the context (one context is shared by the whole pack).
+    """
+
+    #: Stable identifier, e.g. ``"D001"`` — pragma and baseline key.
+    id: str = ""
+    #: Short kebab-case name shown next to the id in reports.
+    name: str = ""
+    #: One-line description for the rule catalogue.
+    description: str = ""
+    #: Severity unless overridden by ``[tool.reprolint.severity]``.
+    default_severity: str = "error"
+
+    def check(self, ctx: "FileContext") -> Iterator[Finding]:
+        """Yield findings for one file; override in subclasses."""
+        raise NotImplementedError
+
+    def finding(
+        self, ctx: "FileContext", node: ast.AST, message: str
+    ) -> Finding:
+        """Build a finding anchored at ``node`` in ``ctx``."""
+        return Finding(
+            rule_id=self.id,
+            path=ctx.display_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        )
+
+
+_REGISTRY: dict[str, type[Rule]] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not cls.id:
+        raise ValueError(f"rule {cls.__name__} has no id")
+    if cls.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {cls.id!r}")
+    if cls.default_severity not in SEVERITIES:
+        raise ValueError(
+            f"rule {cls.id}: severity must be one of {SEVERITIES}, "
+            f"got {cls.default_severity!r}"
+        )
+    _REGISTRY[cls.id] = cls
+    return cls
+
+
+def all_rules() -> dict[str, type[Rule]]:
+    """The registry as ``{rule_id: rule_class}`` (copy; sorted by id)."""
+    return dict(sorted(_REGISTRY.items()))
+
+
+def get_rule(rule_id: str) -> type[Rule]:
+    """Look one rule up by id; raises ``KeyError`` for unknown ids."""
+    return _REGISTRY[rule_id]
+
+
+@dataclass
+class FileContext:
+    """One parsed source file, shared by every rule.
+
+    ``module`` is the dotted import path derived from the package
+    layout (``__init__.py`` presence walking up from the file), so
+    rules can scope themselves to configured package prefixes even when
+    the checker is invoked on an arbitrary directory.
+    """
+
+    path: Path
+    display_path: str
+    module: str
+    source: str
+    tree: ast.Module
+    config: LintConfig
+    #: line -> rule ids suppressed there (``{"*"}`` suppresses all).
+    ignores: dict[int, set[str]] = field(default_factory=dict)
+    #: import alias map: local name -> dotted module path.
+    aliases: dict[str, str] = field(default_factory=dict)
+
+    def in_package(self, prefixes: Iterable[str]) -> bool:
+        """Whether this module falls under any dotted prefix."""
+        return any(
+            self.module == p or self.module.startswith(p + ".")
+            for p in prefixes
+        )
+
+    def resolve_call(self, node: ast.AST) -> str | None:
+        """Dotted path of a call target, through import aliases.
+
+        ``np.random.rand`` resolves to ``numpy.random.rand`` when the
+        file did ``import numpy as np``; ``now()`` resolves to
+        ``datetime.datetime.now`` after ``from datetime import datetime``
+        only for the attribute form — bare-name resolution covers
+        ``from time import time``-style direct imports.  Returns
+        ``None`` for targets that are not a name/attribute chain.
+        """
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        head = self.aliases.get(node.id, node.id)
+        parts.append(head)
+        return ".".join(reversed(parts))
+
+    def suppressed(self, finding: Finding) -> bool:
+        """Whether an inline pragma covers this finding's line."""
+        rules = self.ignores.get(finding.line)
+        return bool(rules) and ("*" in rules or finding.rule_id in rules)
+
+
+def _collect_pragmas(source: str) -> dict[int, set[str]]:
+    """Map line numbers to the rule ids ignored there.
+
+    Tokenizes so pragmas inside string literals don't count.  A pragma
+    on the *last* line of a multi-line statement also covers the
+    statement's first line (where AST nodes anchor), handled by the
+    caller via logical-line expansion in :func:`_expand_pragmas`.
+    """
+    ignores: dict[int, set[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _PRAGMA.search(tok.string)
+            if match is None:
+                continue
+            listed = match.group("rules")
+            rules = (
+                {"*"}
+                if listed is None
+                else {r.strip() for r in listed.split(",") if r.strip()}
+            )
+            ignores.setdefault(tok.start[0], set()).update(rules)
+    except tokenize.TokenError:
+        pass
+    return ignores
+
+
+def _expand_pragmas(
+    tree: ast.Module, ignores: dict[int, set[str]]
+) -> dict[int, set[str]]:
+    """Spread statement-end pragmas back to the statement's anchor line.
+
+    A multi-line call reported at its first line can carry the pragma
+    on any physical line of the statement — matching how humans write
+    ``# reprolint: ignore[...]`` next to the offending argument.
+    """
+    if not ignores:
+        return ignores
+    expanded = {line: set(rules) for line, rules in ignores.items()}
+    for node in ast.walk(tree):
+        lineno = getattr(node, "lineno", None)
+        end = getattr(node, "end_lineno", None)
+        if lineno is None or end is None or end <= lineno:
+            continue
+        for line in range(lineno, end + 1):
+            if line in ignores:
+                expanded.setdefault(lineno, set()).update(ignores[line])
+    return expanded
+
+
+def _collect_aliases(tree: ast.Module) -> dict[str, str]:
+    """Local name -> dotted module path, from top-of-file imports."""
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                aliases[alias.asname or alias.name.split(".")[0]] = (
+                    alias.name if alias.asname else alias.name.split(".")[0]
+                )
+                if alias.asname:
+                    aliases[alias.asname] = alias.name
+        elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+            for alias in node.names:
+                aliases[alias.asname or alias.name] = (
+                    f"{node.module}.{alias.name}"
+                )
+    return aliases
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module path inferred from ``__init__.py`` package markers."""
+    parts = [path.stem] if path.stem != "__init__" else []
+    parent = path.parent
+    while (parent / "__init__.py").exists():
+        parts.append(parent.name)
+        parent = parent.parent
+    return ".".join(reversed(parts)) or path.stem
+
+
+class Checker:
+    """Run the enabled rule pack over files and directories."""
+
+    def __init__(
+        self,
+        config: LintConfig,
+        *,
+        select: Iterable[str] | None = None,
+    ) -> None:
+        self.config = config
+        wanted = set(select) if select is not None else None
+        self.rules: list[Rule] = []
+        for rule_id, cls in all_rules().items():
+            if wanted is not None and rule_id not in wanted:
+                continue
+            if rule_id in config.disabled_rules:
+                continue
+            self.rules.append(cls())
+        if wanted is not None:
+            unknown = wanted - set(all_rules())
+            if unknown:
+                raise KeyError(
+                    f"unknown rule id(s): {', '.join(sorted(unknown))}"
+                )
+
+    # -- discovery ---------------------------------------------------------
+
+    @staticmethod
+    def iter_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+        """Every ``.py`` file under the given files/directories, sorted."""
+        seen: set[Path] = set()
+        for raw in paths:
+            path = Path(raw)
+            candidates = (
+                sorted(path.rglob("*.py")) if path.is_dir() else [path]
+            )
+            for candidate in candidates:
+                if candidate.suffix != ".py":
+                    continue
+                resolved = candidate.resolve()
+                if resolved not in seen:
+                    seen.add(resolved)
+                    yield candidate
+
+    def parse(self, path: Path) -> FileContext | None:
+        """Parse one file into a shared rule context (``None`` on errors).
+
+        Syntax errors are not lint findings — the interpreter and the
+        test suite report those better — so unparsable files are
+        skipped with a ``None``.
+        """
+        try:
+            source = path.read_text(encoding="utf-8")
+            tree = ast.parse(source, filename=str(path))
+        except (OSError, SyntaxError, ValueError):
+            return None
+        ignores = _expand_pragmas(tree, _collect_pragmas(source))
+        try:
+            display = str(path.resolve().relative_to(Path.cwd()))
+        except ValueError:
+            display = str(path)
+        return FileContext(
+            path=path,
+            display_path=display,
+            module=module_name_for(path),
+            source=source,
+            tree=tree,
+            config=self.config,
+            ignores=ignores,
+            aliases=_collect_aliases(tree),
+        )
+
+    # -- execution ---------------------------------------------------------
+
+    def check_file(self, ctx: FileContext) -> list[Finding]:
+        """Run every enabled rule over one parsed file."""
+        findings: list[Finding] = []
+        for rule in self.rules:
+            severity = self.config.severity_for(
+                rule.id, rule.default_severity
+            )
+            for finding in rule.check(ctx):
+                if ctx.suppressed(finding):
+                    continue
+                findings.append(replace(finding, severity=severity))
+        return findings
+
+    def run(
+        self,
+        paths: Iterable[str | Path],
+        *,
+        on_file: Callable[[Path], None] | None = None,
+    ) -> list[Finding]:
+        """Check all files under ``paths``; findings sorted by location."""
+        findings: list[Finding] = []
+        for path in self.iter_files(paths):
+            if on_file is not None:
+                on_file(path)
+            ctx = self.parse(path)
+            if ctx is None:
+                continue
+            findings.extend(self.check_file(ctx))
+        findings.sort(
+            key=lambda f: (f.path, f.line, f.col, f.rule_id)
+        )
+        return findings

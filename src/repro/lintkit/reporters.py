@@ -1,0 +1,72 @@
+"""Finding reporters — human-readable text and machine-readable JSON.
+
+The text form mirrors compiler diagnostics (``path:line:col``) so
+editors and CI annotations pick the locations up; the JSON form is the
+stable interface for tooling (schema stamped with ``version``).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Sequence
+
+from repro.lintkit.framework import Finding
+
+__all__ = ["render_json", "render_text"]
+
+#: Schema stamp of the JSON report document.
+REPORT_VERSION = 1
+
+
+def render_text(
+    findings: Sequence[Finding],
+    *,
+    baselined: int = 0,
+    checked_files: int | None = None,
+) -> str:
+    """Compiler-style report: one line per finding plus a summary."""
+    lines = [
+        f"{f.location()}: {f.rule_id} {f.severity}: {f.message}"
+        for f in findings
+    ]
+    by_rule = Counter(f.rule_id for f in findings)
+    summary_bits = []
+    if checked_files is not None:
+        summary_bits.append(
+            f"{checked_files} file{'s' if checked_files != 1 else ''} checked"
+        )
+    if findings:
+        per_rule = ", ".join(
+            f"{rule}={count}" for rule, count in sorted(by_rule.items())
+        )
+        summary_bits.append(
+            f"{len(findings)} finding{'s' if len(findings) != 1 else ''} "
+            f"({per_rule})"
+        )
+    else:
+        summary_bits.append("no findings")
+    if baselined:
+        summary_bits.append(f"{baselined} baselined")
+    lines.append("reprolint: " + ", ".join(summary_bits))
+    return "\n".join(lines)
+
+
+def render_json(
+    findings: Sequence[Finding],
+    *,
+    baselined: int = 0,
+    checked_files: int | None = None,
+) -> str:
+    """The stable machine-readable report."""
+    document = {
+        "version": REPORT_VERSION,
+        "tool": "reprolint",
+        "checked_files": checked_files,
+        "baselined": baselined,
+        "counts": dict(
+            sorted(Counter(f.rule_id for f in findings).items())
+        ),
+        "findings": [f.as_dict() for f in findings],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

@@ -1,0 +1,452 @@
+"""The shipped rule pack — this repository's invariants, machine-checked.
+
+Determinism rules (scoped by ``deterministic-packages``):
+
+* **D001 no-wallclock** — ``time.time``/``time.monotonic``/
+  ``datetime.now`` and friends must not be *called* inside
+  deterministic packages; simulated time comes from the engine and
+  profiling uses ``perf_counter`` behind the obs switch.  Passing
+  ``time.time`` as an injectable default (``clock=time.time``) is
+  fine — only calls are flagged.  ``wallclock-allow`` exempts modules
+  that legitimately schedule against the real clock (the queue's
+  backoff deadlines).
+* **D002 no-global-rng** — module-level ``random.*`` functions, bare
+  ``random.Random()``, and legacy ``numpy.random`` module state all
+  draw from hidden global seeds; every stream must be constructed from
+  an explicit seed (``random.Random(seed)``,
+  ``numpy.random.default_rng(seed)``).
+* **D003 unordered-iteration** — iterating a ``set`` expression in an
+  engine hot path feeds hash order (randomized per process for
+  strings) into order-sensitive accumulation; wrap it in
+  ``sorted(...)``.  Dicts are insertion-ordered in Python and are not
+  flagged.
+
+Registry rules:
+
+* **M001 undeclared-metric** — every literal metric/span name passed
+  to ``obs.inc``/``obs.observe``/``obs.set_gauge``/``obs.span``/
+  ``obs.add_span`` must be declared in :mod:`repro.obs.names`; a
+  typo'd name silently forks a new series that no dashboard reads.
+* **P001 unknown-error-code** — ``ServiceError(..., code=...)`` must
+  use a member of the closed protocol set
+  (:data:`repro.service.protocol.ERROR_CODES`); anything else reaches
+  the wire as ``internal`` and clients lose the ability to branch.
+
+Async rules (scoped by ``async-packages``):
+
+* **A001 blocking-in-async** — ``time.sleep``/``sqlite3.connect`` (and
+  other known blockers) called directly inside an ``async def`` body
+  stall the event loop; use ``await asyncio.sleep`` or push the work
+  onto an executor.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lintkit.framework import FileContext, Finding, Rule, register
+
+__all__ = [
+    "AsyncBlockingRule",
+    "ErrorCodeRule",
+    "GlobalRngRule",
+    "MetricNameRule",
+    "UnorderedIterationRule",
+    "WallClockRule",
+]
+
+# -- D001 -------------------------------------------------------------------
+
+#: Wall-clock reads banned from deterministic packages.  Deliberately
+#: excludes ``time.perf_counter`` — duration profiling behind the obs
+#: switch never feeds scheduling decisions.
+WALLCLOCK_CALLS: frozenset[str] = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+
+@register
+class WallClockRule(Rule):
+    """D001: no wall-clock reads inside deterministic packages."""
+
+    id = "D001"
+    name = "no-wallclock"
+    description = (
+        "time.time/monotonic/datetime.now calls are banned in "
+        "deterministic packages; inject a clock instead"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.in_package(ctx.config.deterministic_packages):
+            return
+        if ctx.in_package(ctx.config.wallclock_allow):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = ctx.resolve_call(node.func)
+            if target in WALLCLOCK_CALLS:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"wall-clock read `{target}()` in deterministic "
+                    f"module {ctx.module}; inject a clock "
+                    f"(`clock: Callable[[], float]`) or move the read "
+                    f"outside the deterministic core",
+                )
+
+
+# -- D002 -------------------------------------------------------------------
+
+#: ``random``-module functions that consume the hidden global stream.
+GLOBAL_RANDOM_FUNCS: frozenset[str] = frozenset(
+    {
+        "random", "randint", "randrange", "choice", "choices",
+        "shuffle", "sample", "uniform", "triangular", "betavariate",
+        "expovariate", "gammavariate", "gauss", "lognormvariate",
+        "normalvariate", "vonmisesvariate", "paretovariate",
+        "weibullvariate", "getrandbits", "randbytes", "seed",
+    }
+)
+
+#: ``numpy.random`` attributes that are *not* legacy global state.
+NUMPY_RANDOM_OK: frozenset[str] = frozenset(
+    {
+        "Generator", "BitGenerator", "SeedSequence", "default_rng",
+        "PCG64", "PCG64DXSM", "Philox", "SFC64", "MT19937",
+    }
+)
+
+
+@register
+class GlobalRngRule(Rule):
+    """D002: no unseeded or hidden-global RNG in deterministic packages."""
+
+    id = "D002"
+    name = "no-global-rng"
+    description = (
+        "module-level random.* calls, bare random.Random(), and legacy "
+        "numpy.random global state are banned; seed explicit generators"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.in_package(ctx.config.deterministic_packages):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = ctx.resolve_call(node.func)
+            if target is None:
+                continue
+            finding = self._classify(ctx, node, target)
+            if finding is not None:
+                yield finding
+
+    def _classify(
+        self, ctx: FileContext, node: ast.Call, target: str
+    ) -> Finding | None:
+        parts = target.split(".")
+        if parts[0] == "random" and len(parts) == 2:
+            if parts[1] in GLOBAL_RANDOM_FUNCS:
+                return self.finding(
+                    ctx,
+                    node,
+                    f"`{target}()` draws from the hidden module-global "
+                    f"RNG; construct `random.Random(seed)` and pass it "
+                    f"explicitly",
+                )
+            if parts[1] == "Random" and not node.args and not node.keywords:
+                return self.finding(
+                    ctx,
+                    node,
+                    "bare `random.Random()` seeds from the OS; pass an "
+                    "explicit seed so the stream replays",
+                )
+        if parts[:2] == ["numpy", "random"] and len(parts) == 3:
+            attr = parts[2]
+            if attr == "default_rng" and not node.args and not node.keywords:
+                return self.finding(
+                    ctx,
+                    node,
+                    "`numpy.random.default_rng()` without a seed is "
+                    "OS-entropy-seeded; pass an explicit seed",
+                )
+            if attr not in NUMPY_RANDOM_OK:
+                return self.finding(
+                    ctx,
+                    node,
+                    f"legacy `{target}()` mutates numpy's module-global "
+                    f"RNG state; use `numpy.random.default_rng(seed)`",
+                )
+        return None
+
+
+# -- D003 -------------------------------------------------------------------
+
+_SET_METHODS: frozenset[str] = frozenset(
+    {"union", "intersection", "difference", "symmetric_difference"}
+)
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    """Whether an expression statically evaluates to an unordered set."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        if isinstance(node.func, ast.Name) and node.func.id in (
+            "set",
+            "frozenset",
+        ):
+            return True
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _SET_METHODS
+        ):
+            return True
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        return _is_set_expr(node.left) or _is_set_expr(node.right)
+    return False
+
+
+@register
+class UnorderedIterationRule(Rule):
+    """D003: no direct set iteration in engine hot paths."""
+
+    id = "D003"
+    name = "unordered-iteration"
+    description = (
+        "iterating a set expression in an engine hot path feeds hash "
+        "order into accumulation; wrap it in sorted(...)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.in_package(ctx.config.engine_hot_paths):
+            return
+        for node in ast.walk(ctx.tree):
+            iters: list[ast.AST] = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters.append(node.iter)
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                iters.extend(gen.iter for gen in node.generators)
+            for it in iters:
+                if _is_set_expr(it):
+                    yield self.finding(
+                        ctx,
+                        it,
+                        "iteration order of this set expression depends "
+                        "on hash seeds; wrap it in sorted(...) so the "
+                        "schedule replays bit-for-bit",
+                    )
+
+
+# -- M001 -------------------------------------------------------------------
+
+_METRIC_HELPERS: frozenset[str] = frozenset({"inc", "observe", "set_gauge"})
+_SPAN_HELPERS: frozenset[str] = frozenset({"span", "add_span"})
+
+
+@register
+class MetricNameRule(Rule):
+    """M001: obs metric/span names must be declared in the registry."""
+
+    id = "M001"
+    name = "undeclared-metric"
+    description = (
+        "literal names passed to obs.inc/observe/set_gauge/span must "
+        "appear in repro.obs.names; typos silently fork a new series"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        declared = self._declared_names()
+        if declared is None:
+            return
+        metric_names, span_names = declared
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call) or not node.args:
+                continue
+            func = node.func
+            if not (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "obs"
+            ):
+                continue
+            if func.attr in _METRIC_HELPERS:
+                universe, kind = metric_names, "metric"
+            elif func.attr in _SPAN_HELPERS:
+                universe, kind = span_names, "span"
+            else:
+                continue
+            finding = self._check_name(
+                ctx, node, node.args[0], universe, kind
+            )
+            if finding is not None:
+                yield finding
+
+    def _check_name(
+        self,
+        ctx: FileContext,
+        call: ast.Call,
+        arg: ast.expr,
+        universe: frozenset[str],
+        kind: str,
+    ) -> Finding | None:
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            if arg.value not in universe:
+                return self.finding(
+                    ctx,
+                    call,
+                    f"{kind} name {arg.value!r} is not declared in "
+                    f"repro.obs.names; declare it or fix the typo",
+                )
+            return None
+        if isinstance(arg, ast.JoinedStr) and arg.values:
+            head = arg.values[0]
+            if isinstance(head, ast.Constant) and isinstance(
+                head.value, str
+            ):
+                prefix = head.value
+                if not any(name.startswith(prefix) for name in universe):
+                    return self.finding(
+                        ctx,
+                        call,
+                        f"dynamic {kind} name starts with {prefix!r}, "
+                        f"which matches no declared name in "
+                        f"repro.obs.names",
+                    )
+        return None
+
+    @staticmethod
+    def _declared_names() -> tuple[frozenset[str], frozenset[str]] | None:
+        try:
+            from repro.obs import names
+        except ImportError:  # pragma: no cover - registry missing
+            return None
+        return names.METRIC_NAMES, names.SPAN_NAMES
+
+
+# -- P001 -------------------------------------------------------------------
+
+
+@register
+class ErrorCodeRule(Rule):
+    """P001: ServiceError codes must belong to the protocol's closed set."""
+
+    id = "P001"
+    name = "unknown-error-code"
+    description = (
+        "ServiceError(..., code=...) must use a member of "
+        "repro.service.protocol.ERROR_CODES"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        codes = self._error_codes()
+        if codes is None:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = (
+                func.id
+                if isinstance(func, ast.Name)
+                else func.attr if isinstance(func, ast.Attribute) else None
+            )
+            if name != "ServiceError":
+                continue
+            for keyword in node.keywords:
+                if keyword.arg != "code":
+                    continue
+                value = keyword.value
+                if isinstance(value, ast.Constant) and isinstance(
+                    value.value, str
+                ):
+                    if value.value not in codes:
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"error code {value.value!r} is outside the "
+                            f"closed protocol set; add it to "
+                            f"repro.service.protocol.ERROR_CODES or use "
+                            f"an existing code",
+                        )
+
+    @staticmethod
+    def _error_codes() -> frozenset[str] | None:
+        try:
+            from repro.service.protocol import ERROR_CODES
+        except ImportError:  # pragma: no cover - protocol missing
+            return None
+        return frozenset(ERROR_CODES)
+
+
+# -- A001 -------------------------------------------------------------------
+
+#: Calls that block the event loop when made from a coroutine.
+BLOCKING_CALLS: frozenset[str] = frozenset(
+    {
+        "time.sleep",
+        "sqlite3.connect",
+        "subprocess.run",
+        "subprocess.check_output",
+        "subprocess.check_call",
+        "subprocess.call",
+        "urllib.request.urlopen",
+    }
+)
+
+
+@register
+class AsyncBlockingRule(Rule):
+    """A001: no blocking calls directly inside ``async def`` bodies."""
+
+    id = "A001"
+    name = "blocking-in-async"
+    description = (
+        "time.sleep / sync sqlite / subprocess calls inside async def "
+        "stall the event loop; await or use an executor"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.in_package(ctx.config.async_packages):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.AsyncFunctionDef):
+                yield from self._check_coroutine(ctx, node)
+
+    def _check_coroutine(
+        self, ctx: FileContext, func: ast.AsyncFunctionDef
+    ) -> Iterator[Finding]:
+        # Walk the coroutine body but stop at nested function
+        # definitions: a nested sync helper has its own call sites, and
+        # a nested coroutine is visited by the outer ast.walk pass.
+        stack: list[ast.AST] = list(func.body)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if isinstance(node, ast.Call):
+                target = ctx.resolve_call(node.func)
+                if target in BLOCKING_CALLS:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"blocking call `{target}()` inside "
+                        f"`async def {func.name}`; use `await "
+                        f"asyncio.sleep` or run it in an executor",
+                    )
+            stack.extend(ast.iter_child_nodes(node))

@@ -71,7 +71,7 @@ class PerformanceReply:
             raise MiddlewareError(
                 f"cluster {self.cluster_name!r} replied with negative makespans"
             )
-        if any(a > b + 1e-9 for a, b in zip(self.vector, self.vector[1:])):
+        if any(a > b + 1e-9 for a, b in zip(self.vector, self.vector[1:], strict=False)):
             raise MiddlewareError(
                 f"cluster {self.cluster_name!r}'s performance vector is not "
                 f"non-decreasing — the SeD is lying about its capacity"

@@ -41,6 +41,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
     prometheus_from_dump,
 )
+from repro.obs.names import ALL_NAMES, METRIC_NAMES, SPAN_NAMES
 from repro.obs.runtime import (
     add_span,
     disable,
@@ -76,6 +77,10 @@ __all__ = [
     "observe",
     "span",
     "add_span",
+    # declared name registry (enforced by reprolint M001)
+    "ALL_NAMES",
+    "METRIC_NAMES",
+    "SPAN_NAMES",
     # metrics
     "Counter",
     "Gauge",

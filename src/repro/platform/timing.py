@@ -109,7 +109,7 @@ class TimingModel(ABC):
         """True when ``T[G]`` is non-increasing in ``G`` (it should be)."""
         table = self.main_time_table()
         values = [table[g] for g in self.group_sizes]
-        return all(a >= b for a, b in zip(values, values[1:]))
+        return all(a >= b for a, b in zip(values, values[1:], strict=False))
 
     def posts_per_main(self) -> int:
         """``⌊TG/TP⌋`` for the *fastest* group — a paper-formula building block.

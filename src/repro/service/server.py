@@ -25,7 +25,7 @@ import asyncio
 import json
 import threading
 import time
-from typing import Any
+from typing import Any, Callable
 
 from repro import obs
 from repro._version import __version__
@@ -42,7 +42,12 @@ _log = obs.get_logger(__name__)
 
 
 class CampaignServer:
-    """TCP campaign service over a run store (see module docstring)."""
+    """TCP campaign service over a run store (see module docstring).
+
+    ``clock`` supplies the store's timestamps and the health report's
+    uptime; injectable (default :func:`time.time`) so tests can pin
+    wall-clock-derived state instead of racing real time.
+    """
 
     def __init__(
         self,
@@ -52,12 +57,14 @@ class CampaignServer:
         port: int = 0,
         queue_config: QueueConfig | None = None,
         chaos: "ChaosConfig | None" = None,
+        clock: Callable[[], float] = time.time,
     ) -> None:
         self.db_path = db_path
         self.host = host
         self._requested_port = port
         self.queue_config = queue_config or QueueConfig()
         self.chaos = chaos
+        self._clock = clock
         self.store: RunStore | None = None
         self.queue: JobQueue | None = None
         self._server: asyncio.AbstractServer | None = None
@@ -80,14 +87,14 @@ class CampaignServer:
         """
         if self._server is not None:
             raise ServiceError("server already started", code="internal")
-        self.store = RunStore(self.db_path)
+        self.store = RunStore(self.db_path, clock=self._clock)
         self.queue = JobQueue(self.store, self.queue_config, chaos=self.chaos)
         recovered = await self.queue.start()
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self._requested_port
         )
         self._port = self._server.sockets[0].getsockname()[1]
-        self._started_at = time.time()
+        self._started_at = self._clock()
         obs.log_event(
             _log, "service.started",
             host=self.host, port=self._port, db=self.db_path,
@@ -278,7 +285,7 @@ class CampaignServer:
         return {
             "version": __version__,
             "protocol": protocol.PROTOCOL_VERSION,
-            "uptime_seconds": time.time() - self._started_at,
+            "uptime_seconds": self._clock() - self._started_at,
             "workers": self.queue_config.max_workers,
             "queue_depth": counts["queued"],
             "jobs": counts,
@@ -323,6 +330,7 @@ def serve_in_thread(
     port: int = 0,
     queue_config: QueueConfig | None = None,
     chaos: ChaosConfig | None = None,
+    clock: Callable[[], float] = time.time,
 ) -> ServerHandle:
     """Start a :class:`CampaignServer` on a daemon thread; returns its handle.
 
@@ -335,7 +343,8 @@ def serve_in_thread(
     started: concurrent.futures.Future = concurrent.futures.Future()
     loop = asyncio.new_event_loop()
     server = CampaignServer(
-        db_path, host=host, port=port, queue_config=queue_config, chaos=chaos
+        db_path, host=host, port=port, queue_config=queue_config,
+        chaos=chaos, clock=clock,
     )
 
     def _run() -> None:

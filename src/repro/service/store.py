@@ -31,7 +31,7 @@ import time
 import uuid
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any
+from typing import Any, Callable
 
 from repro.exceptions import ServiceError
 
@@ -111,10 +111,23 @@ def _row_to_record(row: sqlite3.Row) -> RunRecord:
 
 
 class RunStore:
-    """SQLite persistence for submitted runs (see module docstring)."""
+    """SQLite persistence for submitted runs (see module docstring).
 
-    def __init__(self, path: str | Path) -> None:
+    ``clock`` supplies every timestamp the store writes (``created_at``,
+    ``updated_at``, claim eligibility ``now``); it defaults to
+    :func:`time.time` and is injectable so tests drive retry/backoff
+    deadlines and kill-restart recovery on a fake clock instead of
+    sleeping through real time.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
         self.path = str(path)
+        self._clock = clock
         self._lock = threading.RLock()
         self._conn = sqlite3.connect(
             self.path, check_same_thread=False, timeout=10.0
@@ -178,7 +191,7 @@ class RunStore:
                 code="bad-request",
             )
         run_id = uuid.uuid4().hex[:12]
-        now = time.time()
+        now = self._clock()
         with self._lock, self._conn:
             self._conn.execute(
                 "INSERT INTO runs (run_id, kind, params, state, created_at,"
@@ -208,7 +221,7 @@ class RunStore:
         the execution about to happen.  Returns ``None`` when nothing
         is runnable right now.
         """
-        now = time.time() if now is None else now
+        now = self._clock() if now is None else now
         with self._lock, self._conn:
             row = self._conn.execute(
                 "SELECT * FROM runs WHERE state = 'queued' AND"
@@ -268,7 +281,7 @@ class RunStore:
         so its execution is lost and must be redone.  The interrupted
         attempt stays counted.  Returns the number of recovered runs.
         """
-        now = time.time()
+        now = self._clock()
         with self._lock, self._conn:
             cursor = self._conn.execute(
                 "UPDATE runs SET state = 'queued', not_before = 0,"
@@ -294,7 +307,7 @@ class RunStore:
                 " WHERE run_id = ? AND state = ?",
                 (
                     state,
-                    time.time(),
+                    self._clock(),
                     not_before,
                     result,
                     error,
@@ -328,7 +341,7 @@ class RunStore:
             args = (state,)
         query += " ORDER BY created_at DESC, run_id LIMIT ?"
         with self._lock:
-            rows = self._conn.execute(query, args + (limit,)).fetchall()
+            rows = self._conn.execute(query, (*args, limit)).fetchall()
         return [_row_to_record(row) for row in rows]
 
     def counts_by_state(self) -> dict[str, int]:

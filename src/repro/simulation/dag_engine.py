@@ -274,7 +274,7 @@ def simulate_dag(
                 pending_main_pred[succ] -= 1
                 if pending_main_pred[succ] == 0:
                     ready[succ] = now
-        free, idle_groups[:] = idle_groups[:] + [group], []
+        free, idle_groups[:] = [*idle_groups, group], []
         match(now, free)
 
     if unstarted:

@@ -122,7 +122,7 @@ def validate_dag_schedule(
             per_proc.setdefault(proc, []).append((record.start, record.end))
     for proc, intervals in per_proc.items():
         intervals.sort()
-        for (_s1, e1), (s2, _e2) in zip(intervals, intervals[1:]):
+        for (_s1, e1), (s2, _e2) in zip(intervals, intervals[1:], strict=False):
             if s2 < e1 - _EPS:
                 raise ValidationError(f"processor {proc} double-booked")
 

@@ -252,7 +252,8 @@ def _publish_stats(
         idle = sum(
             last_end - tasks * gt
             for last_end, tasks, gt in zip(
-                group_last_end, stats.tasks_per_group, group_times
+                group_last_end, stats.tasks_per_group, group_times,
+                strict=True,
             )
         )
         obs.set_gauge(
@@ -335,7 +336,7 @@ def _run_main_phase(
         if months_done[scenario] < nm:
             waiting.add(scenario)
             wait_since[scenario] = now
-        free, idle_groups[:] = idle_groups[:] + [group], []
+        free, idle_groups[:] = [*idle_groups, group], []
         match(now, free)
 
     if unstarted != 0 or waiting:

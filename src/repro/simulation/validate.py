@@ -27,7 +27,7 @@ from __future__ import annotations
 
 from repro.exceptions import ValidationError
 from repro.platform.timing import TimingModel
-from repro.simulation.events import SimulationResult
+from repro.simulation.events import SimulationResult, TaskRecord
 from repro.simulation.groups import proc_ranges
 
 __all__ = ["validate_schedule"]
@@ -101,7 +101,9 @@ def validate_schedule(result: SimulationResult, timing: TimingModel) -> None:
         )
 
 
-def _check_main_record(record, ranges, timing: TimingModel) -> None:
+def _check_main_record(
+    record: TaskRecord, ranges: list[range], timing: TimingModel
+) -> None:
     if not 0 <= record.group < len(ranges):
         raise ValidationError(f"main task on unknown group: {record}")
     rng = ranges[record.group]
@@ -117,7 +119,9 @@ def _check_main_record(record, ranges, timing: TimingModel) -> None:
         )
 
 
-def _check_post_record(record, result: SimulationResult, tp: float) -> None:
+def _check_post_record(
+    record: TaskRecord, result: SimulationResult, tp: float
+) -> None:
     if record.n_procs != 1:
         raise ValidationError(f"post task on {record.n_procs} processors: {record}")
     if not 0 <= record.procs_start < result.grouping.total_resources:
@@ -134,7 +138,7 @@ def _check_no_overlap(result: SimulationResult) -> None:
             per_proc.setdefault(proc, []).append((record.start, record.end))
     for proc, intervals in per_proc.items():
         intervals.sort()
-        for (s1, e1), (s2, _e2) in zip(intervals, intervals[1:]):
+        for (_s1, e1), (s2, _e2) in zip(intervals, intervals[1:], strict=False):
             if s2 < e1 - _EPS:
                 raise ValidationError(
                     f"processor {proc} double-booked: interval starting at "

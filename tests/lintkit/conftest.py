@@ -1,0 +1,46 @@
+"""Shared fixtures for the reprolint self-tests."""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.lintkit import LintConfig
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: Marker on an offending fixture line: ``# ... EXPECT[D001]``.
+_EXPECT = re.compile(r"EXPECT\[(?P<rule>[A-Z0-9]+)\]")
+
+
+def expected_findings(path: Path) -> set[tuple[str, int]]:
+    """(rule_id, line) pairs declared by EXPECT markers in a fixture."""
+    out: set[tuple[str, int]] = set()
+    for lineno, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        for match in _EXPECT.finditer(line):
+            out.add((match.group("rule"), lineno))
+    return out
+
+
+@pytest.fixture
+def fixture_config() -> LintConfig:
+    """A config scoping the package-gated rules onto the fixtures.
+
+    Fixture files are top-level modules (no ``__init__.py`` in the
+    fixtures directory), so their derived module names are the file
+    stems.
+    """
+    return LintConfig(
+        deterministic_packages=(
+            "d001_wallclock",
+            "d002_global_rng",
+            "pragmas",
+        ),
+        engine_hot_paths=("d003_set_iteration",),
+        async_packages=("a001_blocking_async",),
+        root=FIXTURES,
+    )

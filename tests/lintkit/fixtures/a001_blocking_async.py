@@ -1,0 +1,32 @@
+"""Known-bad fixture: blocking calls inside async def bodies."""
+
+import asyncio
+import sqlite3
+import subprocess
+import time
+
+
+async def poll() -> None:
+    time.sleep(0.1)  # EXPECT[A001]
+
+
+async def open_db(path: str) -> "sqlite3.Connection":
+    return sqlite3.connect(path)  # EXPECT[A001]
+
+
+async def shell() -> None:
+    subprocess.run(["true"])  # EXPECT[A001]
+
+
+async def nested_sync_not_flagged() -> None:
+    def helper() -> None:
+        # Inside a nested *sync* function: its call sites decide.
+        time.sleep(0.1)
+
+    helper()
+    await asyncio.sleep(0)
+
+
+def sync_sleep_ok() -> None:
+    # Blocking in a plain function is fine.
+    time.sleep(0)

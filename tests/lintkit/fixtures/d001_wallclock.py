@@ -1,0 +1,40 @@
+"""Known-bad fixture: wall-clock reads in a deterministic module.
+
+Each offending line carries an expectation marker comment; the
+self-test asserts reprolint flags exactly those (rule id, line) pairs.
+"""
+
+import time
+from datetime import date, datetime
+
+
+def stamp_job() -> float:
+    started = time.time()  # EXPECT[D001]
+    return started
+
+
+def elapsed_guard() -> float:
+    return time.monotonic()  # EXPECT[D001]
+
+
+def label() -> str:
+    return datetime.now().isoformat()  # EXPECT[D001]
+
+
+def label_utc() -> str:
+    return datetime.utcnow().isoformat()  # EXPECT[D001]
+
+
+def day() -> str:
+    return date.today().isoformat()  # EXPECT[D001]
+
+
+def injectable_default(clock=time.time) -> float:
+    # A *reference* to time.time as an injectable default is the
+    # sanctioned pattern and must NOT be flagged.
+    return clock()
+
+
+def profiling_ok() -> float:
+    # perf_counter is duration profiling, deliberately allowed.
+    return time.perf_counter()

@@ -1,0 +1,34 @@
+"""Known-bad fixture: hidden-global and unseeded RNG use."""
+
+import random
+
+import numpy as np
+
+
+def jitter() -> float:
+    return random.uniform(0.0, 1.0)  # EXPECT[D002]
+
+
+def coin() -> bool:
+    return random.random() < 0.5  # EXPECT[D002]
+
+
+def os_seeded() -> "random.Random":
+    return random.Random()  # EXPECT[D002]
+
+
+def legacy_numpy() -> object:
+    return np.random.rand(3)  # EXPECT[D002]
+
+
+def reseed_global() -> None:
+    np.random.seed(0)  # EXPECT[D002]
+
+
+def unseeded_generator() -> object:
+    return np.random.default_rng()  # EXPECT[D002]
+
+
+def seeded_ok(seed: int) -> tuple:
+    # Explicitly seeded streams are the sanctioned pattern.
+    return random.Random(seed), np.random.default_rng(seed)

@@ -1,0 +1,33 @@
+"""Known-bad fixture: unordered set iteration in an engine hot path."""
+
+
+def drain(ready: list[str], done: list[str]) -> list[str]:
+    order = []
+    for task in set(ready):  # EXPECT[D003]
+        order.append(task)
+    for task in set(ready) - set(done):  # EXPECT[D003]
+        order.append(task)
+    for task in {"alpha", "beta"}:  # EXPECT[D003]
+        order.append(task)
+    return order
+
+
+def comprehension(ready: list[str]) -> list[str]:
+    return [task for task in frozenset(ready)]  # EXPECT[D003]
+
+
+def union_method(a: set, b: set) -> list:
+    return [x for x in a.union(b)]  # EXPECT[D003]
+
+
+def sorted_ok(ready: list[str], done: list[str]) -> list[str]:
+    # Sorting restores a deterministic order; not flagged.
+    out = []
+    for task in sorted(set(ready) - set(done)):
+        out.append(task)
+    return out
+
+
+def dict_ok(table: dict[str, int]) -> list[str]:
+    # Dicts iterate in insertion order — deterministic, not flagged.
+    return [key for key in table]

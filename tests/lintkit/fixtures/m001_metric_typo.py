@@ -1,0 +1,25 @@
+"""Known-bad fixture: metric/span names missing from repro.obs.names."""
+
+from repro import obs
+
+
+def record(makespan: float) -> None:
+    obs.inc("simulation.rnus")  # EXPECT[M001]
+    obs.set_gauge("simulation.makespan_secs", makespan)  # EXPECT[M001]
+    obs.observe("heuristic.plan_secnods", 0.1)  # EXPECT[M001]
+
+
+def trace(name: str) -> None:
+    with obs.span("simulaet"):  # EXPECT[M001]
+        pass
+    with obs.span(f"figrue.{name}"):  # EXPECT[M001]
+        pass
+
+
+def declared_ok(makespan: float, name: str) -> None:
+    obs.inc("simulation.runs")
+    obs.set_gauge("simulation.makespan_seconds", makespan)
+    with obs.span("simulate"):
+        pass
+    with obs.span(f"figure.{name}"):
+        pass

@@ -1,0 +1,15 @@
+"""Known-bad fixture: error codes outside the closed protocol set."""
+
+from repro.exceptions import ServiceError
+
+
+def reject() -> None:
+    raise ServiceError("nope", code="not-a-real-code")  # EXPECT[P001]
+
+
+def misspelled() -> None:
+    raise ServiceError("gone", code="unknown-runs")  # EXPECT[P001]
+
+
+def closed_set_ok() -> None:
+    raise ServiceError("no run with that id", code="unknown-run")

@@ -1,0 +1,23 @@
+"""Fixture: inline pragma suppression forms."""
+
+import time
+
+
+def suppressed_single() -> float:
+    return time.time()  # reprolint: ignore[D001]
+
+
+def suppressed_list() -> float:
+    return time.monotonic()  # reprolint: ignore[D001, M001]
+
+
+def suppressed_all() -> float:
+    return time.time()  # reprolint: ignore
+
+
+def wrong_rule_still_flagged() -> float:
+    return time.time()  # reprolint: ignore[D002]  EXPECT[D001]
+
+
+def not_a_pragma_in_string() -> str:
+    return "# reprolint: ignore[D001]"

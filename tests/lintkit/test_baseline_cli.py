@@ -1,0 +1,256 @@
+"""Baseline workflow and command-line gate tests."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import pytest
+
+from repro.lintkit import Checker, LintConfig, load_baseline, write_baseline
+from repro.lintkit.baseline import partition
+from repro.lintkit.cli import main as lint_main
+from repro.exceptions import ConfigurationError
+
+from tests.lintkit.conftest import FIXTURES
+
+BAD_BODY = """
+import time
+
+def f():
+    return time.time()
+"""
+
+
+def bad_module(tmp_path, name="victim.py", body=BAD_BODY):
+    path = tmp_path / name
+    path.write_text(textwrap.dedent(body), encoding="utf-8")
+    return path
+
+
+def config_for(tmp_path, *modules):
+    return LintConfig(deterministic_packages=tuple(modules), root=tmp_path)
+
+
+class TestBaseline:
+    def test_roundtrip_suppresses_known_findings(self, tmp_path):
+        path = bad_module(tmp_path)
+        config = config_for(tmp_path, "victim")
+        findings = Checker(config).run([path])
+        assert len(findings) == 1
+
+        baseline = tmp_path / "baseline.json"
+        assert write_baseline(baseline, findings) == 1
+        fresh, old = partition(findings, load_baseline(baseline))
+        assert fresh == [] and len(old) == 1
+
+    def test_fingerprint_survives_unrelated_edits(self, tmp_path):
+        path = bad_module(tmp_path)
+        config = config_for(tmp_path, "victim")
+        baseline = tmp_path / "baseline.json"
+        write_baseline(baseline, Checker(config).run([path]))
+
+        # Insert code above the finding: line number moves, the
+        # fingerprint (content-addressed) does not.
+        path.write_text(
+            "GREETING = 'hello'\n" + path.read_text(encoding="utf-8"),
+            encoding="utf-8",
+        )
+        findings = Checker(config).run([path])
+        fresh, old = partition(findings, load_baseline(baseline))
+        assert fresh == [] and len(old) == 1
+
+    def test_editing_the_offending_line_invalidates_the_entry(self, tmp_path):
+        path = bad_module(tmp_path)
+        config = config_for(tmp_path, "victim")
+        baseline = tmp_path / "baseline.json"
+        write_baseline(baseline, Checker(config).run([path]))
+
+        path.write_text(
+            path.read_text(encoding="utf-8").replace(
+                "return time.time()", "return time.time() + 1.0"
+            ),
+            encoding="utf-8",
+        )
+        fresh, old = partition(
+            Checker(config).run([path]), load_baseline(baseline)
+        )
+        assert len(fresh) == 1 and old == []
+
+    def test_duplicate_lines_need_separate_entries(self, tmp_path):
+        body = """
+        import time
+
+        def f():
+            return time.time()
+
+        def g():
+            return time.time()
+        """
+        path = bad_module(tmp_path, body=body)
+        config = config_for(tmp_path, "victim")
+        findings = Checker(config).run([path])
+        assert len(findings) == 2
+        baseline = tmp_path / "baseline.json"
+        assert write_baseline(baseline, findings) == 2
+        fresh, old = partition(findings, load_baseline(baseline))
+        assert fresh == [] and len(old) == 2
+
+    def test_missing_baseline_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "nope.json") == set()
+
+    def test_malformed_baseline_raises_configuration_error(self, tmp_path):
+        bad = tmp_path / "baseline.json"
+        bad.write_text("{]", encoding="utf-8")
+        with pytest.raises(ConfigurationError):
+            load_baseline(bad)
+        bad.write_text(json.dumps({"version": 99, "findings": []}))
+        with pytest.raises(ConfigurationError):
+            load_baseline(bad)
+
+
+def write_pyproject(tmp_path, *, deterministic, baseline="lint.json"):
+    pyproject = tmp_path / "pyproject.toml"
+    packages = ", ".join(f'"{p}"' for p in deterministic)
+    pyproject.write_text(
+        f"[tool.reprolint]\n"
+        f"deterministic-packages = [{packages}]\n"
+        f'baseline = "{baseline}"\n',
+        encoding="utf-8",
+    )
+    return pyproject
+
+
+class TestCommandLine:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n", encoding="utf-8")
+        pyproject = write_pyproject(tmp_path, deterministic=["clean"])
+        code = lint_main([str(clean), "--config", str(pyproject)])
+        assert code == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_violation_exits_one_with_location(self, tmp_path, capsys):
+        path = bad_module(tmp_path)
+        pyproject = write_pyproject(tmp_path, deterministic=["victim"])
+        code = lint_main([str(path), "--config", str(pyproject)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "D001" in out and "victim.py:5:" in out
+
+    def test_json_format_is_machine_readable(self, tmp_path, capsys):
+        path = bad_module(tmp_path)
+        pyproject = write_pyproject(tmp_path, deterministic=["victim"])
+        code = lint_main(
+            [str(path), "--config", str(pyproject), "--format", "json"]
+        )
+        assert code == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["tool"] == "reprolint"
+        assert report["counts"] == {"D001": 1}
+        [finding] = report["findings"]
+        assert finding["rule"] == "D001" and finding["line"] == 5
+
+    def test_write_baseline_then_gate_passes(self, tmp_path, capsys):
+        path = bad_module(tmp_path)
+        pyproject = write_pyproject(tmp_path, deterministic=["victim"])
+        assert lint_main(
+            [str(path), "--config", str(pyproject), "--write-baseline"]
+        ) == 0
+        assert (tmp_path / "lint.json").is_file()
+        capsys.readouterr()
+        code = lint_main([str(path), "--config", str(pyproject)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "1 baselined" in out
+
+    def test_no_baseline_flag_reports_everything(self, tmp_path, capsys):
+        path = bad_module(tmp_path)
+        pyproject = write_pyproject(tmp_path, deterministic=["victim"])
+        lint_main([str(path), "--config", str(pyproject), "--write-baseline"])
+        capsys.readouterr()
+        assert lint_main(
+            [str(path), "--config", str(pyproject), "--no-baseline"]
+        ) == 1
+
+    def test_unknown_rule_select_exits_two(self, tmp_path, capsys):
+        path = bad_module(tmp_path)
+        pyproject = write_pyproject(tmp_path, deterministic=["victim"])
+        assert lint_main(
+            [str(path), "--config", str(pyproject), "--select", "D999"]
+        ) == 2
+
+    def test_empty_target_exits_two(self, tmp_path):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert lint_main([str(empty)]) == 2
+
+    def test_warning_severity_does_not_gate_unless_strict(
+        self, tmp_path, capsys
+    ):
+        path = bad_module(tmp_path)
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text(
+            "[tool.reprolint]\n"
+            'deterministic-packages = ["victim"]\n'
+            "[tool.reprolint.severity]\n"
+            'D001 = "warning"\n',
+            encoding="utf-8",
+        )
+        assert lint_main([str(path), "--config", str(pyproject)]) == 0
+        assert lint_main(
+            [str(path), "--config", str(pyproject), "--strict"]
+        ) == 1
+
+    def test_list_rules_prints_catalogue(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("D001", "D002", "D003", "M001", "P001", "A001"):
+            assert rule_id in out
+
+
+class TestRepoGate:
+    def test_repo_is_clean_under_its_own_checker(self, capsys):
+        repo_root = FIXTURES.parent.parent.parent
+        code = lint_main(
+            [
+                str(repo_root / "src" / "repro"),
+                "--config", str(repo_root / "pyproject.toml"),
+            ]
+        )
+        assert code == 0, capsys.readouterr().out
+
+    def test_repro_oa_lint_verb_is_wired(self, capsys):
+        from repro.cli import main as repro_main
+
+        repo_root = FIXTURES.parent.parent.parent
+        code = repro_main(
+            [
+                "lint",
+                str(repo_root / "src" / "repro"),
+                "--config", str(repo_root / "pyproject.toml"),
+            ]
+        )
+        assert code == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_seeded_violation_trips_the_gate(self, tmp_path, capsys):
+        # The CI-gate drill: copy a real engine module, seed a
+        # wall-clock read, and watch the checker catch it under the
+        # repo's own configuration semantics.
+        repo_root = FIXTURES.parent.parent.parent
+        engine = repo_root / "src" / "repro" / "simulation" / "engine.py"
+        seeded = tmp_path / "engine.py"
+        source = engine.read_text(encoding="utf-8")
+        assert "time.time()" not in source
+        seeded.write_text(
+            source + "\n\nimport time\n\nT0 = time.time()\n",
+            encoding="utf-8",
+        )
+        config_dir = tmp_path
+        write_pyproject(config_dir, deterministic=["engine"])
+        code = lint_main(
+            [str(seeded), "--config", str(config_dir / "pyproject.toml")]
+        )
+        assert code == 1
+        assert "D001" in capsys.readouterr().out

@@ -1,0 +1,198 @@
+"""Framework-layer tests: parsing, pragmas, module naming, config."""
+
+from __future__ import annotations
+
+import textwrap
+from dataclasses import replace
+
+import pytest
+
+from repro.lintkit import Checker, LintConfig, load_config
+from repro.lintkit.framework import module_name_for
+
+from tests.lintkit.conftest import FIXTURES
+
+
+def write_module(tmp_path, name, body):
+    path = tmp_path / name
+    path.write_text(textwrap.dedent(body), encoding="utf-8")
+    return path
+
+
+class TestModuleNaming:
+    def test_package_walk(self, tmp_path):
+        pkg = tmp_path / "alpha" / "beta"
+        pkg.mkdir(parents=True)
+        (tmp_path / "alpha" / "__init__.py").write_text("")
+        (pkg / "__init__.py").write_text("")
+        mod = pkg / "gamma.py"
+        mod.write_text("")
+        assert module_name_for(mod) == "alpha.beta.gamma"
+        assert module_name_for(pkg / "__init__.py") == "alpha.beta"
+
+    def test_bare_file(self, tmp_path):
+        mod = write_module(tmp_path, "loose.py", "")
+        assert module_name_for(mod) == "loose"
+
+
+class TestPragmas:
+    def test_pragma_inside_string_is_not_a_pragma(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "strpragma.py",
+            """
+            import time
+
+            def f():
+                note = "# reprolint: ignore[D001]"
+                return time.time(), note
+            """,
+        )
+        config = LintConfig(deterministic_packages=("strpragma",))
+        findings = Checker(config).run([path])
+        assert [f.rule_id for f in findings] == ["D001"]
+
+    def test_pragma_on_any_line_of_multiline_statement(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "multiline.py",
+            """
+            import time
+
+            def f():
+                return max(
+                    0.0,
+                    time.time(),  # reprolint: ignore[D001]
+                )
+            """,
+        )
+        config = LintConfig(deterministic_packages=("multiline",))
+        assert Checker(config).run([path]) == []
+
+    def test_bare_ignore_suppresses_everything(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "bareignore.py",
+            """
+            import random
+            import time
+
+            def f():
+                return time.time(), random.random()  # reprolint: ignore
+            """,
+        )
+        config = LintConfig(deterministic_packages=("bareignore",))
+        assert Checker(config).run([path]) == []
+
+
+class TestChecker:
+    def test_syntax_errors_are_skipped_not_crashed(self, tmp_path):
+        bad = write_module(tmp_path, "broken.py", "def f(:\n")
+        ok = write_module(
+            tmp_path,
+            "fine.py",
+            """
+            import time
+
+            def f():
+                return time.time()
+            """,
+        )
+        config = LintConfig(deterministic_packages=("broken", "fine"))
+        findings = Checker(config).run([bad, ok])
+        assert [f.rule_id for f in findings] == ["D001"]
+        assert findings[0].path.endswith("fine.py")
+
+    def test_directory_discovery_is_sorted_and_deduplicated(self, tmp_path):
+        for name in ("b.py", "a.py"):
+            write_module(tmp_path, name, "x = 1\n")
+        files = list(Checker.iter_files([tmp_path, tmp_path / "a.py"]))
+        assert [f.name for f in files] == ["a.py", "b.py"]
+
+    def test_findings_sorted_by_location(self, fixture_config):
+        findings = Checker(fixture_config).run([FIXTURES])
+        keys = [(f.path, f.line, f.col, f.rule_id) for f in findings]
+        assert keys == sorted(keys)
+
+    def test_import_alias_resolution(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "aliased.py",
+            """
+            import numpy as legacy
+            from time import monotonic as mono
+
+            def f():
+                return legacy.random.rand(2), mono()
+            """,
+        )
+        config = LintConfig(deterministic_packages=("aliased",))
+        findings = Checker(config).run([path])
+        assert sorted(f.rule_id for f in findings) == ["D001", "D002"]
+
+
+class TestConfig:
+    def test_load_from_pyproject(self, tmp_path):
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text(
+            textwrap.dedent(
+                """
+                [tool.reprolint]
+                deterministic-packages = ["mypkg.sim"]
+                wallclock-allow = ["mypkg.sim.io"]
+                baseline = "lint-baseline.json"
+                disable = ["D003"]
+
+                [tool.reprolint.severity]
+                A001 = "warning"
+                """
+            ),
+            encoding="utf-8",
+        )
+        config = load_config(pyproject)
+        assert config.deterministic_packages == ("mypkg.sim",)
+        assert config.wallclock_allow == ("mypkg.sim.io",)
+        assert config.baseline_path() == tmp_path / "lint-baseline.json"
+        assert config.disabled_rules == ("D003",)
+        assert config.severity_for("A001", "error") == "warning"
+        assert config.severity_for("D001", "error") == "error"
+
+    def test_missing_table_yields_defaults(self, tmp_path):
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text("[project]\nname = 'x'\n", encoding="utf-8")
+        config = load_config(pyproject)
+        assert "repro.core" in config.deterministic_packages
+
+    def test_minimal_toml_fallback_matches_tomllib(self):
+        import tomllib
+
+        from repro.lintkit.config import _parse_minimal_toml
+
+        text = (FIXTURES.parent.parent.parent / "pyproject.toml").read_text(
+            encoding="utf-8"
+        )
+        want = tomllib.loads(text)["tool"]["reprolint"]
+        got = _parse_minimal_toml(text)["tool"]["reprolint"]
+        assert got == want
+
+    def test_severity_override_applied_to_findings(self, fixture_config):
+        config = replace(fixture_config, severity={"D001": "warning"})
+        findings = Checker(config).run([FIXTURES / "d001_wallclock.py"])
+        assert findings
+        assert all(f.severity == "warning" for f in findings)
+
+
+class TestRegistry:
+    def test_register_rejects_duplicates_and_blank_ids(self):
+        from repro.lintkit.framework import Rule, register
+
+        with pytest.raises(ValueError):
+            register(type("NoId", (Rule,), {"id": ""}))
+        with pytest.raises(ValueError):
+            register(type("Dup", (Rule,), {"id": "D001"}))
+        with pytest.raises(ValueError):
+            register(
+                type("BadSev", (Rule,), {
+                    "id": "Z999", "default_severity": "fatal",
+                })
+            )

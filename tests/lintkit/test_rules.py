@@ -1,0 +1,105 @@
+"""Every shipped rule is demonstrated by a known-bad fixture.
+
+Each fixture marks its offending lines with ``EXPECT[RULE]`` comments;
+the tests assert the checker reports *exactly* those (rule id, line)
+pairs — wrong-line or wrong-rule reports fail just as loudly as missed
+findings, and the sanctioned patterns in the same files prove the
+rules don't over-trigger.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lintkit import Checker, all_rules
+
+from tests.lintkit.conftest import FIXTURES, expected_findings
+
+FIXTURE_FILES = {
+    "D001": "d001_wallclock.py",
+    "D002": "d002_global_rng.py",
+    "D003": "d003_set_iteration.py",
+    "M001": "m001_metric_typo.py",
+    "P001": "p001_error_code.py",
+    "A001": "a001_blocking_async.py",
+}
+
+
+def run_on(fixture_config, filename):
+    checker = Checker(fixture_config)
+    return checker.run([FIXTURES / filename])
+
+
+@pytest.mark.parametrize("rule_id", sorted(FIXTURE_FILES))
+def test_rule_flags_fixture_at_exact_lines(fixture_config, rule_id):
+    path = FIXTURES / FIXTURE_FILES[rule_id]
+    findings = run_on(fixture_config, FIXTURE_FILES[rule_id])
+    got = {(f.rule_id, f.line) for f in findings}
+    want = expected_findings(path)
+    assert want, f"fixture {path.name} declares no EXPECT markers"
+    assert got == want
+    assert all(f.rule_id == rule_id for f in findings)
+
+
+def test_every_registered_rule_has_a_fixture():
+    assert set(all_rules()) == set(FIXTURE_FILES)
+
+
+def test_findings_carry_positions_and_messages(fixture_config):
+    findings = run_on(fixture_config, "d001_wallclock.py")
+    assert findings
+    for finding in findings:
+        assert finding.path.endswith("d001_wallclock.py")
+        assert finding.col >= 1
+        assert "time" in finding.message or "datetime" in finding.message
+        assert finding.location().count(":") == 2
+
+
+def test_d001_allowlist_exempts_module(fixture_config):
+    from dataclasses import replace
+
+    allowing = replace(fixture_config, wallclock_allow=("d001_wallclock",))
+    assert Checker(allowing).run([FIXTURES / "d001_wallclock.py"]) == []
+
+
+def test_rules_scoped_out_of_package_stay_silent(fixture_config):
+    from dataclasses import replace
+
+    # With no deterministic/hot-path/async scoping, only the global
+    # rules (M001/P001) could fire — and these fixtures contain none
+    # of their triggers.
+    unscoped = replace(
+        fixture_config,
+        deterministic_packages=(),
+        engine_hot_paths=(),
+        async_packages=(),
+    )
+    for name in ("d001_wallclock.py", "d002_global_rng.py",
+                 "d003_set_iteration.py", "a001_blocking_async.py"):
+        assert Checker(unscoped).run([FIXTURES / name]) == []
+
+
+def test_pragmas_suppress_listed_rules(fixture_config):
+    findings = run_on(fixture_config, "pragmas.py")
+    got = {(f.rule_id, f.line) for f in findings}
+    assert got == expected_findings(FIXTURES / "pragmas.py")
+
+
+def test_select_restricts_the_pack(fixture_config):
+    checker = Checker(fixture_config, select=["D002"])
+    findings = checker.run([FIXTURES / "d001_wallclock.py",
+                            FIXTURES / "d002_global_rng.py"])
+    assert findings
+    assert {f.rule_id for f in findings} == {"D002"}
+
+
+def test_unknown_select_raises(fixture_config):
+    with pytest.raises(KeyError):
+        Checker(fixture_config, select=["D999"])
+
+
+def test_disabled_rules_are_skipped(fixture_config):
+    from dataclasses import replace
+
+    config = replace(fixture_config, disabled_rules=("D001",))
+    assert Checker(config).run([FIXTURES / "d001_wallclock.py"]) == []

@@ -164,3 +164,58 @@ class TestQueries:
         assert summary["run_id"] == run_id
         assert summary["state"] == "queued"
         assert "result" not in summary
+
+
+class FakeClock:
+    """A hand-cranked clock: time only moves when the test says so."""
+
+    def __init__(self, start: float = 1_000.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestInjectedClock:
+    """Retry/backoff semantics exercised without touching real time."""
+
+    @pytest.fixture
+    def ticking(self, tmp_path):
+        clock = FakeClock()
+        with RunStore(tmp_path / "runs.db", clock=clock) as s:
+            yield s, clock
+
+    def test_timestamps_come_from_the_injected_clock(self, ticking) -> None:
+        store, clock = ticking
+        run_id = store.submit("sleep", {})
+        record = store.get(run_id)
+        assert record.created_at == clock.now == 1_000.0
+        clock.advance(7.5)
+        store.claim_next()
+        assert store.get(run_id).updated_at == 1_007.5
+
+    def test_backoff_elapses_in_fake_time_only(self, ticking) -> None:
+        store, clock = ticking
+        run_id = store.submit("sleep", {})
+        store.claim_next()
+        store.requeue_for_retry(run_id, "boom", not_before=clock.now + 60.0)
+        # Real wall-clock time is irrelevant: only the fake clock gates
+        # eligibility, so the deadline can be crossed instantly.
+        assert store.claim_next() is None
+        clock.advance(59.9)
+        assert store.claim_next() is None
+        clock.advance(0.2)
+        assert store.claim_next().run_id == run_id
+
+    def test_recovery_stamps_fake_time(self, ticking) -> None:
+        store, clock = ticking
+        run_id = store.submit("sleep", {})
+        store.claim_next()
+        clock.advance(123.0)
+        assert store.recover_interrupted() == 1
+        record = store.get(run_id)
+        assert record.state == "queued"
+        assert record.updated_at == 1_123.0

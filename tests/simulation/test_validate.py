@@ -149,3 +149,50 @@ class TestValidatorCatchesCorruption:
         bad = replace(good, main_makespan=good.main_makespan - 5.0)
         with pytest.raises(ValidationError):
             validate_schedule(bad, timing)
+
+
+class TestMalformedRecordsAndGroups:
+    """Error paths below the validator: records and groupings that are
+    rejected before a schedule can even be assembled."""
+
+    def test_record_ending_before_start_rejected(self) -> None:
+        from repro.exceptions import SimulationError
+        from repro.simulation.events import TaskRecord
+
+        with pytest.raises(SimulationError, match="ends .* before it starts"):
+            TaskRecord("main", 0, 0, start=10.0, end=4.0,
+                       group=0, procs_start=0, procs_stop=4)
+
+    def test_record_with_empty_proc_range_rejected(self) -> None:
+        from repro.exceptions import SimulationError
+        from repro.simulation.events import TaskRecord
+
+        with pytest.raises(SimulationError, match="empty processor range"):
+            TaskRecord("post", 0, 0, start=0.0, end=1.0,
+                       group=-1, procs_start=3, procs_stop=3)
+
+    def test_record_with_unknown_kind_rejected(self) -> None:
+        from repro.exceptions import SimulationError
+        from repro.simulation.events import TaskRecord
+
+        with pytest.raises(SimulationError, match="unknown task kind"):
+            TaskRecord("warmup", 0, 0, start=0.0, end=1.0,
+                       group=0, procs_start=0, procs_stop=4)
+
+    def test_empty_grouping_rejected(self) -> None:
+        from repro.exceptions import SchedulingError
+
+        with pytest.raises(SchedulingError, match="at least one"):
+            Grouping((), 1, 9)
+
+    def test_zero_size_group_rejected(self) -> None:
+        from repro.exceptions import SchedulingError
+
+        with pytest.raises(SchedulingError, match="positive ints"):
+            Grouping((0,), 1, 9)
+
+    def test_overcommitted_grouping_rejected(self) -> None:
+        from repro.exceptions import SchedulingError
+
+        with pytest.raises(SchedulingError, match="only has"):
+            Grouping((8, 8), 2, 10)
