@@ -106,6 +106,39 @@ def test_sweep_speedup_fig8_grid() -> None:
     assert speedup >= SPEEDUP_FLOOR
 
 
+def test_sweep_throughput_gate(tmp_path) -> None:
+    """Absolute floor: the sweep engine clears N configs/sec, serially.
+
+    The speedup tests above are relative (engine vs pre-engine path)
+    and survive slow hosts; this one pins an absolute throughput floor
+    and emits the measurement through the continuous-benchmark artifact
+    path (``BENCH_sweep.json``), so the number that gates this test is
+    the same number CI uploads and compares against
+    ``benchmarks/baseline.json``.
+    """
+    from repro.obs.bench import (
+        bench_specs,
+        load_bench_artifact,
+        run_bench,
+        write_bench_artifact,
+    )
+
+    floor = 25.0  # configs/sec; quick-tier grid, serial, cold cache
+    spec = next(s for s in bench_specs() if s.name == "sweep")
+    result = run_bench(spec, repetitions=3, warmup=1)
+    path = write_bench_artifact(result, tmp_path)
+    doc = load_bench_artifact(path)  # round-trips the schema
+    print(
+        f"\nsweep throughput: {result.value:.1f} {result.unit} "
+        f"(IQR {result.iqr:.2f}) -> {path.name}"
+    )
+    assert doc["name"] == "sweep" and doc["direction"] == "higher"
+    assert result.value >= floor, (
+        f"sweep engine fell below the absolute floor: "
+        f"{result.value:.1f} < {floor} {result.unit}"
+    )
+
+
 def test_cached_kernel_latency(benchmark) -> None:
     """Microbenchmark: a warm cached kernel lookup is sub-microsecond-ish."""
     from repro.core.makespan import cached_simulated_makespan

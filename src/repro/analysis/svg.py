@@ -1,10 +1,13 @@
-"""Dependency-free SVG line charts.
+"""Dependency-free SVG charts: line, Gantt, and histogram.
 
 The ASCII plots of :mod:`repro.analysis.plotting` convey shape in a
 terminal; this module renders the same series as standalone SVG for
 reports and papers, without pulling a plotting stack into the
 dependency set.  Output is deterministic (same data → byte-identical
-SVG), which the tests rely on.
+SVG), which the tests rely on.  :func:`svg_gantt` and
+:func:`svg_histogram` exist for the run reports
+(:mod:`repro.analysis.runreport`): lane timelines for campaign
+schedules and fault windows, bar distributions for queue latencies.
 
 Example::
 
@@ -21,7 +24,7 @@ from typing import Mapping, Sequence
 
 from repro.exceptions import ConfigurationError
 
-__all__ = ["svg_line_chart"]
+__all__ = ["svg_gantt", "svg_histogram", "svg_line_chart"]
 
 #: Color cycle (Okabe-Ito palette: colorblind-safe, print-safe).
 PALETTE = (
@@ -209,3 +212,256 @@ def _escape(text: str) -> str:
     return (
         text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
     )
+
+
+def svg_gantt(
+    lanes: Sequence[tuple[str, Sequence[Mapping[str, object]]]],
+    *,
+    title: str = "",
+    x_label: str = "time",
+    width: int = 720,
+    lane_height: int = 26,
+    colors: Mapping[str, str] | None = None,
+) -> str:
+    """Render labeled time bars on horizontal lanes as a standalone SVG.
+
+    ``lanes`` is an ordered sequence of ``(lane_name, bars)``; each bar
+    is a mapping with ``start`` and ``end`` (floats on a shared time
+    axis) plus optional ``label`` (drawn inside wide-enough bars, always
+    emitted as a ``<title>`` tooltip) and ``kind`` (looked up in
+    ``colors``, else cycled through :data:`PALETTE` per distinct kind in
+    first-appearance order).  Lanes may be empty — an idle cluster still
+    deserves its named row.
+    """
+    if not lanes:
+        raise ConfigurationError("nothing to plot")
+    if width < 160 or lane_height < 12:
+        raise ConfigurationError("gantt must be at least 160 wide, lanes 12 tall")
+    bars_flat: list[tuple[float, float]] = []
+    for name, bars in lanes:
+        for bar in bars:
+            start, end = float(bar["start"]), float(bar["end"])  # type: ignore[arg-type]
+            if end < start:
+                raise ConfigurationError(
+                    f"lane {name!r}: bar ends ({end}) before it starts "
+                    f"({start})"
+                )
+            bars_flat.append((start, end))
+    if not bars_flat:
+        raise ConfigurationError("every lane is empty; nothing to plot")
+    t_min = min(start for start, _ in bars_flat)
+    t_max = max(end for _, end in bars_flat)
+    if t_max == t_min:
+        t_max = t_min + 1.0
+
+    label_w = 120.0
+    height = int(_MARGIN_TOP + len(lanes) * lane_height + _MARGIN_BOTTOM)
+    plot_w = width - label_w - _MARGIN_RIGHT
+
+    def sx(t: float) -> float:
+        return label_w + (t - t_min) / (t_max - t_min) * plot_w
+
+    palette: dict[str, str] = dict(colors or {})
+
+    def color_for(kind: str) -> str:
+        if kind not in palette:
+            palette[kind] = PALETTE[len(palette) % len(PALETTE)]
+        return palette[kind]
+
+    parts: list[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" '
+        f'font-family="sans-serif" font-size="12">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+    ]
+    if title:
+        parts.append(
+            f'<text x="{width / 2:.0f}" y="20" text-anchor="middle" '
+            f'font-size="14" font-weight="bold">{_escape(title)}</text>'
+        )
+    for tick in _nice_ticks(t_min, t_max):
+        if tick < t_min or tick > t_max:
+            continue
+        x = sx(tick)
+        parts.append(
+            f'<line x1="{_fmt(x)}" y1="{_fmt(_MARGIN_TOP)}" '
+            f'x2="{_fmt(x)}" y2="{_fmt(height - _MARGIN_BOTTOM)}" '
+            f'stroke="#eeeeee" stroke-width="1"/>'
+        )
+        parts.append(
+            f'<text x="{_fmt(x)}" y="{_fmt(height - _MARGIN_BOTTOM + 16)}" '
+            f'text-anchor="middle">{tick:g}</text>'
+        )
+    for index, (name, bars) in enumerate(lanes):
+        top = _MARGIN_TOP + index * lane_height
+        mid = top + lane_height / 2.0
+        if index % 2:
+            parts.append(
+                f'<rect x="{_fmt(label_w)}" y="{_fmt(top)}" '
+                f'width="{_fmt(plot_w)}" height="{lane_height}" '
+                f'fill="#f7f7f7"/>'
+            )
+        parts.append(
+            f'<text x="{_fmt(label_w - 8)}" y="{_fmt(mid + 4)}" '
+            f'text-anchor="end">{_escape(name)}</text>'
+        )
+        for bar in bars:
+            start, end = float(bar["start"]), float(bar["end"])  # type: ignore[arg-type]
+            kind = str(bar.get("kind", "task"))
+            label = str(bar.get("label", ""))
+            x0, x1 = sx(start), sx(max(end, start))
+            bar_w = max(x1 - x0, 1.0)
+            parts.append(
+                f'<rect x="{_fmt(x0)}" y="{_fmt(top + 4)}" '
+                f'width="{_fmt(bar_w)}" height="{lane_height - 8}" '
+                f'fill="{color_for(kind)}" fill-opacity="0.85" rx="2">'
+                f"<title>{_escape(label or kind)}: "
+                f"{start:g}&#8211;{end:g}</title></rect>"
+            )
+            if label and bar_w > 7.0 * len(label):
+                parts.append(
+                    f'<text x="{_fmt(x0 + bar_w / 2)}" y="{_fmt(mid + 4)}" '
+                    f'text-anchor="middle" fill="white" font-size="10">'
+                    f"{_escape(label)}</text>"
+                )
+    parts.append(
+        f'<line x1="{_fmt(label_w)}" '
+        f'y1="{_fmt(height - _MARGIN_BOTTOM)}" '
+        f'x2="{_fmt(width - _MARGIN_RIGHT)}" '
+        f'y2="{_fmt(height - _MARGIN_BOTTOM)}" '
+        f'stroke="black" stroke-width="1"/>'
+    )
+    parts.append(
+        f'<text x="{width / 2:.0f}" y="{height - 10}" '
+        f'text-anchor="middle">{_escape(x_label)}</text>'
+    )
+    legend_x = label_w
+    legend_y = height - 10.0
+    for kind, color in palette.items():
+        parts.append(
+            f'<rect x="{_fmt(legend_x)}" y="{_fmt(legend_y - 9)}" '
+            f'width="10" height="10" fill="{color}"/>'
+        )
+        parts.append(
+            f'<text x="{_fmt(legend_x + 14)}" y="{_fmt(legend_y)}" '
+            f'font-size="10">{_escape(kind)}</text>'
+        )
+        legend_x += 24 + 6.2 * len(kind)
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def svg_histogram(
+    samples: Sequence[float],
+    *,
+    bins: int = 20,
+    title: str = "",
+    x_label: str = "value",
+    y_label: str = "count",
+    width: int = 640,
+    height: int = 300,
+    color: str = PALETTE[0],
+) -> str:
+    """Render a sample distribution as an SVG bar histogram.
+
+    Bins are equal-width over ``[min, max]``; a degenerate distribution
+    (all samples equal) collapses to one full-height bar rather than
+    erroring, because real latency data does that.
+    """
+    if not samples:
+        raise ConfigurationError("nothing to plot")
+    if bins < 1:
+        raise ConfigurationError(f"need at least one bin, got {bins!r}")
+    if width < 160 or height < 120:
+        raise ConfigurationError("chart must be at least 160x120 pixels")
+    values = [float(s) for s in samples]
+    lo, hi = min(values), max(values)
+    if hi == lo:
+        counts = [len(values)]
+        edges = [lo, lo + 1.0]
+        bins = 1
+    else:
+        step = (hi - lo) / bins
+        counts = [0] * bins
+        for value in values:
+            index = min(int((value - lo) / step), bins - 1)
+            counts[index] += 1
+        edges = [lo + i * step for i in range(bins + 1)]
+    max_count = max(counts)
+
+    plot_w = width - _MARGIN_LEFT - _MARGIN_RIGHT
+    plot_h = height - _MARGIN_TOP - _MARGIN_BOTTOM
+
+    def sx(x: float) -> float:
+        return _MARGIN_LEFT + (x - edges[0]) / (edges[-1] - edges[0]) * plot_w
+
+    def sy(count: float) -> float:
+        return _MARGIN_TOP + (1.0 - count / max_count) * plot_h
+
+    parts: list[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" '
+        f'font-family="sans-serif" font-size="12">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+    ]
+    if title:
+        parts.append(
+            f'<text x="{width / 2:.0f}" y="20" text-anchor="middle" '
+            f'font-size="14" font-weight="bold">{_escape(title)}</text>'
+        )
+    for tick in _nice_ticks(0.0, float(max_count)):
+        if tick < 0 or tick > max_count:
+            continue
+        y = sy(tick)
+        parts.append(
+            f'<line x1="{_fmt(_MARGIN_LEFT)}" y1="{_fmt(y)}" '
+            f'x2="{_fmt(width - _MARGIN_RIGHT)}" y2="{_fmt(y)}" '
+            f'stroke="#dddddd" stroke-width="1"/>'
+        )
+        parts.append(
+            f'<text x="{_fmt(_MARGIN_LEFT - 6)}" y="{_fmt(y + 4)}" '
+            f'text-anchor="end">{tick:g}</text>'
+        )
+    for tick in _nice_ticks(edges[0], edges[-1]):
+        if tick < edges[0] or tick > edges[-1]:
+            continue
+        x = sx(tick)
+        parts.append(
+            f'<text x="{_fmt(x)}" y="{_fmt(height - _MARGIN_BOTTOM + 16)}" '
+            f'text-anchor="middle">{tick:g}</text>'
+        )
+    for index, count in enumerate(counts):
+        if count == 0:
+            continue
+        x0, x1 = sx(edges[index]), sx(edges[index + 1])
+        parts.append(
+            f'<rect x="{_fmt(x0)}" y="{_fmt(sy(count))}" '
+            f'width="{_fmt(max(x1 - x0 - 1.0, 1.0))}" '
+            f'height="{_fmt(sy(0) - sy(count))}" '
+            f'fill="{color}" fill-opacity="0.85">'
+            f"<title>[{edges[index]:g}, {edges[index + 1]:g}): "
+            f"{count}</title></rect>"
+        )
+    parts.append(
+        f'<line x1="{_fmt(_MARGIN_LEFT)}" y1="{_fmt(_MARGIN_TOP)}" '
+        f'x2="{_fmt(_MARGIN_LEFT)}" y2="{_fmt(height - _MARGIN_BOTTOM)}" '
+        f'stroke="black" stroke-width="1"/>'
+    )
+    parts.append(
+        f'<line x1="{_fmt(_MARGIN_LEFT)}" '
+        f'y1="{_fmt(height - _MARGIN_BOTTOM)}" '
+        f'x2="{_fmt(width - _MARGIN_RIGHT)}" '
+        f'y2="{_fmt(height - _MARGIN_BOTTOM)}" '
+        f'stroke="black" stroke-width="1"/>'
+    )
+    parts.append(
+        f'<text x="{width / 2:.0f}" y="{height - 10}" '
+        f'text-anchor="middle">{_escape(x_label)}</text>'
+    )
+    parts.append(
+        f'<text x="14" y="{height / 2:.0f}" text-anchor="middle" '
+        f'transform="rotate(-90 14 {height / 2:.0f})">'
+        f"{_escape(y_label)}</text>"
+    )
+    parts.append("</svg>")
+    return "\n".join(parts)

@@ -13,6 +13,9 @@ Subcommands::
     repro-oa recover   --fail chti --at-hours 5 ...
     repro-oa faults    --seed 7 --mtbf-hours 6 [--resilience]
     repro-oa report    [--full] [--output report.md]
+    repro-oa report    RUN_ID --db runs.db [--output run.html]  # HTML run report
+    repro-oa report    sweep.ndjson                  # HTML sweep-journal report
+    repro-oa bench     [--quick] [--update-baseline] # continuous benchmarks
     repro-oa info                     # benchmark cluster database
     repro-oa obs summary m.json       # digest a --metrics-out dump
     repro-oa obs trace t.json         # digest a --trace-out file
@@ -251,7 +254,20 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["all", "basic", "redistribute", "allpost_end", "knapsack"],
     )
 
-    prep = sub.add_parser("report", help="one-shot Markdown reproduction report")
+    prep = sub.add_parser(
+        "report",
+        help=(
+            "reproduction report (Markdown), or a self-contained HTML "
+            "run/sweep report when given a run id or journal path"
+        ),
+    )
+    prep.add_argument(
+        "target", nargs="?", default=None,
+        help=(
+            "a service run id (with --db) or a sweep-journal path; "
+            "omitted = the one-shot Markdown reproduction report"
+        ),
+    )
     prep.add_argument(
         "--full", action="store_true",
         help="EXPERIMENTS.md resolution (minutes) instead of quick (seconds)",
@@ -259,6 +275,75 @@ def build_parser() -> argparse.ArgumentParser:
     prep.add_argument(
         "--output", metavar="PATH", default=None,
         help="write the report to a file instead of stdout",
+    )
+    prep.add_argument(
+        "--db", metavar="PATH", default="runs.db",
+        help="run-store path backing a run-id target (default: runs.db)",
+    )
+    prep.add_argument(
+        "--metrics", metavar="PATH", default=None,
+        help="--metrics-out dump to fold into the run report (cache hit rates)",
+    )
+    prep.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help=(
+            "Chrome trace file to fold into the run report "
+            "(spans filtered to the run's trace id)"
+        ),
+    )
+
+    pb = sub.add_parser(
+        "bench",
+        help=(
+            "continuous benchmarks: BENCH_*.json artifacts gated against "
+            "benchmarks/baseline.json (exit 2 on regression)"
+        ),
+    )
+    pb.add_argument(
+        "names", nargs="*", metavar="NAME",
+        help="benchmarks to run (default: the whole quick tier)",
+    )
+    pb.add_argument(
+        "--list", action="store_true", dest="list_specs",
+        help="list registered benchmarks and exit",
+    )
+    pb.add_argument(
+        "--quick", action="store_true",
+        help="one repetition, no warmup (CI smoke; noisy numbers)",
+    )
+    pb.add_argument(
+        "--out", metavar="DIR", default="bench_artifacts",
+        help="directory for BENCH_<name>.json artifacts",
+    )
+    pb.add_argument(
+        "--baseline", metavar="PATH", default="benchmarks/baseline.json",
+        help="baseline to compare against (missing = comparison skipped)",
+    )
+    pb.add_argument(
+        "--max-regression", type=float, default=None, metavar="PCT",
+        help=(
+            "adverse-drift budget in percent; default: the budget "
+            "recorded in the baseline file"
+        ),
+    )
+    pb.add_argument(
+        "--repetitions", type=int, default=None,
+        help="override every spec's repetition count",
+    )
+    pb.add_argument(
+        "--warmup", type=int, default=None,
+        help="override every spec's warmup count",
+    )
+    pb.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline file from this run's medians",
+    )
+    pb.add_argument(
+        "--inject-slowdown", type=float, default=None, metavar="FACTOR",
+        help=(
+            "adversely scale every result by FACTOR before comparing "
+            "(self-test: proves the regression gate fires)"
+        ),
     )
 
     sub.add_parser("info", help="show the benchmark cluster database")
@@ -908,6 +993,27 @@ def _cmd_generic(args: argparse.Namespace) -> str:
 
 
 def _cmd_report(args: argparse.Namespace) -> str:
+    if args.target is not None:
+        import os
+
+        if os.path.exists(args.target):
+            from repro.analysis.runreport import report_for_journal
+
+            report = report_for_journal(args.target)
+        else:
+            from repro.analysis.runreport import report_for_run
+
+            report = report_for_run(
+                args.db,
+                args.target,
+                metrics_path=args.metrics,
+                trace_path=args.trace,
+            )
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write(report)
+            return f"run report written to {args.output}"
+        return report
     from repro.analysis.report import ReportConfig, generate_report
 
     config = ReportConfig.full() if args.full else ReportConfig.quick()
@@ -917,6 +1023,80 @@ def _cmd_report(args: argparse.Namespace) -> str:
             handle.write(report + "\n")
         return f"report written to {args.output}"
     return report
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.obs.bench import (
+        baseline_from_results,
+        bench_specs,
+        compare_to_baseline,
+        inject_slowdown,
+        load_baseline,
+        render_comparison,
+        run_bench,
+        write_bench_artifact,
+    )
+
+    specs = bench_specs()
+    if args.list_specs:
+        for spec in specs:
+            print(f"{spec.name:10s} [{spec.unit:>12s}]  {spec.description}")
+        return 0
+    if args.names:
+        by_name = {spec.name: spec for spec in specs}
+        unknown = [name for name in args.names if name not in by_name]
+        if unknown:
+            print(
+                f"unknown benchmark(s) {unknown}; "
+                f"known: {sorted(by_name)}",
+                file=sys.stderr,
+            )
+            return 1
+        specs = tuple(by_name[name] for name in args.names)
+    repetitions = 1 if args.quick else args.repetitions
+    warmup = 0 if args.quick else args.warmup
+
+    results = []
+    for spec in specs:
+        result = run_bench(spec, repetitions=repetitions, warmup=warmup)
+        if args.inject_slowdown is not None:
+            result = inject_slowdown(result, args.inject_slowdown)
+        path = write_bench_artifact(result, args.out)
+        print(
+            f"{result.name:10s} {result.value:12.4g} {result.unit:>12s}  "
+            f"(IQR {result.iqr:.3g}, n={result.repetitions}) -> {path}"
+        )
+        results.append(result)
+
+    if args.update_baseline:
+        import json as _json
+
+        doc = baseline_from_results(results)
+        os.makedirs(
+            os.path.dirname(args.baseline) or ".", exist_ok=True
+        )
+        with open(args.baseline, "w", encoding="utf-8") as handle:
+            handle.write(_json.dumps(doc, indent=2, sort_keys=True) + "\n")
+        print(f"baseline updated: {args.baseline}")
+        return 0
+    if not os.path.exists(args.baseline):
+        print(
+            f"no baseline at {args.baseline}; comparison skipped "
+            f"(run with --update-baseline to create one)"
+        )
+        return 0
+    rows = compare_to_baseline(
+        results,
+        load_baseline(args.baseline),
+        max_regression_pct=args.max_regression,
+    )
+    print(render_comparison(rows))
+    if any(row.regressed for row in rows):
+        print("benchmark regression detected", file=sys.stderr)
+        return 2
+    return 0
 
 
 def _cmd_serve(args: argparse.Namespace) -> str:
@@ -999,7 +1179,11 @@ def _cmd_submit(args: argparse.Namespace) -> str:
             _parse_job_params(args.param),
             max_attempts=args.max_attempts,
         )
-        parts = [f"submitted {args.kind} as run {run_id}"]
+        # The run id must stay the last token of the submit line —
+        # scripts (and the CLI tests) parse it from there.
+        trace = client.last_trace
+        traced = f" (trace {trace.trace_id})" if trace is not None else ""
+        parts = [f"submitted {args.kind}{traced} as run {run_id}"]
         if args.wait:
             status = client.wait(run_id, timeout=args.timeout)
             parts.append(_describe_run(status))
@@ -1135,6 +1319,7 @@ _COMMANDS = {
     "faults": _cmd_faults,
     "generic": _cmd_generic,
     "report": _cmd_report,
+    "bench": _cmd_bench,
     "info": _cmd_info,
     "lint": _cmd_lint,
     "obs": _cmd_obs,

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.analysis.plotting import ascii_plot
 from repro.analysis.tables import series_table
 from repro.core.heuristics import HeuristicName
@@ -89,57 +90,65 @@ def run(
             f"mtbf_hours must be positive values, got {mtbf_hours!r}"
         )
     names = tuple(HeuristicName(h).value for h in heuristics)
-    grid = benchmark_grid(clusters, resources)
-    baseline: dict[str, float] = {}
-    for name in names:
-        report = run_campaign_with_faults(
-            grid, scenarios, months, FaultTrace(), heuristic=name
-        )
-        baseline[name] = report.makespan
-    horizon = max(baseline.values())
-
-    makespan: dict[str, list[float]] = {name: [] for name in names}
-    degradation: dict[str, list[float]] = {name: [] for name in names}
-    events_per_trace: list[float] = []
-    for i, mtbf in enumerate(mtbf_hours):
-        profile = FaultProfile.outages_only(
-            mtbf * 3600.0, mttr_hours * 3600.0
-        )
-        traces = [
-            generate_trace(
-                {name: profile for name in grid.names},
-                horizon,
-                seed * 1_000_003 + i * 1_009 + trial,
-            )
-            for trial in range(trials)
-        ]
-        events_per_trace.append(
-            sum(len(trace) for trace in traces) / trials
-        )
-        for name in names:
-            totals = 0.0
-            for trace in traces:
-                report = run_campaign_with_faults(
-                    grid, scenarios, months, trace, heuristic=name
-                )
-                totals += report.makespan
-            mean = totals / trials
-            makespan[name].append(mean)
-            degradation[name].append(
-                (mean - baseline[name]) / baseline[name]
-            )
-    return ResilienceResult(
-        mtbf_hours=tuple(mtbf_hours),
-        heuristics=names,
-        baseline=baseline,
-        makespan={name: tuple(makespan[name]) for name in names},
-        degradation={name: tuple(degradation[name]) for name in names},
-        events_per_trace=tuple(events_per_trace),
-        scenarios=scenarios,
-        months=months,
+    with obs.span(
+        "resilience.run",
+        clusters=clusters,
+        resources=resources,
+        mtbf_points=len(mtbf_hours),
         trials=trials,
         seed=seed,
-    )
+    ):
+        grid = benchmark_grid(clusters, resources)
+        baseline: dict[str, float] = {}
+        for name in names:
+            report = run_campaign_with_faults(
+                grid, scenarios, months, FaultTrace(), heuristic=name
+            )
+            baseline[name] = report.makespan
+        horizon = max(baseline.values())
+
+        makespan: dict[str, list[float]] = {name: [] for name in names}
+        degradation: dict[str, list[float]] = {name: [] for name in names}
+        events_per_trace: list[float] = []
+        for i, mtbf in enumerate(mtbf_hours):
+            profile = FaultProfile.outages_only(
+                mtbf * 3600.0, mttr_hours * 3600.0
+            )
+            traces = [
+                generate_trace(
+                    {name: profile for name in grid.names},
+                    horizon,
+                    seed * 1_000_003 + i * 1_009 + trial,
+                )
+                for trial in range(trials)
+            ]
+            events_per_trace.append(
+                sum(len(trace) for trace in traces) / trials
+            )
+            for name in names:
+                totals = 0.0
+                for trace in traces:
+                    report = run_campaign_with_faults(
+                        grid, scenarios, months, trace, heuristic=name
+                    )
+                    totals += report.makespan
+                mean = totals / trials
+                makespan[name].append(mean)
+                degradation[name].append(
+                    (mean - baseline[name]) / baseline[name]
+                )
+        return ResilienceResult(
+            mtbf_hours=tuple(mtbf_hours),
+            heuristics=names,
+            baseline=baseline,
+            makespan={name: tuple(makespan[name]) for name in names},
+            degradation={name: tuple(degradation[name]) for name in names},
+            events_per_trace=tuple(events_per_trace),
+            scenarios=scenarios,
+            months=months,
+            trials=trials,
+            seed=seed,
+        )
 
 
 def render(result: ResilienceResult, *, plot: bool = True) -> str:

@@ -98,11 +98,17 @@ def run_cluster_simulation(
     from repro.platform.benchmarks import benchmark_cluster
     from repro.simulation.engine import simulate_on_cluster
 
-    cluster = benchmark_cluster(cluster_name, resources)
-    grouping = plan_grouping(cluster, spec, heuristic)
-    return simulate_on_cluster(
-        cluster, grouping, spec, record_trace=record_trace
-    )
+    with obs.span(
+        "runner.simulate",
+        cluster=cluster_name,
+        resources=resources,
+        heuristic=HeuristicName(heuristic).value,
+    ):
+        cluster = benchmark_cluster(cluster_name, resources)
+        grouping = plan_grouping(cluster, spec, heuristic)
+        return simulate_on_cluster(
+            cluster, grouping, spec, record_trace=record_trace
+        )
 
 
 def resource_sweep(

@@ -28,6 +28,13 @@ t.json`` then ``repro-oa obs summary m.json``.
 
 from __future__ import annotations
 
+from repro.obs.context import (
+    TraceContext,
+    current_trace,
+    mint_trace,
+    set_current_trace,
+    use_trace,
+)
 from repro.obs.log import (
     JsonFormatter,
     configure_logging,
@@ -61,7 +68,7 @@ from repro.obs.summary import (
     render_metrics_summary,
     render_trace_summary,
 )
-from repro.obs.tracing import SIM_PID, WALL_PID, Span, Tracer
+from repro.obs.tracing import SIM_PID, WALL_PID, WORKER_PID, Span, Tracer
 
 __all__ = [
     # runtime switch + helpers
@@ -92,6 +99,13 @@ __all__ = [
     "Tracer",
     "WALL_PID",
     "SIM_PID",
+    "WORKER_PID",
+    # cross-process trace correlation
+    "TraceContext",
+    "current_trace",
+    "mint_trace",
+    "set_current_trace",
+    "use_trace",
     # logging
     "JsonFormatter",
     "get_logger",

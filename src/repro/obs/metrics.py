@@ -122,11 +122,15 @@ class Histogram:
     def quantile(self, q: float) -> float:
         """Nearest-rank quantile of the observed samples.
 
-        Raises :class:`~repro.exceptions.ConfigurationError` for ``q``
-        outside ``(0, 1]`` or when no samples were observed.
+        The edges follow the nearest-rank convention: ``q=0`` is the
+        minimum, ``q=1`` the maximum, and a single observation is every
+        quantile of itself.  Raises
+        :class:`~repro.exceptions.ConfigurationError` for ``q`` outside
+        ``[0, 1]``, and — explicitly, rather than inventing a value —
+        when no samples were observed.
         """
-        if not 0.0 < q <= 1.0:
-            raise ConfigurationError(f"quantile must be in (0, 1], got {q!r}")
+        if not 0.0 <= q <= 1.0:
+            raise ConfigurationError(f"quantile must be in [0, 1], got {q!r}")
         if not self._samples:
             raise ConfigurationError("quantile of an empty histogram")
         if not self._sorted:

@@ -91,6 +91,7 @@ METRIC_NAMES: frozenset[str] = frozenset(
         "service.queue_wait_seconds",
         "service.requests",
         "service.submissions",
+        "service.worker_spans",
     }
 )
 
@@ -111,9 +112,13 @@ SPAN_NAMES: frozenset[str] = frozenset(
         "figure.fig9",
         "plan_grouping",
         "recover",
+        "resilience.run",
+        "runner.simulate",
         "sed.execute",
         "sed.handle_request",
+        "service.client.submit",
         "service.job",
+        "service.worker",
         "simulate",
         "sweep.cli",
         "sweep.run",

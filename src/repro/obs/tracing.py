@@ -26,13 +26,17 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Iterator, Mapping
 
-__all__ = ["Span", "Tracer", "WALL_PID", "SIM_PID"]
+__all__ = ["Span", "Tracer", "WALL_PID", "SIM_PID", "WORKER_PID"]
 
 #: ``pid`` of wall-clock (host process) spans in exported traces.
 WALL_PID = 0
 
 #: ``pid`` of simulated-schedule spans in exported traces.
 SIM_PID = 1
+
+#: ``pid`` of spans imported from pool worker processes; their ``tid``
+#: is the worker's real OS pid, so each worker gets its own lane.
+WORKER_PID = 2
 
 
 @dataclass(frozen=True)
@@ -89,8 +93,17 @@ class Tracer:
     def __len__(self) -> int:
         return len(self.spans)
 
-    def _now_us(self) -> float:
+    def now_us(self) -> float:
+        """The current timestamp on this tracer's timeline (microseconds).
+
+        Used to anchor spans imported from *other* timelines — a worker
+        process ships spans timed against its own epoch, and the
+        importer offsets them by the dispatch instant read here.
+        """
         return (self._clock() - self._epoch) * 1e6
+
+    def _now_us(self) -> float:
+        return self.now_us()
 
     def _allocate_id(self) -> int:
         span_id = self._next_id
@@ -179,6 +192,27 @@ class Tracer:
                     "args": {"name": "wall clock"},
                 }
             )
+        if WORKER_PID in pids:
+            events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": WORKER_PID,
+                    "args": {"name": "pool workers (imported spans)"},
+                }
+            )
+            for tid in sorted(
+                {s.tid for s in self.spans if s.pid == WORKER_PID}
+            ):
+                events.append(
+                    {
+                        "name": "thread_name",
+                        "ph": "M",
+                        "pid": WORKER_PID,
+                        "tid": tid,
+                        "args": {"name": f"worker pid {tid}"},
+                    }
+                )
         if SIM_PID in pids:
             events.append(
                 {

@@ -22,14 +22,24 @@ import socket
 import time
 from typing import Any
 
+from repro import obs
 from repro.exceptions import ServiceError
+from repro.obs.context import TraceContext, current_trace, mint_trace
 from repro.service import protocol
 
 __all__ = ["ServiceClient"]
 
 
 class ServiceClient:
-    """Synchronous campaign-service client (see module docstring)."""
+    """Synchronous campaign-service client (see module docstring).
+
+    Every :meth:`submit` carries a :class:`~repro.obs.context.TraceContext`:
+    the process-locally active one (:func:`~repro.obs.context.use_trace`),
+    or a freshly minted one.  The accepted context — bound to its run id
+    — is kept on :attr:`last_trace`, so callers can join the client's
+    own spans, the store row, and the worker-side trace on one
+    ``trace_id``.
+    """
 
     def __init__(
         self,
@@ -41,6 +51,7 @@ class ServiceClient:
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.last_trace: TraceContext | None = None
         self._sock: socket.socket | None = None
         self._reader = None
 
@@ -119,12 +130,35 @@ class ServiceClient:
         params: dict[str, Any] | None = None,
         *,
         max_attempts: int | None = None,
+        trace: TraceContext | str | None = None,
     ) -> str:
-        """Queue a job; returns its run id."""
-        payload: dict[str, Any] = {"kind": kind, "params": params or {}}
+        """Queue a job; returns its run id.
+
+        ``trace`` pins the trace context explicitly (a
+        :class:`~repro.obs.context.TraceContext` or a bare trace id
+        string); by default the process-locally active context is used,
+        or a fresh one is minted.  The run-bound context lands on
+        :attr:`last_trace`.
+        """
+        if trace is None:
+            context = current_trace() or mint_trace()
+        elif isinstance(trace, str):
+            context = TraceContext(trace_id=trace)
+        else:
+            context = trace
+        payload: dict[str, Any] = {
+            "kind": kind,
+            "params": params or {},
+            "trace_id": context.trace_id,
+        }
         if max_attempts is not None:
             payload["max_attempts"] = max_attempts
-        return self._request("submit", payload)["run_id"]
+        with obs.span(
+            "service.client.submit", kind=kind, trace_id=context.trace_id
+        ):
+            reply = self._request("submit", payload)
+        self.last_trace = context.with_run(reply["run_id"])
+        return reply["run_id"]
 
     def status(self, run_id: str) -> dict[str, Any]:
         """The run's summary (state, attempts, error, timestamps)."""

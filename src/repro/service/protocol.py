@@ -20,6 +20,15 @@ rather than guessed at — the version is the contract.
 
 Operations: ``submit``, ``status``, ``result``, ``list``, ``cancel``,
 ``health`` (:data:`OPERATIONS`).
+
+Trace propagation rides the existing message shape (still protocol
+v1 — the field is optional, so older peers interoperate): a submit
+payload may carry ``"trace_id"`` (:data:`TRACE_ID_KEY`), the
+correlation id minted by :func:`repro.obs.context.mint_trace`.  The
+server persists it on the run's store row, threads it through every
+worker attempt, and echoes it in the submit response and in every
+``status``/``list`` summary; absent a client-supplied id, the server
+mints one, so every stored run is joinable by trace_id.
 """
 
 from __future__ import annotations
@@ -34,6 +43,7 @@ __all__ = [
     "ERROR_CODES",
     "OPERATIONS",
     "PROTOCOL_VERSION",
+    "TRACE_ID_KEY",
     "Request",
     "Response",
     "decode_request",
@@ -46,6 +56,9 @@ __all__ = [
 
 #: Wire protocol generation; bump on incompatible message changes.
 PROTOCOL_VERSION = 1
+
+#: Optional submit-payload key carrying the trace correlation id.
+TRACE_ID_KEY = "trace_id"
 
 #: The closed set of request operations.
 OPERATIONS: tuple[str, ...] = (

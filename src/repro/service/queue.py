@@ -44,8 +44,9 @@ from dataclasses import dataclass
 from repro import obs
 from repro.exceptions import ReproError, ServiceError
 from repro.faults.chaos import ChaosConfig, ChaosMonkey
+from repro.obs.tracing import WORKER_PID
 from repro.service.store import RUN_STATES, RunRecord, RunStore
-from repro.service.workers import execute_job
+from repro.service.workers import execute_job, execute_job_traced
 
 __all__ = ["JobQueue", "QueueConfig"]
 
@@ -251,7 +252,8 @@ class JobQueue:
             run_id=record.run_id,
             kind=record.kind,
             attempt=record.attempts,
-        ):
+            trace_id=record.trace_id,
+        ) as dispatch_span:
             if self.chaos is not None:
                 action = self.chaos.decide(record.run_id, record.attempts)
                 if action is not None:
@@ -259,15 +261,47 @@ class JobQueue:
                     self._publish_metrics()
                     return
             try:
-                future = loop.run_in_executor(
-                    self._executor, execute_job, record.kind, record.params
-                )
+                if obs.enabled():
+                    # Traced execution: the worker runs inside its own
+                    # obs session and ships its span buffer back.  When
+                    # collection is off, the plain entry point keeps
+                    # workers on the uninstrumented fast paths.
+                    trace_wire = None
+                    if record.trace_id:
+                        trace_wire = {
+                            "trace_id": record.trace_id,
+                            "run_id": record.run_id,
+                            "parent_span_id": dispatch_span,
+                        }
+                    dispatch_us = obs.tracer().now_us()
+                    future = loop.run_in_executor(
+                        self._executor,
+                        execute_job_traced,
+                        record.kind,
+                        record.params,
+                        trace_wire,
+                    )
+                else:
+                    dispatch_us = 0.0
+                    future = loop.run_in_executor(
+                        self._executor,
+                        execute_job,
+                        record.kind,
+                        record.params,
+                    )
                 if self.config.job_timeout is not None:
-                    result = await asyncio.wait_for(
+                    outcome = await asyncio.wait_for(
                         future, timeout=self.config.job_timeout
                     )
                 else:
-                    result = await future
+                    outcome = await future
+                if isinstance(outcome, str):
+                    result = outcome
+                else:
+                    result = outcome["result"]
+                    self._import_worker_spans(
+                        record, outcome, dispatch_span, dispatch_us
+                    )
             except asyncio.TimeoutError:
                 self._rebuild_executor()
                 self._record_failure(
@@ -299,6 +333,48 @@ class JobQueue:
                     attempt=record.attempts,
                 )
         self._publish_metrics()
+
+    def _import_worker_spans(
+        self,
+        record: RunRecord,
+        envelope: dict,
+        parent_id: int | None,
+        dispatch_us: float,
+    ) -> None:
+        """Graft a worker's span buffer onto the dispatcher's tracer.
+
+        Worker spans are timed against the worker session's own epoch;
+        offsetting by the dispatch instant (``dispatch_us``, read on
+        this tracer's timeline just before the executor call) lines
+        them up under the ``service.job`` span that sent them.  Worker
+        span ids live in a different namespace, so they are kept as
+        ``worker_span_id``/``worker_parent_id`` args and the imported
+        spans all parent on the dispatch span.
+        """
+        if not obs.enabled():
+            return
+        spans = envelope.get("spans") or []
+        worker_pid = int(envelope.get("worker_pid", 0))
+        tracer = obs.tracer()
+        for event in spans:
+            args = dict(event.get("args", {}))
+            args["worker_span_id"] = args.pop("span_id", None)
+            worker_parent = args.pop("parent_id", None)
+            if worker_parent is not None:
+                args["worker_parent_id"] = worker_parent
+            args["trace_id"] = record.trace_id
+            args["run_id"] = record.run_id
+            tracer.add_complete_span(
+                str(event.get("name", "?")),
+                ts=dispatch_us + float(event.get("ts", 0.0)),
+                dur=float(event.get("dur", 0.0)),
+                pid=WORKER_PID,
+                tid=worker_pid,
+                parent_id=parent_id,
+                **args,
+            )
+        if spans:
+            obs.inc("service.worker_spans", len(spans), kind=record.kind)
 
     def _inject_chaos(self, action: str, record: RunRecord) -> None:
         """Apply one injected failure, consuming this execution attempt.

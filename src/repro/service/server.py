@@ -31,6 +31,7 @@ from repro import obs
 from repro._version import __version__
 from repro.exceptions import ServiceError
 from repro.faults.chaos import ChaosConfig
+from repro.obs.context import mint_trace
 from repro.service import protocol
 from repro.service.queue import JobQueue, QueueConfig
 from repro.service.store import RunStore
@@ -230,10 +231,28 @@ class CampaignServer:
                 f"got {max_attempts!r}",
                 code="bad-request",
             )
-        run_id = self.store.submit(kind, clean, max_attempts=max_attempts)
+        trace_id = payload.get("trace_id")
+        if trace_id is None:
+            # Untraced client (or older protocol peer): mint here so
+            # every stored run is joinable by trace_id regardless.
+            trace_id = mint_trace().trace_id
+        elif not isinstance(trace_id, str) or not trace_id:
+            raise ServiceError(
+                f"submit trace_id must be a non-empty string, "
+                f"got {trace_id!r}",
+                code="bad-request",
+            )
+        run_id = self.store.submit(
+            kind, clean, max_attempts=max_attempts, trace_id=trace_id
+        )
         obs.inc("service.submissions", kind=kind)
         self.queue.kick()
-        return {"run_id": run_id, "state": "queued", "kind": kind}
+        return {
+            "run_id": run_id,
+            "state": "queued",
+            "kind": kind,
+            "trace_id": trace_id,
+        }
 
     def _op_status(self, payload: dict[str, Any]) -> dict[str, Any]:
         record = self.store.get(self._require_run_id(payload))

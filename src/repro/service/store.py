@@ -43,7 +43,9 @@ __all__ = [
 ]
 
 #: Current on-disk layout, stamped into ``PRAGMA user_version``.
-SCHEMA_VERSION = 1
+#: v1: the original ``runs`` table; v2 adds the ``trace_id``
+#: correlation column (see :mod:`repro.obs.context`).
+SCHEMA_VERSION = 2
 
 #: Legal ``runs.state`` values, in lifecycle order.
 RUN_STATES: tuple[str, ...] = (
@@ -73,6 +75,7 @@ class RunRecord:
     not_before: float
     error: str | None
     result: str | None
+    trace_id: str | None = None
 
     @property
     def finished(self) -> bool:
@@ -91,6 +94,7 @@ class RunRecord:
             "attempts": self.attempts,
             "max_attempts": self.max_attempts,
             "error": self.error,
+            "trace_id": self.trace_id,
         }
 
 
@@ -107,6 +111,7 @@ def _row_to_record(row: sqlite3.Row) -> RunRecord:
         not_before=row["not_before"],
         error=row["error"],
         result=row["result"],
+        trace_id=row["trace_id"],
     )
 
 
@@ -152,6 +157,14 @@ class RunStore:
                 )
             if version == SCHEMA_VERSION:
                 return
+            if version == 1:
+                # v1 -> v2: runs gain the trace correlation column.
+                # Old rows keep a NULL trace_id — they predate tracing.
+                self._conn.execute(
+                    "ALTER TABLE runs ADD COLUMN trace_id TEXT"
+                )
+                self._conn.execute(f"PRAGMA user_version = {SCHEMA_VERSION}")
+                return
             self._conn.execute(
                 """
                 CREATE TABLE IF NOT EXISTS runs (
@@ -165,7 +178,8 @@ class RunStore:
                     max_attempts INTEGER NOT NULL DEFAULT 3,
                     not_before   REAL NOT NULL DEFAULT 0,
                     error        TEXT,
-                    result       TEXT
+                    result       TEXT,
+                    trace_id     TEXT
                 )
                 """
             )
@@ -183,8 +197,14 @@ class RunStore:
         params: dict[str, Any],
         *,
         max_attempts: int = 3,
+        trace_id: str | None = None,
     ) -> str:
-        """Persist a new queued run; returns its id."""
+        """Persist a new queued run; returns its id.
+
+        ``trace_id`` is the submit-time correlation id
+        (:mod:`repro.obs.context`); every execution attempt of this run
+        tags its spans with it.
+        """
         if max_attempts < 1:
             raise ServiceError(
                 f"max_attempts must be >= 1, got {max_attempts!r}",
@@ -195,9 +215,17 @@ class RunStore:
         with self._lock, self._conn:
             self._conn.execute(
                 "INSERT INTO runs (run_id, kind, params, state, created_at,"
-                " updated_at, attempts, max_attempts, not_before)"
-                " VALUES (?, ?, ?, 'queued', ?, ?, 0, ?, 0)",
-                (run_id, kind, json.dumps(params), now, now, max_attempts),
+                " updated_at, attempts, max_attempts, not_before, trace_id)"
+                " VALUES (?, ?, ?, 'queued', ?, ?, 0, ?, 0, ?)",
+                (
+                    run_id,
+                    kind,
+                    json.dumps(params),
+                    now,
+                    now,
+                    max_attempts,
+                    trace_id,
+                ),
             )
         return run_id
 

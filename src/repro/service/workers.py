@@ -18,6 +18,7 @@ process boundary.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass
 from typing import Any, Callable, Mapping
@@ -27,6 +28,7 @@ from repro.exceptions import ReproError, ServiceError
 __all__ = [
     "JobKind",
     "execute_job",
+    "execute_job_traced",
     "job_kinds",
     "validate_job",
 ]
@@ -571,3 +573,43 @@ def execute_job(kind: str, params: dict[str, Any]) -> str:
             f"job kind {kind!r} crashed: {exc!r}", code="job-crashed"
         ) from exc
     return dump_result(result)
+
+
+def execute_job_traced(
+    kind: str,
+    params: dict[str, Any],
+    trace: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Run one job inside a worker-local observability session.
+
+    The cross-process half of trace propagation: ``trace`` is a
+    :meth:`~repro.obs.context.TraceContext.to_wire` dict minted at
+    submit time.  It is re-hydrated here — inside the pool worker — so
+    the job's own instrumentation (campaign spans, SeD execution spans,
+    planner spans) records under the same trace as the dispatcher that
+    sent it.  The worker's span buffer travels back in the returned
+    envelope, which stays picklable::
+
+        {"result": <dump_result string>,
+         "spans": [<Chrome complete-span event dicts>],
+         "worker_pid": <os pid of this worker>}
+
+    The dispatcher grafts the spans onto its own tracer
+    (``pid=WORKER_PID``, tid = the worker's os pid) and persists only
+    ``result``, so the store contract of :func:`execute_job` is
+    unchanged.  On failure the exception propagates exactly as from
+    :func:`execute_job` (the attempt's spans are dropped with the
+    worker's session — the dispatcher's ``service.job`` span still
+    records the failed attempt).
+    """
+    from repro import obs
+    from repro.obs.context import TraceContext, use_trace
+
+    context = TraceContext.from_wire(trace) if trace is not None else None
+    with obs.session() as (_registry, tracer):
+        with use_trace(context):
+            tags = context.tag_args() if context is not None else {}
+            with obs.span("service.worker", kind=kind, **tags):
+                result = execute_job(kind, params)
+        spans = [span.as_event() for span in tracer.spans]
+    return {"result": result, "spans": spans, "worker_pid": os.getpid()}

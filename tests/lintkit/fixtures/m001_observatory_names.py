@@ -1,0 +1,35 @@
+"""Known-bad fixture: typos of the run-observatory names added with the
+trace/bench/report subsystem — proves an unregistered new name is caught."""
+
+from repro import obs
+
+
+def dispatch(kind: str, count: int) -> None:
+    obs.inc("service.worker_spanz", count, kind=kind)  # EXPECT[M001]
+    with obs.span("service.workr", kind=kind):  # EXPECT[M001]
+        pass
+
+
+def submit(kind: str) -> None:
+    with obs.span("service.client.submti", kind=kind):  # EXPECT[M001]
+        pass
+
+
+def experiments() -> None:
+    with obs.span("runner.simualte"):  # EXPECT[M001]
+        pass
+    with obs.span("resilience.rnu"):  # EXPECT[M001]
+        pass
+
+
+def declared_ok(kind: str, count: int) -> None:
+    # The registered observatory names pass untouched.
+    obs.inc("service.worker_spans", count, kind=kind)
+    with obs.span("service.worker", kind=kind):
+        pass
+    with obs.span("service.client.submit", kind=kind):
+        pass
+    with obs.span("runner.simulate"):
+        pass
+    with obs.span("resilience.run"):
+        pass

@@ -45,6 +45,20 @@ def test_every_registered_rule_has_a_fixture():
     assert set(all_rules()) == set(FIXTURE_FILES)
 
 
+def test_m001_catches_unregistered_observatory_names(fixture_config):
+    # The run-observatory PR added metric/span names (worker spans,
+    # client submit, runner/resilience spans); this fixture proves a
+    # typo of any of them would be flagged while the registered names
+    # stay silent.
+    path = FIXTURES / "m001_observatory_names.py"
+    findings = run_on(fixture_config, "m001_observatory_names.py")
+    got = {(f.rule_id, f.line) for f in findings}
+    want = expected_findings(path)
+    assert want, "fixture declares no EXPECT markers"
+    assert got == want
+    assert all(f.rule_id == "M001" for f in findings)
+
+
 def test_findings_carry_positions_and_messages(fixture_config):
     findings = run_on(fixture_config, "d001_wallclock.py")
     assert findings

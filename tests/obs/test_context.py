@@ -1,0 +1,93 @@
+"""Unit tests for the trace-context primitive (repro.obs.context)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ServiceError
+from repro.obs.context import (
+    TraceContext,
+    current_trace,
+    mint_trace,
+    set_current_trace,
+    use_trace,
+)
+
+
+class TestTraceContext:
+    def test_mint_produces_distinct_hex_ids(self) -> None:
+        a, b = mint_trace(), mint_trace()
+        assert a.trace_id != b.trace_id
+        assert len(a.trace_id) == 16
+        int(a.trace_id, 16)  # hex or raises
+
+    def test_mint_binds_run_id(self) -> None:
+        context = mint_trace(run_id="r1")
+        assert context.run_id == "r1"
+
+    def test_rejects_bad_trace_ids(self) -> None:
+        for bad in ("", None, 123):
+            with pytest.raises(ServiceError) as exc:
+                TraceContext(trace_id=bad)  # type: ignore[arg-type]
+            assert exc.value.code == "bad-request"
+
+    def test_with_run_and_with_parent_are_copies(self) -> None:
+        base = TraceContext(trace_id="ab" * 8)
+        bound = base.with_run("r9")
+        child = bound.with_parent(42)
+        assert base.run_id is None and base.parent_span_id is None
+        assert bound.run_id == "r9"
+        assert child.parent_span_id == 42 and child.run_id == "r9"
+        assert child.trace_id == base.trace_id
+
+    def test_wire_round_trip(self) -> None:
+        context = TraceContext(
+            trace_id="cd" * 8, parent_span_id=7, run_id="r2"
+        )
+        assert TraceContext.from_wire(context.to_wire()) == context
+
+    def test_from_wire_rejects_garbage(self) -> None:
+        for bad in (
+            {},
+            {"trace_id": 5},
+            {"trace_id": "ok" * 8, "parent_span_id": "x"},
+        ):
+            with pytest.raises(ServiceError):
+                TraceContext.from_wire(bad)
+
+    def test_tag_args_skip_absent_run(self) -> None:
+        anon = TraceContext(trace_id="ef" * 8)
+        assert anon.tag_args() == {"trace_id": "ef" * 8}
+        bound = anon.with_run("r3")
+        assert bound.tag_args() == {"trace_id": "ef" * 8, "run_id": "r3"}
+
+
+class TestCurrentTrace:
+    def test_defaults_to_none(self) -> None:
+        set_current_trace(None)
+        assert current_trace() is None
+
+    def test_use_trace_scopes_and_restores(self) -> None:
+        outer = TraceContext(trace_id="aa" * 8)
+        inner = TraceContext(trace_id="bb" * 8)
+        set_current_trace(None)
+        with use_trace(outer):
+            assert current_trace() == outer
+            with use_trace(inner):
+                assert current_trace() == inner
+            assert current_trace() == outer
+        assert current_trace() is None
+
+    def test_use_trace_restores_on_exception(self) -> None:
+        set_current_trace(None)
+        with pytest.raises(RuntimeError):
+            with use_trace(TraceContext(trace_id="cc" * 8)):
+                raise RuntimeError("boom")
+        assert current_trace() is None
+
+    def test_use_trace_none_clears(self) -> None:
+        set_current_trace(TraceContext(trace_id="dd" * 8))
+        with use_trace(None):
+            assert current_trace() is None
+        assert current_trace() is not None
+        set_current_trace(None)

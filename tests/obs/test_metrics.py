@@ -64,6 +64,46 @@ class TestHistogram:
         with pytest.raises(ConfigurationError):
             Histogram().quantile(0.5)
 
+    def test_empty_histogram_rejects_every_q(self) -> None:
+        # The edges raise too — no invented minimum/maximum.
+        for q in (0.0, 0.5, 1.0):
+            with pytest.raises(ConfigurationError):
+                Histogram().quantile(q)
+
+    def test_edge_quantiles_are_min_and_max(self) -> None:
+        h = Histogram()
+        for v in (9.0, 1.0, 5.0, 3.0, 7.0):
+            h.observe(v)
+        assert h.quantile(0.0) == 1.0
+        assert h.quantile(1.0) == 9.0
+
+    def test_single_observation_is_every_quantile(self) -> None:
+        h = Histogram()
+        h.observe(42.0)
+        for q in (0.0, 0.25, 0.5, 0.95, 1.0):
+            assert h.quantile(q) == 42.0
+
+    def test_out_of_range_q_rejected(self) -> None:
+        h = Histogram()
+        h.observe(1.0)
+        for q in (-0.01, 1.01, float("nan")):
+            with pytest.raises(ConfigurationError):
+                h.quantile(q)
+
+    def test_empty_summary_is_count_and_sum_only(self) -> None:
+        assert Histogram().summary() == {"count": 0, "sum": 0.0}
+
+    def test_summary_keys_and_values(self) -> None:
+        h = Histogram()
+        for v in range(1, 101):
+            h.observe(float(v))
+        s = h.summary()
+        assert s["count"] == 100
+        assert s["sum"] == 5050.0
+        assert s["min"] == 1.0 and s["max"] == 100.0
+        assert s["mean"] == 50.5
+        assert s["p50"] == 50.0 and s["p95"] == 95.0 and s["p99"] == 99.0
+
 
 class TestRegistry:
     def test_same_name_and_labels_share_a_series(self) -> None:
@@ -122,3 +162,22 @@ class TestPrometheusFromDump:
     def test_rejects_malformed_dump(self) -> None:
         with pytest.raises(ConfigurationError):
             prometheus_from_dump({"counters": "not-a-mapping"})
+
+    def test_single_observation_renders_every_quantile(self) -> None:
+        reg = MetricsRegistry()
+        reg.histogram("lat").observe(7.0)
+        text = prometheus_from_dump(reg.as_dict())
+        for q in ("0.5", "0.95", "0.99"):
+            assert f'repro_lat{{quantile="{q}"}} 7' in text
+        assert "repro_lat_sum 7" in text
+        assert "repro_lat_count 1" in text
+
+    def test_empty_histogram_series_renders_zeroes(self) -> None:
+        # An observed-nothing histogram has no quantile keys in its
+        # summary; the exposition still carries sum and count.
+        reg = MetricsRegistry()
+        reg.histogram("lat")  # created, never observed
+        text = prometheus_from_dump(reg.as_dict())
+        assert "quantile=" not in text
+        assert "repro_lat_sum 0" in text
+        assert "repro_lat_count 0" in text

@@ -44,6 +44,56 @@ class TestSchema:
             RunStore(path)
         assert exc.value.code == "schema-version"
 
+    def test_v1_store_migrates_to_v2(self, tmp_path) -> None:
+        # A pre-tracing (v1) store: same runs table minus trace_id.
+        # Opening it must add the column, stamp v2, and leave the old
+        # rows readable with trace_id None.
+        path = tmp_path / "runs.db"
+        conn = sqlite3.connect(path)
+        conn.execute(
+            """
+            CREATE TABLE runs (
+                run_id       TEXT PRIMARY KEY,
+                kind         TEXT NOT NULL,
+                params       TEXT NOT NULL,
+                state        TEXT NOT NULL,
+                created_at   REAL NOT NULL,
+                updated_at   REAL NOT NULL,
+                attempts     INTEGER NOT NULL DEFAULT 0,
+                max_attempts INTEGER NOT NULL DEFAULT 3,
+                not_before   REAL NOT NULL DEFAULT 0,
+                error        TEXT,
+                result       TEXT
+            )
+            """
+        )
+        conn.execute(
+            "INSERT INTO runs (run_id, kind, params, state, created_at,"
+            " updated_at, attempts, max_attempts, not_before)"
+            " VALUES ('old1', 'sleep', '{}', 'done', 1.0, 2.0, 1, 3, 0)"
+        )
+        conn.execute("PRAGMA user_version = 1")
+        conn.commit()
+        conn.close()
+
+        with RunStore(path) as store:
+            version = store._conn.execute(
+                "PRAGMA user_version"
+            ).fetchone()[0]
+            assert version == SCHEMA_VERSION == 2
+            old = store.get("old1")
+            assert old.trace_id is None
+            assert old.summary()["trace_id"] is None
+            # New rows use the column immediately.
+            new_id = store.submit(
+                "sleep", {"seconds": 0}, trace_id="t" * 16
+            )
+            assert store.get(new_id).trace_id == "t" * 16
+
+        # Migration is idempotent across reopens.
+        with RunStore(path) as store:
+            assert store.get("old1").trace_id is None
+
     def test_concurrent_reader_sees_committed_rows(self, tmp_path) -> None:
         # WAL's point: a second connection reads while the store writes.
         path = tmp_path / "runs.db"
