@@ -7,6 +7,7 @@ Subcommands::
     repro-oa fig8  [--step 1 ...]     # homogeneous gains, mean ± std
     repro-oa fig10 [--step 4 ...]     # grid gains with Algorithm 1
     repro-oa sweep [--out sweep.ndjson ...]  # batched resumable grid sweep
+    repro-oa arena [--grids fig7 --schedulers all --faults 7]  # scheduler race
     repro-oa ablations                # design-decision studies
     repro-oa simulate  --cluster sagittaire --resources 53 ...
     repro-oa campaign  --clusters 3 --resources 40 ...
@@ -147,6 +148,71 @@ def build_parser() -> argparse.ArgumentParser:
         help="print every evaluated row, not just the summary",
     )
     add_obs_flags(psw)
+
+    par = sub.add_parser(
+        "arena",
+        help="race registered schedulers across figure grids and fault traces",
+    )
+    par.add_argument(
+        "--grids", nargs="+", default=["fig7"],
+        choices=["fig7", "fig8", "fig10"],
+        help="figure-shaped race presets (default: fig7)",
+    )
+    par.add_argument(
+        "--schedulers", nargs="+", default=["all"], metavar="NAME",
+        help="registered scheduler names, or 'all' (default: all)",
+    )
+    par.add_argument(
+        "--faults", nargs="+", type=int, default=[], metavar="SEED",
+        help="seeded fault-trace entries for the fault axis (default: none)",
+    )
+    par.add_argument(
+        "--no-fault-free", action="store_true",
+        help="drop the fault-free entry from the fault axis",
+    )
+    par.add_argument(
+        "--seed", type=int, default=0,
+        help="seed handed to stochastic schedulers (default: 0)",
+    )
+    par.add_argument("--r-min", type=int, default=None)
+    par.add_argument("--r-max", type=int, default=None)
+    par.add_argument("--step", type=int, default=None)
+    par.add_argument("--scenarios", type=int, default=None)
+    par.add_argument("--months", type=int, default=None)
+    par.add_argument("--mtbf-hours", type=float, default=6.0)
+    par.add_argument("--mttr-hours", type=float, default=1.0)
+    par.add_argument(
+        "--workers", type=int, default=None,
+        help="fan chunks out over N worker processes",
+    )
+    par.add_argument(
+        "--chunk-size", type=int, default=None,
+        help="points per journaled chunk (default: 16)",
+    )
+    par.add_argument(
+        "--max-chunks", type=int, default=None,
+        help="stop after N chunks (resume later from the journal)",
+    )
+    par.add_argument(
+        "--out", metavar="PATH", default=None,
+        help=(
+            "NDJSON journal: completed chunks append here and a rerun "
+            "resumes (with several --grids, the preset name is suffixed)"
+        ),
+    )
+    par.add_argument(
+        "--no-resume", action="store_true",
+        help="overwrite the journal instead of resuming from it",
+    )
+    par.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the memoized makespan kernels (baseline timing)",
+    )
+    par.add_argument(
+        "--table", action="store_true",
+        help="print every evaluated row, not just the standings",
+    )
+    add_obs_flags(par)
 
     sub.add_parser("ablations", help="design-decision ablation studies")
 
@@ -396,7 +462,7 @@ def build_parser() -> argparse.ArgumentParser:
     psub.add_argument(
         "--kind", required=True,
         help=(
-            "job kind (campaign, simulate, fig7, fig8, fig9, fig10, sweep, "
+            "job kind (campaign, simulate, fig7, fig8, fig9, fig10, sweep, arena, "
             "sleep)"
         ),
     )
@@ -785,6 +851,138 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
     if args.out:
         parts.append(f"journal: {args.out} (rerun with the same grid to resume)")
     return "\n\n".join(parts + extra)
+
+
+def _arena_journal_path(out: str | None, preset: str, many: bool) -> str | None:
+    """The per-preset journal path: suffixed only for multi-grid runs."""
+    if out is None or not many:
+        return out
+    from pathlib import Path
+
+    path = Path(out)
+    return str(path.with_name(f"{path.stem}-{preset}{path.suffix}"))
+
+
+def _cmd_arena(args: argparse.Namespace) -> str:
+    from repro.schedulers import ArenaGrid, list_schedulers, run_arena
+
+    from repro import obs
+
+    registered = list_schedulers()
+    if args.schedulers == ["all"]:
+        schedulers = registered
+    else:
+        unknown = [s for s in args.schedulers if s not in registered]
+        if unknown:
+            raise SystemExit(
+                f"unknown schedulers {unknown}; registered: {sorted(registered)}"
+            )
+        schedulers = tuple(args.schedulers)
+
+    parts: list[str] = []
+    extra: list[str] = []
+    many = len(args.grids) > 1
+    with _obs_scope(args):
+        for preset in args.grids:
+            grid = ArenaGrid.from_preset(
+                preset,
+                schedulers=schedulers,
+                fault_seeds=tuple(args.faults),
+                include_fault_free=not args.no_fault_free,
+                seed=args.seed,
+                r_min=args.r_min,
+                r_max=args.r_max,
+                step=args.step,
+                scenarios=args.scenarios,
+                months=args.months,
+                mtbf_hours=args.mtbf_hours,
+                mttr_hours=args.mttr_hours,
+            )
+            journal = _arena_journal_path(args.out, preset, many)
+            latencies: dict[str, list[float]] = {}
+            with obs.span("arena.cli", preset=preset, points=grid.size):
+                result = run_arena(
+                    grid,
+                    workers=args.workers,
+                    chunk_size=args.chunk_size,
+                    journal_path=journal,
+                    resume=not args.no_resume,
+                    max_chunks=args.max_chunks,
+                    use_cache=not args.no_cache,
+                    latency_sink=latencies,
+                )
+            parts.extend(
+                _render_arena(preset, result, latencies, table=args.table)
+            )
+            if journal:
+                parts.append(
+                    f"journal: {journal} (rerun with the same race to resume)"
+                )
+        extra = finalize_obs(args)
+    return "\n\n".join(parts + extra)
+
+
+def _render_arena(preset, result, latencies, *, table=False) -> list[str]:
+    """Human-readable standings, win matrix, and (optionally) all rows."""
+    from repro.analysis.tables import format_table
+
+    grid = result.grid
+    summary = result.summary()
+    mean_gain = summary["mean_gain_over_basic"]
+    parts = [
+        f"arena[{preset}] over {summary['points']} points "
+        f"({len(grid.clusters)} clusters x {len(grid.resources)} resource "
+        f"counts x {len(grid.faults)} fault traces x "
+        f"{len(grid.schedulers)} schedulers): "
+        f"{summary['evaluated']} evaluated, "
+        f"{summary['feasible']} feasible, {summary['crashed']} crashed"
+        + ("" if result.complete else " — partial; rerun to continue")
+    ]
+    standings = []
+    for name in grid.schedulers:
+        timed = latencies.get(name, [])
+        standings.append([
+            name,
+            summary["wins"].get(name, 0),
+            "baseline" if name == "basic" else (
+                f"{mean_gain[name]:+.2f}" if name in mean_gain else "-"
+            ),
+            f"{1e3 * sum(timed) / len(timed):.2f}" if timed else "-",
+        ])
+    parts.append(format_table(
+        ["scheduler", "wins", "gain vs basic (%)", "decide (ms)"], standings
+    ))
+    matrix = summary["win_matrix"]
+    parts.append(
+        "win matrix (row beats column):\n"
+        + format_table(
+            ["beats ->", *grid.schedulers],
+            [
+                [a, *[
+                    "-" if a == b else matrix[a].get(b, 0)
+                    for b in grid.schedulers
+                ]]
+                for a in grid.schedulers
+            ],
+        )
+    )
+    if table:
+        parts.append(format_table(
+            ["cluster", "R", "NS", "NM", "fault", "scheduler",
+             "makespan (s)", "done", "grouping"],
+            [
+                [
+                    row.point.cluster, row.point.resources,
+                    row.point.scenarios, row.point.months,
+                    row.point.fault, row.point.scheduler,
+                    "-" if row.makespan is None else f"{row.makespan:.1f}",
+                    "yes" if row.completed else "CRASHED",
+                    row.grouping,
+                ]
+                for row in result.rows
+            ],
+        ))
+    return parts
 
 
 def _cmd_ablations(_args: argparse.Namespace) -> str:
@@ -1312,6 +1510,7 @@ _COMMANDS = {
     "fig8": _cmd_fig8,
     "fig10": _cmd_fig10,
     "sweep": _cmd_sweep,
+    "arena": _cmd_arena,
     "ablations": _cmd_ablations,
     "simulate": _cmd_simulate,
     "campaign": _cmd_campaign,

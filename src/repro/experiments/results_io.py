@@ -252,6 +252,9 @@ def load_result(text: str) -> ResultObject:
         # The sweep codec registers on import; load lazily so reading a
         # sweep result does not require the producer to have run first.
         import repro.experiments.sweep  # noqa: F401
+    if figure == "arena" and figure not in _CODECS:
+        # Same lazy contract for arena race results.
+        import repro.schedulers.arena  # noqa: F401
 
     if figure not in _CODECS:
         raise ConfigurationError(f"unknown figure tag {figure!r}")

@@ -645,6 +645,36 @@ def _bench_service() -> float:
     return jobs / elapsed
 
 
+def _bench_arena() -> float:
+    """Mean scheduler decision latency in ms/decision, cold kernels.
+
+    Every registered scheduler decides the reference point (sagittaire,
+    R=53, NS=10, NM=12) plus a tight point (R=23) — the arena's
+    per-point hot path.  Includes the expensive competitors (local
+    search simulates dozens of candidates), so this is the
+    decision-latency budget the ISSUE's arena spec asks to be tracked.
+    """
+    from repro.core.makespan import clear_makespan_cache
+    from repro.platform.benchmarks import benchmark_cluster
+    from repro.schedulers.base import iter_schedulers
+    from repro.workflow.ocean_atmosphere import EnsembleSpec
+
+    clear_makespan_cache()
+    spec = EnsembleSpec(10, 12)
+    clusters = [
+        benchmark_cluster("sagittaire", 53),
+        benchmark_cluster("sagittaire", 23),
+    ]
+    decisions = 0
+    started = time.perf_counter()
+    for cluster in clusters:
+        for scheduler in iter_schedulers(seed=0):
+            scheduler.decide(cluster, spec)
+            decisions += 1
+    elapsed = time.perf_counter() - started
+    return elapsed / decisions * 1e3
+
+
 def bench_specs() -> tuple[BenchSpec, ...]:
     """The quick-tier registry (what ``repro-oa bench --quick`` runs)."""
     return (
@@ -683,5 +713,12 @@ def bench_specs() -> tuple[BenchSpec, ...]:
             "higher",
             _bench_service,
             repetitions=3,
+        ),
+        BenchSpec(
+            "arena",
+            "mean scheduler decision latency across all registered schedulers",
+            "ms/decision",
+            "lower",
+            _bench_arena,
         ),
     )

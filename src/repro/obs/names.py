@@ -60,6 +60,14 @@ METRIC_NAMES: frozenset[str] = frozenset(
         "heuristic.rejections",
         "makespan.cache",
         "makespan.cache_size",
+        # scheduler arena
+        "arena.chunks",
+        "arena.points",
+        "arena.races",
+        "arena.resumed_points",
+        "arena.seconds",
+        "scheduler.decide_seconds",
+        "scheduler.decisions",
         # experiment drivers
         "experiment.simulations",
         "figure.seconds",
@@ -100,6 +108,8 @@ METRIC_NAMES: frozenset[str] = frozenset(
 #: ``f"figure.{name}"`` site in the CLI.
 SPAN_NAMES: frozenset[str] = frozenset(
     {
+        "arena.cli",
+        "arena.race",
         "campaign",
         "faults",
         "faults.replan_loop",
@@ -114,6 +124,7 @@ SPAN_NAMES: frozenset[str] = frozenset(
         "recover",
         "resilience.run",
         "runner.simulate",
+        "scheduler.decide",
         "sed.execute",
         "sed.handle_request",
         "service.client.submit",

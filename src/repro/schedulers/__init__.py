@@ -1,0 +1,53 @@
+"""Pluggable schedulers and the arena that races them.
+
+The public surface is the :class:`~repro.schedulers.base.Scheduler`
+contract, its registry (:func:`~repro.schedulers.base.register_scheduler`,
+:func:`~repro.schedulers.base.list_schedulers`,
+:func:`~repro.schedulers.base.get_scheduler`), and the arena
+(:func:`~repro.schedulers.arena.run_arena`).  Importing the package
+registers the built-in competitors: the paper's four heuristics as
+adapters, the two online first-wave policies, the advance-reservation
+scheduler, and the seeded local-search refiner — see
+``docs/SCHEDULERS.md`` for the contract and a registration walkthrough.
+"""
+
+from repro.schedulers.base import (
+    Scheduler,
+    get_scheduler,
+    iter_schedulers,
+    list_schedulers,
+    register_scheduler,
+)
+
+# Built-in competitors register on import, paper adapters first so
+# discovery lists the familiar baseline ordering.
+from repro.schedulers import paper as _paper  # noqa: E402,F401
+from repro.schedulers import online as _online  # noqa: E402,F401
+from repro.schedulers import reservation as _reservation  # noqa: E402,F401
+from repro.schedulers import refine as _refine  # noqa: E402,F401
+from repro.schedulers.paper import PAPER_SCHEDULERS
+from repro.schedulers.arena import (
+    ARENA_PRESETS,
+    ArenaGrid,
+    ArenaPoint,
+    ArenaResult,
+    ArenaRow,
+    fault_label,
+    run_arena,
+)
+
+__all__ = [
+    "ARENA_PRESETS",
+    "ArenaGrid",
+    "ArenaPoint",
+    "ArenaResult",
+    "ArenaRow",
+    "PAPER_SCHEDULERS",
+    "Scheduler",
+    "fault_label",
+    "get_scheduler",
+    "iter_schedulers",
+    "list_schedulers",
+    "register_scheduler",
+    "run_arena",
+]

@@ -421,6 +421,117 @@ def _run_faults(params: Mapping[str, Any]):
     )
 
 
+def _validate_arena(params: Mapping[str, Any]) -> dict[str, Any]:
+    from repro.exceptions import ConfigurationError
+    from repro.schedulers.arena import ARENA_PRESETS
+    from repro.schedulers.base import list_schedulers
+
+    preset = str(params.get("preset", "fig7"))
+    if preset not in ARENA_PRESETS:
+        raise ServiceError(
+            f"unknown arena preset {preset!r}; "
+            f"expected one of {tuple(sorted(ARENA_PRESETS))}",
+            code="bad-params",
+        )
+    registered = list_schedulers()
+    raw_schedulers = params.get("schedulers", "all")
+    if raw_schedulers == "all":
+        schedulers = list(registered)
+    elif isinstance(raw_schedulers, (list, tuple)) and raw_schedulers:
+        for name in raw_schedulers:
+            if name not in registered:
+                raise ServiceError(
+                    f"unknown scheduler {name!r}; "
+                    f"registered: {sorted(registered)}",
+                    code="bad-params",
+                )
+        schedulers = [str(name) for name in raw_schedulers]
+    else:
+        raise ServiceError(
+            f"parameter 'schedulers' must be 'all' or a non-empty list, "
+            f"got {raw_schedulers!r}",
+            code="bad-params",
+        )
+    raw_faults = params.get("fault_seeds", [])
+    if not isinstance(raw_faults, (list, tuple)):
+        raise ServiceError(
+            f"parameter 'fault_seeds' must be a list of integers, "
+            f"got {raw_faults!r}",
+            code="bad-params",
+        )
+    fault_seeds = [_as_int({"s": s}, "s", 0, low=0) for s in raw_faults]
+    clean = {
+        "preset": preset,
+        "schedulers": schedulers,
+        "fault_seeds": fault_seeds,
+        "include_fault_free": bool(params.get("include_fault_free", True)),
+        "seed": _as_int(params, "seed", 0, low=0),
+        "scenarios": _as_int(params, "scenarios", 10),
+        "months": _as_int(params, "months", 12),
+        "mtbf_hours": _as_float(params, "mtbf_hours", 6.0, low=1e-6),
+        "mttr_hours": _as_float(params, "mttr_hours", 1.0, low=1e-6),
+        # Same stance as the sweep job: already inside a pool worker,
+        # so the race stays serial unless the deployment opts in.
+        "workers": _as_int(params, "workers", 0, low=0),
+        "chunk_size": _as_int(params, "chunk_size", 16),
+    }
+    for key in ("r_min", "r_max", "step"):
+        # None (absent or explicit) means "use the preset's value" —
+        # kept as None so validation stays idempotent under the
+        # re-validation execute_job performs.
+        clean[key] = (
+            None if params.get(key) is None else _as_int(params, key, 0)
+        )
+    if (
+        clean["r_min"] is not None
+        and clean["r_max"] is not None
+        and clean["r_max"] < clean["r_min"]
+    ):
+        raise ServiceError(
+            f"r_max ({clean['r_max']}) must be >= r_min ({clean['r_min']})",
+            code="bad-params",
+        )
+    if not clean["fault_seeds"] and not clean["include_fault_free"]:
+        raise ServiceError(
+            "a race needs fault_seeds and/or include_fault_free=True",
+            code="bad-params",
+        )
+    try:
+        _arena_grid(clean)
+    except ConfigurationError as exc:
+        raise ServiceError(str(exc), code="bad-params") from None
+    return clean
+
+
+def _arena_grid(params: Mapping[str, Any]):
+    from repro.schedulers.arena import ArenaGrid
+
+    return ArenaGrid.from_preset(
+        params["preset"],
+        schedulers=tuple(params["schedulers"]),
+        fault_seeds=tuple(params["fault_seeds"]),
+        include_fault_free=params["include_fault_free"],
+        seed=params["seed"],
+        r_min=params["r_min"],
+        r_max=params["r_max"],
+        step=params["step"],
+        scenarios=params["scenarios"],
+        months=params["months"],
+        mtbf_hours=params["mtbf_hours"],
+        mttr_hours=params["mttr_hours"],
+    )
+
+
+def _run_arena(params: Mapping[str, Any]):
+    from repro.schedulers.arena import run_arena
+
+    return run_arena(
+        _arena_grid(params),
+        workers=params["workers"] or None,
+        chunk_size=params["chunk_size"],
+    )
+
+
 def _validate_sleep(params: Mapping[str, Any]) -> dict[str, Any]:
     try:
         seconds = float(params.get("seconds", 0.0))
@@ -513,6 +624,12 @@ _KINDS: dict[str, JobKind] = {
             "campaign replanned through a seeded (or explicit) fault trace",
             _validate_faults,
             _run_faults,
+        ),
+        JobKind(
+            "arena",
+            "scheduler race across a figure-shaped grid and fault traces",
+            _validate_arena,
+            _run_arena,
         ),
         JobKind(
             "sleep",

@@ -38,7 +38,10 @@ from repro.knapsack.items import CardinalityKnapsack
 from repro.platform.timing import TimingModel
 from repro.workflow.ocean_atmosphere import EnsembleSpec
 
-__all__ = ["OnlineResult", "simulate_online"]
+__all__ = ["OnlineResult", "first_wave_widths", "simulate_online"]
+
+#: The two allocation rules, in documentation order.
+POLICIES = ("greedy-max", "knapsack-aware")
 
 #: Event kinds, ordered so simultaneous events process mains first.
 _MAIN_DONE = 0
@@ -86,6 +89,53 @@ def _pick_width_knapsack(
     return widths[0]
 
 
+def _choose_width(
+    free: int, waiting: int, timing: TimingModel, policy: str
+) -> int:
+    """Width the policy would start next, or 0 to stop allocating."""
+    if policy == "greedy-max":
+        return _pick_width_greedy(free, timing)
+    return _pick_width_knapsack(free, waiting, timing)
+
+
+def first_wave_widths(
+    resources: int,
+    scenarios: int,
+    timing: TimingModel,
+    *,
+    policy: str = "greedy-max",
+) -> tuple[int, ...]:
+    """Main-task widths the policy starts at time zero on an idle pool.
+
+    This is the online engine's opening move factored out so the
+    scheduler arena can race it as a static partition
+    (:class:`repro.schedulers.online.OnlineGreedyScheduler`): the first
+    allocation wave is exactly the grouping an online policy commits to
+    before any release staggers the pool.  Deterministic in its inputs —
+    no clock, no RNG, no set iteration.
+    """
+    if resources < timing.min_group:
+        raise SimulationError(
+            f"{resources} processors cannot host a single main task "
+            f"(min width {timing.min_group})"
+        )
+    if policy not in POLICIES:
+        raise SimulationError(
+            f"unknown policy {policy!r}; use 'greedy-max' or 'knapsack-aware'"
+        )
+    widths: list[int] = []
+    free = resources
+    waiting = scenarios
+    while waiting > 0 and free >= timing.min_group:
+        width = _choose_width(free, waiting, timing, policy)
+        if width == 0:
+            break
+        widths.append(width)
+        free -= width
+        waiting -= 1
+    return tuple(widths)
+
+
 def simulate_online(
     spec: EnsembleSpec,
     timing: TimingModel,
@@ -104,14 +154,19 @@ def simulate_online(
             f"{resources} processors cannot host a single main task "
             f"(min width {timing.min_group})"
         )
-    if policy not in ("greedy-max", "knapsack-aware"):
+    if policy not in POLICIES:
         raise SimulationError(
             f"unknown policy {policy!r}; use 'greedy-max' or 'knapsack-aware'"
         )
 
     ns, nm = spec.scenarios, spec.months
     months_done = [0] * ns
-    waiting: set[int] = set(range(ns))
+    # Ready scenarios live in an ordered list, never a set: selection is
+    # by explicit total-order key (months done, waiting since, scenario
+    # id — unique, so ties cannot exist) and the container contributes
+    # no iteration-order freedom.  Identical inputs give bit-for-bit
+    # identical schedules.
+    waiting: list[int] = list(range(ns))
     wait_since = [0.0] * ns
     free = resources
     post_backlog = 0  # ready posts with no processor yet
@@ -126,12 +181,9 @@ def simulate_online(
         """Start mains (priority), then posts, from the free pool."""
         nonlocal free, post_backlog, seq
         while waiting and free >= timing.min_group:
-            if policy == "greedy-max":
-                width = _pick_width_greedy(free, timing)
-            else:
-                width = _pick_width_knapsack(free, len(waiting), timing)
-                if width == 0:
-                    break
+            width = _choose_width(free, len(waiting), timing, policy)
+            if width == 0:
+                break
             scenario = min(
                 waiting, key=lambda s: (months_done[s], wait_since[s], s)
             )
@@ -169,7 +221,7 @@ def simulate_online(
             months_done[scenario] += 1
             post_backlog += 1
             if months_done[scenario] < nm:
-                waiting.add(scenario)
+                waiting.append(scenario)
                 wait_since[scenario] = now
         allocate(now)
 

@@ -1,0 +1,37 @@
+"""Known-bad fixture: typos of the scheduler-arena names — proves an
+unregistered ``arena.*``/``scheduler.*`` name is caught."""
+
+from repro import obs
+
+
+def race(points: int) -> None:
+    obs.inc("arena.pointz", points)  # EXPECT[M001]
+    obs.inc("arena.chnks")  # EXPECT[M001]
+    with obs.span("arena.rce", points=points):  # EXPECT[M001]
+        pass
+    obs.observe("arena.secnds", 1.0)  # EXPECT[M001]
+    obs.set_gauge("arena.resumed_pts", 0)  # EXPECT[M001]
+
+
+def decide(name: str) -> None:
+    obs.inc("scheduler.decisionz", scheduler=name)  # EXPECT[M001]
+    with obs.span("scheduler.decde", scheduler=name):  # EXPECT[M001]
+        pass
+    obs.observe("scheduler.decide_secs", 0.1, scheduler=name)  # EXPECT[M001]
+
+
+def declared_ok(name: str, points: int) -> None:
+    # The registered arena/scheduler names pass untouched.
+    obs.inc("arena.points", points)
+    obs.inc("arena.chunks")
+    obs.inc("arena.races")
+    with obs.span("arena.race", points=points):
+        pass
+    with obs.span("arena.cli"):
+        pass
+    obs.observe("arena.seconds", 1.0)
+    obs.set_gauge("arena.resumed_points", 0)
+    obs.inc("scheduler.decisions", scheduler=name)
+    with obs.span("scheduler.decide", scheduler=name):
+        pass
+    obs.observe("scheduler.decide_seconds", 0.1, scheduler=name)

@@ -59,6 +59,19 @@ def test_m001_catches_unregistered_observatory_names(fixture_config):
     assert all(f.rule_id == "M001" for f in findings)
 
 
+def test_m001_catches_unregistered_arena_names(fixture_config):
+    # The scheduler-arena PR added arena.* and scheduler.* metric/span
+    # names; this fixture proves a typo of any of them would be flagged
+    # while the registered names stay silent.
+    path = FIXTURES / "m001_arena_names.py"
+    findings = run_on(fixture_config, "m001_arena_names.py")
+    got = {(f.rule_id, f.line) for f in findings}
+    want = expected_findings(path)
+    assert want, "fixture declares no EXPECT markers"
+    assert got == want
+    assert all(f.rule_id == "M001" for f in findings)
+
+
 def test_findings_carry_positions_and_messages(fixture_config):
     findings = run_on(fixture_config, "d001_wallclock.py")
     assert findings

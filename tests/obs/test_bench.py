@@ -210,11 +210,13 @@ class TestRegistry:
             "simulate",
             "campaign",
             "service",
+            "arena",
         ]
         directions = {spec.name: spec.direction for spec in specs}
         assert directions["sweep"] == "higher"
         assert directions["kernel"] == "lower"
         assert directions["service"] == "higher"
+        assert directions["arena"] == "lower"
 
     def test_committed_baseline_covers_the_quick_tier(self) -> None:
         baseline = load_baseline("benchmarks/baseline.json")

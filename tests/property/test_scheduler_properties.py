@@ -1,0 +1,127 @@
+"""Property: every registered scheduler emits valid, reproducible plans.
+
+Three guarantees, on randomized platforms and ensembles:
+
+* validity — whatever a scheduler returns passes
+  :meth:`Grouping.validate_against` and yields a schedule
+  :func:`validate_schedule` accepts;
+* consistency — the simulated makespan of the decision equals the
+  memoized :func:`cached_simulated_makespan` the arena records;
+* determinism — the same ``(scheduler, seed, cluster, spec)`` always
+  produces the same grouping, which resume-equality rests on.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.makespan import cached_simulated_makespan
+from repro.exceptions import SchedulingError
+from repro.platform.benchmarks import REFERENCE_CLUSTER_SPEEDS, benchmark_cluster
+from repro.platform.cluster import ClusterSpec
+from repro.platform.timing import TableTimingModel
+from repro.schedulers import get_scheduler, iter_schedulers, list_schedulers
+from repro.schedulers.arena import ArenaGrid, run_arena
+from repro.simulation.engine import simulate
+from repro.simulation.validate import validate_schedule
+from repro.workflow.ocean_atmosphere import EnsembleSpec
+
+CLUSTER_NAMES = tuple(sorted(REFERENCE_CLUSTER_SPEEDS))
+
+
+@st.composite
+def instances(draw):
+    """A random monotone timing table, platform, and ensemble."""
+    base = draw(st.floats(min_value=300.0, max_value=4000.0))
+    decrements = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=400.0), min_size=8, max_size=8
+        )
+    )
+    table = {}
+    current = base + sum(decrements)
+    for g, dec in zip(range(4, 12), decrements):
+        table[g] = current
+        current -= dec
+    tp = draw(st.floats(min_value=5.0, max_value=300.0))
+    timing = TableTimingModel(table, post_seconds=tp)
+    resources = draw(st.integers(min_value=4, max_value=130))
+    spec = EnsembleSpec(
+        draw(st.integers(min_value=1, max_value=8)),
+        draw(st.integers(min_value=1, max_value=10)),
+    )
+    return ClusterSpec("rand", resources, timing), spec
+
+
+@settings(max_examples=40, deadline=None)
+@given(instances(), st.integers(min_value=0, max_value=2**31))
+def test_every_scheduler_emits_valid_schedules(instance, seed):
+    cluster, spec = instance
+    for scheduler in iter_schedulers(seed=seed):
+        try:
+            grouping = scheduler.decide(cluster, spec)
+        except SchedulingError:
+            continue  # infeasible here is an allowed answer
+        # decide() already ran validate_against; the simulated schedule
+        # must also be internally consistent, and its makespan must be
+        # the exact float the arena would journal.
+        result = simulate(grouping, spec, cluster.timing, record_trace=True)
+        validate_schedule(result, cluster.timing)
+        assert result.makespan == cached_simulated_makespan(
+            grouping, spec, cluster.timing
+        )
+
+
+@settings(max_examples=40, deadline=None)
+@given(instances(), st.integers(min_value=0, max_value=2**31))
+def test_same_seed_same_plan(instance, seed):
+    cluster, spec = instance
+    for name in list_schedulers():
+        first = second = None
+        try:
+            first = get_scheduler(name, seed=seed).decide(cluster, spec)
+        except SchedulingError:
+            pass
+        try:
+            second = get_scheduler(name, seed=seed).decide(cluster, spec)
+        except SchedulingError:
+            pass
+        assert first == second
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.sampled_from(CLUSTER_NAMES),
+    st.integers(min_value=4, max_value=60),
+    st.integers(min_value=1, max_value=8),
+    st.integers(min_value=1, max_value=6),
+    st.integers(min_value=0, max_value=10_000),
+)
+def test_arena_rows_match_direct_decisions(cluster_name, r, ns, nm, seed):
+    grid = ArenaGrid(
+        clusters=(cluster_name,),
+        resources=(r,),
+        scenarios=(ns,),
+        months=(nm,),
+        faults=("none",),
+        schedulers=list_schedulers(),
+        seed=seed,
+    )
+    result = run_arena(grid)
+    cluster = benchmark_cluster(cluster_name, r)
+    spec = EnsembleSpec(ns, nm)
+    for row in result.rows:
+        try:
+            grouping = get_scheduler(
+                row.point.scheduler, seed=seed
+            ).decide(cluster, spec)
+        except SchedulingError:
+            assert row.makespan is None
+            assert row.grouping == ""
+            continue
+        assert row.grouping == grouping.describe()
+        assert row.makespan == cached_simulated_makespan(
+            grouping, spec, cluster.timing
+        )
+        assert row.completed

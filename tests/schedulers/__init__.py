@@ -1,0 +1,1 @@
+"""Scheduler-arena subsystem tests."""

@@ -1,0 +1,81 @@
+"""CLI tests for the ``repro-oa arena`` verb."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def _run(capsys, *argv: str) -> str:
+    assert main(list(argv)) == 0
+    return capsys.readouterr().out
+
+
+QUICK = (
+    "arena", "--grids", "fig7", "--r-max", "14",
+    "--schedulers", "basic", "knapsack", "--faults", "7",
+)
+
+
+class TestParser:
+    def test_rejects_unknown_grid(self) -> None:
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["arena", "--grids", "fig99"])
+
+    def test_defaults(self) -> None:
+        args = build_parser().parse_args(["arena"])
+        assert args.grids == ["fig7"]
+        assert args.schedulers == ["all"]
+        assert args.faults == []
+        assert args.mtbf_hours == 6.0
+
+
+class TestCommand:
+    def test_quick_race_renders_standings(self, capsys) -> None:
+        out = _run(capsys, *QUICK)
+        assert "arena[fig7] over" in out
+        assert "gain vs basic" in out
+        assert "win matrix" in out
+        assert "knapsack" in out
+
+    def test_unknown_scheduler_is_a_clean_error(self, capsys) -> None:
+        with pytest.raises(SystemExit):
+            main(["arena", "--schedulers", "magic"])
+
+    def test_all_expands_to_every_registered_scheduler(self, capsys) -> None:
+        from repro.schedulers import list_schedulers
+
+        out = _run(
+            capsys, "arena", "--grids", "fig7", "--r-max", "11",
+            "--schedulers", "all",
+        )
+        for name in list_schedulers():
+            assert name in out
+
+    def test_journal_resume_round_trip(self, capsys, tmp_path) -> None:
+        journal = tmp_path / "arena.ndjson"
+        first = _run(capsys, *QUICK, "--out", str(journal))
+        assert journal.exists()
+        assert str(journal) in first
+
+        again = _run(capsys, *QUICK, "--out", str(journal))
+        # the resumed race re-renders identical standings, but every
+        # decision came from the journal, so no latency is reported
+        assert "arena[fig7] over" in again
+
+    def test_multi_grid_suffixes_journals(self, capsys, tmp_path) -> None:
+        out = _run(
+            capsys, "arena", "--grids", "fig7", "fig8",
+            "--r-min", "11", "--r-max", "11",
+            "--schedulers", "basic", "knapsack",
+            "--out", str(tmp_path / "race.ndjson"),
+        )
+        assert (tmp_path / "race-fig7.ndjson").exists()
+        assert (tmp_path / "race-fig8.ndjson").exists()
+        assert "arena[fig7]" in out and "arena[fig8]" in out
+
+    def test_table_lists_every_row(self, capsys) -> None:
+        out = _run(capsys, *QUICK, "--table")
+        assert "grouping" in out
+        assert "seed-7" in out

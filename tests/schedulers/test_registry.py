@@ -1,0 +1,125 @@
+"""The Scheduler contract and its registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.grouping import Grouping
+from repro.core.heuristics import plan_grouping
+from repro.exceptions import ConfigurationError, SchedulingError
+from repro.schedulers import (
+    PAPER_SCHEDULERS,
+    Scheduler,
+    get_scheduler,
+    iter_schedulers,
+    list_schedulers,
+    register_scheduler,
+)
+
+
+class TestRegistry:
+    def test_all_builtins_registered(self) -> None:
+        names = list_schedulers()
+        # 4 paper adapters + 2 online + reservation + local search.
+        assert len(names) >= 7
+        for paper in PAPER_SCHEDULERS:
+            assert paper in names
+        for competitor in (
+            "online-greedy", "online-knapsack", "reservation", "local-search",
+        ):
+            assert competitor in names
+
+    def test_paper_adapters_lead_the_listing(self) -> None:
+        assert list_schedulers()[:4] == PAPER_SCHEDULERS
+
+    def test_get_unknown_scheduler(self) -> None:
+        with pytest.raises(ConfigurationError, match="unknown scheduler"):
+            get_scheduler("magic")
+
+    def test_iter_yields_one_of_each(self) -> None:
+        instances = list(iter_schedulers(seed=5))
+        assert [s.name for s in instances] == list(list_schedulers())
+        assert all(s.seed == 5 for s in instances)
+
+    def test_seed_must_be_int(self) -> None:
+        with pytest.raises(ConfigurationError, match="seed"):
+            get_scheduler("basic", seed="7")  # type: ignore[arg-type]
+
+    def test_register_rejects_unnamed(self) -> None:
+        class Nameless(Scheduler):
+            def plan(self, cluster, spec):  # pragma: no cover
+                raise SchedulingError("unused")
+
+        with pytest.raises(ConfigurationError, match="filename-safe"):
+            register_scheduler(Nameless)
+
+    def test_register_rejects_duplicate_name(self) -> None:
+        class Imposter(Scheduler):
+            name = "basic"
+            description = "not the real one"
+
+            def plan(self, cluster, spec):  # pragma: no cover
+                raise SchedulingError("unused")
+
+        with pytest.raises(ConfigurationError, match="already registered"):
+            register_scheduler(Imposter)
+
+    def test_register_is_idempotent_for_same_class(self) -> None:
+        from repro.schedulers.paper import BasicScheduler
+
+        assert register_scheduler(BasicScheduler) is BasicScheduler
+
+    def test_register_rejects_non_scheduler(self) -> None:
+        with pytest.raises(ConfigurationError, match="Scheduler subclass"):
+            register_scheduler(object)  # type: ignore[arg-type]
+
+
+class TestDecide:
+    def test_paper_adapters_match_plan_grouping(
+        self, fast_cluster, small_spec
+    ) -> None:
+        for name in PAPER_SCHEDULERS:
+            adapter = get_scheduler(name)
+            assert adapter.decide(fast_cluster, small_spec) == plan_grouping(
+                fast_cluster, small_spec, name
+            )
+
+    def test_decide_validates_the_grouping(
+        self, fast_cluster, small_spec
+    ) -> None:
+        @register_scheduler
+        class Overcommitted(Scheduler):
+            name = "test-overcommitted"
+            description = "emits more groups than scenarios"
+
+            def plan(self, cluster, spec):
+                return Grouping.from_sizes(
+                    [cluster.timing.min_group] * (spec.scenarios + 1),
+                    cluster.resources,
+                )
+
+        try:
+            with pytest.raises(SchedulingError, match="groups"):
+                Overcommitted().decide(fast_cluster, small_spec)
+        finally:
+            from repro.schedulers import base
+
+            del base._REGISTRY["test-overcommitted"]
+
+    def test_infeasible_cluster_raises_scheduling_error(
+        self, ref_timing
+    ) -> None:
+        from repro.platform.cluster import ClusterSpec
+
+        tiny = ClusterSpec(
+            name="tiny", resources=ref_timing.min_group - 1, timing=ref_timing
+        )
+        for scheduler in iter_schedulers():
+            with pytest.raises(SchedulingError):
+                scheduler.decide(tiny, _spec(4, 3))
+
+
+def _spec(scenarios: int, months: int):
+    from repro.workflow.ocean_atmosphere import EnsembleSpec
+
+    return EnsembleSpec(scenarios, months)
