@@ -44,6 +44,16 @@ from repro.core.heuristics import (
     plan_grouping,
 )
 from repro.core.performance_vector import performance_vector
+from repro.core.batch import (
+    BatchBreakdown,
+    PerformanceVectorBuilder,
+    batch_analytic_breakdown,
+    batch_analytic_makespan,
+    batch_best_uniform_group,
+    batch_gains_over_baseline,
+    batch_plan_groupings,
+    batch_solve_dp,
+)
 from repro.core.repartition import Repartition, repartition_dags
 from repro.core.generic import GenericChainProblem, generic_grouping
 from repro.core.bounds import LowerBounds, lower_bounds
@@ -77,6 +87,14 @@ __all__ = [
     "get_heuristic",
     "plan_grouping",
     "performance_vector",
+    "BatchBreakdown",
+    "PerformanceVectorBuilder",
+    "batch_analytic_breakdown",
+    "batch_analytic_makespan",
+    "batch_best_uniform_group",
+    "batch_gains_over_baseline",
+    "batch_plan_groupings",
+    "batch_solve_dp",
     "Repartition",
     "repartition_dags",
     "GenericChainProblem",

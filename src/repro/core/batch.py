@@ -1,0 +1,650 @@
+"""Vectorized batch kernels for Eq 1–5, the knapsack DP, and Algorithm 1.
+
+The scalar kernels of :mod:`repro.core.makespan`, :mod:`repro.knapsack.dp`
+and the heuristic modules evaluate one ``(R, G, NS, NM)`` cell per call;
+figure sweeps and arena races evaluate tens of thousands.  This module
+re-expresses those kernels as numpy array operations over entire grids:
+
+* :func:`batch_analytic_breakdown` / :func:`batch_analytic_makespan` —
+  Equations (1)–(5) over any broadcastable combination of the six scalar
+  arguments.
+* :func:`batch_best_uniform_group` — the basic heuristic's ``G``
+  selection for a whole resource (or scenario) axis at once.
+* :func:`batch_solve_dp` — the cardinality-capped knapsack DP evaluated
+  once at the capacity ceiling, then traced back for every requested
+  capacity (one ``O(max_items × C × |items|)`` pass serves the whole
+  axis).
+* :func:`batch_plan_groupings` — all four paper heuristics across a
+  resource axis, returning the same :class:`~repro.core.grouping.Grouping`
+  objects the scalar :func:`~repro.core.heuristics.plan_grouping` builds.
+* :func:`batch_gains_over_baseline` — the Figure 8/10 gain metric over
+  many cells at once.
+* :class:`PerformanceVectorBuilder` — incremental Algorithm 1
+  performance vectors that reuse the ``1..NS-1`` prefix (and the shared
+  DP layer stack) when extending to ``NS``.
+
+Every kernel is **bit-for-bit** equal to its scalar counterpart: the
+array expressions replicate the scalar code's float operations operand
+for operand, in the same order, so IEEE-754 rounding is identical.  The
+scalar kernels stay untouched as the differential oracle — the property
+suite in ``tests/property/test_batch_oracle.py`` enforces the equality,
+and the golden-parity suite re-derives the committed figure fixtures
+through these kernels.  Cells where a scalar kernel would raise
+:class:`~repro.exceptions.SchedulingError` are *masked* (``feasible``
+False, makespan ``+inf``) rather than raised, so one bad cell cannot
+poison a grid.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Iterable, Mapping, Sequence, TypeAlias
+
+import numpy as np
+
+from repro import obs
+from repro.core.grouping import Grouping
+from repro.core.heuristics import HeuristicName
+from repro.core.makespan import _RATIO_EPS, MakespanBreakdown, _floor_ratio
+from repro.exceptions import ConfigurationError, SchedulingError
+from repro.knapsack.items import CardinalityKnapsack, KnapsackItem, KnapsackSolution
+from repro.platform.cluster import ClusterSpec
+from repro.platform.timing import TimingModel
+from repro.workflow.ocean_atmosphere import EnsembleSpec
+
+__all__ = [
+    "BatchBreakdown",
+    "PerformanceVectorBuilder",
+    "batch_analytic_breakdown",
+    "batch_analytic_makespan",
+    "batch_best_uniform_group",
+    "batch_gains_over_baseline",
+    "batch_plan_groupings",
+    "batch_solve_dp",
+]
+
+#: Anything the Eq 1–5 batch kernels accept per argument: scalars or
+#: broadcastable arrays.
+ArrayLike: TypeAlias = "int | float | Sequence[int] | Sequence[float] | np.ndarray"
+
+
+# ---------------------------------------------------------------------------
+# Equations (1)-(5) over a grid.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BatchBreakdown:
+    """Arrays mirroring :class:`~repro.core.makespan.MakespanBreakdown`.
+
+    All arrays share one broadcast shape.  ``feasible`` is False exactly
+    where the scalar :func:`~repro.core.makespan.analytic_breakdown`
+    would raise; there ``makespan``/``main_makespan`` are ``+inf``,
+    ``case`` is ``""`` and the integer fields are 0.
+    """
+
+    feasible: np.ndarray
+    makespan: np.ndarray
+    main_makespan: np.ndarray
+    case: np.ndarray
+    group_size: np.ndarray
+    n_groups: np.ndarray
+    post_resources: np.ndarray
+    waves: np.ndarray
+    nbused: np.ndarray
+    overpass: np.ndarray
+    trailing_posts: np.ndarray
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """The common broadcast shape of every field array."""
+        return tuple(self.makespan.shape)
+
+    def at(self, index: "int | tuple[int, ...]") -> MakespanBreakdown:
+        """The scalar breakdown of one feasible cell.
+
+        Raises :class:`~repro.exceptions.SchedulingError` on an
+        infeasible cell, matching the scalar kernel's contract.
+        """
+        if not bool(self.feasible[index]):
+            raise SchedulingError(f"grid cell {index!r} is infeasible")
+        return MakespanBreakdown(
+            makespan=float(self.makespan[index]),
+            main_makespan=float(self.main_makespan[index]),
+            case=str(self.case[index]),
+            group_size=int(self.group_size[index]),
+            n_groups=int(self.n_groups[index]),
+            post_resources=int(self.post_resources[index]),
+            waves=int(self.waves[index]),
+            nbused=int(self.nbused[index]),
+            overpass=int(self.overpass[index]),
+            trailing_posts=int(self.trailing_posts[index]),
+        )
+
+
+def batch_analytic_breakdown(
+    resources: "ArrayLike",
+    group_size: "ArrayLike",
+    scenarios: "ArrayLike",
+    months: "ArrayLike",
+    tg: "ArrayLike",
+    tp: "ArrayLike",
+) -> BatchBreakdown:
+    """Equations (1)–(5) over any broadcastable argument combination.
+
+    Integer quantities are computed in exact ``int64`` arithmetic; the
+    three float operations per cell (``waves × TG``, ``⌈·⌉ × TP``, their
+    sum) pair the same operands in the same order as the scalar kernel,
+    so each feasible cell equals ``analytic_breakdown(...)`` bit for
+    bit.
+    """
+    arr_r, arr_g, arr_ns, arr_nm, arr_tg, arr_tp = np.broadcast_arrays(
+        np.asarray(resources, dtype=np.int64),
+        np.asarray(group_size, dtype=np.int64),
+        np.asarray(scenarios, dtype=np.int64),
+        np.asarray(months, dtype=np.int64),
+        np.asarray(tg, dtype=np.float64),
+        np.asarray(tp, dtype=np.float64),
+    )
+    feasible = (
+        (arr_r >= 1)
+        & (arr_ns >= 1)
+        & (arr_nm >= 1)
+        & (arr_g >= 1)
+        & (arr_tg > 0.0)
+        & (arr_tp > 0.0)
+    )
+    safe_g = np.where(arr_g >= 1, arr_g, 1)
+    nbmax = np.where(feasible, np.minimum(arr_ns, arr_r // safe_g), 0)
+    feasible = feasible & (nbmax > 0)
+
+    # Sanitized operands for the masked-out cells: any positive stand-in
+    # keeps the vector expressions finite; the mask discards the values.
+    nbmax = np.where(feasible, nbmax, 1)
+    safe_r = np.where(feasible, arr_r, 1)
+    safe_tg = np.where(feasible, arr_tg, 1.0)
+    safe_tp = np.where(feasible, arr_tp, 1.0)
+
+    nbtasks = arr_ns * arr_nm
+    r2 = arr_r - nbmax * arr_g
+    nbused = nbtasks % nbmax
+    # math.ceil(a / b): float true division then ceil — replicated, not
+    # re-derived with integer ceil, to keep the op sequence identical.
+    waves = np.ceil(nbtasks / nbmax).astype(np.int64)
+    ms_multi = waves * safe_tg
+    posts_per_proc = np.floor(safe_tg / safe_tp + _RATIO_EPS).astype(np.int64)
+
+    # Equation (3): Rleft processors of the last, incomplete wave absorb
+    # ⌊TG/TP⌋ posts each.
+    r_left = safe_r - nbused * arr_g
+    rem3 = nbused + np.maximum(0, nbtasks - nbused - posts_per_proc * r_left)
+    # Equations (4)/(5): the dedicated pool of R2 processors digests
+    # Npossible posts per wave; the rest overpass.
+    n_possible = posts_per_proc * r2
+    over4 = np.maximum(0, (waves - 1) * (nbmax - n_possible))
+    trail4 = over4 + nbmax
+    over5 = np.maximum(0, (waves - 2) * (nbmax - n_possible))
+    rem5 = nbused + np.maximum(0, (over5 + nbmax) - posts_per_proc * r_left)
+
+    no_pool = r2 == 0
+    full_waves = nbused == 0
+    m2 = feasible & no_pool & full_waves
+    m3 = feasible & no_pool & ~full_waves
+    m4 = feasible & ~no_pool & full_waves
+    m5 = feasible & ~no_pool & ~full_waves
+
+    trailing = np.select([m2, m3, m4, m5], [nbtasks, rem3, trail4, rem5], default=0)
+    overpass = np.select([m4, m5], [over4, over5], default=0)
+    case = np.select([m2, m3, m4, m5], ["eq2", "eq3", "eq4", "eq5"], default="")
+    makespan = ms_multi + np.ceil(trailing / safe_r) * safe_tp
+
+    return BatchBreakdown(
+        feasible=feasible,
+        makespan=np.where(feasible, makespan, np.inf),
+        main_makespan=np.where(feasible, ms_multi, np.inf),
+        case=case,
+        group_size=np.where(feasible, arr_g, 0),
+        n_groups=np.where(feasible, nbmax, 0),
+        post_resources=np.where(feasible, r2, 0),
+        waves=np.where(feasible, waves, 0),
+        nbused=np.where(feasible, nbused, 0),
+        overpass=overpass,
+        trailing_posts=trailing,
+    )
+
+
+def batch_analytic_makespan(
+    resources: "ArrayLike",
+    group_size: "ArrayLike",
+    scenarios: "ArrayLike",
+    months: "ArrayLike",
+    tg: "ArrayLike",
+    tp: "ArrayLike",
+) -> np.ndarray:
+    """The makespan array of :func:`batch_analytic_breakdown`.
+
+    ``+inf`` marks cells where the scalar kernel would raise — handy as
+    an argmin-neutral sentinel.
+    """
+    return batch_analytic_breakdown(
+        resources, group_size, scenarios, months, tg, tp
+    ).makespan
+
+
+def batch_best_uniform_group(
+    timing: TimingModel,
+    resources: "ArrayLike",
+    scenarios: "ArrayLike",
+    months: "ArrayLike",
+) -> tuple[np.ndarray, np.ndarray]:
+    """The basic heuristic's ``G`` selection over a whole grid.
+
+    Broadcasts ``resources``/``scenarios``/``months``, appends the
+    candidate-``G`` axis internally, and returns ``(best_g, feasible)``
+    arrays of the broadcast shape.  ``best_g`` is 0 where no admissible
+    group fits (the scalar :func:`~repro.core.basic.best_uniform_group`
+    raises there).  The first-minimizer tie rule matches the scalar
+    loop's strict ``<`` over ascending ``G``.
+    """
+    sizes = np.asarray(timing.group_sizes, dtype=np.int64)
+    tg = np.asarray([timing.main_time(int(g)) for g in sizes], dtype=np.float64)
+    arr_r, arr_ns, arr_nm = np.broadcast_arrays(
+        np.asarray(resources, dtype=np.int64),
+        np.asarray(scenarios, dtype=np.int64),
+        np.asarray(months, dtype=np.int64),
+    )
+    axis_shape = (1,) * arr_r.ndim + (-1,)
+    breakdown = batch_analytic_breakdown(
+        arr_r[..., None],
+        sizes.reshape(axis_shape),
+        arr_ns[..., None],
+        arr_nm[..., None],
+        tg.reshape(axis_shape),
+        timing.post_time(),
+    )
+    best_idx = np.argmin(breakdown.makespan, axis=-1)
+    feasible = breakdown.feasible.any(axis=-1)
+    best_g = np.where(feasible, sizes[best_idx], 0)
+    return best_g, feasible
+
+
+# ---------------------------------------------------------------------------
+# The knapsack DP over a capacity axis.
+# ---------------------------------------------------------------------------
+
+
+class _DpLayers:
+    """Mutable batched DP state over the full ``0..capacity`` axis.
+
+    One layer per cardinality slot, each a vectorized sweep of the item
+    candidates over every capacity at once.  The per-cell update order
+    (items in problem order, strictly-greater lexicographic
+    ``(value, -weight)`` wins) replicates :func:`repro.knapsack.dp.solve_dp`
+    exactly, so the float value accumulations are bit-identical.  Layers
+    can be appended later (``ensure``) — the basis of the incremental
+    performance vectors.
+    """
+
+    def __init__(self, items: tuple[KnapsackItem, ...], capacity: int) -> None:
+        self.items = items
+        self.capacity = capacity
+        self._value = np.zeros(capacity + 1, dtype=np.float64)
+        self._negw = np.zeros(capacity + 1, dtype=np.int64)
+        self.choices: list[np.ndarray] = []
+        self.stabilized = False
+
+    def ensure(self, max_items: int) -> None:
+        """Compute layers up to ``max_items`` (no-op once stabilized)."""
+        while len(self.choices) < max_items and not self.stabilized:
+            self._add_layer()
+
+    def _add_layer(self) -> None:
+        cur_value = self._value.copy()
+        cur_negw = self._negw.copy()
+        choice = np.full(self.capacity + 1, -1, dtype=np.int32)
+        for idx, item in enumerate(self.items):
+            w = item.weight
+            if w > self.capacity:
+                continue
+            cand_value = self._value[:-w] + item.value
+            cand_negw = self._negw[:-w] - w
+            seg_value = cur_value[w:]
+            seg_negw = cur_negw[w:]
+            better = (cand_value > seg_value) | (
+                (cand_value == seg_value) & (cand_negw > seg_negw)
+            )
+            seg_value[better] = cand_value[better]
+            seg_negw[better] = cand_negw[better]
+            choice[w:][better] = idx
+        self.choices.append(choice)
+        # A winning candidate is strictly lexicographically greater, so
+        # an unchanged layer is exactly an all-(-1) choice row — the
+        # scalar DP's early-exit condition.
+        if np.array_equal(cur_value, self._value) and np.array_equal(
+            cur_negw, self._negw
+        ):
+            self.stabilized = True
+        else:
+            self._value = cur_value
+            self._negw = cur_negw
+
+    def traceback(self, capacity: int, max_items: int) -> dict[int, int]:
+        """Item counts of the optimal packing at one ``(capacity, k)``.
+
+        Valid for every ``capacity ≤ self.capacity`` and every
+        ``max_items``: once two consecutive layers agree on the prefix
+        ``0..capacity``, all later layers keep choice -1 there, so extra
+        layers beyond the scalar DP's early exit contribute nothing.
+        """
+        counts: dict[int, int] = {}
+        c = capacity
+        for layer in range(min(max_items, len(self.choices)) - 1, -1, -1):
+            idx = int(self.choices[layer][c])
+            if idx >= 0:
+                item = self.items[idx]
+                counts[item.name] = counts.get(item.name, 0) + 1
+                c -= item.weight
+        return counts
+
+
+def batch_solve_dp(
+    problem: CardinalityKnapsack, capacities: Sequence[int]
+) -> list[KnapsackSolution]:
+    """:func:`~repro.knapsack.dp.solve_dp` at every capacity in one pass.
+
+    One DP at ``problem.capacity`` serves every smaller capacity: a
+    stabilized value-table prefix never changes again, so the traceback
+    at capacity ``c`` over the full layer stack equals the scalar solve
+    of the ``capacity=c`` sub-problem.  Each returned solution is
+    validated against its own sub-problem, exactly like the scalar path.
+    """
+    caps = [int(c) for c in capacities]
+    for c in caps:
+        if c < 0 or c > problem.capacity:
+            raise ConfigurationError(
+                f"capacity {c} outside the solved range 0..{problem.capacity}"
+            )
+    layers = _DpLayers(problem.items, problem.capacity)
+    layers.ensure(problem.max_items)
+    solutions: list[KnapsackSolution] = []
+    for c in caps:
+        sub = replace(problem, capacity=c)
+        counts = layers.traceback(c, problem.max_items)
+        solutions.append(KnapsackSolution.from_counts(counts, sub))
+    return solutions
+
+
+# ---------------------------------------------------------------------------
+# Batched heuristic planning.
+# ---------------------------------------------------------------------------
+
+
+def _spread_surplus(
+    base: int, n_groups: int, surplus: int, max_size: int
+) -> tuple[list[int], int]:
+    """Round-robin ``surplus`` processors over ``n_groups`` equal groups.
+
+    Closed form of the scalar redistribute/allpost loops: groups start
+    equal, so each receives ``⌊surplus/n⌋`` (+1 for the first
+    ``surplus mod n``), capped at ``max_size``; the unabsorbed remainder
+    comes back.  Returns ``(sizes, leftover)``.
+    """
+    cap = max_size - base
+    if surplus >= n_groups * cap:
+        return [max_size] * n_groups, surplus - n_groups * cap
+    q, rem = divmod(surplus, n_groups)
+    sizes = [base + q + 1] * rem + [base + q] * (n_groups - rem)
+    return sizes, 0
+
+
+def _uniform_family_grouping(
+    timing: TimingModel, name: HeuristicName, r: int, g: int, scenarios: int
+) -> Grouping:
+    """Assemble one basic/redistribute/allpost grouping from ``G*``."""
+    nbmax = min(scenarios, r // g)
+    if name is HeuristicName.BASIC:
+        return Grouping.uniform(g, nbmax, r)
+    r2 = r - nbmax * g
+    if name is HeuristicName.REDISTRIBUTE:
+        if r2 == 0:
+            return Grouping.uniform(g, nbmax, r)
+        per_proc = _floor_ratio(timing.main_time(g), timing.post_time())
+        needed = nbmax if per_proc <= 0 else math.ceil(nbmax / per_proc)
+        post = min(r2, needed)
+        sizes, leftover = _spread_surplus(g, nbmax, r2 - post, timing.max_group)
+        return Grouping.from_sizes(sizes, r, post_pool=post + leftover)
+    # ALLPOST_END: every leftover processor joins a group; whatever no
+    # group can absorb keeps serving posts.
+    sizes, leftover = _spread_surplus(g, nbmax, r2, timing.max_group)
+    return Grouping.from_sizes(sizes, r, post_pool=leftover)
+
+
+def _batch_knapsack_groupings(
+    timing: TimingModel, rs: list[int], spec: EnsembleSpec
+) -> list["Grouping | None"]:
+    values = {g: 1.0 / timing.main_time(g) for g in timing.group_sizes}
+    ceiling = max(rs)
+    problem = CardinalityKnapsack.from_weights_values(
+        values, ceiling, spec.scenarios
+    )
+    solutions = batch_solve_dp(problem, rs)
+    groupings: list[Grouping | None] = []
+    for r, solution in zip(rs, solutions, strict=True):
+        sizes = solution.as_multiset()
+        groupings.append(Grouping.from_sizes(sizes, r) if sizes else None)
+    return groupings
+
+
+def batch_plan_groupings(
+    timing: TimingModel,
+    resources: Iterable[int],
+    spec: EnsembleSpec,
+    heuristic: "HeuristicName | str",
+) -> list["Grouping | None"]:
+    """Plan one heuristic across a resource axis with the batch kernels.
+
+    Returns one entry per resource count, in order: the exact
+    :class:`~repro.core.grouping.Grouping` the scalar
+    :func:`~repro.core.heuristics.plan_grouping` would build, or ``None``
+    where the scalar heuristic raises
+    :class:`~repro.exceptions.SchedulingError` (cluster too small to
+    host any group).
+    """
+    name = HeuristicName(heuristic)
+    rs = [int(r) for r in resources]
+    if not rs:
+        return []
+    for r in rs:
+        if r < 1:
+            raise ConfigurationError(f"resources must be >= 1, got {r!r}")
+    if name is HeuristicName.KNAPSACK:
+        groupings = _batch_knapsack_groupings(timing, rs, spec)
+    else:
+        best_g, feasible = batch_best_uniform_group(
+            timing, rs, spec.scenarios, spec.months
+        )
+        groupings = [
+            _uniform_family_grouping(timing, name, r, int(g), spec.scenarios)
+            if ok
+            else None
+            for r, g, ok in zip(rs, best_g.tolist(), feasible.tolist(), strict=True)
+        ]
+    if obs.enabled():
+        obs.inc("batch.plans", len(groupings), heuristic=name.value)
+    return groupings
+
+
+# ---------------------------------------------------------------------------
+# Batched gain scoring (Figures 8/10, arena standings).
+# ---------------------------------------------------------------------------
+
+
+def batch_gains_over_baseline(
+    cells: Sequence[Mapping[str, float]], baseline_key: str = "basic"
+) -> list[dict[str, float]]:
+    """:func:`~repro.analysis.gains.gains_over_baseline` for many cells.
+
+    One vectorized ``(base - value) / base × 100`` per competitor name —
+    the same operand pairing as the scalar
+    :func:`~repro.analysis.gains.gain_percent`, so each returned dict
+    equals the per-cell scalar result bit for bit (keys in each cell's
+    iteration order, baseline omitted).
+    """
+    base = np.empty(len(cells), dtype=np.float64)
+    for i, cell in enumerate(cells):
+        if baseline_key not in cell:
+            raise ConfigurationError(
+                f"no baseline entry {baseline_key!r} in {sorted(cell)}"
+            )
+        value = cell[baseline_key]
+        if value <= 0:
+            raise ConfigurationError(
+                f"baseline makespan must be > 0, got {value!r}"
+            )
+        base[i] = value
+
+    order: list[list[str]] = []
+    cell_index: dict[str, list[int]] = {}
+    values: dict[str, list[float]] = {}
+    for i, cell in enumerate(cells):
+        names = [n for n in cell if n != baseline_key]
+        order.append(names)
+        for n in names:
+            value = cell[n]
+            if value < 0:
+                raise ConfigurationError(
+                    f"improved makespan must be >= 0, got {value!r}"
+                )
+            cell_index.setdefault(n, []).append(i)
+            values.setdefault(n, []).append(value)
+
+    gains: dict[str, np.ndarray] = {}
+    position: dict[str, dict[int, int]] = {}
+    for n in sorted(cell_index):
+        idx = cell_index[n]
+        b = base[np.asarray(idx, dtype=np.intp)]
+        v = np.asarray(values[n], dtype=np.float64)
+        gains[n] = (b - v) / b * 100.0
+        position[n] = {i: pos for pos, i in enumerate(idx)}
+
+    return [
+        {n: float(gains[n][position[n][i]]) for n in names}
+        for i, names in enumerate(order)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Incremental Algorithm 1 performance vectors.
+# ---------------------------------------------------------------------------
+
+
+class PerformanceVectorBuilder:
+    """Algorithm 1 performance vectors with prefix reuse.
+
+    :func:`~repro.core.performance_vector.performance_vector` rebuilds
+    the whole ``1..NS`` vector on every call; this builder keeps the
+    computed prefix and, when extended from ``NS-1`` to ``NS``, plans
+    and simulates only the new entry.  The knapsack heuristic goes
+    further: one shared DP layer stack (one layer per cardinality slot)
+    serves every ``k`` — extending appends layers instead of re-solving.
+
+    ``extend`` returns the builder's *internal* list — the same object
+    on every call (the identity is part of the contract and is tested);
+    callers that need a snapshot must copy.  Entry ``k-1`` is bit-for-bit
+    equal to ``performance_vector(cluster, EnsembleSpec(k, months),
+    heuristic)[k-1]``.
+    """
+
+    def __init__(
+        self,
+        cluster: ClusterSpec,
+        months: int,
+        heuristic: "HeuristicName | str" = HeuristicName.KNAPSACK,
+    ) -> None:
+        self._cluster = cluster
+        self._months = int(months)
+        self._heuristic = HeuristicName(heuristic)
+        self._vector: list[float] = []
+        self._layers: "_DpLayers | None" = None
+
+    @property
+    def cluster(self) -> ClusterSpec:
+        """The cluster the vector describes."""
+        return self._cluster
+
+    @property
+    def heuristic(self) -> HeuristicName:
+        """The planning heuristic baked into the vector."""
+        return self._heuristic
+
+    def __len__(self) -> int:
+        return len(self._vector)
+
+    def extend(self, scenarios: int) -> list[float]:
+        """Grow the vector to ``scenarios`` entries; returns it.
+
+        Already-covered prefixes are reused untouched.  Raises
+        :class:`~repro.exceptions.SchedulingError` when the cluster
+        cannot host any group (the scalar vector raises on its first
+        entry for the same reason).
+        """
+        if scenarios < 1:
+            raise ConfigurationError(
+                f"need at least one scenario, got {scenarios!r}"
+            )
+        start = len(self._vector) + 1
+        if scenarios < start:
+            return self._vector
+        from repro.simulation.engine import simulate
+
+        timing = self._cluster.timing
+        for k, grouping in zip(
+            range(start, scenarios + 1),
+            self._plan_range(start, scenarios),
+            strict=True,
+        ):
+            if grouping is None:
+                raise SchedulingError(
+                    f"cluster {self._cluster.name!r} "
+                    f"({self._cluster.resources} processors) cannot host any "
+                    f"main-task group (min size {timing.min_group})"
+                )
+            spec = EnsembleSpec(k, self._months)
+            result = simulate(
+                grouping, spec, timing, cluster_name=self._cluster.name
+            )
+            self._vector.append(result.makespan)
+        return self._vector
+
+    def _plan_range(self, start: int, stop: int) -> list["Grouping | None"]:
+        """Groupings for ``k = start..stop``, via the batch kernels."""
+        timing = self._cluster.timing
+        r = self._cluster.resources
+        if self._heuristic is HeuristicName.KNAPSACK:
+            if self._layers is None:
+                values = {g: 1.0 / timing.main_time(g) for g in timing.group_sizes}
+                problem = CardinalityKnapsack.from_weights_values(
+                    values, r, stop
+                )
+                self._layers = _DpLayers(problem.items, problem.capacity)
+            self._layers.ensure(stop)
+            groupings: list[Grouping | None] = []
+            for k in range(start, stop + 1):
+                counts = self._layers.traceback(r, k)
+                sub = CardinalityKnapsack(self._layers.items, r, k)
+                sizes = KnapsackSolution.from_counts(counts, sub).as_multiset()
+                groupings.append(
+                    Grouping.from_sizes(sizes, r) if sizes else None
+                )
+            return groupings
+        ks = np.arange(start, stop + 1, dtype=np.int64)
+        best_g, feasible = batch_best_uniform_group(timing, r, ks, self._months)
+        return [
+            _uniform_family_grouping(timing, self._heuristic, r, int(g), int(k))
+            if ok
+            else None
+            for k, g, ok in zip(
+                ks.tolist(), best_g.tolist(), feasible.tolist(), strict=True
+            )
+        ]

@@ -11,8 +11,8 @@ the makespan simulator).
 from __future__ import annotations
 
 from repro import obs
-from repro.core.heuristics import plan_grouping
-from repro.core.performance_vector import performance_vector
+from repro.core.batch import PerformanceVectorBuilder
+from repro.core.heuristics import HeuristicName, plan_grouping
 from repro.exceptions import MiddlewareError
 from repro.middleware.messages import (
     ExecutionOrder,
@@ -42,6 +42,11 @@ class SeD:
             )
         self.cluster = cluster
         self._last_result: SimulationResult | None = None
+        # One incremental vector per (heuristic, months): repeated step-2
+        # requests reuse the 1..NS-1 prefix (and the knapsack DP layers)
+        # instead of rebuilding the whole vector — bit-for-bit equal to
+        # a fresh performance_vector() call, which the tests assert.
+        self._builders: dict[tuple[str, int], PerformanceVectorBuilder] = {}
 
     @property
     def name(self) -> str:
@@ -53,8 +58,15 @@ class SeD:
         obs.inc("middleware.requests", cluster=self.name)
         with obs.span("sed.handle_request", cluster=self.name):
             spec = EnsembleSpec(request.scenarios, request.months)
-            vector = performance_vector(self.cluster, spec, request.heuristic)
-        return PerformanceReply(self.name, tuple(vector))
+            key = (HeuristicName(request.heuristic).value, spec.months)
+            builder = self._builders.get(key)
+            if builder is None:
+                builder = PerformanceVectorBuilder(
+                    self.cluster, spec.months, request.heuristic
+                )
+                self._builders[key] = builder
+            vector = builder.extend(spec.scenarios)
+        return PerformanceReply(self.name, tuple(vector[: spec.scenarios]))
 
     def execute(self, order: ExecutionOrder) -> ExecutionReport:
         """Step 6: run the assigned scenarios, report the makespan.

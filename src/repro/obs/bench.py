@@ -675,6 +675,42 @@ def _bench_arena() -> float:
     return elapsed / decisions * 1e3
 
 
+def _bench_kernels() -> float:
+    """Batched planning-kernel throughput in configs/sec, cold cache.
+
+    Plans fig7- and fig8-shaped grids (every heuristic x every
+    ``(cluster, R)`` cell at NS=10, NM=12) through
+    :func:`repro.core.batch.batch_plan_groupings` — the vectorized
+    Eq 1–5 + knapsack-DP path the sweep auto-selects.  One config is one
+    planned ``(cluster, R, heuristic)`` cell.  ``benchmarks/
+    bench_kernels.py`` additionally asserts the >=5x ratio over the
+    memoized scalar path on the same grids.
+    """
+    from repro.core.batch import batch_plan_groupings
+    from repro.core.heuristics import HeuristicName
+    from repro.core.makespan import clear_makespan_cache
+    from repro.platform.benchmarks import (
+        REFERENCE_CLUSTER_SPEEDS,
+        benchmark_timing,
+    )
+    from repro.workflow.ocean_atmosphere import EnsembleSpec
+
+    spec = EnsembleSpec(10, 12)
+    workloads = [("sagittaire", list(range(11, 121)))]
+    workloads += [
+        (name, list(range(11, 44, 4))) for name in sorted(REFERENCE_CLUSTER_SPEEDS)
+    ]
+    clear_makespan_cache()
+    plans = 0
+    started = time.perf_counter()
+    for name, resources in workloads:
+        timing = benchmark_timing(name)
+        for heuristic in HeuristicName:
+            plans += len(batch_plan_groupings(timing, resources, spec, heuristic))
+    elapsed = time.perf_counter() - started
+    return plans / elapsed
+
+
 def bench_specs() -> tuple[BenchSpec, ...]:
     """The quick-tier registry (what ``repro-oa bench --quick`` runs)."""
     return (
@@ -691,6 +727,13 @@ def bench_specs() -> tuple[BenchSpec, ...]:
             "us/lookup",
             "lower",
             _bench_kernel,
+        ),
+        BenchSpec(
+            "kernels",
+            "batched planning-kernel throughput on fig7/fig8-shaped grids",
+            "configs/sec",
+            "higher",
+            _bench_kernels,
         ),
         BenchSpec(
             "simulate",

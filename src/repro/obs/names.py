@@ -52,7 +52,8 @@ METRIC_NAMES: frozenset[str] = frozenset(
         "simulation.makespan_seconds",
         "simulation.runs",
         "simulation.tasks",
-        # scheduling heuristics & memoized kernels
+        # scheduling heuristics & memoized/batched kernels
+        "batch.plans",
         "heuristic.candidate_evaluations",
         "heuristic.chosen_group",
         "heuristic.plan_seconds",

@@ -34,7 +34,6 @@ from pathlib import Path
 from typing import Any, Iterable, Iterator, Sequence
 
 from repro import obs
-from repro.analysis.gains import gains_over_baseline
 from repro.core.heuristics import HeuristicName, plan_grouping
 from repro.core.makespan import (
     cached_simulated_makespan,
@@ -385,11 +384,16 @@ class ArenaResult:
 
         Cells where the baseline is infeasible or did not complete are
         skipped; within a cell, so are competitors without a completed
-        makespan.  Computed with the same
+        makespan.  Scored in one vectorized pass via
+        :func:`repro.core.batch.batch_gains_over_baseline`, which is
+        bit-for-bit equal to the per-cell
         :func:`repro.analysis.gains.gains_over_baseline` the figures
-        use, so paper-adapter gains match the golden fixtures exactly.
+        use — so paper-adapter gains match the golden fixtures exactly.
         """
-        gains: dict[tuple, dict[str, float]] = {}
+        from repro.core.batch import batch_gains_over_baseline
+
+        keys: list[tuple] = []
+        scored: list[dict[str, float]] = []
         for cell, by_scheduler in self.cells().items():
             base = by_scheduler.get(baseline)
             if base is None or base.makespan is None or not base.completed:
@@ -401,8 +405,11 @@ class ArenaResult:
             }
             if baseline not in makespans:
                 continue
-            gains[cell] = gains_over_baseline(makespans, baseline_key=baseline)
-        return gains
+            keys.append(cell)
+            scored.append(makespans)
+        return dict(
+            zip(keys, batch_gains_over_baseline(scored, baseline_key=baseline), strict=True)
+        )
 
     def mean_gains(self, baseline: str = "basic") -> dict[str, float]:
         """Mean gain over the baseline per scheduler, across scored cells."""

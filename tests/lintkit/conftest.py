@@ -40,7 +40,7 @@ def fixture_config() -> LintConfig:
             "d002_global_rng",
             "pragmas",
         ),
-        engine_hot_paths=("d003_set_iteration",),
+        engine_hot_paths=("d003_set_iteration", "d003_batch_kernels"),
         async_packages=("a001_blocking_async",),
         root=FIXTURES,
     )

@@ -1,0 +1,44 @@
+"""Known-bad fixture: set iteration in batch-kernel-shaped code.
+
+The vectorized planning kernels assemble their axes (resource counts,
+candidate group sizes, capacity lists) from caller-provided iterables;
+folding a ``set`` in whatever order the hash seed dictates would make
+the emitted grouping lists — and therefore the journals and goldens —
+irreproducible.  ``repro.core.batch`` sits in the ``repro.core``
+hot-path scope, so these patterns are exactly what D003 must flag
+there, while the sorted/array-shaped equivalents below stay sanctioned.
+"""
+
+
+def plan_axis(resources: list[int]) -> list[int]:
+    axis = []
+    for r in set(resources):  # EXPECT[D003]
+        axis.append(r)
+    return axis
+
+
+def dedupe_capacities(capacities: list[int], ceiling: int) -> list[int]:
+    return [c for c in {c for c in capacities if c <= ceiling}]  # EXPECT[D003]
+
+
+def group_candidates(sizes: list[int], banned: list[int]) -> list[int]:
+    order = []
+    for g in set(sizes) - set(banned):  # EXPECT[D003]
+        order.append(g)
+    for g in set(sizes).intersection(banned):  # EXPECT[D003]
+        order.append(g)
+    return order
+
+
+def sorted_axis_ok(resources: list[int]) -> list[int]:
+    # Sorting restores a deterministic order; not flagged.
+    return [r for r in sorted(set(resources))]
+
+
+def insertion_order_ok(vectors: dict[int, list[float]]) -> list[float]:
+    # Dict iteration is insertion-ordered — the batch kernels key their
+    # per-cardinality layers this way.  Not flagged.
+    flat: list[float] = []
+    for _, vector in vectors.items():
+        flat.extend(vector)
+    return flat

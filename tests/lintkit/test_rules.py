@@ -72,6 +72,20 @@ def test_m001_catches_unregistered_arena_names(fixture_config):
     assert all(f.rule_id == "M001" for f in findings)
 
 
+def test_d003_catches_batch_kernel_set_iteration(fixture_config):
+    # The batch-kernels PR put repro.core.batch inside the repro.core
+    # hot-path scope; this fixture proves the set-iteration patterns
+    # its axis assembly could regress into would be flagged, while the
+    # sorted/insertion-ordered idioms it actually uses stay silent.
+    path = FIXTURES / "d003_batch_kernels.py"
+    findings = run_on(fixture_config, "d003_batch_kernels.py")
+    got = {(f.rule_id, f.line) for f in findings}
+    want = expected_findings(path)
+    assert want, "fixture declares no EXPECT markers"
+    assert got == want
+    assert all(f.rule_id == "D003" for f in findings)
+
+
 def test_findings_carry_positions_and_messages(fixture_config):
     findings = run_on(fixture_config, "d001_wallclock.py")
     assert findings

@@ -207,6 +207,7 @@ class TestRegistry:
         assert [spec.name for spec in specs] == [
             "sweep",
             "kernel",
+            "kernels",
             "simulate",
             "campaign",
             "service",
@@ -215,6 +216,7 @@ class TestRegistry:
         directions = {spec.name: spec.direction for spec in specs}
         assert directions["sweep"] == "higher"
         assert directions["kernel"] == "lower"
+        assert directions["kernels"] == "higher"
         assert directions["service"] == "higher"
         assert directions["arena"] == "lower"
 
