@@ -436,6 +436,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--db", metavar="PATH", default="runs.db",
         help="SQLite run store path (created if missing; default: runs.db)",
     )
+    psrv.add_argument(
+        "--store", metavar="URL", default=None,
+        help=(
+            "storage backend URL (overrides --db): a sqlite path, "
+            "sqlite:PATH, postgres://DSN, or memory://"
+        ),
+    )
+    psrv.add_argument(
+        "--reap-interval", type=float, default=1.0, metavar="SECONDS",
+        help=(
+            "lease reaper period for worker-fleet deployments "
+            "(0 disables; default: 1.0)"
+        ),
+    )
     psrv.add_argument("--host", default="127.0.0.1")
     psrv.add_argument("--port", type=int, default=4321)
     psrv.add_argument(
@@ -464,8 +478,59 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_obs_flags(psrv)
 
+    pwrk = sub.add_parser(
+        "worker",
+        help="run one fleet worker against a shared run store",
+    )
+    pwrk.add_argument(
+        "--store", metavar="URL", default="runs.db",
+        help=(
+            "shared run store: a sqlite path, sqlite:PATH, "
+            "postgres://DSN, or memory:// (default: runs.db)"
+        ),
+    )
+    pwrk.add_argument(
+        "--owner", default=None, metavar="ID",
+        help="worker identity (default: worker-<pid>-<random>)",
+    )
+    pwrk.add_argument(
+        "--lease-seconds", type=float, default=15.0,
+        help="lease duration stamped on each claim (default: 15)",
+    )
+    pwrk.add_argument(
+        "--heartbeat-interval", type=float, default=5.0,
+        help="lease renewal period; must be < lease/2 (default: 5)",
+    )
+    pwrk.add_argument(
+        "--max-jobs", type=int, default=None, metavar="N",
+        help="exit after N executed jobs (default: run until stopped)",
+    )
+    pwrk.add_argument(
+        "--poll-seed", type=int, default=None,
+        help="seed for the idle-poll jitter stream",
+    )
+    pwrk.add_argument(
+        "--fleet-chaos-rate", type=float, default=0.0, metavar="P",
+        help=(
+            "arm fleet chaos: probability per claimed job of an injected "
+            "worker failure, split over kill/kill-heartbeat/partition "
+            "(default: 0 = off)"
+        ),
+    )
+    pwrk.add_argument(
+        "--fleet-chaos-seed", type=int, default=0,
+        help="seed for the deterministic fleet-chaos decision stream",
+    )
+    add_obs_flags(pwrk)
+
+    phl = sub.add_parser(
+        "health",
+        help="probe a running service; exit 0 when healthy, 1 otherwise",
+    )
+    _add_service_endpoint(phl)
+
     psub = sub.add_parser("submit", help="queue a job on a running service")
-    _add_service_endpoint(psub)
+    _add_service_endpoint(psub, timeout=False)
     psub.add_argument(
         "--kind", required=True,
         help=(
@@ -487,7 +552,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     psub.add_argument(
         "--timeout", type=float, default=600.0,
-        help="--wait polling budget in seconds",
+        help=(
+            "--wait polling budget in seconds (also the per-request "
+            "network timeout)"
+        ),
     )
 
     pst = sub.add_parser("status", help="show one run's state and attempts")
@@ -548,10 +616,22 @@ def add_obs_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _add_service_endpoint(parser: argparse.ArgumentParser) -> None:
-    """The shared client-side service address flags."""
+def _add_service_endpoint(
+    parser: argparse.ArgumentParser, *, timeout: bool = True
+) -> None:
+    """The shared client-side service address flags.
+
+    ``timeout=False`` skips the shared ``--timeout`` flag for verbs
+    that define their own (``submit``, whose ``--timeout`` is both the
+    network and the ``--wait`` budget).
+    """
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=4321)
+    if timeout:
+        parser.add_argument(
+            "--timeout", type=float, default=30.0, metavar="SECONDS",
+            help="connect/read timeout for the service request",
+        )
 
 
 def _add_sweep_args(
@@ -1321,16 +1401,18 @@ def _cmd_serve(args: argparse.Namespace) -> str:
         from repro.faults.chaos import ChaosConfig
 
         chaos = ChaosConfig.storm(seed=args.chaos_seed, rate=args.chaos_rate)
+    store_url = args.store if args.store is not None else args.db
+    reap_interval = args.reap_interval if args.reap_interval > 0 else None
     server = CampaignServer(
-        args.db, host=args.host, port=args.port, queue_config=config,
-        chaos=chaos,
+        store_url, host=args.host, port=args.port, queue_config=config,
+        chaos=chaos, reap_interval=reap_interval,
     )
 
     async def _run() -> None:
         port = await server.start()
         print(
             f"campaign service listening on {args.host}:{port} "
-            f"(db={args.db}, workers={config.max_workers}) — "
+            f"(store={store_url}, workers={config.max_workers}) — "
             f"Ctrl-C drains and stops",
             flush=True,
         )
@@ -1342,6 +1424,81 @@ def _cmd_serve(args: argparse.Namespace) -> str:
     return "\n".join(
         ["campaign service stopped (queued runs persist in the store)", *extra]
     )
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from repro.service.fleet import FleetWorker, WorkerConfig, WorkerKilled
+    from repro.service.store import RunStore
+
+    chaos = None
+    if args.fleet_chaos_rate > 0:
+        from repro.faults.chaos import FleetChaosConfig
+
+        chaos = FleetChaosConfig.storm(
+            seed=args.fleet_chaos_seed, rate=args.fleet_chaos_rate
+        )
+    config = WorkerConfig(
+        lease_seconds=args.lease_seconds,
+        heartbeat_interval=args.heartbeat_interval,
+        max_jobs=args.max_jobs,
+        poll_seed=args.poll_seed,
+    )
+    stop = threading.Event()
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            signal.signal(sig, lambda *_: stop.set())
+        except ValueError:  # pragma: no cover - non-main thread
+            pass
+    with _obs_scope(args), RunStore(args.store) as store:
+        worker = FleetWorker(
+            store, config, owner_id=args.owner, chaos=chaos
+        )
+        print(
+            f"fleet worker {worker.owner_id} polling {args.store} "
+            f"(lease={config.lease_seconds}s, "
+            f"heartbeat={config.heartbeat_interval}s) — Ctrl-C stops",
+            flush=True,
+        )
+        try:
+            stats = worker.run_forever(stop)
+        except WorkerKilled as exc:
+            # Chaos killed this worker: leave like a real SIGKILL would
+            # (the claimed run stays leased; the reaper recovers it).
+            print(f"worker killed by chaos: {exc}", file=sys.stderr)
+            return 1
+        extra = finalize_obs(args)
+    summary = ", ".join(f"{key}={stats[key]}" for key in sorted(stats))
+    print("\n".join([f"worker {worker.owner_id} stopped: {summary}", *extra]))
+    return 0
+
+
+def _cmd_health(args: argparse.Namespace) -> int:
+    from repro.exceptions import ServiceError
+    from repro.service.client import ServiceClient
+
+    try:
+        with ServiceClient(
+            args.host, args.port, timeout=args.timeout, connect_retries=0
+        ) as client:
+            health = client.health()
+    except (ServiceError, OSError) as exc:
+        print(
+            f"unhealthy: {args.host}:{args.port}: {exc}", file=sys.stderr
+        )
+        return 1
+    fleet = health.get("fleet", {})
+    print(
+        f"healthy: version={health['version']} "
+        f"uptime={health['uptime_seconds']:.0f}s "
+        f"queue_depth={health['queue_depth']} "
+        f"workers={health['workers']} "
+        f"fleet_workers={fleet.get('live_workers', 0)} "
+        f"leased={fleet.get('leased_jobs', 0)}"
+    )
+    return 0
 
 
 def _parse_job_params(pairs: list[str]) -> dict:
@@ -1379,7 +1536,7 @@ def _describe_run(status: dict) -> str:
 def _cmd_submit(args: argparse.Namespace) -> str:
     from repro.service.client import ServiceClient
 
-    with ServiceClient(args.host, args.port) as client:
+    with ServiceClient(args.host, args.port, timeout=args.timeout) as client:
         run_id = client.submit(
             args.kind,
             _parse_job_params(args.param),
@@ -1399,7 +1556,7 @@ def _cmd_submit(args: argparse.Namespace) -> str:
 def _cmd_status(args: argparse.Namespace) -> str:
     from repro.service.client import ServiceClient
 
-    with ServiceClient(args.host, args.port) as client:
+    with ServiceClient(args.host, args.port, timeout=args.timeout) as client:
         return _describe_run(client.status(args.run_id))
 
 
@@ -1408,7 +1565,7 @@ def _cmd_result(args: argparse.Namespace) -> str:
 
     from repro.service.client import ServiceClient
 
-    with ServiceClient(args.host, args.port) as client:
+    with ServiceClient(args.host, args.port, timeout=args.timeout) as client:
         payload = client.result(args.run_id)
     return json.dumps(payload["result"], indent=2)
 
@@ -1417,7 +1574,7 @@ def _cmd_runs(args: argparse.Namespace) -> str:
     from repro.analysis.tables import format_table
     from repro.service.client import ServiceClient
 
-    with ServiceClient(args.host, args.port) as client:
+    with ServiceClient(args.host, args.port, timeout=args.timeout) as client:
         runs = client.runs(args.state, limit=args.limit)
         health = client.health()
     if not runs:
@@ -1444,7 +1601,7 @@ def _cmd_runs(args: argparse.Namespace) -> str:
 def _cmd_cancel(args: argparse.Namespace) -> str:
     from repro.service.client import ServiceClient
 
-    with ServiceClient(args.host, args.port) as client:
+    with ServiceClient(args.host, args.port, timeout=args.timeout) as client:
         status = client.cancel(args.run_id)
     return _describe_run(status)
 
@@ -1531,6 +1688,8 @@ _COMMANDS = {
     "lint": _cmd_lint,
     "obs": _cmd_obs,
     "serve": _cmd_serve,
+    "worker": _cmd_worker,
+    "health": _cmd_health,
     "submit": _cmd_submit,
     "status": _cmd_status,
     "result": _cmd_result,

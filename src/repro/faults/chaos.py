@@ -20,6 +20,13 @@ same submissions under the same seed hit the same storms, which is what
 lets the chaos suite assert exact outcomes.  Injection happens behind
 the flag (``JobQueue(..., chaos=ChaosConfig(...))`` or ``repro-oa
 serve --chaos-rate``); a ``None`` config costs nothing.
+
+The worker fleet gets its own monkey: :class:`FleetChaosConfig` /
+:class:`FleetChaosMonkey` inject *process-level* failures
+(:data:`FLEET_CHAOS_ACTIONS` — SIGKILL after claim, SIGKILL during
+heartbeat, store partition) into :class:`~repro.service.fleet.
+FleetWorker`, exercising lease expiry, reaper reassignment, and
+owner-checked completion instead of in-pool retry paths.
 """
 
 from __future__ import annotations
@@ -30,12 +37,27 @@ from dataclasses import dataclass
 from repro import obs
 from repro.exceptions import ServiceError
 
-__all__ = ["CHAOS_ACTIONS", "ChaosConfig", "ChaosMonkey"]
+__all__ = [
+    "CHAOS_ACTIONS",
+    "ChaosConfig",
+    "ChaosMonkey",
+    "FLEET_CHAOS_ACTIONS",
+    "FleetChaosConfig",
+    "FleetChaosMonkey",
+]
 
 _log = obs.get_logger(__name__)
 
 #: Injectable failure modes, in decision-threshold order.
 CHAOS_ACTIONS: tuple[str, ...] = ("crash", "timeout", "error")
+
+#: Fleet-level failure modes (decision-threshold order): ``kill`` is a
+#: SIGKILL right after the claim (the lease is never released),
+#: ``kill-heartbeat`` is a SIGKILL after one successful lease renewal
+#: (the lease looks *fresh* when the worker dies), and ``partition``
+#: cuts the worker off from the store mid-job — heartbeats stop, the
+#: job still "completes", and the owner-checked write must lose.
+FLEET_CHAOS_ACTIONS: tuple[str, ...] = ("kill", "kill-heartbeat", "partition")
 
 
 @dataclass(frozen=True)
@@ -108,6 +130,104 @@ class ChaosMonkey:
                 self.config.crash_rate,
                 self.config.timeout_rate,
                 self.config.error_rate,
+            ),
+            strict=True,
+        ):
+            threshold += rate
+            if roll < threshold:
+                return action
+        return None
+
+    def record(self, action: str, run_id: str, kind: str) -> None:
+        """Count one injection (metrics + structured log)."""
+        self.injected += 1
+        obs.inc("chaos.injected", action=action, kind=kind)
+        obs.log_event(
+            _log, "chaos.injected",
+            action=action, run_id=run_id, kind=kind, total=self.injected,
+        )
+
+
+@dataclass(frozen=True)
+class FleetChaosConfig:
+    """Per-execution fleet-failure probabilities plus the seed.
+
+    The worker-fleet counterpart of :class:`ChaosConfig`: instead of
+    in-pool failures, these modes kill or partition the *worker
+    process itself* (:data:`FLEET_CHAOS_ACTIONS`), exercising lease
+    expiry, the reaper, and owner-checked completion.  Rates are per
+    claimed execution and must sum to at most 1; ``seed`` anchors the
+    deterministic decision stream.
+    """
+
+    seed: int = 0
+    kill_rate: float = 0.0
+    kill_heartbeat_rate: float = 0.0
+    partition_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        rates = (
+            self.kill_rate,
+            self.kill_heartbeat_rate,
+            self.partition_rate,
+        )
+        if any(r < 0 or r > 1 for r in rates):
+            raise ServiceError(
+                f"fleet chaos rates must be in [0, 1], got {rates!r}",
+                code="bad-request",
+            )
+        if sum(rates) > 1.0 + 1e-12:
+            raise ServiceError(
+                f"fleet chaos rates must sum to <= 1, got {sum(rates)!r}",
+                code="bad-request",
+            )
+
+    @property
+    def total_rate(self) -> float:
+        """Probability that a claimed execution suffers *some* injection."""
+        return self.kill_rate + self.kill_heartbeat_rate + self.partition_rate
+
+    @classmethod
+    def storm(cls, seed: int = 0, rate: float = 0.5) -> "FleetChaosConfig":
+        """A balanced storm splitting ``rate`` across all three modes."""
+        share = rate / 3.0
+        return cls(
+            seed=seed,
+            kill_rate=share,
+            kill_heartbeat_rate=share,
+            partition_rate=rate - 2 * share,
+        )
+
+
+class FleetChaosMonkey:
+    """The decision engine a :class:`~repro.service.fleet.FleetWorker` arms.
+
+    Same determinism contract as :class:`ChaosMonkey` — decisions are a
+    pure function of ``(seed, run_id, attempt)``, independent of which
+    worker happens to claim the run, so a kill matrix replays
+    identically across fleet topologies.  The decision stream is
+    namespaced (``fleet-chaos:``) so arming both monkeys on one seed
+    never correlates their rolls.
+    """
+
+    def __init__(self, config: FleetChaosConfig) -> None:
+        self.config = config
+        self.injected = 0
+
+    def decide(self, run_id: str, attempt: int) -> str | None:
+        """Which fleet failure (if any) this claimed execution suffers."""
+        if self.config.total_rate <= 0.0:
+            return None
+        roll = random.Random(
+            f"fleet-chaos:{self.config.seed}:{run_id}:{attempt}"
+        ).random()
+        threshold = 0.0
+        for action, rate in zip(
+            FLEET_CHAOS_ACTIONS,
+            (
+                self.config.kill_rate,
+                self.config.kill_heartbeat_rate,
+                self.config.partition_rate,
             ),
             strict=True,
         ):

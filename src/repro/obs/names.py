@@ -101,6 +101,15 @@ METRIC_NAMES: frozenset[str] = frozenset(
         "service.requests",
         "service.submissions",
         "service.worker_spans",
+        # worker fleet & leases
+        "service.fleet_claims",
+        "service.fleet_heartbeats",
+        "service.fleet_jobs_done",
+        "service.lease_age_seconds",
+        "service.lease_expired",
+        "service.lease_lost",
+        "service.lease_reassignments",
+        "service.leases_live",
     }
 )
 
@@ -129,7 +138,9 @@ SPAN_NAMES: frozenset[str] = frozenset(
         "sed.execute",
         "sed.handle_request",
         "service.client.submit",
+        "service.fleet.job",
         "service.job",
+        "service.lease",
         "service.worker",
         "simulate",
         "sweep.cli",

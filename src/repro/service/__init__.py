@@ -5,26 +5,41 @@ chain: a campaign lives and dies with the submitting interpreter.  This
 subsystem turns it into a *service* — campaigns are submitted to a
 long-running server, survive restarts, and are shared between users:
 
-* :mod:`repro.service.store` — SQLite-backed run store (WAL mode,
-  schema versioning): every submission, state transition, result, and
-  error is durable;
+* :mod:`repro.service.store` — the run store over pluggable storage
+  backends (:mod:`repro.service.backends`: SQLite by default,
+  Postgres for multi-host fleets, in-memory for tests), with schema
+  versioning and leased job ownership: every submission, state
+  transition, result, error, and lease is durable;
 * :mod:`repro.service.workers` — the registry of job kinds (campaign,
   simulate, figure sweeps, ...) and the picklable worker entry point;
 * :mod:`repro.service.queue` — asyncio dispatcher over a
   ``ProcessPoolExecutor`` with per-job timeout, bounded retry with
   exponential backoff, and graceful drain;
+* :mod:`repro.service.fleet` — independent ``repro-oa worker``
+  processes claiming jobs with leases, renewing via heartbeat, and
+  recovering each other through the server's reaper;
 * :mod:`repro.service.protocol` — versioned NDJSON wire protocol with
   typed error replies;
 * :mod:`repro.service.server` / :mod:`repro.service.client` — the
-  asyncio TCP server and the blocking client.
+  asyncio TCP server (also the fleet's lease reaper) and the blocking
+  client with connect/read timeouts.
 
-CLI: ``repro-oa serve | submit | status | result | runs | cancel``.
-See ``docs/SERVICE.md`` for the architecture and failure semantics.
+CLI: ``repro-oa serve | worker | submit | status | result | runs |
+cancel | health``.  See ``docs/SERVICE.md`` for the architecture and
+failure semantics, ``docs/DEPLOYMENT.md`` for fleet topologies.
 """
 
 from __future__ import annotations
 
+from repro.service.backends import (
+    MemoryBackend,
+    PostgresBackend,
+    SQLiteBackend,
+    StorageBackend,
+    backend_from_url,
+)
 from repro.service.client import ServiceClient
+from repro.service.fleet import FleetWorker, WorkerConfig, WorkerKilled
 from repro.service.protocol import (
     ERROR_CODES,
     OPERATIONS,
@@ -32,9 +47,15 @@ from repro.service.protocol import (
     Request,
     Response,
 )
-from repro.service.queue import JobQueue, QueueConfig
+from repro.service.queue import JobQueue, QueueConfig, full_jitter_backoff
 from repro.service.server import CampaignServer, ServerHandle, serve_in_thread
-from repro.service.store import RUN_STATES, SCHEMA_VERSION, RunRecord, RunStore
+from repro.service.store import (
+    RUN_STATES,
+    SCHEMA_VERSION,
+    LeaseView,
+    RunRecord,
+    RunStore,
+)
 from repro.service.workers import (
     JobKind,
     execute_job,
@@ -43,11 +64,17 @@ from repro.service.workers import (
 )
 
 __all__ = [
-    # store
+    # store & backends
     "RunStore",
     "RunRecord",
     "RUN_STATES",
     "SCHEMA_VERSION",
+    "LeaseView",
+    "StorageBackend",
+    "SQLiteBackend",
+    "PostgresBackend",
+    "MemoryBackend",
+    "backend_from_url",
     # workers
     "JobKind",
     "job_kinds",
@@ -56,6 +83,11 @@ __all__ = [
     # queue
     "JobQueue",
     "QueueConfig",
+    "full_jitter_backoff",
+    # fleet
+    "FleetWorker",
+    "WorkerConfig",
+    "WorkerKilled",
     # protocol
     "PROTOCOL_VERSION",
     "OPERATIONS",

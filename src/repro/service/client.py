@@ -18,6 +18,7 @@ Typical use::
 
 from __future__ import annotations
 
+import random
 import socket
 import time
 from typing import Any
@@ -26,6 +27,7 @@ from repro import obs
 from repro.exceptions import ServiceError
 from repro.obs.context import TraceContext, current_trace, mint_trace
 from repro.service import protocol
+from repro.service.queue import full_jitter_backoff
 
 __all__ = ["ServiceClient"]
 
@@ -39,6 +41,16 @@ class ServiceClient:
     — is kept on :attr:`last_trace`, so callers can join the client's
     own spans, the store row, and the worker-side trace on one
     ``trace_id``.
+
+    Timeouts: ``timeout`` bounds both the connection attempt and each
+    reply read; ``connect_timeout`` / ``read_timeout`` override either
+    individually.  A timed-out request surfaces as
+    :class:`~repro.exceptions.ServiceError` with code ``timeout``, so
+    a hung server can no longer block a caller forever.  Failed
+    *connection* attempts are retried ``connect_retries`` times with
+    seeded full-jitter backoff
+    (:func:`~repro.service.queue.full_jitter_backoff`) — the seed
+    makes retry schedules replayable in tests.
     """
 
     def __init__(
@@ -47,29 +59,71 @@ class ServiceClient:
         port: int = 4321,
         *,
         timeout: float = 30.0,
+        connect_timeout: float | None = None,
+        read_timeout: float | None = None,
+        connect_retries: int = 2,
+        retry_base: float = 0.1,
+        retry_cap: float = 2.0,
+        retry_seed: int | None = None,
     ) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.connect_timeout = (
+            connect_timeout if connect_timeout is not None else timeout
+        )
+        self.read_timeout = (
+            read_timeout if read_timeout is not None else timeout
+        )
+        self.connect_retries = max(0, connect_retries)
+        self.retry_base = retry_base
+        self.retry_cap = retry_cap
+        self._retry_rng = random.Random(retry_seed)
         self.last_trace: TraceContext | None = None
         self._sock: socket.socket | None = None
         self._reader = None
 
     # -- plumbing ----------------------------------------------------------
 
+    def _connect_once(self) -> socket.socket:
+        return socket.create_connection(
+            (self.host, self.port), timeout=self.connect_timeout
+        )
+
     def _connect(self) -> None:
         if self._sock is not None:
             return
-        try:
-            self._sock = socket.create_connection(
-                (self.host, self.port), timeout=self.timeout
-            )
-        except OSError as exc:
-            raise ServiceError(
-                f"cannot connect to service at {self.host}:{self.port}: "
-                f"{exc}",
-                code="internal",
-            ) from None
+        last_error: OSError | None = None
+        for attempt in range(1, self.connect_retries + 2):
+            try:
+                self._sock = self._connect_once()
+                break
+            except OSError as exc:
+                last_error = exc
+                if attempt > self.connect_retries:
+                    code = (
+                        "timeout"
+                        if isinstance(exc, socket.timeout)
+                        else "internal"
+                    )
+                    raise ServiceError(
+                        f"cannot connect to service at "
+                        f"{self.host}:{self.port} after {attempt} "
+                        f"attempt(s): {exc}",
+                        code=code,
+                    ) from None
+                time.sleep(
+                    full_jitter_backoff(
+                        attempt,
+                        base=self.retry_base,
+                        factor=2.0,
+                        cap=self.retry_cap,
+                        rng=self._retry_rng,
+                    )
+                )
+        assert self._sock is not None, last_error
+        # Per-reply read budget; sendall shares the same socket timeout.
+        self._sock.settimeout(self.read_timeout)
         self._reader = self._sock.makefile("r", encoding="utf-8")
 
     def _request(self, op: str, payload: dict[str, Any]) -> dict[str, Any]:
@@ -82,6 +136,13 @@ class ServiceClient:
         try:
             self._sock.sendall((line + "\n").encode("utf-8"))
             reply = self._reader.readline()
+        except socket.timeout:
+            self.close()
+            raise ServiceError(
+                f"no reply from {self.host}:{self.port} within "
+                f"{self.read_timeout}s (op {op!r})",
+                code="timeout",
+            ) from None
         except OSError as exc:
             self.close()
             raise ServiceError(

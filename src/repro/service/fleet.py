@@ -1,0 +1,399 @@
+"""The worker fleet — leased job execution in independent processes.
+
+Where :class:`~repro.service.queue.JobQueue` executes jobs inside the
+server process (its liveness *is* the server's, so crash recovery is
+``recover_interrupted`` at the next start), a :class:`FleetWorker` is
+a separate process — ``repro-oa worker`` — that shares nothing with
+the server but the store.  Its crash contract is the **lease**:
+
+* every claim stamps the worker's ``owner_id`` and a lease deadline
+  ``lease_seconds`` ahead (:meth:`RunStore.claim_next`);
+* a heartbeat pump renews the lease every ``heartbeat_interval``
+  seconds while the job executes;
+* if the worker dies — SIGKILL, OOM, power loss — the heartbeats
+  stop, the lease expires, and the server's reaper
+  (:meth:`~repro.service.server.CampaignServer.reap_once`) requeues
+  the run for another worker, ``trace_id`` and attempt count intact;
+* every completion is an *owner-checked* compare-and-set: a worker
+  that lost its lease (e.g. it was partitioned from the store and the
+  run was reassigned) gets ``lease-lost`` instead of silently
+  overwriting the other worker's run — that edge is what makes
+  reassignment exactly-once.
+
+Determinism: the worker reads time only through the injected
+``clock`` and sleeps only through the injected ``sleep``, so lease
+expiry, reassignment, and the whole multi-worker kill matrix replay
+on a fake clock.  A :class:`~repro.faults.chaos.FleetChaosConfig`
+arms the worker with seeded process-level failures
+(:class:`WorkerKilled` simulates the SIGKILL without needing a real
+process per decision).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+import time
+import uuid
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro import obs
+from repro.exceptions import ReproError, ServiceError
+from repro.faults.chaos import FleetChaosConfig, FleetChaosMonkey
+from repro.service.queue import full_jitter_backoff
+from repro.service.store import RunRecord, RunStore
+from repro.service.workers import execute_job
+
+__all__ = ["FleetWorker", "WorkerConfig", "WorkerKilled"]
+
+_log = obs.get_logger(__name__)
+
+
+class WorkerKilled(Exception):
+    """The simulated SIGKILL: the worker stops *without* cleanup.
+
+    Raised out of :meth:`FleetWorker.run_once` when fleet chaos kills
+    the worker mid-job — deliberately **not** a
+    :class:`~repro.exceptions.ReproError`, so no handler on the
+    execution path can turn it into a recorded failure.  The claimed
+    run stays ``running`` under the dead worker's live lease, exactly
+    as a real ``kill -9`` would leave it, and only the reaper can
+    recover it.
+    """
+
+
+@dataclass(frozen=True)
+class WorkerConfig:
+    """Tunables of one fleet worker process."""
+
+    #: Lease duration stamped on every claim, in seconds.  A worker
+    #: must die for this long before the reaper reassigns its job.
+    lease_seconds: float = 15.0
+    #: Heartbeat period; must leave room for several renewals per
+    #: lease (``< lease_seconds / 2``) so one delayed beat does not
+    #: forfeit the job.
+    heartbeat_interval: float = 5.0
+    #: Idle poll backoff: first delay, growth factor, and cap.
+    poll_base: float = 0.05
+    poll_factor: float = 2.0
+    poll_cap: float = 1.0
+    #: Seed for the idle-poll jitter stream; ``None`` seeds from the OS.
+    poll_seed: int | None = None
+    #: Retry backoff for failed executions (mirrors
+    #: :class:`~repro.service.queue.QueueConfig`).
+    backoff_base: float = 0.5
+    backoff_factor: float = 2.0
+    backoff_cap: float = 30.0
+    #: Seed for the retry jitter stream; ``None`` seeds from the OS.
+    backoff_seed: int | None = None
+    #: Stop after this many executed jobs; ``None`` runs until stopped.
+    max_jobs: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.lease_seconds <= 0:
+            raise ServiceError(
+                f"lease_seconds must be positive, got "
+                f"{self.lease_seconds!r}",
+                code="bad-request",
+            )
+        if not 0 < self.heartbeat_interval < self.lease_seconds / 2:
+            raise ServiceError(
+                f"heartbeat_interval must be in (0, lease_seconds/2) so "
+                f"a lease survives a missed beat; got "
+                f"{self.heartbeat_interval!r} against lease "
+                f"{self.lease_seconds!r}",
+                code="bad-request",
+            )
+
+
+def mint_owner_id() -> str:
+    """A fleet-unique worker identity: ``worker-<pid>-<random hex>``.
+
+    The pid makes the owner greppable on its host; the random suffix
+    keeps identities unique across hosts and across restarts reusing
+    a pid.
+    """
+    return f"worker-{os.getpid()}-{uuid.uuid4().hex[:6]}"
+
+
+class _HeartbeatPump:
+    """Renews one job's lease from a side thread while it executes.
+
+    The pump waits on a :class:`threading.Event` so it both wakes
+    every ``heartbeat_interval`` and stops promptly when the job
+    finishes.  A failed renewal means the lease was lost (reassigned
+    or completed elsewhere); the pump records that and stops — the
+    worker checks :attr:`lost` before trusting its own result.
+    """
+
+    def __init__(self, worker: "FleetWorker", record: RunRecord) -> None:
+        self._worker = worker
+        self._record = record
+        self._stop = threading.Event()
+        self.lost = False
+        self.beats = 0
+        self._thread = threading.Thread(
+            target=self._loop,
+            name=f"heartbeat-{record.run_id}",
+            daemon=True,
+        )
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._thread.join()
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self._worker.config.heartbeat_interval):
+            if not self._worker.heartbeat_now(self._record.run_id):
+                self.lost = True
+                return
+            self.beats += 1
+
+
+class FleetWorker:
+    """One leased-execution worker process (see module docstring).
+
+    ``clock`` and ``sleep`` default to the real ones and are
+    injectable for deterministic tests; ``chaos`` arms the seeded
+    fleet failure modes.
+    """
+
+    def __init__(
+        self,
+        store: RunStore,
+        config: WorkerConfig | None = None,
+        *,
+        owner_id: str | None = None,
+        clock: Callable[[], float] = time.time,
+        sleep: Callable[[float], None] = time.sleep,
+        chaos: FleetChaosConfig | None = None,
+    ) -> None:
+        self.store = store
+        self.config = config or WorkerConfig()
+        self.owner_id = owner_id or mint_owner_id()
+        self._clock = clock
+        self._sleep = sleep
+        self.chaos = (
+            FleetChaosMonkey(chaos)
+            if chaos is not None and chaos.total_rate > 0
+            else None
+        )
+        self._poll_rng = random.Random(self.config.poll_seed)
+        self._backoff_rng = random.Random(self.config.backoff_seed)
+        #: When fleet chaos partitions this worker from the store, its
+        #: heartbeats are suppressed for the rest of the current job.
+        self._partitioned = False
+        #: Lifetime outcome counters, keyed by :meth:`run_once` return.
+        self.stats: dict[str, int] = {
+            "claims": 0,
+            "done": 0,
+            "retried": 0,
+            "failed": 0,
+            "lease-lost": 0,
+            "heartbeats": 0,
+        }
+
+    # -- lease plumbing ----------------------------------------------------
+
+    def heartbeat_now(self, run_id: str) -> bool:
+        """Renew the lease on ``run_id`` once; ``False`` when lost.
+
+        A partitioned worker (fleet chaos) cannot reach the store: the
+        renewal is silently dropped, which is exactly what a network
+        partition does to a real heartbeat.
+        """
+        if self._partitioned:
+            return True  # the worker *believes* it still owns the run
+        renewed = self.store.heartbeat(
+            run_id,
+            self.owner_id,
+            lease_seconds=self.config.lease_seconds,
+            now=self._clock(),
+        )
+        if renewed:
+            self.stats["heartbeats"] += 1
+            obs.inc("service.fleet_heartbeats", owner=self.owner_id)
+        return renewed
+
+    # -- execution ---------------------------------------------------------
+
+    def run_once(self, now: float | None = None) -> str | None:
+        """Claim and execute at most one run.
+
+        Returns the outcome — ``"done"``, ``"retried"``, ``"failed"``,
+        or ``"lease-lost"`` — or ``None`` when nothing was claimable.
+        Raises :class:`WorkerKilled` when fleet chaos kills this
+        worker; the claimed run is left ``running`` under its lease.
+        """
+        now = self._clock() if now is None else now
+        record = self.store.claim_next(
+            now,
+            owner_id=self.owner_id,
+            lease_seconds=self.config.lease_seconds,
+        )
+        if record is None:
+            return None
+        self.stats["claims"] += 1
+        obs.inc("service.fleet_claims", kind=record.kind)
+        self._partitioned = False
+        if self.chaos is not None:
+            action = self.chaos.decide(record.run_id, record.attempts)
+            if action is not None:
+                self.chaos.record(action, record.run_id, record.kind)
+            if action == "kill":
+                raise WorkerKilled(
+                    f"{self.owner_id} killed right after claiming "
+                    f"{record.run_id}"
+                )
+            if action == "kill-heartbeat":
+                # Die *after* a renewal: the lease looks freshest
+                # possible when the worker vanishes, so this is the
+                # worst case for reassignment latency.
+                self.heartbeat_now(record.run_id)
+                raise WorkerKilled(
+                    f"{self.owner_id} killed mid-heartbeat on "
+                    f"{record.run_id}"
+                )
+            if action == "partition":
+                self._partitioned = True
+        outcome = self._execute(record)
+        self.stats[outcome] += 1
+        return outcome
+
+    def _execute(self, record: RunRecord) -> str:
+        pump = _HeartbeatPump(self, record)
+        pump.start()
+        with obs.span(
+            "service.fleet.job",
+            run_id=record.run_id,
+            kind=record.kind,
+            attempt=record.attempts,
+            trace_id=record.trace_id,
+            owner=self.owner_id,
+        ):
+            try:
+                result: str | None = None
+                error: str | None = None
+                try:
+                    result = execute_job(record.kind, record.params)
+                except ReproError as exc:
+                    error = f"{type(exc).__name__}: {exc}"
+                except Exception as exc:  # defensive: job kind bug
+                    error = f"worker crash: {exc!r}"
+            finally:
+                pump.stop()
+            # A partitioned worker reconnects exactly here — at the
+            # completion write — which the owner check must refuse if
+            # the run was reassigned meanwhile.
+            self._partitioned = False
+            try:
+                if error is None:
+                    assert result is not None
+                    self.store.mark_done(
+                        record.run_id, result, owner_id=self.owner_id
+                    )
+                    obs.inc("service.fleet_jobs_done", kind=record.kind)
+                    obs.log_event(
+                        _log, "fleet.job_done",
+                        run_id=record.run_id, kind=record.kind,
+                        owner=self.owner_id, attempt=record.attempts,
+                    )
+                    return "done"
+                return self._record_failure(record, error)
+            except ServiceError as exc:
+                # ``lease-lost``: still running, but under a new owner.
+                # ``bad-transition``: the new owner already finished it.
+                # Either way this worker's execution lost the race and
+                # its result must be discarded.
+                if exc.code not in ("lease-lost", "bad-transition"):
+                    raise
+                obs.inc("service.lease_lost", owner=self.owner_id)
+                obs.log_event(
+                    _log, "fleet.lease_lost",
+                    run_id=record.run_id, owner=self.owner_id,
+                    attempt=record.attempts,
+                )
+                return "lease-lost"
+
+    def _record_failure(self, record: RunRecord, error: str) -> str:
+        """Route a failed execution to retry-with-backoff or terminal."""
+        if record.attempts >= record.max_attempts:
+            self.store.mark_failed(
+                record.run_id, error, owner_id=self.owner_id
+            )
+            obs.inc("service.jobs_failed", kind=record.kind)
+            obs.log_event(
+                _log, "fleet.job_failed",
+                run_id=record.run_id, kind=record.kind,
+                owner=self.owner_id, attempt=record.attempts, error=error,
+            )
+            return "failed"
+        delay = full_jitter_backoff(
+            record.attempts,
+            base=self.config.backoff_base,
+            factor=self.config.backoff_factor,
+            cap=self.config.backoff_cap,
+            rng=self._backoff_rng,
+        )
+        self.store.requeue_for_retry(
+            record.run_id,
+            error,
+            not_before=self._clock() + delay,
+            owner_id=self.owner_id,
+        )
+        obs.inc("service.jobs_retried", kind=record.kind)
+        obs.log_event(
+            _log, "fleet.job_retry",
+            run_id=record.run_id, kind=record.kind,
+            owner=self.owner_id, attempt=record.attempts,
+            backoff_s=delay, error=error,
+        )
+        return "retried"
+
+    # -- the loop ----------------------------------------------------------
+
+    def run_forever(self, stop: threading.Event | None = None) -> dict[str, Any]:
+        """Claim-and-execute until stopped (or ``max_jobs`` executed).
+
+        Idle polls back off with seeded full jitter (reset on every
+        successful claim) so a large idle fleet does not hammer the
+        store in lock-step.  Returns the final :attr:`stats`.
+        """
+        stop = stop if stop is not None else threading.Event()
+        executed = 0
+        idle_streak = 0
+        obs.log_event(
+            _log, "fleet.worker_started",
+            owner=self.owner_id, lease_s=self.config.lease_seconds,
+        )
+        while not stop.is_set():
+            outcome = self.run_once()
+            if outcome is None:
+                idle_streak += 1
+                self._sleep(
+                    full_jitter_backoff(
+                        idle_streak,
+                        base=self.config.poll_base,
+                        factor=self.config.poll_factor,
+                        cap=self.config.poll_cap,
+                        rng=self._poll_rng,
+                    )
+                )
+                continue
+            idle_streak = 0
+            executed += 1
+            if (
+                self.config.max_jobs is not None
+                and executed >= self.config.max_jobs
+            ):
+                break
+        obs.log_event(
+            _log, "fleet.worker_stopped",
+            owner=self.owner_id, executed=executed, **self.stats,
+        )
+        return dict(self.stats)

@@ -29,6 +29,18 @@ server persists it on the run's store row, threads it through every
 worker attempt, and echoes it in the submit response and in every
 ``status``/``list`` summary; absent a client-supplied id, the server
 mints one, so every stored run is joinable by trace_id.
+
+Worker-fleet visibility (still protocol v1 — additive fields): the
+``health`` reply payload carries a ``"fleet"`` object describing the
+shared store's lease state — ``backend`` (storage backend name),
+``live_workers`` (distinct owners holding live leases), ``leased_jobs``
+(runs currently leased), ``oldest_heartbeat_age`` (seconds since the
+stalest live lease's last heartbeat), and the reaper counters
+``leases_expired`` / ``leases_reassigned`` accumulated over the server
+process's lifetime.  ``status``/``list`` summaries likewise gain an
+optional ``"owner_id"`` field naming the worker currently executing a
+running run.  Old clients ignore the new fields; old servers simply
+don't send them.
 """
 
 from __future__ import annotations
@@ -86,6 +98,8 @@ ERROR_CODES: tuple[str, ...] = (
     "injected",         # deliberately-failing diagnostic job
     "job-crashed",      # non-library exception inside a worker
     "timeout",          # job exceeded the per-job wall-clock budget
+    "lease-lost",       # leased completion by an owner no longer holding it
+    "backend-unavailable",  # storage backend's driver is not installed
     "internal",         # anything else
 )
 

@@ -48,16 +48,42 @@ from repro.obs.tracing import WORKER_PID
 from repro.service.store import RUN_STATES, RunRecord, RunStore
 from repro.service.workers import execute_job, execute_job_traced
 
-__all__ = ["JobQueue", "QueueConfig"]
+__all__ = ["JobQueue", "QueueConfig", "full_jitter_backoff"]
 
 _log = obs.get_logger(__name__)
+
+
+def full_jitter_backoff(
+    attempt: int,
+    *,
+    base: float,
+    factor: float,
+    cap: float,
+    rng: random.Random | None = None,
+) -> float:
+    """Full-jitter (AWS style) retry delay after the ``attempt``-th failure.
+
+    Uniform over ``[0, min(base * factor**(attempt-1), cap)]`` — many
+    callers failing together spread their retries instead of
+    thundering back in lock-step.  Without an ``rng`` the ceiling
+    itself is returned (the deterministic worst case).  Shared by the
+    dispatcher's retry scheduling, the fleet worker's idle polling,
+    and the client's connect retries.
+    """
+    ceiling = min(base * factor ** max(0, attempt - 1), cap)
+    if rng is None:
+        return ceiling
+    return rng.uniform(0.0, ceiling)
 
 
 @dataclass(frozen=True)
 class QueueConfig:
     """Tunables of the dispatcher and its worker pool."""
 
-    #: Worker processes (concurrent jobs).
+    #: Worker processes (concurrent jobs).  ``0`` disables the
+    #: in-process pool entirely — the fleet-only topology, where the
+    #: server just serves, recovers, and reaps while ``repro-oa
+    #: worker`` processes execute.
     max_workers: int = 2
     #: Per-job wall-clock budget in seconds; ``None`` disables.
     job_timeout: float | None = None
@@ -75,9 +101,9 @@ class QueueConfig:
     poll_interval: float = 0.05
 
     def __post_init__(self) -> None:
-        if self.max_workers < 1:
+        if self.max_workers < 0:
             raise ServiceError(
-                f"max_workers must be >= 1, got {self.max_workers!r}",
+                f"max_workers must be >= 0, got {self.max_workers!r}",
                 code="bad-request",
             )
         if self.job_timeout is not None and self.job_timeout <= 0:
@@ -94,16 +120,16 @@ class QueueConfig:
     def backoff(self, attempt: int, rng: random.Random | None = None) -> float:
         """Retry delay after the ``attempt``-th failed execution.
 
-        Full jitter (AWS style): uniform over ``[0, ceiling]`` where the
-        ceiling is the capped exponential of :meth:`backoff_ceiling` —
-        many jobs failing together spread their retries instead of
-        thundering back in lock-step.  Without an ``rng`` the ceiling
-        itself is returned (the deterministic worst case).
+        Delegates to :func:`full_jitter_backoff` with this config's
+        base/factor/cap.
         """
-        ceiling = self.backoff_ceiling(attempt)
-        if rng is None:
-            return ceiling
-        return rng.uniform(0.0, ceiling)
+        return full_jitter_backoff(
+            attempt,
+            base=self.backoff_base,
+            factor=self.backoff_factor,
+            cap=self.backoff_cap,
+            rng=rng,
+        )
 
 
 class JobQueue:
@@ -137,17 +163,18 @@ class JobQueue:
 
         Returns the number of runs recovered from a previous process.
         """
-        if self._dispatcher is not None:
+        if self._wake is not None:
             raise ServiceError("queue already started", code="internal")
         recovered = self.store.recover_interrupted()
         if recovered:
             obs.log_event(_log, "service.recovered", runs=recovered)
         self._stopping = False
         self._wake = asyncio.Event()
-        self._executor = ProcessPoolExecutor(
-            max_workers=self.config.max_workers
-        )
-        self._dispatcher = asyncio.create_task(self._dispatch_loop())
+        if self.config.max_workers > 0:
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.config.max_workers
+            )
+            self._dispatcher = asyncio.create_task(self._dispatch_loop())
         self._publish_metrics()
         return recovered
 
@@ -191,6 +218,7 @@ class JobQueue:
         if self._executor is not None:
             self._executor.shutdown(wait=graceful, cancel_futures=True)
             self._executor = None
+        self._wake = None
         self._publish_metrics()
 
     # -- dispatch ----------------------------------------------------------

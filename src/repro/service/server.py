@@ -17,6 +17,14 @@ Two hosting modes:
   thread, used by the tests, the example, and the throughput benchmark.
   Its handle exposes ``stop()`` (graceful) and ``kill()`` (abandon
   in-flight work — the crash-injection path).
+
+Worker-fleet duty: besides its own in-process queue, the server is
+the fleet's **reaper**.  A periodic task (``reap_interval``) calls
+:meth:`CampaignServer.reap_once`, which requeues runs whose lease a
+dead ``repro-oa worker`` stopped renewing — the reassignment path
+that makes a SIGKILLed worker's job land on a healthy one.  The
+``health`` reply exposes the fleet state (live workers, leased jobs,
+reap counters) for probes and dashboards.
 """
 
 from __future__ import annotations
@@ -45,6 +53,11 @@ _log = obs.get_logger(__name__)
 class CampaignServer:
     """TCP campaign service over a run store (see module docstring).
 
+    ``db_path`` is anything the store accepts — a SQLite path, a
+    ``postgres://`` DSN, or ``memory://``
+    (:func:`repro.service.backends.backend_from_url`); the name is
+    historical.
+
     ``clock`` supplies the store's timestamps and the health report's
     uptime; injectable (default :func:`time.time`) so tests can pin
     wall-clock-derived state instead of racing real time.
@@ -59,6 +72,7 @@ class CampaignServer:
         queue_config: QueueConfig | None = None,
         chaos: "ChaosConfig | None" = None,
         clock: Callable[[], float] = time.time,
+        reap_interval: float | None = 1.0,
     ) -> None:
         self.db_path = db_path
         self.host = host
@@ -66,11 +80,17 @@ class CampaignServer:
         self.queue_config = queue_config or QueueConfig()
         self.chaos = chaos
         self._clock = clock
+        #: Reaper period in seconds; ``None`` disables the periodic
+        #: task (``reap_once`` stays callable — the test hook).
+        self.reap_interval = reap_interval
         self.store: RunStore | None = None
         self.queue: JobQueue | None = None
         self._server: asyncio.AbstractServer | None = None
         self._connections: set[asyncio.Task] = set()
         self._writers: set[asyncio.StreamWriter] = set()
+        self._reaper: asyncio.Task | None = None
+        #: Lifetime reaper counters, exposed in the health reply.
+        self.lease_stats: dict[str, int] = {"expired": 0, "reassigned": 0}
         self._started_at = 0.0
         self._port: int | None = None
 
@@ -95,16 +115,26 @@ class CampaignServer:
             self._handle_connection, self.host, self._requested_port
         )
         self._port = self._server.sockets[0].getsockname()[1]
+        if self.reap_interval is not None:
+            self._reaper = asyncio.create_task(self._reap_loop())
         self._started_at = self._clock()
         obs.log_event(
             _log, "service.started",
             host=self.host, port=self._port, db=self.db_path,
             recovered=recovered, workers=self.queue_config.max_workers,
+            backend=self.store.backend.name,
         )
         return self._port
 
     async def stop(self, *, graceful: bool = True) -> None:
         """Close the listener and stop the queue; graceful finishes jobs."""
+        if self._reaper is not None:
+            self._reaper.cancel()
+            try:
+                await self._reaper
+            except asyncio.CancelledError:
+                pass
+            self._reaper = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -140,6 +170,70 @@ class CampaignServer:
                 pass
         await stop_event.wait()
         await self.stop(graceful=True)
+
+    # -- lease reaping ------------------------------------------------------
+
+    async def _reap_loop(self) -> None:
+        """Expire stale leases every ``reap_interval`` seconds."""
+        assert self.reap_interval is not None
+        while True:
+            await asyncio.sleep(self.reap_interval)
+            try:
+                self.reap_once()
+            except Exception:  # pragma: no cover - defensive
+                obs.log_event(_log, "service.reap_error")
+
+    def reap_once(self, now: float | None = None) -> int:
+        """One reaper pass: requeue runs whose lease has expired.
+
+        An expired lease means its worker stopped heartbeating — it
+        was SIGKILLed, partitioned, or hung past its deadline.  The
+        run goes back to ``queued`` with ``trace_id`` and attempt
+        count intact, so the next claimant (another fleet worker, or
+        this server's own queue) continues the same traced story.
+        Returns the number of reassigned runs.  Callable directly
+        with a pinned ``now`` — the deterministic test hook.
+        """
+        assert self.store is not None
+        now = self._clock() if now is None else now
+        with obs.span("service.lease", reap=True):
+            expired = self.store.expire_leases(now)
+            for record in expired:
+                self.lease_stats["expired"] += 1
+                self.lease_stats["reassigned"] += 1
+                obs.inc("service.lease_expired", kind=record.kind)
+                obs.inc("service.lease_reassignments", kind=record.kind)
+                obs.log_event(
+                    _log, "service.lease_reassigned",
+                    run_id=record.run_id, kind=record.kind,
+                    lost_owner=record.owner_id, attempt=record.attempts,
+                )
+            live = self.store.live_leases(now)
+            obs.set_gauge("service.leases_live", len(live))
+            if live:
+                obs.set_gauge(
+                    "service.lease_age_seconds",
+                    max(view.age(now) for view in live),
+                )
+        if expired and self.queue is not None:
+            self.queue.kick()
+        return len(expired)
+
+    def fleet_health(self, now: float | None = None) -> dict[str, Any]:
+        """The worker-fleet section of the health reply."""
+        assert self.store is not None
+        now = self._clock() if now is None else now
+        live = self.store.live_leases(now)
+        return {
+            "backend": self.store.backend.name,
+            "live_workers": len({view.owner_id for view in live}),
+            "leased_jobs": len(live),
+            "oldest_heartbeat_age": (
+                max(view.age(now) for view in live) if live else 0.0
+            ),
+            "leases_expired": self.lease_stats["expired"],
+            "leases_reassigned": self.lease_stats["reassigned"],
+        }
 
     # -- connection handling ----------------------------------------------
 
@@ -309,6 +403,7 @@ class CampaignServer:
             "queue_depth": counts["queued"],
             "jobs": counts,
             "kinds": [kind.name for kind in job_kinds()],
+            "fleet": self.fleet_health(),
         }
 
 
@@ -350,6 +445,7 @@ def serve_in_thread(
     queue_config: QueueConfig | None = None,
     chaos: ChaosConfig | None = None,
     clock: Callable[[], float] = time.time,
+    reap_interval: float | None = 1.0,
 ) -> ServerHandle:
     """Start a :class:`CampaignServer` on a daemon thread; returns its handle.
 
@@ -363,7 +459,7 @@ def serve_in_thread(
     loop = asyncio.new_event_loop()
     server = CampaignServer(
         db_path, host=host, port=port, queue_config=queue_config,
-        chaos=chaos, clock=clock,
+        chaos=chaos, clock=clock, reap_interval=reap_interval,
     )
 
     def _run() -> None:

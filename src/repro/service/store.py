@@ -1,193 +1,93 @@
-"""The persistent run store — SQLite-backed campaign bookkeeping.
+"""The persistent run store — campaign bookkeeping over pluggable backends.
 
-Every submitted job becomes a row in a single ``runs`` table: its kind,
-parameters, state machine position (``queued -> running -> done/failed``,
-with ``cancelled`` as a side exit), attempt count, backoff deadline, and
-— once finished — either the serialized result envelope
+Every submitted job becomes a record in a single ``runs`` table: its
+kind, parameters, state machine position (``queued -> running ->
+done/failed``, with ``cancelled`` as a side exit), attempt count,
+backoff deadline, lease ownership, and — once finished — either the
+serialized result envelope
 (:func:`repro.experiments.results_io.dump_result`) or the recorded
-error.  The database is the *only* durable state of the campaign
-service: a server restart replays ``recover_interrupted`` and resumes
-exactly where the previous process died.
+error.  The store is the *only* durable state of the campaign service:
+a server restart replays :meth:`RunStore.recover_interrupted` and
+resumes exactly where the previous process died, and a worker-fleet
+deployment shares one store between the server and every ``repro-oa
+worker`` process.
 
-Design points:
+Storage is pluggable (:mod:`repro.service.backends`): SQLite remains
+the dev default, ``postgres://`` DSNs select the server-grade DB-API
+adapter, and ``memory://`` selects the in-process test fake.  This
+class is the *policy* layer over the backend contract — run-id
+minting, timestamps from the injected clock, typed
+:class:`~repro.exceptions.ServiceError` raising — so every backend
+behaves identically to callers.
 
-* **WAL journal** — readers (``repro-oa runs`` against the file, a
-  second server replica probing health) never block the dispatcher's
-  writes.
-* **Schema versioning** — ``PRAGMA user_version`` stamps the layout;
-  opening a database written by a *newer* library refuses loudly
-  instead of corrupting it.
-* **Single-writer discipline** — all mutation goes through this class
-  under one lock, so the store is safe to share between the asyncio
-  dispatcher and CLI threads in the same process.
+Leases (schema v3): a fleet worker claims with ``owner_id`` and a
+lease deadline, renews via :meth:`heartbeat`, and completes with an
+owner-checked write.  If the worker dies, the server's reaper
+(:meth:`expire_leases`) requeues the run for another worker — exactly
+once, because every completion is a compare-and-set on (state, owner).
 """
 
 from __future__ import annotations
 
-import json
-import sqlite3
-import threading
 import time
 import uuid
-from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable
 
 from repro.exceptions import ServiceError
+from repro.service.backends import (
+    RUN_STATES,
+    SCHEMA_VERSION,
+    LeaseView,
+    RunRecord,
+    StorageBackend,
+    backend_from_url,
+)
 
 __all__ = [
+    "LeaseView",
     "RUN_STATES",
     "SCHEMA_VERSION",
     "RunRecord",
     "RunStore",
 ]
 
-#: Current on-disk layout, stamped into ``PRAGMA user_version``.
-#: v1: the original ``runs`` table; v2 adds the ``trace_id``
-#: correlation column (see :mod:`repro.obs.context`).
-SCHEMA_VERSION = 2
-
-#: Legal ``runs.state`` values, in lifecycle order.
-RUN_STATES: tuple[str, ...] = (
-    "queued",
-    "running",
-    "done",
-    "failed",
-    "cancelled",
-)
-
-#: States a run can never leave.
-_TERMINAL = frozenset({"done", "failed", "cancelled"})
-
-
-@dataclass(frozen=True)
-class RunRecord:
-    """One submitted job, as stored."""
-
-    run_id: str
-    kind: str
-    params: dict[str, Any]
-    state: str
-    created_at: float
-    updated_at: float
-    attempts: int
-    max_attempts: int
-    not_before: float
-    error: str | None
-    result: str | None
-    trace_id: str | None = None
-
-    @property
-    def finished(self) -> bool:
-        """Whether the run reached a terminal state."""
-        return self.state in _TERMINAL
-
-    def summary(self) -> dict[str, Any]:
-        """The wire-friendly projection (everything but the result body)."""
-        return {
-            "run_id": self.run_id,
-            "kind": self.kind,
-            "params": self.params,
-            "state": self.state,
-            "created_at": self.created_at,
-            "updated_at": self.updated_at,
-            "attempts": self.attempts,
-            "max_attempts": self.max_attempts,
-            "error": self.error,
-            "trace_id": self.trace_id,
-        }
-
-
-def _row_to_record(row: sqlite3.Row) -> RunRecord:
-    return RunRecord(
-        run_id=row["run_id"],
-        kind=row["kind"],
-        params=json.loads(row["params"]),
-        state=row["state"],
-        created_at=row["created_at"],
-        updated_at=row["updated_at"],
-        attempts=row["attempts"],
-        max_attempts=row["max_attempts"],
-        not_before=row["not_before"],
-        error=row["error"],
-        result=row["result"],
-        trace_id=row["trace_id"],
-    )
-
 
 class RunStore:
-    """SQLite persistence for submitted runs (see module docstring).
+    """Run persistence over a pluggable backend (see module docstring).
+
+    ``url`` is anything :func:`repro.service.backends.backend_from_url`
+    accepts — a SQLite path (the default interpretation), a
+    ``sqlite:``/``postgres://`` URL, or ``memory://`` — or an
+    already-constructed :class:`StorageBackend`.
 
     ``clock`` supplies every timestamp the store writes (``created_at``,
-    ``updated_at``, claim eligibility ``now``); it defaults to
-    :func:`time.time` and is injectable so tests drive retry/backoff
-    deadlines and kill-restart recovery on a fake clock instead of
-    sleeping through real time.
+    ``updated_at``, claim eligibility ``now``, lease deadlines); it
+    defaults to :func:`time.time` and is injectable so tests drive
+    retry/backoff deadlines, lease expiry, and kill-restart recovery on
+    a fake clock instead of sleeping through real time.
     """
 
     def __init__(
         self,
-        path: str | Path,
+        url: str | Path | StorageBackend,
         *,
         clock: Callable[[], float] = time.time,
     ) -> None:
-        self.path = str(path)
+        if isinstance(url, StorageBackend):
+            self.backend = url
+        else:
+            self.backend = backend_from_url(url)
+        #: The backend location (kept under the historical name; the
+        #: SQLite default means this *is* a filesystem path there).
+        self.path = self.backend.url
         self._clock = clock
-        self._lock = threading.RLock()
-        self._conn = sqlite3.connect(
-            self.path, check_same_thread=False, timeout=10.0
-        )
-        self._conn.row_factory = sqlite3.Row
-        self._conn.execute("PRAGMA journal_mode=WAL")
-        self._conn.execute("PRAGMA synchronous=NORMAL")
-        self._migrate()
 
     # -- schema ------------------------------------------------------------
 
-    def _migrate(self) -> None:
-        """Create or validate the schema; refuse newer-than-known layouts."""
-        with self._lock, self._conn:
-            version = self._conn.execute("PRAGMA user_version").fetchone()[0]
-            if version > SCHEMA_VERSION:
-                raise ServiceError(
-                    f"run store {self.path!r} has schema version {version}, "
-                    f"newer than this library's {SCHEMA_VERSION}; "
-                    f"upgrade the library instead of downgrading the data",
-                    code="schema-version",
-                )
-            if version == SCHEMA_VERSION:
-                return
-            if version == 1:
-                # v1 -> v2: runs gain the trace correlation column.
-                # Old rows keep a NULL trace_id — they predate tracing.
-                self._conn.execute(
-                    "ALTER TABLE runs ADD COLUMN trace_id TEXT"
-                )
-                self._conn.execute(f"PRAGMA user_version = {SCHEMA_VERSION}")
-                return
-            self._conn.execute(
-                """
-                CREATE TABLE IF NOT EXISTS runs (
-                    run_id       TEXT PRIMARY KEY,
-                    kind         TEXT NOT NULL,
-                    params       TEXT NOT NULL,
-                    state        TEXT NOT NULL,
-                    created_at   REAL NOT NULL,
-                    updated_at   REAL NOT NULL,
-                    attempts     INTEGER NOT NULL DEFAULT 0,
-                    max_attempts INTEGER NOT NULL DEFAULT 3,
-                    not_before   REAL NOT NULL DEFAULT 0,
-                    error        TEXT,
-                    result       TEXT,
-                    trace_id     TEXT
-                )
-                """
-            )
-            self._conn.execute(
-                "CREATE INDEX IF NOT EXISTS runs_by_state "
-                "ON runs (state, not_before, created_at)"
-            )
-            self._conn.execute(f"PRAGMA user_version = {SCHEMA_VERSION}")
+    def schema_version(self) -> int:
+        """The backend's stored schema version stamp."""
+        return self.backend.schema_version()
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -203,7 +103,8 @@ class RunStore:
 
         ``trace_id`` is the submit-time correlation id
         (:mod:`repro.obs.context`); every execution attempt of this run
-        tags its spans with it.
+        tags its spans with it — including attempts reassigned to a
+        different worker after a lease expiry.
         """
         if max_attempts < 1:
             raise ServiceError(
@@ -212,81 +113,145 @@ class RunStore:
             )
         run_id = uuid.uuid4().hex[:12]
         now = self._clock()
-        with self._lock, self._conn:
-            self._conn.execute(
-                "INSERT INTO runs (run_id, kind, params, state, created_at,"
-                " updated_at, attempts, max_attempts, not_before, trace_id)"
-                " VALUES (?, ?, ?, 'queued', ?, ?, 0, ?, 0, ?)",
-                (
-                    run_id,
-                    kind,
-                    json.dumps(params),
-                    now,
-                    now,
-                    max_attempts,
-                    trace_id,
-                ),
+        self.backend.insert(
+            RunRecord(
+                run_id=run_id,
+                kind=kind,
+                params=params,
+                state="queued",
+                created_at=now,
+                updated_at=now,
+                attempts=0,
+                max_attempts=max_attempts,
+                not_before=0.0,
+                error=None,
+                result=None,
+                trace_id=trace_id,
             )
+        )
         return run_id
 
     def get(self, run_id: str) -> RunRecord:
         """Fetch one run; raises ``unknown-run`` if absent."""
-        with self._lock:
-            row = self._conn.execute(
-                "SELECT * FROM runs WHERE run_id = ?", (run_id,)
-            ).fetchone()
-        if row is None:
+        record = self.backend.fetch(run_id)
+        if record is None:
             raise ServiceError(
                 f"no run with id {run_id!r}", code="unknown-run"
             )
-        return _row_to_record(row)
+        return record
 
-    def claim_next(self, now: float | None = None) -> RunRecord | None:
+    def claim_next(
+        self,
+        now: float | None = None,
+        *,
+        owner_id: str | None = None,
+        lease_seconds: float | None = None,
+    ) -> RunRecord | None:
         """Atomically move the oldest eligible queued run to ``running``.
 
         Eligible means its backoff deadline (``not_before``) has passed.
         The claim bumps ``attempts``, so a claimed run already counts
         the execution about to happen.  Returns ``None`` when nothing
         is runnable right now.
+
+        With ``owner_id`` the claim takes a *lease*: the run is stamped
+        with the owner and a ``lease_expires_at`` deadline
+        ``lease_seconds`` from now, which the owner must renew via
+        :meth:`heartbeat` before it passes or the reaper reassigns the
+        run.  Without an owner (the in-process dispatcher) the claim is
+        legacy-style — no lease, covered by
+        :meth:`recover_interrupted` because the claimant's lifetime is
+        the server's own.
         """
         now = self._clock() if now is None else now
-        with self._lock, self._conn:
-            row = self._conn.execute(
-                "SELECT * FROM runs WHERE state = 'queued' AND"
-                " not_before <= ? ORDER BY created_at, run_id LIMIT 1",
-                (now,),
-            ).fetchone()
-            if row is None:
-                return None
-            self._conn.execute(
-                "UPDATE runs SET state = 'running', attempts = attempts + 1,"
-                " updated_at = ? WHERE run_id = ?",
-                (now, row["run_id"]),
-            )
-        return self.get(row["run_id"])
+        lease_expires_at: float | None = None
+        if owner_id is not None:
+            if lease_seconds is None or lease_seconds <= 0:
+                raise ServiceError(
+                    f"a leased claim needs lease_seconds > 0, got "
+                    f"{lease_seconds!r}",
+                    code="bad-request",
+                )
+            lease_expires_at = now + lease_seconds
+        return self.backend.claim_next(
+            now, owner_id=owner_id, lease_expires_at=lease_expires_at
+        )
+
+    def heartbeat(
+        self,
+        run_id: str,
+        owner_id: str,
+        *,
+        lease_seconds: float,
+        now: float | None = None,
+    ) -> bool:
+        """Renew a live lease; ``False`` when the lease was lost.
+
+        Extends ``lease_expires_at`` to ``lease_seconds`` past ``now``
+        and stamps ``heartbeat_at``.  A ``False`` return means the run
+        is no longer running under ``owner_id`` — it finished, was
+        reassigned after expiry, or never belonged to this owner — and
+        the worker must abandon the execution (its result would be
+        discarded anyway).
+        """
+        now = self._clock() if now is None else now
+        return self.backend.heartbeat(
+            run_id, owner_id, now=now, lease_expires_at=now + lease_seconds
+        )
 
     def next_eligible_at(self) -> float | None:
         """Earliest ``not_before`` among queued runs (backoff wake-up)."""
-        with self._lock:
-            row = self._conn.execute(
-                "SELECT MIN(not_before) AS t FROM runs WHERE state = 'queued'"
-            ).fetchone()
-        return None if row["t"] is None else float(row["t"])
+        return self.backend.next_eligible_at()
 
-    def mark_done(self, run_id: str, result: str) -> None:
-        """Record success and the serialized result envelope."""
-        self._transition(run_id, "running", "done", result=result)
+    def mark_done(
+        self, run_id: str, result: str, *, owner_id: str | None = None
+    ) -> None:
+        """Record success and the serialized result envelope.
 
-    def mark_failed(self, run_id: str, error: str) -> None:
-        """Record terminal failure with its error message."""
-        self._transition(run_id, "running", "failed", error=error)
+        With ``owner_id`` the write is owner-checked: it only lands if
+        the caller still holds the lease, raising ``lease-lost``
+        otherwise.  This is the exactly-once edge — a worker that lost
+        its lease mid-execution cannot overwrite the reassigned run.
+        """
+        self._transition(
+            run_id,
+            "running",
+            "done",
+            result=result,
+            owner_id=owner_id,
+            clear_lease=True,
+        )
+
+    def mark_failed(
+        self, run_id: str, error: str, *, owner_id: str | None = None
+    ) -> None:
+        """Record terminal failure with its error message (owner-checked)."""
+        self._transition(
+            run_id,
+            "running",
+            "failed",
+            error=error,
+            owner_id=owner_id,
+            clear_lease=True,
+        )
 
     def requeue_for_retry(
-        self, run_id: str, error: str, *, not_before: float
+        self,
+        run_id: str,
+        error: str,
+        *,
+        not_before: float,
+        owner_id: str | None = None,
     ) -> None:
         """Put a failed execution back in the queue with a backoff deadline."""
         self._transition(
-            run_id, "running", "queued", error=error, not_before=not_before
+            run_id,
+            "running",
+            "queued",
+            error=error,
+            not_before=not_before,
+            owner_id=owner_id,
+            clear_lease=True,
         )
 
     def cancel(self, run_id: str) -> RunRecord:
@@ -302,21 +267,34 @@ class RunStore:
         return self.get(run_id)
 
     def recover_interrupted(self) -> int:
-        """Requeue runs a dead server left ``running`` (crash recovery).
+        """Requeue orphaned ``running`` rows on startup (crash recovery).
 
-        Called on server startup *before* the dispatcher starts: any row
-        still marked running belongs to a process that no longer exists,
-        so its execution is lost and must be redone.  The interrupted
-        attempt stays counted.  Returns the number of recovered runs.
+        Called on server startup *before* the dispatcher starts.
+        Orphaned means a legacy in-process claim (its claimant was the
+        dead server itself) or an already-expired lease.  A run whose
+        lease is still live belongs to a healthy fleet worker and is
+        left untouched — the reaper handles it if that worker later
+        dies.  The interrupted attempt stays counted.  Returns the
+        number of recovered runs.
         """
-        now = self._clock()
-        with self._lock, self._conn:
-            cursor = self._conn.execute(
-                "UPDATE runs SET state = 'queued', not_before = 0,"
-                " updated_at = ? WHERE state = 'running'",
-                (now,),
-            )
-            return cursor.rowcount
+        return self.backend.recover_interrupted(self._clock())
+
+    def expire_leases(self, now: float | None = None) -> list[RunRecord]:
+        """Requeue runs whose lease deadline has passed (the reaper).
+
+        Returns the expired records as they were at expiry — owner and
+        lease intact — so the caller can log and count who lost which
+        run.  Requeued runs keep their ``trace_id`` and attempt count,
+        which is how a reassigned execution stays correlated with the
+        original submission.
+        """
+        now = self._clock() if now is None else now
+        return self.backend.expire_leases(now)
+
+    def live_leases(self, now: float | None = None) -> list[LeaseView]:
+        """Leases still live at ``now``, oldest heartbeat first."""
+        now = self._clock() if now is None else now
+        return self.backend.live_leases(now)
 
     def _transition(
         self,
@@ -327,29 +305,35 @@ class RunStore:
         result: str | None = None,
         error: str | None = None,
         not_before: float = 0.0,
+        owner_id: str | None = None,
+        clear_lease: bool = False,
     ) -> None:
-        with self._lock, self._conn:
-            cursor = self._conn.execute(
-                "UPDATE runs SET state = ?, updated_at = ?, not_before = ?,"
-                " result = COALESCE(?, result), error = COALESCE(?, error)"
-                " WHERE run_id = ? AND state = ?",
-                (
-                    state,
-                    self._clock(),
-                    not_before,
-                    result,
-                    error,
-                    run_id,
-                    expect,
-                ),
+        moved = self.backend.transition(
+            run_id,
+            expect,
+            state,
+            now=self._clock(),
+            result=result,
+            error=error,
+            not_before=not_before,
+            owner_id=owner_id,
+            clear_lease=clear_lease,
+        )
+        if moved:
+            return
+        record = self.get(run_id)  # raises unknown-run if absent
+        if record.state == expect and owner_id is not None:
+            raise ServiceError(
+                f"run {run_id!r} is no longer leased to {owner_id!r} "
+                f"(current owner: {record.owner_id!r}); the result of "
+                f"this execution is discarded",
+                code="lease-lost",
             )
-            if cursor.rowcount != 1:
-                actual = self.get(run_id).state  # raises unknown-run if absent
-                raise ServiceError(
-                    f"run {run_id!r} is {actual}, expected {expect} "
-                    f"(cannot move to {state})",
-                    code="bad-transition",
-                )
+        raise ServiceError(
+            f"run {run_id!r} is {record.state}, expected {expect} "
+            f"(cannot move to {state})",
+            code="bad-transition",
+        )
 
     # -- queries -----------------------------------------------------------
 
@@ -362,26 +346,11 @@ class RunStore:
                 f"unknown state {state!r}; expected one of {RUN_STATES}",
                 code="bad-request",
             )
-        query = "SELECT * FROM runs"
-        args: tuple = ()
-        if state is not None:
-            query += " WHERE state = ?"
-            args = (state,)
-        query += " ORDER BY created_at DESC, run_id LIMIT ?"
-        with self._lock:
-            rows = self._conn.execute(query, (*args, limit)).fetchall()
-        return [_row_to_record(row) for row in rows]
+        return self.backend.list_runs(state, limit=limit)
 
     def counts_by_state(self) -> dict[str, int]:
         """``{state: count}`` over every known state (zeros included)."""
-        with self._lock:
-            rows = self._conn.execute(
-                "SELECT state, COUNT(*) AS n FROM runs GROUP BY state"
-            ).fetchall()
-        counts = {state: 0 for state in RUN_STATES}
-        for row in rows:
-            counts[row["state"]] = row["n"]
-        return counts
+        return self.backend.counts_by_state()
 
     def queue_depth(self) -> int:
         """Number of queued runs (including backoff waits)."""
@@ -389,24 +358,18 @@ class RunStore:
 
     def unfinished(self) -> list[RunRecord]:
         """Every run not yet in a terminal state, oldest first."""
-        with self._lock:
-            rows = self._conn.execute(
-                "SELECT * FROM runs WHERE state IN ('queued', 'running')"
-                " ORDER BY created_at, run_id"
-            ).fetchall()
-        return [_row_to_record(row) for row in rows]
+        return self.backend.unfinished()
 
     # -- plumbing ----------------------------------------------------------
 
     def close(self) -> None:
-        """Close the underlying connection (idempotent)."""
-        with self._lock:
-            self._conn.close()
+        """Close the underlying backend (idempotent)."""
+        self.backend.close()
 
     def __enter__(self) -> "RunStore":
         """Context-manager entry: the store itself."""
         return self
 
     def __exit__(self, *exc_info: object) -> None:
-        """Context-manager exit: close the connection."""
+        """Context-manager exit: close the backend."""
         self.close()

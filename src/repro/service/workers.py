@@ -14,6 +14,15 @@ uniformly.
 module-level (picklable), takes only plain values, and returns the
 serialized result string, so nothing non-picklable ever crosses the
 process boundary.
+
+Two execution hosts share this entry point: the server's in-process
+pool (:mod:`repro.service.queue`, via ``execute_job_traced`` when
+observability is on) and the horizontally-scaled fleet workers
+(:mod:`repro.service.fleet`), which call :func:`execute_job` directly
+inside their own ``service.fleet.job`` span.  Job kinds therefore must
+stay host-agnostic: pure functions of their validated parameters, no
+reliance on which process or machine runs them — that is what makes a
+lease reassignment mid-campaign safe.
 """
 
 from __future__ import annotations

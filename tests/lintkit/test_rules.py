@@ -72,6 +72,20 @@ def test_m001_catches_unregistered_arena_names(fixture_config):
     assert all(f.rule_id == "M001" for f in findings)
 
 
+def test_m001_catches_unregistered_fleet_names(fixture_config):
+    # The worker-fleet PR added lease/fleet metric and span names
+    # (claims, heartbeats, reaper counters, lease gauges); this fixture
+    # proves a typo of any of them would be flagged while the
+    # registered names stay silent.
+    path = FIXTURES / "m001_fleet_names.py"
+    findings = run_on(fixture_config, "m001_fleet_names.py")
+    got = {(f.rule_id, f.line) for f in findings}
+    want = expected_findings(path)
+    assert want, "fixture declares no EXPECT markers"
+    assert got == want
+    assert all(f.rule_id == "M001" for f in findings)
+
+
 def test_d003_catches_batch_kernel_set_iteration(fixture_config):
     # The batch-kernels PR put repro.core.batch inside the repro.core
     # hot-path scope; this fixture proves the set-iteration patterns

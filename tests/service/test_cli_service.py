@@ -103,3 +103,51 @@ class TestAgainstLiveServer:
         with pytest.raises(ServiceError) as exc:
             main(["status", "--port", "1", "deadbeef"])
         assert exc.value.code == "internal"
+
+
+class TestFleetVerbs:
+    """The fleet-era verbs: ``worker`` and ``health``."""
+
+    def test_worker_parser_defaults(self) -> None:
+        args = build_parser().parse_args(["worker"])
+        assert args.store == "runs.db"
+        assert args.lease_seconds == 15.0
+        assert args.heartbeat_interval == 5.0
+        assert args.max_jobs is None
+        assert args.fleet_chaos_rate == 0.0
+
+    def test_health_parser_defaults(self) -> None:
+        args = build_parser().parse_args(["health"])
+        assert args.port == 4321
+        assert args.timeout == 30.0
+
+    def test_endpoint_verbs_accept_timeout(self) -> None:
+        for verb in ("status", "result", "runs", "cancel", "health"):
+            argv = [verb, "--timeout", "5"]
+            if verb in ("status", "result", "cancel"):
+                argv.append("deadbeef")
+            assert build_parser().parse_args(argv).timeout == 5.0
+
+    def test_worker_drains_one_job(self, capsys, tmp_path) -> None:
+        from repro.service.store import RunStore
+
+        db = tmp_path / "runs.db"
+        with RunStore(db) as store:
+            run_id = store.submit("sleep", {"seconds": 0})
+        out = _run(
+            capsys, "worker", "--store", str(db),
+            "--owner", "w-cli", "--max-jobs", "1",
+        )
+        assert "fleet worker w-cli" in out
+        assert "claims=1" in out and "done=1" in out
+        with RunStore(db) as store:
+            assert store.get(run_id).state == "done"
+
+    def test_health_exit_codes(self, capsys, handle) -> None:
+        out = _run(capsys, "health", *_endpoint(handle))
+        assert out.startswith("healthy: ")
+        assert "fleet_workers=0" in out
+        # Port 1 is never listening: the healthcheck contract is a
+        # non-zero exit (container orchestrators key off this).
+        assert main(["health", "--port", "1"]) == 1
+        assert "unhealthy" in capsys.readouterr().err

@@ -1,0 +1,351 @@
+"""Unit tests for the fleet worker: leases, heartbeats, outcomes.
+
+The multi-worker kill matrix lives in tests/faults/test_fleet_chaos.py;
+here each lease mechanism is exercised in isolation on a fake clock,
+plus the satellite regression: a restarting server must not requeue a
+run whose lease is live on a healthy worker.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+import repro.service.fleet as fleet_mod
+from repro.exceptions import ServiceError
+from repro.service.backends import MemoryBackend
+from repro.service.client import ServiceClient
+from repro.service.fleet import (
+    FleetWorker,
+    WorkerConfig,
+    mint_owner_id,
+)
+from repro.service.queue import QueueConfig
+from repro.service.server import serve_in_thread
+from repro.service.store import RunStore
+
+
+class FakeClock:
+    def __init__(self, start: float = 1_000.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def clock() -> FakeClock:
+    return FakeClock()
+
+
+@pytest.fixture
+def store(clock) -> RunStore:
+    with RunStore(MemoryBackend(), clock=clock) as s:
+        yield s
+
+
+def _worker(store, clock, **config) -> FleetWorker:
+    return FleetWorker(
+        store,
+        WorkerConfig(**config),
+        owner_id="w1",
+        clock=clock,
+        sleep=lambda _s: None,
+    )
+
+
+class TestWorkerConfig:
+    def test_defaults_are_valid(self) -> None:
+        config = WorkerConfig()
+        assert config.heartbeat_interval < config.lease_seconds / 2
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"lease_seconds": 0.0},
+            {"lease_seconds": -1.0},
+            {"heartbeat_interval": 0.0},
+            {"lease_seconds": 10.0, "heartbeat_interval": 5.0},  # == /2
+            {"lease_seconds": 10.0, "heartbeat_interval": 9.0},
+        ],
+    )
+    def test_bad_tunables_rejected(self, kwargs) -> None:
+        with pytest.raises(ServiceError) as exc:
+            WorkerConfig(**kwargs)
+        assert exc.value.code == "bad-request"
+
+    def test_mint_owner_id_shape_and_uniqueness(self) -> None:
+        ids = {mint_owner_id() for _ in range(32)}
+        assert len(ids) == 32
+        assert all(owner.startswith("worker-") for owner in ids)
+
+
+class TestRunOnce:
+    def test_idle_returns_none(self, store, clock) -> None:
+        worker = _worker(store, clock)
+        assert worker.run_once() is None
+        assert worker.stats["claims"] == 0
+
+    def test_done_path_clears_lease(self, store, clock) -> None:
+        run_id = store.submit("sleep", {"seconds": 0})
+        worker = _worker(store, clock)
+        assert worker.run_once() == "done"
+        record = store.get(run_id)
+        assert record.state == "done"
+        assert record.owner_id is None
+        assert record.lease_expires_at is None
+        assert worker.stats == {
+            "claims": 1, "done": 1, "retried": 0, "failed": 0,
+            "lease-lost": 0, "heartbeats": 0,
+        }
+
+    def test_claim_stamps_lease_from_fake_clock(self, store, clock) -> None:
+        run_id = store.submit("sleep", {"seconds": 0})
+
+        seen = {}
+
+        def probe(kind, params):
+            seen["record"] = store.get(run_id)
+            return "{}"
+
+        worker = _worker(store, clock, lease_seconds=15.0)
+        original = fleet_mod.execute_job
+        fleet_mod.execute_job = probe
+        try:
+            worker.run_once()
+        finally:
+            fleet_mod.execute_job = original
+        mid = seen["record"]
+        assert mid.owner_id == "w1"
+        assert mid.lease_expires_at == clock.now + 15.0
+        assert mid.heartbeat_at == clock.now
+
+    def test_failure_requeues_with_backoff(self, store, clock) -> None:
+        run_id = store.submit(
+            "sleep", {"seconds": 0, "fail": True}, max_attempts=3
+        )
+        worker = _worker(
+            store, clock, backoff_base=2.0, backoff_cap=2.0, backoff_seed=7
+        )
+        assert worker.run_once() == "retried"
+        record = store.get(run_id)
+        assert record.state == "queued"
+        assert record.owner_id is None
+        assert "injected" in record.error or "fail" in record.error
+        assert clock.now < record.not_before <= clock.now + 2.0
+        # Not eligible until the backoff elapses on the fake clock.
+        assert worker.run_once() is None
+        clock.advance(2.1)
+        assert worker.run_once() == "retried"
+
+    def test_final_attempt_fails_terminally(self, store, clock) -> None:
+        run_id = store.submit(
+            "sleep", {"seconds": 0, "fail": True}, max_attempts=1
+        )
+        worker = _worker(store, clock)
+        assert worker.run_once() == "failed"
+        record = store.get(run_id)
+        assert record.state == "failed"
+        assert record.owner_id is None
+
+    def test_heartbeat_now_renews_and_counts(self, store, clock) -> None:
+        run_id = store.submit("sleep", {"seconds": 0})
+        worker = _worker(store, clock, lease_seconds=15.0)
+        store.claim_next(owner_id="w1", lease_seconds=15.0)
+        clock.advance(10.0)
+        assert worker.heartbeat_now(run_id)
+        record = store.get(run_id)
+        assert record.lease_expires_at == clock.now + 15.0
+        assert record.heartbeat_at == clock.now
+        assert worker.stats["heartbeats"] == 1
+
+
+class TestLeaseLost:
+    def _race(self, store, clock, worker, run_id, finish_as_w2: bool):
+        """Patch execute_job so the lease is stolen mid-execution."""
+
+        def stolen(kind, params):
+            # The reaper fires while w1 executes: lease expires, the
+            # run is reassigned to w2 ...
+            clock.advance(100.0)
+            assert [r.run_id for r in store.expire_leases()] == [run_id]
+            store.claim_next(owner_id="w2", lease_seconds=15.0)
+            if finish_as_w2:
+                # ... who finishes it before w1 comes back.
+                store.mark_done(run_id, '{"by": "w2"}', owner_id="w2")
+            return '{"by": "w1"}'
+
+        original = fleet_mod.execute_job
+        fleet_mod.execute_job = stolen
+        try:
+            return worker.run_once()
+        finally:
+            fleet_mod.execute_job = original
+
+    def test_result_discarded_when_still_running_elsewhere(
+        self, store, clock
+    ) -> None:
+        run_id = store.submit("sleep", {"seconds": 0})
+        worker = _worker(store, clock, lease_seconds=15.0)
+        assert self._race(store, clock, worker, run_id, False) == "lease-lost"
+        record = store.get(run_id)
+        assert record.state == "running"
+        assert record.owner_id == "w2"
+        assert worker.stats["lease-lost"] == 1
+
+    def test_result_discarded_when_finished_elsewhere(
+        self, store, clock
+    ) -> None:
+        # Exactly-once: w2's result must not be overwritten by w1's.
+        run_id = store.submit("sleep", {"seconds": 0})
+        worker = _worker(store, clock, lease_seconds=15.0)
+        assert self._race(store, clock, worker, run_id, True) == "lease-lost"
+        record = store.get(run_id)
+        assert record.state == "done"
+        assert record.result == '{"by": "w2"}'
+
+
+class TestHeartbeatPump:
+    def test_pump_renews_during_long_job(self, tmp_path) -> None:
+        # Real clock on purpose: the pump is a real side thread.  The
+        # job outlasts several heartbeat intervals; the lease must be
+        # renewed past its original deadline while the job runs.
+        with RunStore(tmp_path / "runs.db") as store:
+            run_id = store.submit("sleep", {"seconds": 0.45})
+            worker = FleetWorker(
+                store,
+                WorkerConfig(lease_seconds=1.0, heartbeat_interval=0.1),
+                owner_id="w1",
+            )
+            claimed_at = time.time()
+            assert worker.run_once() == "done"
+            assert worker.stats["heartbeats"] >= 2
+            record = store.get(run_id)
+            assert record.state == "done"
+            assert time.time() - claimed_at < 5.0  # pump stopped promptly
+
+
+class TestRunForever:
+    def test_max_jobs_drains_and_stops(self, store, clock) -> None:
+        for _ in range(3):
+            store.submit("sleep", {"seconds": 0})
+        worker = _worker(store, clock, max_jobs=2)
+        stats = worker.run_forever()
+        assert stats["done"] == 2
+        assert store.counts_by_state()["queued"] == 1
+
+    def test_stop_event_breaks_idle_loop(self, store, clock) -> None:
+        stop = threading.Event()
+        sleeps: list[float] = []
+
+        def sleeper(seconds: float) -> None:
+            sleeps.append(seconds)
+            if len(sleeps) >= 4:
+                stop.set()
+
+        worker = FleetWorker(
+            store,
+            WorkerConfig(poll_seed=11, poll_base=0.05, poll_cap=1.0),
+            owner_id="w1",
+            clock=clock,
+            sleep=sleeper,
+        )
+        stats = worker.run_forever(stop)
+        assert stats["claims"] == 0
+        assert len(sleeps) == 4
+        # Idle polling backs off (jittered, bounded by the cap).
+        assert all(0 <= s <= 1.0 for s in sleeps)
+
+
+class TestServerRestartAgreement:
+    """Satellite regression: recover_interrupted vs the lease reaper.
+
+    A server restart must not steal a run whose lease is live on a
+    healthy worker — and must still reap one whose lease has expired.
+    """
+
+    def test_restart_keeps_live_lease_and_reaps_dead_one(
+        self, tmp_path
+    ) -> None:
+        db_path = str(tmp_path / "runs.db")
+        with RunStore(db_path) as seed:
+            healthy = seed.submit("sleep", {"seconds": 0})
+            orphaned = seed.submit("sleep", {"seconds": 0})
+            # A healthy worker holds `healthy` with an hour of lease.
+            seed.claim_next(owner_id="w-alive", lease_seconds=3_600.0)
+            # A dying worker holds `orphaned`; its last heartbeat buys
+            # ~1.5s, after which it will never renew again (SIGKILL).
+            claimed = seed.claim_next(owner_id="w-dying", lease_seconds=1.5)
+            assert claimed.run_id == orphaned
+
+        # "Restart": a fresh server opens the same store.  Both leases
+        # are live at startup, so recover_interrupted must touch
+        # neither; only the reaper — once w-dying's lease lapses — may
+        # requeue `orphaned`.
+        handle = serve_in_thread(
+            db_path,
+            queue_config=QueueConfig(max_workers=1, poll_interval=0.02),
+            reap_interval=0.05,
+        )
+        try:
+            with ServiceClient("127.0.0.1", handle.port) as client:
+                deadline = time.time() + 10.0
+                while time.time() < deadline:
+                    if client.status(orphaned)["state"] == "done":
+                        break
+                    time.sleep(0.05)
+                # The orphaned run was reaped, requeued, and executed
+                # by the restarted server's own queue ...
+                final = client.status(orphaned)
+                assert final["state"] == "done"
+                assert final["attempts"] == 2
+                # ... while the healthy worker's run was left alone:
+                # still running, still leased, attempt count untouched.
+                kept = client.status(healthy)
+                assert kept["state"] == "running"
+                assert kept["attempts"] == 1
+                health = client.health()
+                assert health["fleet"]["live_workers"] == 1
+                assert health["fleet"]["leased_jobs"] == 1
+                assert health["fleet"]["leases_reassigned"] >= 1
+        finally:
+            handle.stop()
+        with RunStore(db_path) as check:
+            assert check.get(healthy).owner_id == "w-alive"
+
+
+class TestFleetOnlyTopology:
+    def test_workers_zero_leaves_execution_to_the_fleet(
+        self, tmp_path
+    ) -> None:
+        # max_workers=0 is the dedicated-server topology from
+        # docs/DEPLOYMENT.md: the server serves, recovers, and reaps,
+        # but never executes — only fleet workers do.
+        db_path = str(tmp_path / "runs.db")
+        handle = serve_in_thread(
+            db_path,
+            queue_config=QueueConfig(max_workers=0),
+            reap_interval=0.05,
+        )
+        try:
+            with ServiceClient("127.0.0.1", handle.port) as client:
+                run_id = client.submit("sleep", {"seconds": 0})
+                time.sleep(0.3)
+                # No in-process pool: the job just sits there.
+                assert client.status(run_id)["state"] == "queued"
+                with RunStore(db_path) as store:
+                    worker = FleetWorker(
+                        store,
+                        WorkerConfig(max_jobs=1),
+                        owner_id="w-fleet",
+                    )
+                    assert worker.run_forever()["done"] == 1
+                assert client.status(run_id)["state"] == "done"
+                assert client.health()["workers"] == 0
+        finally:
+            handle.stop()

@@ -39,9 +39,12 @@ def _run_queue(store: RunStore, config: QueueConfig, *, timeout=30.0):
 
 
 class TestConfig:
-    def test_rejects_zero_workers(self) -> None:
+    def test_rejects_negative_workers(self) -> None:
+        # Zero is the fleet-only topology (no in-process pool);
+        # anything below is still malformed.
+        assert QueueConfig(max_workers=0).max_workers == 0
         with pytest.raises(ServiceError):
-            QueueConfig(max_workers=0)
+            QueueConfig(max_workers=-1)
 
     def test_rejects_nonpositive_timeout(self) -> None:
         with pytest.raises(ServiceError):

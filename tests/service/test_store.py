@@ -19,12 +19,14 @@ def store(tmp_path) -> RunStore:
 
 class TestSchema:
     def test_wal_mode(self, store) -> None:
-        mode = store._conn.execute("PRAGMA journal_mode").fetchone()[0]
+        # WAL persists in the file, so any connection can observe it.
+        conn = sqlite3.connect(store.path)
+        mode = conn.execute("PRAGMA journal_mode").fetchone()[0]
+        conn.close()
         assert mode == "wal"
 
     def test_user_version_stamped(self, store) -> None:
-        version = store._conn.execute("PRAGMA user_version").fetchone()[0]
-        assert version == SCHEMA_VERSION
+        assert store.schema_version() == SCHEMA_VERSION
 
     def test_reopen_existing(self, tmp_path) -> None:
         path = tmp_path / "runs.db"
@@ -44,10 +46,11 @@ class TestSchema:
             RunStore(path)
         assert exc.value.code == "schema-version"
 
-    def test_v1_store_migrates_to_v2(self, tmp_path) -> None:
-        # A pre-tracing (v1) store: same runs table minus trace_id.
-        # Opening it must add the column, stamp v2, and leave the old
-        # rows readable with trace_id None.
+    def test_v1_store_migrates_to_current(self, tmp_path) -> None:
+        # A pre-tracing (v1) store: same runs table minus trace_id and
+        # the lease columns.  Opening it must walk the whole migration
+        # chain, stamp the current version, and leave the old rows
+        # readable with trace_id None.
         path = tmp_path / "runs.db"
         conn = sqlite3.connect(path)
         conn.execute(
@@ -77,12 +80,10 @@ class TestSchema:
         conn.close()
 
         with RunStore(path) as store:
-            version = store._conn.execute(
-                "PRAGMA user_version"
-            ).fetchone()[0]
-            assert version == SCHEMA_VERSION == 2
+            assert store.schema_version() == SCHEMA_VERSION == 3
             old = store.get("old1")
             assert old.trace_id is None
+            assert old.owner_id is None and old.lease_expires_at is None
             assert old.summary()["trace_id"] is None
             # New rows use the column immediately.
             new_id = store.submit(
