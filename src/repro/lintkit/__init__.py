@@ -11,11 +11,20 @@ simulation engine or minting a metric name the registry never declared.
 Layers:
 
 * :mod:`repro.lintkit.framework` — rule registry, per-file AST visitor
-  driver, ``# reprolint: ignore[RULE]`` pragmas;
+  driver, project-rule driver, ``# reprolint: ignore[RULE]`` pragmas;
 * :mod:`repro.lintkit.config` — ``[tool.reprolint]`` in ``pyproject.toml``
-  (deterministic packages, allowlists, per-rule severity);
-* :mod:`repro.lintkit.rules` — the shipped rule pack (D001/D002/D003,
-  M001, P001, A001);
+  (deterministic packages, allowlists, layer contracts, per-rule
+  severity);
+* :mod:`repro.lintkit.rules` — the per-file rule pack (D001/D002/D003,
+  M001, P001, A001) plus the M002 dead-name project rule;
+* :mod:`repro.lintkit.symbols` — project-wide symbol table over the
+  checked file set (re-export chasing, MRO, annotated types);
+* :mod:`repro.lintkit.callgraph` — static call graph, conservative on
+  dynamic dispatch via the ``dispatch-abcs`` registry;
+* :mod:`repro.lintkit.taint` — fixed-point nondeterminism-taint
+  propagation and the D004 transitive rule;
+* :mod:`repro.lintkit.layers` — architecture contracts (L001) and
+  import-cycle detection (L002);
 * :mod:`repro.lintkit.baseline` — grandfathered-finding fingerprints;
 * :mod:`repro.lintkit.reporters` — human-readable and JSON output.
 
@@ -30,28 +39,37 @@ from repro.lintkit.baseline import (
     load_baseline,
     write_baseline,
 )
-from repro.lintkit.config import LintConfig, load_config
+from repro.lintkit.config import LayerContract, LintConfig, load_config
 from repro.lintkit.framework import (
     Checker,
     FileContext,
     Finding,
+    ProjectRule,
     Rule,
     all_rules,
     get_rule,
     register,
 )
 from repro.lintkit.reporters import render_json, render_text
+from repro.lintkit.symbols import Project, SymbolTable, build_project
 
-# Importing the rule pack populates the registry as a side effect.
+# Importing the rule packs populates the registry as a side effect.
 from repro.lintkit import rules as _rules  # noqa: F401
+from repro.lintkit import layers as _layers  # noqa: F401
+from repro.lintkit import taint as _taint  # noqa: F401
 
 __all__ = [
     "Checker",
     "FileContext",
     "Finding",
+    "LayerContract",
     "LintConfig",
+    "Project",
+    "ProjectRule",
     "Rule",
+    "SymbolTable",
     "all_rules",
+    "build_project",
     "fingerprint",
     "get_rule",
     "load_baseline",

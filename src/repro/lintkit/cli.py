@@ -76,7 +76,10 @@ def build_parser() -> argparse.ArgumentParser:
         prog="reprolint",
         description=(
             "AST-based determinism & invariant checker for the repro "
-            "codebase (rules D001-D003, M001, P001, A001)"
+            "codebase: per-file rules D001-D003, M001, P001, A001 plus "
+            "the whole-program pass (D004 transitive nondeterminism, "
+            "L001/L002 layer contracts and import cycles, M002 dead "
+            "registry names)"
         ),
     )
     add_lint_arguments(parser)

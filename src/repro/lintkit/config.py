@@ -8,11 +8,22 @@ live next to the build metadata::
     wallclock-allow = ["repro.service.queue"]
     engine-hot-paths = ["repro.simulation.engine", ...]
     async-packages = ["repro.service"]
+    dispatch-abcs = ["repro.schedulers.base.Scheduler", ...]
+    names-module = "repro.obs.names"
     baseline = ".reprolint-baseline.json"
     disable = []
 
     [tool.reprolint.severity]
     D003 = "warning"
+
+    [tool.reprolint.layers.deterministic-core]
+    modules = ["repro.core", "repro.simulation"]
+    forbid = ["repro.service", "repro.obs"]
+    allow = ["repro.obs"]
+
+Layer-contract names become part of the L001 diagnostics; keep them
+dot-free so the 3.10 fallback parser (which splits section headers on
+``.``) reads them identically to ``tomllib``.
 
 ``tomllib`` ships with Python 3.11+; on 3.10 (which this repo still
 supports and CI exercises) a minimal fallback parser handles exactly
@@ -32,7 +43,13 @@ try:  # Python 3.11+
 except ImportError:  # pragma: no cover - exercised only on 3.10
     tomllib = None  # type: ignore[assignment]
 
-__all__ = ["DEFAULTS", "LintConfig", "find_pyproject", "load_config"]
+__all__ = [
+    "DEFAULTS",
+    "LayerContract",
+    "LintConfig",
+    "find_pyproject",
+    "load_config",
+]
 
 #: Built-in defaults mirroring this repository's layout; external
 #: projects override them wholesale from their own pyproject.
@@ -51,8 +68,45 @@ DEFAULTS: dict[str, object] = {
         "repro.simulation.dag_engine",
     ],
     "async-packages": ["repro.service"],
+    "dispatch-abcs": [
+        "repro.schedulers.base.Scheduler",
+        "repro.service.backends.base.StorageBackend",
+    ],
+    "names-module": "repro.obs.names",
     "baseline": ".reprolint-baseline.json",
 }
+
+
+@dataclass(frozen=True)
+class LayerContract:
+    """One ``[tool.reprolint.layers.<name>]`` architecture contract.
+
+    Modules matching any prefix in ``modules`` must not import modules
+    matching any prefix in ``forbid`` at module level, except exact
+    modules listed in ``allow`` (the escape hatch for a sanctioned
+    facade such as ``repro.obs``).
+    """
+
+    name: str
+    modules: tuple[str, ...]
+    forbid: tuple[str, ...]
+    allow: tuple[str, ...] = ()
+
+    def covers(self, module: str) -> bool:
+        """Whether this contract constrains ``module``."""
+        return any(
+            module == p or module.startswith(p + ".")
+            for p in self.modules
+        )
+
+    def forbids(self, imported: str) -> bool:
+        """Whether importing ``imported`` violates this contract."""
+        if imported in self.allow:
+            return False
+        return any(
+            imported == p or imported.startswith(p + ".")
+            for p in self.forbid
+        )
 
 
 @dataclass(frozen=True)
@@ -73,6 +127,15 @@ class LintConfig:
     async_packages: tuple[str, ...] = tuple(
         DEFAULTS["async-packages"]  # type: ignore[arg-type]
     )
+    #: ABC qualnames whose method calls fan out to every registered
+    #: implementation in the call graph (conservative dynamic dispatch).
+    dispatch_abcs: tuple[str, ...] = tuple(
+        DEFAULTS["dispatch-abcs"]  # type: ignore[arg-type]
+    )
+    #: Module declaring METRIC_NAMES/SPAN_NAMES (M001/M002 registry).
+    names_module: str = str(DEFAULTS["names-module"])
+    #: Architecture contracts enforced by L001.
+    layers: tuple[LayerContract, ...] = ()
     #: Baseline path, relative to the config file's directory.
     baseline: str = str(DEFAULTS["baseline"])
     #: Rule ids disabled outright.
@@ -139,11 +202,48 @@ def load_config(pyproject: str | Path | None = None) -> LintConfig:
             table, "async-packages",
             DEFAULTS["async-packages"],  # type: ignore[arg-type]
         ),
+        dispatch_abcs=_strings(
+            table, "dispatch-abcs",
+            DEFAULTS["dispatch-abcs"],  # type: ignore[arg-type]
+        ),
+        names_module=str(
+            table.get("names-module", DEFAULTS["names-module"])
+        ),
+        layers=_layer_contracts(table.get("layers", {})),
         baseline=str(table.get("baseline", DEFAULTS["baseline"])),
         disabled_rules=_strings(table, "disable", []),
         severity=severity,
         root=path.parent,
     )
+
+
+def _layer_contracts(raw: object) -> tuple[LayerContract, ...]:
+    """``[tool.reprolint.layers.*]`` sections as frozen contracts.
+
+    Malformed entries (non-table values, missing ``modules``/``forbid``)
+    are dropped rather than raised on — lint configuration must never
+    crash the checker on a foreign pyproject.
+    """
+    if not isinstance(raw, dict):
+        return ()
+    contracts: list[LayerContract] = []
+    for name in sorted(raw):
+        body = raw[name]
+        if not isinstance(body, dict):
+            continue
+        modules = _strings(body, "modules", [])
+        forbid = _strings(body, "forbid", [])
+        if not modules or not forbid:
+            continue
+        contracts.append(
+            LayerContract(
+                name=str(name),
+                modules=modules,
+                forbid=forbid,
+                allow=_strings(body, "allow", []),
+            )
+        )
+    return tuple(contracts)
 
 
 def _strings(

@@ -1,9 +1,15 @@
 """The lint framework: findings, rules, pragmas, and the file driver.
 
 A :class:`Rule` inspects one parsed file (:class:`FileContext`) and
-yields :class:`Finding` objects.  Rules register themselves in a global
-registry via the :func:`register` decorator, so the CLI and the tests
-discover the shipped pack without hand-maintained lists.
+yields :class:`Finding` objects.  A :class:`ProjectRule` instead
+inspects the *whole program* at once — every parsed file plus the
+project symbol table, call graph, and taint results built by
+:mod:`repro.lintkit.symbols` — which is how the interprocedural rules
+(D004 transitive nondeterminism, L001/L002 architecture contracts,
+M002 dead registry names) see across module boundaries.  Rules of both
+scopes register themselves in a global registry via the
+:func:`register` decorator, so the CLI and the tests discover the
+shipped pack without hand-maintained lists.
 
 Suppression happens at two layers:
 
@@ -14,8 +20,10 @@ Suppression happens at two layers:
   existing findings without touching the source.
 
 The driver (:class:`Checker`) walks the requested paths, parses each
-``.py`` file once, runs every enabled rule over the shared context, and
-returns pragma-filtered findings sorted by location.
+``.py`` file once, runs every enabled per-file rule over the shared
+context, then builds one project context over all parsed files and
+runs the project-scope rules.  Findings come back pragma-filtered and
+sorted by location either way.
 """
 
 from __future__ import annotations
@@ -26,14 +34,18 @@ import tokenize
 from dataclasses import dataclass, field, replace
 from io import StringIO
 from pathlib import Path
-from typing import Callable, Iterable, Iterator
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator
 
 from repro.lintkit.config import LintConfig
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import (cycle guard)
+    from repro.lintkit.symbols import Project
 
 __all__ = [
     "Checker",
     "FileContext",
     "Finding",
+    "ProjectRule",
     "Rule",
     "all_rules",
     "get_rule",
@@ -91,6 +103,9 @@ class Rule:
     description: str = ""
     #: Severity unless overridden by ``[tool.reprolint.severity]``.
     default_severity: str = "error"
+    #: ``"file"`` rules see one parsed file at a time; ``"project"``
+    #: rules (see :class:`ProjectRule`) run once over all of them.
+    scope: str = "file"
 
     def check(self, ctx: "FileContext") -> Iterator[Finding]:
         """Yield findings for one file; override in subclasses."""
@@ -107,6 +122,27 @@ class Rule:
             col=getattr(node, "col_offset", 0) + 1,
             message=message,
         )
+
+
+class ProjectRule(Rule):
+    """Base class of whole-program rules (D004, L001, L002, M002).
+
+    Project rules run once per lint invocation, after every file has
+    been parsed, against the :class:`repro.lintkit.symbols.Project`
+    built over the full file set.  ``check`` is inert — the driver
+    calls :meth:`check_project` instead — so a project rule mixed into
+    the per-file loop yields nothing rather than crashing.
+    """
+
+    scope: str = "project"
+
+    def check(self, ctx: "FileContext") -> Iterator[Finding]:
+        """Project rules produce nothing per-file."""
+        return iter(())
+
+    def check_project(self, project: "Project") -> Iterator[Finding]:
+        """Yield findings over the whole project; override in subclasses."""
+        raise NotImplementedError
 
 
 _REGISTRY: dict[str, type[Rule]] = {}
@@ -347,14 +383,45 @@ class Checker:
     # -- execution ---------------------------------------------------------
 
     def check_file(self, ctx: FileContext) -> list[Finding]:
-        """Run every enabled rule over one parsed file."""
+        """Run every enabled per-file rule over one parsed file."""
         findings: list[Finding] = []
         for rule in self.rules:
+            if rule.scope != "file":
+                continue
             severity = self.config.severity_for(
                 rule.id, rule.default_severity
             )
             for finding in rule.check(ctx):
                 if ctx.suppressed(finding):
+                    continue
+                findings.append(replace(finding, severity=severity))
+        return findings
+
+    def check_project(self, contexts: list[FileContext]) -> list[Finding]:
+        """Run the project-scope rules once over all parsed files.
+
+        Pragma suppression still applies: a finding anchored on a line
+        carrying ``# reprolint: ignore[...]`` in its own file is
+        dropped, exactly as for per-file rules.
+        """
+        project_rules = [
+            r for r in self.rules if isinstance(r, ProjectRule)
+        ]
+        if not project_rules or not contexts:
+            return []
+        # Imported lazily: symbols imports this module for FileContext.
+        from repro.lintkit.symbols import build_project
+
+        project = build_project(contexts, self.config)
+        by_path = {ctx.display_path: ctx for ctx in contexts}
+        findings: list[Finding] = []
+        for rule in project_rules:
+            severity = self.config.severity_for(
+                rule.id, rule.default_severity
+            )
+            for finding in rule.check_project(project):
+                ctx = by_path.get(finding.path)
+                if ctx is not None and ctx.suppressed(finding):
                     continue
                 findings.append(replace(finding, severity=severity))
         return findings
@@ -365,15 +432,23 @@ class Checker:
         *,
         on_file: Callable[[Path], None] | None = None,
     ) -> list[Finding]:
-        """Check all files under ``paths``; findings sorted by location."""
+        """Check all files under ``paths``; findings sorted by location.
+
+        Per-file rules run as each file parses; once the whole file set
+        is in hand, the project-scope rules run over the combined
+        symbol table / call graph / import graph.
+        """
         findings: list[Finding] = []
+        contexts: list[FileContext] = []
         for path in self.iter_files(paths):
             if on_file is not None:
                 on_file(path)
             ctx = self.parse(path)
             if ctx is None:
                 continue
+            contexts.append(ctx)
             findings.extend(self.check_file(ctx))
+        findings.extend(self.check_project(contexts))
         findings.sort(
             key=lambda f: (f.path, f.line, f.col, f.rule_id)
         )

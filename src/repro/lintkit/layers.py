@@ -1,0 +1,322 @@
+"""Architecture-layer contracts (L001) and import-cycle detection (L002).
+
+Contracts are declared next to the build metadata::
+
+    [tool.reprolint.layers.deterministic-core]
+    modules = ["repro.core", "repro.simulation", "repro.knapsack"]
+    forbid  = ["repro.service", "repro.obs"]
+    allow   = ["repro.obs"]          # the facade module, exactly
+
+``modules``/``forbid`` are dotted prefixes; ``allow`` lists *exact*
+modules exempt from ``forbid`` — the sanctioned facade pattern
+(``from repro import obs`` is fine, ``from repro.obs.metrics import
+...`` is not).
+
+Only **module-level** imports count.  A lazy import inside a function
+body is the sanctioned way to cross a layer for a leaf feature, and
+``if TYPE_CHECKING:`` blocks are skipped outright — the repo uses them
+deliberately as cycle guards, and they cost nothing at runtime.
+
+Import targets are canonicalized against the checked file set:
+``from repro import obs`` resolves to the project module ``repro.obs``
+(not the package hub ``repro``), and ``from repro.lintkit import
+baseline`` to ``repro.lintkit.baseline`` — so L002's cycle detection
+sees real module-to-module edges instead of false cycles through
+package ``__init__`` re-export hubs.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.lintkit.framework import FileContext, Finding, ProjectRule, register
+from repro.lintkit.symbols import Project
+
+__all__ = [
+    "ImportCycleRule",
+    "LayerContractRule",
+    "ModuleImport",
+    "module_imports",
+]
+
+
+@dataclass(frozen=True)
+class ModuleImport:
+    """One module-level import edge, canonicalized and anchored."""
+
+    module: str
+    line: int
+    col: int
+
+
+def _is_type_checking(test: ast.expr) -> bool:
+    """Whether an ``if`` test is the ``TYPE_CHECKING`` guard."""
+    if isinstance(test, ast.Name):
+        return test.id == "TYPE_CHECKING"
+    if isinstance(test, ast.Attribute):
+        return test.attr == "TYPE_CHECKING"
+    return False
+
+
+def _module_level_imports(
+    tree: ast.Module,
+) -> Iterator[ast.Import | ast.ImportFrom]:
+    """Import statements that execute at import time.
+
+    Recurses into ``if``/``try``/``with`` at module level (conditional
+    imports still run at import time) but not into function or class
+    bodies, and skips ``if TYPE_CHECKING:`` bodies entirely.
+    """
+    stack: list[ast.stmt] = list(reversed(tree.body))
+    while stack:
+        stmt = stack.pop()
+        if isinstance(stmt, (ast.Import, ast.ImportFrom)):
+            yield stmt
+        elif isinstance(stmt, ast.If):
+            if not _is_type_checking(stmt.test):
+                stack.extend(reversed(stmt.body))
+            stack.extend(reversed(stmt.orelse))
+        elif isinstance(stmt, ast.Try):
+            stack.extend(reversed(stmt.finalbody))
+            stack.extend(reversed(stmt.orelse))
+            for handler in reversed(stmt.handlers):
+                stack.extend(reversed(handler.body))
+            stack.extend(reversed(stmt.body))
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            stack.extend(reversed(stmt.body))
+
+
+def _relative_base(ctx: FileContext, level: int) -> str | None:
+    """Absolute package a ``level``-dot relative import anchors at."""
+    parts = ctx.module.split(".")
+    if ctx.path.name != "__init__.py":
+        parts = parts[:-1]
+    up = level - 1
+    if up > len(parts):
+        return None
+    if up:
+        parts = parts[:-up]
+    return ".".join(parts) or None
+
+
+def module_imports(
+    ctx: FileContext, project_modules: set[str]
+) -> list[ModuleImport]:
+    """Canonical module-level import edges of one file, in order."""
+    edges: list[ModuleImport] = []
+    for stmt in _module_level_imports(ctx.tree):
+        if isinstance(stmt, ast.Import):
+            for alias in stmt.names:
+                edges.append(
+                    ModuleImport(
+                        module=alias.name,
+                        line=stmt.lineno,
+                        col=stmt.col_offset + 1,
+                    )
+                )
+            continue
+        base = stmt.module
+        if stmt.level:
+            anchor = _relative_base(ctx, stmt.level)
+            if anchor is None:
+                continue
+            base = f"{anchor}.{stmt.module}" if stmt.module else anchor
+        if base is None:
+            continue
+        for alias in stmt.names:
+            candidate = f"{base}.{alias.name}"
+            target = candidate if candidate in project_modules else base
+            edges.append(
+                ModuleImport(
+                    module=target,
+                    line=stmt.lineno,
+                    col=stmt.col_offset + 1,
+                )
+            )
+    return edges
+
+
+def _project_imports(project: Project) -> dict[str, list[ModuleImport]]:
+    """Per-module canonical import lists, built once and cached."""
+    cached = project.cache.get("imports")
+    if isinstance(cached, dict):
+        return cached
+    modules = set(project.contexts)
+    imports = {
+        ctx.module: module_imports(ctx, modules)
+        for ctx in project.sorted_contexts()
+    }
+    project.cache["imports"] = imports
+    return imports
+
+
+@register
+class LayerContractRule(ProjectRule):
+    """L001: module-level imports must respect the declared layers."""
+
+    id = "L001"
+    name = "layer-contract"
+    description = (
+        "a module imported across a [tool.reprolint.layers] boundary; "
+        "use the sanctioned facade or a lazy function-level import"
+    )
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        imports = _project_imports(project)
+        for contract in project.config.layers:
+            for ctx in project.sorted_contexts():
+                if not contract.covers(ctx.module):
+                    continue
+                for imp in imports[ctx.module]:
+                    if not contract.forbids(imp.module):
+                        continue
+                    yield Finding(
+                        rule_id=self.id,
+                        path=ctx.display_path,
+                        line=imp.line,
+                        col=imp.col,
+                        message=(
+                            f"layer contract `{contract.name}` forbids "
+                            f"{ctx.module} -> {imp.module}; import it "
+                            f"lazily inside the function that needs it, "
+                            f"or add an exact module to the contract's "
+                            f"`allow` list"
+                        ),
+                    )
+
+
+def _strongly_connected(
+    nodes: list[str], edges: dict[str, list[str]]
+) -> list[list[str]]:
+    """Tarjan's SCC, iterative, deterministic in node/edge order."""
+    index: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    sccs: list[list[str]] = []
+    counter = 0
+    for root in nodes:
+        if root in index:
+            continue
+        work: list[tuple[str, int]] = [(root, 0)]
+        while work:
+            node, edge_i = work.pop()
+            if edge_i == 0:
+                index[node] = low[node] = counter
+                counter += 1
+                stack.append(node)
+                on_stack.add(node)
+            descended = False
+            succs = edges.get(node, [])
+            for j in range(edge_i, len(succs)):
+                succ = succs[j]
+                if succ not in index:
+                    work.append((node, j + 1))
+                    work.append((succ, 0))
+                    descended = True
+                    break
+                if succ in on_stack:
+                    low[node] = min(low[node], index[succ])
+            if descended:
+                continue
+            if low[node] == index[node]:
+                scc: list[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    scc.append(member)
+                    if member == node:
+                        break
+                sccs.append(scc)
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+    return sccs
+
+
+def _shortest_cycle(
+    start: str, members: set[str], edges: dict[str, list[str]]
+) -> list[str]:
+    """BFS a shortest ``start -> ... -> start`` path inside one SCC."""
+    prev: dict[str, str] = {}
+    queue = [start]
+    head = 0
+    while head < len(queue):
+        node = queue[head]
+        head += 1
+        for succ in edges.get(node, []):
+            if succ not in members:
+                continue
+            if succ == start:
+                path = [start]
+                tail: list[str] = []
+                current = node
+                while current != start:
+                    tail.append(current)
+                    current = prev[current]
+                path.extend(reversed(tail))
+                path.append(start)
+                return path
+            if succ not in prev:
+                prev[succ] = node
+                queue.append(succ)
+    return [start, start]
+
+
+@register
+class ImportCycleRule(ProjectRule):
+    """L002: no cycles in the intra-package import graph."""
+
+    id = "L002"
+    name = "import-cycle"
+    description = (
+        "a module-level import cycle inside the checked package; "
+        "break it with a lazy import or an interface module"
+    )
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        imports = _project_imports(project)
+        nodes = sorted(project.contexts)
+        edges: dict[str, list[str]] = {}
+        for module in nodes:
+            seen: set[str] = set()
+            for imp in imports[module]:
+                target = imp.module
+                if (
+                    target in project.contexts
+                    and target != module
+                    and target not in seen
+                ):
+                    seen.add(target)
+                    edges.setdefault(module, []).append(target)
+        for scc in _strongly_connected(nodes, edges):
+            if len(scc) < 2:
+                continue
+            members = set(scc)
+            anchor_module = min(scc)
+            cycle = _shortest_cycle(anchor_module, members, edges)
+            ctx = project.contexts[anchor_module]
+            anchor = next(
+                (
+                    imp
+                    for imp in imports[anchor_module]
+                    if imp.module == cycle[1]
+                ),
+                None,
+            )
+            line = anchor.line if anchor is not None else 1
+            col = anchor.col if anchor is not None else 1
+            yield Finding(
+                rule_id=self.id,
+                path=ctx.display_path,
+                line=line,
+                col=col,
+                message=(
+                    "module-level import cycle: "
+                    + " -> ".join(cycle)
+                    + "; break it with a lazy (function-level) import "
+                    + "or by extracting the shared interface"
+                ),
+            )

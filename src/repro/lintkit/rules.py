@@ -43,17 +43,28 @@ Async rules (scoped by ``async-packages``):
 from __future__ import annotations
 
 import ast
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
-from repro.lintkit.framework import FileContext, Finding, Rule, register
+from repro.lintkit.framework import (
+    FileContext,
+    Finding,
+    ProjectRule,
+    Rule,
+    register,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.lintkit.symbols import Project
 
 __all__ = [
     "AsyncBlockingRule",
+    "DeadNameRule",
     "ErrorCodeRule",
     "GlobalRngRule",
     "MetricNameRule",
     "UnorderedIterationRule",
     "WallClockRule",
+    "rng_violation",
 ]
 
 # -- D001 -------------------------------------------------------------------
@@ -128,6 +139,41 @@ NUMPY_RANDOM_OK: frozenset[str] = frozenset(
 )
 
 
+def rng_violation(node: ast.Call, target: str) -> str | None:
+    """Why one resolved call is a hidden-global-RNG read, or ``None``.
+
+    Shared by the per-file D002 rule and the D004 taint pass so both
+    honor the same sanctioned patterns (seeded ``random.Random(seed)``,
+    ``numpy.random.default_rng(seed)``, the Generator API).
+    """
+    parts = target.split(".")
+    if parts[0] == "random" and len(parts) == 2:
+        if parts[1] in GLOBAL_RANDOM_FUNCS:
+            return (
+                f"`{target}()` draws from the hidden module-global "
+                f"RNG; construct `random.Random(seed)` and pass it "
+                f"explicitly"
+            )
+        if parts[1] == "Random" and not node.args and not node.keywords:
+            return (
+                "bare `random.Random()` seeds from the OS; pass an "
+                "explicit seed so the stream replays"
+            )
+    if parts[:2] == ["numpy", "random"] and len(parts) == 3:
+        attr = parts[2]
+        if attr == "default_rng" and not node.args and not node.keywords:
+            return (
+                "`numpy.random.default_rng()` without a seed is "
+                "OS-entropy-seeded; pass an explicit seed"
+            )
+        if attr not in NUMPY_RANDOM_OK:
+            return (
+                f"legacy `{target}()` mutates numpy's module-global "
+                f"RNG state; use `numpy.random.default_rng(seed)`"
+            )
+    return None
+
+
 @register
 class GlobalRngRule(Rule):
     """D002: no unseeded or hidden-global RNG in deterministic packages."""
@@ -148,47 +194,9 @@ class GlobalRngRule(Rule):
             target = ctx.resolve_call(node.func)
             if target is None:
                 continue
-            finding = self._classify(ctx, node, target)
-            if finding is not None:
-                yield finding
-
-    def _classify(
-        self, ctx: FileContext, node: ast.Call, target: str
-    ) -> Finding | None:
-        parts = target.split(".")
-        if parts[0] == "random" and len(parts) == 2:
-            if parts[1] in GLOBAL_RANDOM_FUNCS:
-                return self.finding(
-                    ctx,
-                    node,
-                    f"`{target}()` draws from the hidden module-global "
-                    f"RNG; construct `random.Random(seed)` and pass it "
-                    f"explicitly",
-                )
-            if parts[1] == "Random" and not node.args and not node.keywords:
-                return self.finding(
-                    ctx,
-                    node,
-                    "bare `random.Random()` seeds from the OS; pass an "
-                    "explicit seed so the stream replays",
-                )
-        if parts[:2] == ["numpy", "random"] and len(parts) == 3:
-            attr = parts[2]
-            if attr == "default_rng" and not node.args and not node.keywords:
-                return self.finding(
-                    ctx,
-                    node,
-                    "`numpy.random.default_rng()` without a seed is "
-                    "OS-entropy-seeded; pass an explicit seed",
-                )
-            if attr not in NUMPY_RANDOM_OK:
-                return self.finding(
-                    ctx,
-                    node,
-                    f"legacy `{target}()` mutates numpy's module-global "
-                    f"RNG state; use `numpy.random.default_rng(seed)`",
-                )
-        return None
+            message = rng_violation(node, target)
+            if message is not None:
+                yield self.finding(ctx, node, message)
 
 
 # -- D003 -------------------------------------------------------------------
@@ -337,6 +345,118 @@ class MetricNameRule(Rule):
         except ImportError:  # pragma: no cover - registry missing
             return None
         return names.METRIC_NAMES, names.SPAN_NAMES
+
+
+# -- M002 -------------------------------------------------------------------
+
+#: Registry assignments M002 reads in the names module.
+_NAME_REGISTRIES: frozenset[str] = frozenset({"METRIC_NAMES", "SPAN_NAMES"})
+
+
+@register
+class DeadNameRule(ProjectRule):
+    """M002: declared metric/span names must be emitted somewhere.
+
+    The reverse direction of M001: a name declared in the registry
+    module (``names-module``, default :mod:`repro.obs.names`) that no
+    checked file ever emits is dead weight — usually a leftover from a
+    renamed series.  A name counts as emitted when a literal obs-helper
+    call uses it, when an f-string obs-helper prefix covers it, or when
+    the exact literal appears anywhere else in the checked files (a
+    report querying stored series by name is a legitimate use).
+
+    When the registry module is outside the checked path set the rule
+    stays silent — a partial scan cannot prove a name dead.
+    """
+
+    id = "M002"
+    name = "dead-metric-name"
+    description = (
+        "a name declared in repro.obs.names is never emitted or "
+        "referenced in the checked files; delete it or emit it"
+    )
+
+    def check_project(self, project: "Project") -> Iterator[Finding]:
+        names_ctx = project.contexts.get(project.config.names_module)
+        if names_ctx is None:
+            return
+        declared = self._declared(names_ctx)
+        if not declared:
+            return
+        literals, prefixes = self._uses(project, names_ctx)
+        for value, node in declared:
+            if value in literals:
+                continue
+            if any(p and value.startswith(p) for p in prefixes):
+                continue
+            yield Finding(
+                rule_id=self.id,
+                path=names_ctx.display_path,
+                line=node.lineno,
+                col=node.col_offset + 1,
+                message=(
+                    f"declared name {value!r} is never emitted or "
+                    f"referenced anywhere in the checked files; remove "
+                    f"the declaration or wire up the emission"
+                ),
+            )
+
+    @staticmethod
+    def _declared(ctx: FileContext) -> list[tuple[str, ast.Constant]]:
+        """(name, declaration node) pairs from the registry assignments."""
+        declared: list[tuple[str, ast.Constant]] = []
+        for stmt in ctx.tree.body:
+            targets: list[ast.expr] = []
+            value: ast.expr | None = None
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            if value is None or not any(
+                isinstance(t, ast.Name) and t.id in _NAME_REGISTRIES
+                for t in targets
+            ):
+                continue
+            for node in ast.walk(value):
+                if isinstance(node, ast.Constant) and isinstance(
+                    node.value, str
+                ):
+                    declared.append((node.value, node))
+        return declared
+
+    @staticmethod
+    def _uses(
+        project: "Project", names_ctx: FileContext
+    ) -> tuple[set[str], set[str]]:
+        """Exact literals and obs-helper f-string prefixes in use."""
+        helpers = _METRIC_HELPERS | _SPAN_HELPERS
+        literals: set[str] = set()
+        prefixes: set[str] = set()
+        for ctx in project.sorted_contexts():
+            if ctx.module == names_ctx.module:
+                continue
+            for node in ast.walk(ctx.tree):
+                if isinstance(node, ast.Constant) and isinstance(
+                    node.value, str
+                ):
+                    literals.add(node.value)
+                if not (
+                    isinstance(node, ast.Call)
+                    and node.args
+                    and isinstance(node.func, ast.Attribute)
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id == "obs"
+                    and node.func.attr in helpers
+                ):
+                    continue
+                arg = node.args[0]
+                if isinstance(arg, ast.JoinedStr) and arg.values:
+                    head = arg.values[0]
+                    if isinstance(head, ast.Constant) and isinstance(
+                        head.value, str
+                    ):
+                        prefixes.add(head.value)
+        return literals, prefixes
 
 
 # -- P001 -------------------------------------------------------------------

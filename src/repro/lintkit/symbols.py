@@ -1,0 +1,383 @@
+"""Project-wide symbol table for the interprocedural rules.
+
+Per-file rules resolve a call target through that file's import
+aliases and stop there.  The whole-program pass needs one step more:
+``repro.core.plan_grouping`` must resolve to the *definition* it names
+even when the name is a re-export (``repro/core/__init__.py`` doing
+``from repro.core.heuristics import plan_grouping``), and
+``self.schedule(...)`` must resolve through the class hierarchy.  This
+module builds that table once per lint run:
+
+* :class:`FunctionInfo` — one module-level function or method, plus a
+  ``<module>`` pseudo-function per file capturing top-level calls;
+* :class:`ClassInfo` — one class with its base refs, method map, and
+  the annotated types of its attributes (for ``self.backend.claim()``
+  -style dispatch);
+* :class:`SymbolTable` — lookup with re-export chasing and MRO walks;
+* :class:`Project` — the table plus every parsed
+  :class:`~repro.lintkit.framework.FileContext` and a cache shared by
+  the call-graph and taint passes.
+
+Only names *defined inside the checked file set* resolve; calls into
+the stdlib or third-party code resolve to ``None`` and terminate call
+chains, which keeps the analysis conservative and fast.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator, Union
+
+from repro.lintkit.config import LintConfig
+from repro.lintkit.framework import FileContext
+
+__all__ = [
+    "ClassInfo",
+    "FunctionInfo",
+    "MODULE_FUNC",
+    "Project",
+    "SymbolTable",
+    "annotation_refs",
+    "build_project",
+]
+
+#: Name of the per-module pseudo-function holding top-level calls.
+MODULE_FUNC = "<module>"
+
+#: How many re-export hops :meth:`SymbolTable.resolve` will chase.
+_MAX_HOPS = 8
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef, ast.Module]
+
+
+@dataclass(frozen=True, eq=False)
+class FunctionInfo:
+    """One function-like definition the call graph can stand on."""
+
+    #: Fully-qualified name: ``pkg.mod.func``, ``pkg.mod.Cls.meth``,
+    #: or ``pkg.mod.<module>`` for top-level code.
+    qualname: str
+    #: Dotted module the definition lives in.
+    module: str
+    #: Bare name (``func``, ``meth``, or ``<module>``).
+    name: str
+    #: Qualname of the owning class, or ``None`` for plain functions.
+    cls: str | None
+    #: The definition's AST (the whole module for ``<module>``).
+    node: FunctionNode
+    #: The file the definition was parsed from.
+    ctx: FileContext
+    #: Parameter name -> candidate annotated type refs (alias-expanded
+    #: dotted paths, unresolved — resolve through the table at use).
+    param_types: dict[str, tuple[str, ...]] = field(default_factory=dict)
+
+    def anchor_line(self) -> int:
+        """Line the definition starts on (1 for ``<module>``)."""
+        return getattr(self.node, "lineno", 1)
+
+
+@dataclass(frozen=True, eq=False)
+class ClassInfo:
+    """One class definition with enough shape for method dispatch."""
+
+    qualname: str
+    module: str
+    name: str
+    node: ast.ClassDef
+    #: Alias-expanded dotted refs of the listed bases, in order.
+    bases: tuple[str, ...]
+    #: Method name -> method qualname (this class only, no MRO).
+    methods: dict[str, str] = field(default_factory=dict)
+    #: Attribute name -> candidate annotated type refs, from class-body
+    #: ``AnnAssign`` and ``self.x = param`` over annotated ``__init__``
+    #: parameters.
+    attr_types: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    ctx: FileContext | None = None
+
+
+def annotation_refs(ctx: FileContext, node: ast.expr | None) -> tuple[str, ...]:
+    """Candidate dotted type refs named by an annotation expression.
+
+    Handles the shapes the codebase actually writes: bare names,
+    dotted attributes, string annotations, ``X | None`` unions, and
+    ``Optional[X]`` subscripts.  Unrecognized shapes contribute
+    nothing — an unannotated or exotic parameter simply cannot
+    dispatch, which errs on the quiet side.
+    """
+    if node is None:
+        return ()
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            parsed = ast.parse(node.value, mode="eval")
+        except SyntaxError:
+            return ()
+        return annotation_refs(ctx, parsed.body)
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        return annotation_refs(ctx, node.left) + annotation_refs(
+            ctx, node.right
+        )
+    if isinstance(node, ast.Subscript):
+        target = ctx.resolve_call(node.value)
+        if target is not None and target.rsplit(".", 1)[-1] == "Optional":
+            return annotation_refs(ctx, node.slice)
+        return ()
+    if isinstance(node, (ast.Name, ast.Attribute)):
+        ref = ctx.resolve_call(node)
+        if ref is None or ref == "None":
+            return ()
+        return (ref,)
+    return ()
+
+
+class SymbolTable:
+    """Lookup over every definition in the checked file set."""
+
+    def __init__(self) -> None:
+        self.functions: dict[str, FunctionInfo] = {}
+        self.classes: dict[str, ClassInfo] = {}
+        #: Dotted module name -> its parsed file.
+        self.modules: dict[str, FileContext] = {}
+
+    # -- construction ------------------------------------------------------
+
+    def add_module(self, ctx: FileContext) -> None:
+        """Index one parsed file: functions, classes, ``<module>``."""
+        self.modules[ctx.module] = ctx
+        self.functions[f"{ctx.module}.{MODULE_FUNC}"] = FunctionInfo(
+            qualname=f"{ctx.module}.{MODULE_FUNC}",
+            module=ctx.module,
+            name=MODULE_FUNC,
+            cls=None,
+            node=ctx.tree,
+            ctx=ctx,
+        )
+        for stmt in ctx.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._add_function(ctx, stmt, cls=None)
+            elif isinstance(stmt, ast.ClassDef):
+                self._add_class(ctx, stmt)
+
+    def _add_function(
+        self,
+        ctx: FileContext,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+        *,
+        cls: str | None,
+    ) -> FunctionInfo:
+        owner = cls if cls is not None else ctx.module
+        qualname = f"{owner}.{node.name}"
+        params: dict[str, tuple[str, ...]] = {}
+        args = node.args
+        for arg in [
+            *args.posonlyargs, *args.args, *args.kwonlyargs,
+        ]:
+            refs = annotation_refs(ctx, arg.annotation)
+            if refs:
+                params[arg.arg] = refs
+        info = FunctionInfo(
+            qualname=qualname,
+            module=ctx.module,
+            name=node.name,
+            cls=cls,
+            node=node,
+            ctx=ctx,
+            param_types=params,
+        )
+        self.functions[qualname] = info
+        return info
+
+    def _add_class(self, ctx: FileContext, node: ast.ClassDef) -> None:
+        qualname = f"{ctx.module}.{node.name}"
+        bases = tuple(
+            ref
+            for base in node.bases
+            for ref in [ctx.resolve_call(base)]
+            if ref is not None
+        )
+        methods: dict[str, str] = {}
+        attr_types: dict[str, tuple[str, ...]] = {}
+        init: ast.FunctionDef | ast.AsyncFunctionDef | None = None
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                info = self._add_function(ctx, stmt, cls=qualname)
+                methods[stmt.name] = info.qualname
+                if stmt.name == "__init__":
+                    init = stmt
+            elif isinstance(stmt, ast.AnnAssign) and isinstance(
+                stmt.target, ast.Name
+            ):
+                refs = annotation_refs(ctx, stmt.annotation)
+                if refs:
+                    attr_types[stmt.target.id] = refs
+        if init is not None:
+            self._init_attr_types(ctx, qualname, init, attr_types)
+        self.classes[qualname] = ClassInfo(
+            qualname=qualname,
+            module=ctx.module,
+            name=node.name,
+            node=node,
+            bases=bases,
+            methods=methods,
+            attr_types=attr_types,
+            ctx=ctx,
+        )
+
+    def _init_attr_types(
+        self,
+        ctx: FileContext,
+        cls_qualname: str,
+        init: ast.FunctionDef | ast.AsyncFunctionDef,
+        attr_types: dict[str, tuple[str, ...]],
+    ) -> None:
+        """Record ``self.x = param`` types from an annotated ``__init__``."""
+        init_info = self.functions.get(f"{cls_qualname}.__init__")
+        params = init_info.param_types if init_info is not None else {}
+        for stmt in ast.walk(init):
+            target: ast.expr | None = None
+            value: ast.expr | None = None
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target, value = stmt.targets[0], stmt.value
+            elif isinstance(stmt, ast.AnnAssign):
+                target = stmt.target
+                refs = annotation_refs(ctx, stmt.annotation)
+                if (
+                    refs
+                    and isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    attr_types.setdefault(target.attr, refs)
+                continue
+            if not (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+                and isinstance(value, ast.Name)
+            ):
+                continue
+            refs = params.get(value.id, ())
+            if refs:
+                attr_types.setdefault(target.attr, refs)
+
+    # -- lookup ------------------------------------------------------------
+
+    def resolve(
+        self, dotted: str | None
+    ) -> FunctionInfo | ClassInfo | None:
+        """Resolve a dotted ref to its definition, chasing re-exports.
+
+        ``repro.core.plan_grouping`` resolves through the package
+        ``__init__``'s ``from ... import`` alias map to the real
+        ``repro.core.heuristics.plan_grouping`` definition.  Method
+        refs (``pkg.mod.Cls.meth``) resolve through the class's MRO.
+        Anything outside the checked file set returns ``None``.
+        """
+        for _ in range(_MAX_HOPS):
+            if dotted is None:
+                return None
+            hit = self.functions.get(dotted) or self.classes.get(dotted)
+            if hit is not None:
+                return hit
+            dotted = self._chase(dotted)
+        return None
+
+    def _chase(self, dotted: str) -> str | None:
+        """One resolution hop: alias maps, then class-member lookup."""
+        module, remainder = self._split_module(dotted)
+        if module is None or not remainder:
+            return None
+        ctx = self.modules[module]
+        head, *rest = remainder
+        target = ctx.aliases.get(head)
+        if target is not None:
+            candidate = ".".join([target, *rest])
+            if candidate != dotted:
+                return candidate
+        cls = self.classes.get(f"{module}.{head}")
+        if cls is not None and len(rest) == 1:
+            method = self.method_on(cls.qualname, rest[0])
+            if method is not None:
+                return method.qualname
+        return None
+
+    def _split_module(
+        self, dotted: str
+    ) -> tuple[str | None, list[str]]:
+        """Longest known-module prefix of ``dotted`` plus the remainder."""
+        parts = dotted.split(".")
+        for cut in range(len(parts) - 1, 0, -1):
+            prefix = ".".join(parts[:cut])
+            if prefix in self.modules:
+                return prefix, parts[cut:]
+        return None, parts
+
+    def mro(self, cls_qualname: str) -> Iterator[ClassInfo]:
+        """Project-internal classes in BFS base order from ``cls``."""
+        seen: set[str] = set()
+        queue = [cls_qualname]
+        while queue:
+            name = queue.pop(0)
+            if name in seen:
+                continue
+            seen.add(name)
+            cls = self.classes.get(name)
+            if cls is None:
+                resolved = self.resolve(name)
+                cls = resolved if isinstance(resolved, ClassInfo) else None
+            if cls is None:
+                continue
+            yield cls
+            queue.extend(cls.bases)
+
+    def method_on(
+        self, cls_qualname: str, method: str
+    ) -> FunctionInfo | None:
+        """Resolve ``cls.method`` through the project-internal MRO."""
+        for cls in self.mro(cls_qualname):
+            qualname = cls.methods.get(method)
+            if qualname is not None:
+                return self.functions.get(qualname)
+        return None
+
+    def implementations_of(self, abc_qualname: str) -> list[ClassInfo]:
+        """Every class whose base chain reaches ``abc_qualname``."""
+        hits: list[ClassInfo] = []
+        for qualname in sorted(self.classes):
+            if qualname == abc_qualname:
+                continue
+            for base in self.mro(qualname):
+                if base.qualname == abc_qualname:
+                    hits.append(self.classes[qualname])
+                    break
+        return hits
+
+
+@dataclass(eq=False)
+class Project:
+    """Everything the project-scope rules see: files, symbols, cache."""
+
+    config: LintConfig
+    #: Dotted module name -> parsed file, for every checked file.
+    contexts: dict[str, FileContext]
+    symbols: SymbolTable
+    #: Shared memo for the call-graph and taint passes (keyed by pass).
+    cache: dict[str, object] = field(default_factory=dict)
+
+    def sorted_contexts(self) -> list[FileContext]:
+        """The parsed files in deterministic module order."""
+        return [self.contexts[m] for m in sorted(self.contexts)]
+
+
+def build_project(
+    contexts: list[FileContext], config: LintConfig
+) -> Project:
+    """Index every parsed file into one :class:`Project`."""
+    table = SymbolTable()
+    by_module: dict[str, FileContext] = {}
+    for ctx in sorted(contexts, key=lambda c: c.module):
+        if ctx.module in by_module:
+            continue
+        by_module[ctx.module] = ctx
+        table.add_module(ctx)
+    return Project(config=config, contexts=by_module, symbols=table)

@@ -1,0 +1,279 @@
+"""Determinism-taint propagation and the D004 rule.
+
+The per-file rules D001–D003 catch a *direct* nondeterministic read.
+This pass catches the indirect one: a deterministic-scope function
+calling a helper that calls ``random.random()`` two modules away.  It
+works in two steps:
+
+1. **Sources.** Every function is scanned for direct nondeterminism
+   reads — wall-clock calls (:data:`repro.lintkit.rules.WALLCLOCK_CALLS`,
+   honoring ``wallclock-allow``), hidden-global RNG
+   (:func:`repro.lintkit.rules.rng_violation`, so seeded
+   ``random.Random(seed)`` stays sanctioned), ``os.environ`` /
+   ``os.getenv`` reads, and unordered-set iteration inside
+   ``engine-hot-paths`` modules (the only scope where iteration order
+   feeds accumulation, matching D003).
+2. **Propagation.** Taint flows *backwards* over the call graph to a
+   fixed point: callers of tainted functions become tainted, each
+   taint keeping a ``via`` pointer to the call site it arrived
+   through.  Walking the ``via`` chain reconstructs the full witness
+   path for the diagnostic.
+
+Sanctioning a sink: a ``# reprolint: ignore[D004]`` pragma on a call
+site stops propagation through that edge (the callee is vouched-for —
+e.g. it consumes the clock read for logging only); on a source line it
+removes the source.  A D001/D002 pragma does *not* implicitly sanction
+D004 — vouching for the transitive contract is an explicit act.
+
+D004 reports every tainted function whose module is in
+``deterministic-packages``, anchored at the first call hop, with the
+full chain in the message.  Direct (zero-hop) findings are left to
+D001–D003 except for ``os.environ``, which has no per-file rule.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.lintkit.callgraph import CallSite, callgraph_for, iter_calls
+from repro.lintkit.framework import Finding, ProjectRule, register
+from repro.lintkit.rules import WALLCLOCK_CALLS, _is_set_expr, rng_violation
+from repro.lintkit.symbols import MODULE_FUNC, FunctionInfo, Project
+
+__all__ = [
+    "KINDS",
+    "Taint",
+    "TaintSource",
+    "TransitiveNondeterminismRule",
+    "analyze_taints",
+    "render_chain",
+    "taints_for",
+]
+
+#: Taint kinds, in reporting order.
+KINDS: tuple[str, ...] = (
+    "wall-clock", "global-rng", "environment", "set-order",
+)
+
+
+@dataclass(frozen=True)
+class TaintSource:
+    """One direct nondeterminism read: where the leak enters."""
+
+    function: str
+    kind: str
+    line: int
+    col: int
+    #: Short human label of the read, e.g. ``time.time()``.
+    detail: str
+
+
+@dataclass(frozen=True)
+class Taint:
+    """One function's taint of one kind, with its arrival witness.
+
+    ``via`` is ``None`` for the function containing the source itself;
+    otherwise it is the call site the taint propagated through, and
+    chasing ``via.callee`` through the taint map reconstructs the full
+    chain down to the source.
+    """
+
+    kind: str
+    source: TaintSource
+    via: CallSite | None = None
+
+
+def _pragma_blocks(fn: FunctionInfo, line: int) -> bool:
+    """Whether a D004 pragma on ``line`` of ``fn``'s file sanctions it."""
+    rules = fn.ctx.ignores.get(line)
+    return bool(rules) and ("*" in rules or "D004" in rules)
+
+
+def _direct_sources(project: Project, fn: FunctionInfo) -> Iterator[TaintSource]:
+    """Every unsanctioned nondeterminism read inside one function."""
+    config = project.config
+    wallclock_ok = fn.ctx.in_package(config.wallclock_allow)
+    hot_path = fn.ctx.in_package(config.engine_hot_paths)
+    for call in iter_calls(fn):
+        target = fn.ctx.resolve_call(call.func)
+        if target is None:
+            continue
+        kind: str | None = None
+        detail = f"{target}()"
+        if target in WALLCLOCK_CALLS and not wallclock_ok:
+            kind = "wall-clock"
+        elif rng_violation(call, target) is not None:
+            kind = "global-rng"
+        elif target == "os.getenv" or target.startswith("os.environ."):
+            kind = "environment"
+        if kind is not None and not _pragma_blocks(fn, call.lineno):
+            yield TaintSource(
+                function=fn.qualname,
+                kind=kind,
+                line=call.lineno,
+                col=call.col_offset + 1,
+                detail=detail,
+            )
+    for node in _iter_region(fn):
+        if isinstance(node, ast.Subscript):
+            base = fn.ctx.resolve_call(node.value)
+            if base == "os.environ" and not _pragma_blocks(
+                fn, node.lineno
+            ):
+                yield TaintSource(
+                    function=fn.qualname,
+                    kind="environment",
+                    line=node.lineno,
+                    col=node.col_offset + 1,
+                    detail="os.environ[...]",
+                )
+        if not hot_path:
+            continue
+        iters: list[ast.expr] = []
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            iters.append(node.iter)
+        elif isinstance(
+            node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+        ):
+            iters.extend(gen.iter for gen in node.generators)
+        for it in iters:
+            if _is_set_expr(it) and not _pragma_blocks(fn, it.lineno):
+                yield TaintSource(
+                    function=fn.qualname,
+                    kind="set-order",
+                    line=it.lineno,
+                    col=it.col_offset + 1,
+                    detail="iteration over an unordered set",
+                )
+
+
+def _iter_region(fn: FunctionInfo) -> Iterator[ast.AST]:
+    """All AST nodes belonging to ``fn`` (same region as its calls)."""
+    if fn.name != MODULE_FUNC:
+        yield from ast.walk(fn.node)
+        return
+    stack: list[ast.AST] = list(reversed(fn.node.body))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        yield node
+        stack.extend(reversed(list(ast.iter_child_nodes(node))))
+
+
+def analyze_taints(project: Project) -> dict[tuple[str, str], Taint]:
+    """Fixed-point taint map: ``(function, kind) -> first witness``.
+
+    Deterministic by construction: sources are collected in sorted
+    function order, propagation is breadth-first, and the first
+    witness to reach a function wins — so the reported chain is always
+    the shortest (fewest hops), ties broken by qualname order.
+    """
+    table = project.symbols
+    graph = callgraph_for(project)
+    taints: dict[tuple[str, str], Taint] = {}
+    queue: list[tuple[str, str]] = []
+    for qualname in sorted(table.functions):
+        for source in _direct_sources(project, table.functions[qualname]):
+            key = (qualname, source.kind)
+            if key not in taints:
+                taints[key] = Taint(kind=source.kind, source=source)
+                queue.append(key)
+    head = 0
+    while head < len(queue):
+        callee, kind = queue[head]
+        head += 1
+        for site in graph.calls_to(callee):
+            key = (site.caller, kind)
+            if key in taints:
+                continue
+            caller = table.functions.get(site.caller)
+            if caller is None or _pragma_blocks(caller, site.line):
+                continue
+            taints[key] = Taint(
+                kind=kind, source=taints[(callee, kind)].source, via=site
+            )
+            queue.append(key)
+    return taints
+
+
+def taints_for(project: Project) -> dict[tuple[str, str], Taint]:
+    """The project's taint map, built once and cached."""
+    taints = project.cache.get("taints")
+    if not isinstance(taints, dict):
+        taints = analyze_taints(project)
+        project.cache["taints"] = taints
+    return taints
+
+
+def render_chain(
+    project: Project,
+    qualname: str,
+    taint: Taint,
+    taints: dict[tuple[str, str], Taint],
+) -> str:
+    """The witness path as ``a (f:1) -> b (g:2) -> c (h:3: detail)``."""
+    table = project.symbols
+    hops: list[str] = []
+    current, t = qualname, taint
+    for _ in range(len(taints) + 1):
+        fn = table.functions[current]
+        if t.via is None:
+            hops.append(
+                f"{current} ({fn.ctx.display_path}:{t.source.line}: "
+                f"{t.source.detail})"
+            )
+            break
+        hops.append(f"{current} ({fn.ctx.display_path}:{t.via.line})")
+        current = t.via.callee
+        t = taints[(current, t.kind)]
+    return " -> ".join(hops)
+
+
+@register
+class TransitiveNondeterminismRule(ProjectRule):
+    """D004: no nondeterminism reachable from deterministic scope."""
+
+    id = "D004"
+    name = "transitive-nondeterminism"
+    description = (
+        "a deterministic-scope function transitively reaches a "
+        "wall-clock/RNG/environ/set-order read; full call chain in "
+        "the message"
+    )
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        config = project.config
+        taints = taints_for(project)
+        for qualname, kind in sorted(
+            taints, key=lambda k: (k[0], KINDS.index(k[1]))
+        ):
+            fn = project.symbols.functions[qualname]
+            if not fn.ctx.in_package(config.deterministic_packages):
+                continue
+            if kind == "wall-clock" and fn.ctx.in_package(
+                config.wallclock_allow
+            ):
+                continue
+            taint = taints[(qualname, kind)]
+            if taint.via is None:
+                # Zero-hop reads are D001/D002/D003 territory; only
+                # the environment kind has no per-file rule.
+                if kind != "environment":
+                    continue
+                line, col = taint.source.line, taint.source.col
+            else:
+                line, col = taint.via.line, taint.via.col
+            chain = render_chain(project, qualname, taint, taints)
+            yield Finding(
+                rule_id=self.id,
+                path=fn.ctx.display_path,
+                line=line,
+                col=col,
+                message=(
+                    f"{kind} nondeterminism reaches deterministic-scope "
+                    f"`{qualname}`: {chain}"
+                ),
+            )

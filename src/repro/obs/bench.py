@@ -711,6 +711,30 @@ def _bench_kernels() -> float:
     return plans / elapsed
 
 
+def _bench_lint() -> float:
+    """One whole-program lint of ``src/repro`` in seconds (all rules).
+
+    The interprocedural pass dominates: symbol table, call graph with
+    ABC dispatch fan-out, nondeterminism-taint fixed point, and
+    layer/cycle analysis over every module, under the repo's own
+    ``[tool.reprolint]`` configuration.  The committed
+    ``BENCH_lint.json`` budgets analyzer latency as the tree grows —
+    the gate in CI only stays cheap if this number does.
+    """
+    from pathlib import Path
+
+    import repro
+    from repro.lintkit import Checker, load_config
+    from repro.lintkit.config import find_pyproject
+
+    package_root = Path(repro.__file__).resolve().parent
+    config = load_config(find_pyproject(package_root))
+    checker = Checker(config)
+    started = time.perf_counter()
+    checker.run([package_root])
+    return time.perf_counter() - started
+
+
 def bench_specs() -> tuple[BenchSpec, ...]:
     """The quick-tier registry (what ``repro-oa bench --quick`` runs)."""
     return (
@@ -763,5 +787,13 @@ def bench_specs() -> tuple[BenchSpec, ...]:
             "ms/decision",
             "lower",
             _bench_arena,
+        ),
+        BenchSpec(
+            "lint",
+            "whole-program reprolint pass over src/repro (all rules)",
+            "seconds",
+            "lower",
+            _bench_lint,
+            repetitions=3,
         ),
     )

@@ -7,7 +7,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.lintkit import LintConfig
+from repro.lintkit import LayerContract, LintConfig
 
 FIXTURES = Path(__file__).parent / "fixtures"
 
@@ -39,8 +39,17 @@ def fixture_config() -> LintConfig:
             "d001_wallclock",
             "d002_global_rng",
             "pragmas",
+            "d004_transitive",
         ),
         engine_hot_paths=("d003_set_iteration", "d003_batch_kernels"),
         async_packages=("a001_blocking_async",),
+        names_module="m002_names_registry",
+        layers=(
+            LayerContract(
+                name="fixture-core",
+                modules=("l001_layering",),
+                forbid=("l001_forbidden",),
+            ),
+        ),
         root=FIXTURES,
     )

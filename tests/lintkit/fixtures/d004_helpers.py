@@ -1,0 +1,25 @@
+"""Helper half of the D004 fixture — NOT in deterministic scope.
+
+The whole point: D002 never fires here (the module is outside
+``deterministic-packages``), so only the interprocedural pass can see
+the leak from the deterministic entry points in
+``d004_transitive.py``.
+"""
+
+import random
+import time
+
+
+def leak_rng() -> float:
+    # The hidden-global read two hops below the deterministic entry.
+    return random.random()
+
+
+def sanctioned_seeded() -> float:
+    # Seeded stream: never a taint source.
+    return random.Random(42).random()
+
+
+def sanctioned_profiling() -> float:
+    # perf_counter is exempt from the wall-clock set by design.
+    return time.perf_counter()

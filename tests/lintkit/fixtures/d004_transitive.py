@@ -1,0 +1,36 @@
+"""Known-bad fixture for D004 — transitive nondeterminism.
+
+This module is inside the fixture config's deterministic scope and
+contains no direct violation at all: D001/D002 stay silent.  The leak
+is two call hops away, through ``d004_helpers`` (outside deterministic
+scope), and only the taint pass over the call graph can report it —
+with the full chain in the message.
+"""
+
+import time
+
+from d004_helpers import leak_rng, sanctioned_seeded
+
+
+def entry() -> float:
+    return middle() + 1.0  # EXPECT[D004]
+
+
+def middle() -> float:
+    return leak_rng()  # EXPECT[D004]
+
+
+def fine_seeded() -> float:
+    # Calls a helper built on random.Random(42): sanctioned, no taint.
+    return sanctioned_seeded()
+
+
+def fine_injected(clock=time.time) -> float:
+    # Uncalled injectable default: sanctioned by D001 and D004 alike.
+    return float(clock is not None)
+
+
+def vouched() -> float:
+    # Sanctioned sink: the pragma stops taint propagation through
+    # this call site, so no chain is reported here.
+    return leak_rng()  # reprolint: ignore[D004]

@@ -1,0 +1,19 @@
+"""Forbidden-layer half of the L001 fixture.
+
+The fixture config declares a contract forbidding ``l001_layering``
+from importing this module at module level.
+"""
+
+CONST = 1
+
+
+class OnlyAType:
+    """Imported type-only by the layered module (sanctioned)."""
+
+
+def helper() -> int:
+    return CONST
+
+
+def lazy_helper() -> int:
+    return CONST + 1

@@ -1,0 +1,22 @@
+"""Known-bad fixture for L001 — layer-contract violations.
+
+The fixture config's ``fixture-core`` contract forbids this module
+from importing ``l001_forbidden`` at module level.  The two sanctioned
+crossings — a ``TYPE_CHECKING`` block and a lazy function-level
+import — must stay silent.
+"""
+
+from typing import TYPE_CHECKING
+
+import l001_forbidden  # EXPECT[L001]
+from l001_forbidden import helper  # EXPECT[L001]
+
+if TYPE_CHECKING:
+    from l001_forbidden import OnlyAType  # noqa: F401  (sanctioned)
+
+
+def use() -> int:
+    # Sanctioned: lazy import inside the function that needs it.
+    from l001_forbidden import lazy_helper
+
+    return helper() + lazy_helper() + l001_forbidden.CONST

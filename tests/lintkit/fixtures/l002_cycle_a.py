@@ -1,0 +1,12 @@
+"""Known-bad fixture for L002 — half of an import cycle.
+
+``l002_cycle_a`` imports ``l002_cycle_b`` which imports back.  The
+cycle is reported once, anchored in the lexicographically smallest
+member (this file), with the full path in the message.
+"""
+
+import l002_cycle_b  # EXPECT[L002]
+
+
+def ping() -> int:
+    return l002_cycle_b.pong()

@@ -1,0 +1,7 @@
+"""Second half of the L002 import-cycle fixture (see l002_cycle_a)."""
+
+import l002_cycle_a
+
+
+def pong() -> int:
+    return len(l002_cycle_a.__name__)

@@ -1,0 +1,16 @@
+"""Emitter half of the M002 fixture.
+
+Uses every live name from ``m002_names_registry`` — one literal
+metric, one literal span, and one f-string whose prefix covers a
+declared name — leaving only the orphans dead.
+"""
+
+
+def emit(obs) -> None:
+    obs.inc("campaign.runs")
+    with obs.span("campaign"):
+        pass
+
+
+def emit_sharded(obs, shard: int) -> None:
+    obs.observe(f"arena.{shard}", 1.0)

@@ -1,0 +1,22 @@
+"""Known-bad fixture for M002 — declared-but-never-emitted names.
+
+The fixture config points ``names-module`` at this module.  The live
+names reuse real registry entries (so M001 stays silent over in
+``m002_emitters.py``); the orphans appear nowhere else in the checked
+pair and must be flagged at their declaration lines.
+"""
+
+METRIC_NAMES = frozenset(
+    {
+        "campaign.runs",
+        "arena.points",
+        "fixture.orphan.counter",  # EXPECT[M002]
+    }
+)
+
+SPAN_NAMES = frozenset(
+    {
+        "campaign",
+        "fixture.orphan.span",  # EXPECT[M002]
+    }
+)

@@ -211,11 +211,15 @@ class TestCommandLine:
 
 class TestRepoGate:
     def test_repo_is_clean_under_its_own_checker(self, capsys):
+        # --strict and --no-baseline: the acceptance bar is a genuinely
+        # clean tree (warnings gate too, nothing grandfathered), with
+        # the whole-program pass (D004/L001/L002/M002) included.
         repo_root = FIXTURES.parent.parent.parent
         code = lint_main(
             [
                 str(repo_root / "src" / "repro"),
                 "--config", str(repo_root / "pyproject.toml"),
+                "--strict", "--no-baseline",
             ]
         )
         assert code == 0, capsys.readouterr().out
@@ -229,6 +233,7 @@ class TestRepoGate:
                 "lint",
                 str(repo_root / "src" / "repro"),
                 "--config", str(repo_root / "pyproject.toml"),
+                "--strict",
             ]
         )
         assert code == 0

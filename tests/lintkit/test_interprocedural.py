@@ -1,0 +1,401 @@
+"""Whole-program analysis tests: symbols, call graph, taint, layers.
+
+A synthetic ``mini`` package exercises every interprocedural mechanism
+in isolation from the real repo: re-export chasing, MRO method
+resolution, annotated-receiver dispatch through a registered ABC,
+two-hop taint chains with witness rendering, sanctioned patterns
+(seeded RNG, injected clocks, ``wallclock-allow``, sink pragmas), and
+import-cycle detection.  The CLI drill at the bottom is the
+acceptance-criteria check: an unseeded RNG call hidden two hops behind
+a deterministic entry point must be reported with the full call chain
+in the diagnostic, through the real command line.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from types import SimpleNamespace
+
+import pytest
+
+from repro.lintkit import Checker, build_project, load_config
+from repro.lintkit.callgraph import callgraph_for
+from repro.lintkit.cli import main as lint_main
+from repro.lintkit.taint import render_chain, taints_for
+
+MINI_FILES = {
+    "pyproject.toml": """
+        [tool.reprolint]
+        deterministic-packages = ["mini.det"]
+        wallclock-allow = ["mini.det.allowed"]
+        engine-hot-paths = ["mini.det.hot"]
+        dispatch-abcs = ["mini.base.Backend"]
+        names-module = "unused.names"
+        baseline = ".mini-baseline.json"
+    """,
+    "mini/__init__.py": """
+        from mini.det.entry import plan  # noqa: F401  (re-export)
+    """,
+    "mini/base.py": """
+        import abc
+
+
+        class Backend(abc.ABC):
+            @abc.abstractmethod
+            def fetch(self) -> int:
+                raise NotImplementedError
+    """,
+    "mini/impl_a.py": """
+        from mini.base import Backend
+
+
+        class AImpl(Backend):
+            def fetch(self) -> int:
+                return 1
+    """,
+    "mini/impl_b.py": """
+        import time
+
+        from mini.base import Backend
+
+
+        class BImpl(Backend):
+            def fetch(self) -> int:
+                return int(time.time())
+    """,
+    "mini/lib/__init__.py": "",
+    "mini/lib/helpers.py": """
+        import random
+
+
+        def mid(n: int) -> float:
+            return leak() + n
+
+
+        def leak() -> float:
+            return random.random()
+
+
+        def seeded() -> float:
+            return random.Random(7).random()
+    """,
+    "mini/det/__init__.py": "",
+    "mini/det/entry.py": """
+        import time
+
+        from mini.lib import helpers
+
+
+        def plan(n: int) -> float:
+            return helpers.mid(n)
+
+
+        def ok() -> float:
+            return helpers.seeded()
+
+
+        def fine(clock=time.time) -> bool:
+            return clock is not None
+
+
+        def vouched(n: int) -> float:
+            return helpers.mid(n)  # reprolint: ignore[D004]
+    """,
+    "mini/det/svc.py": """
+        from mini.base import Backend
+
+
+        class Runner:
+            def __init__(self, backend: Backend) -> None:
+                self.backend = backend
+
+            def run(self) -> int:
+                return self.backend.fetch()
+
+            def go(self) -> int:
+                return self.run()
+    """,
+    "mini/det/envread.py": """
+        import os
+
+
+        def home() -> str:
+            return os.environ["HOME"]
+    """,
+    "mini/det/hot.py": """
+        def scan(xs) -> list:
+            out = []
+            for x in {str(x) for x in xs}:  # reprolint: ignore[D003]
+                out.append(x)
+            return out
+
+
+        def use_scan(xs) -> list:
+            return scan(xs)
+    """,
+    "mini/det/allowed.py": """
+        import time
+
+
+        def now() -> float:
+            return time.time()
+    """,
+    "mini/det/caller.py": """
+        from mini.det import allowed
+
+
+        def relay() -> float:
+            return allowed.now()
+    """,
+}
+
+
+def write_tree(root, files):
+    for rel, body in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(body).lstrip("\n"), encoding="utf-8")
+
+
+@pytest.fixture(scope="module")
+def mini(tmp_path_factory):
+    root = tmp_path_factory.mktemp("miniproj")
+    write_tree(root, MINI_FILES)
+    config = load_config(root / "pyproject.toml")
+    checker = Checker(config)
+    contexts = []
+    for path in checker.iter_files([root / "mini"]):
+        ctx = checker.parse(path)
+        if ctx is not None:
+            contexts.append(ctx)
+    project = build_project(contexts, config)
+    return SimpleNamespace(
+        root=root, config=config, checker=checker, project=project
+    )
+
+
+class TestSymbolTable:
+    def test_reexport_chases_to_the_definition(self, mini):
+        resolved = mini.project.symbols.resolve("mini.plan")
+        assert resolved is not None
+        assert resolved.qualname == "mini.det.entry.plan"
+
+    def test_method_resolution_through_mro(self, mini):
+        table = mini.project.symbols
+        fetch = table.method_on("mini.impl_a.AImpl", "fetch")
+        assert fetch is not None
+        assert fetch.qualname == "mini.impl_a.AImpl.fetch"
+        # Inherited lookup: AImpl has no __init__, the ABC neither —
+        # resolution fails cleanly instead of inventing one.
+        assert table.method_on("mini.impl_a.AImpl", "__init__") is None
+
+    def test_abc_implementations_are_found(self, mini):
+        impls = mini.project.symbols.implementations_of("mini.base.Backend")
+        assert sorted(c.qualname for c in impls) == [
+            "mini.impl_a.AImpl",
+            "mini.impl_b.BImpl",
+        ]
+
+    def test_module_pseudo_functions_exist(self, mini):
+        functions = mini.project.symbols.functions
+        assert "mini.det.entry.<module>" in functions
+        assert "mini.<module>" in functions
+
+    def test_annotated_init_param_types_attr(self, mini):
+        cls = mini.project.symbols.classes["mini.det.svc.Runner"]
+        assert cls.attr_types["backend"] == ("mini.base.Backend",)
+
+
+class TestCallGraph:
+    def test_cross_module_edge(self, mini):
+        graph = callgraph_for(mini.project)
+        callees = {
+            s.callee for s in graph.calls_from("mini.det.entry.plan")
+        }
+        assert "mini.lib.helpers.mid" in callees
+
+    def test_dispatch_fans_out_to_every_implementation(self, mini):
+        graph = callgraph_for(mini.project)
+        callees = {
+            s.callee for s in graph.calls_from("mini.det.svc.Runner.run")
+        }
+        assert "mini.impl_a.AImpl.fetch" in callees
+        assert "mini.impl_b.BImpl.fetch" in callees
+
+    def test_self_method_edge(self, mini):
+        graph = callgraph_for(mini.project)
+        callees = {
+            s.callee for s in graph.calls_from("mini.det.svc.Runner.go")
+        }
+        assert callees == {"mini.det.svc.Runner.run"}
+
+
+class TestTaint:
+    def test_two_hop_chain_with_witness(self, mini):
+        taints = taints_for(mini.project)
+        taint = taints[("mini.det.entry.plan", "global-rng")]
+        assert taint.via is not None
+        chain = render_chain(
+            mini.project, "mini.det.entry.plan", taint, taints
+        )
+        assert "mini.det.entry.plan" in chain
+        assert "mini.lib.helpers.mid" in chain
+        assert "mini.lib.helpers.leak" in chain
+        assert chain.count(" -> ") == 2
+        assert chain.endswith("random.random())")
+
+    def test_sanctioned_patterns_are_not_sources(self, mini):
+        taints = taints_for(mini.project)
+        # Seeded generator two hops away: no taint at all.
+        assert ("mini.det.entry.ok", "global-rng") not in taints
+        # wallclock-allow kills the source, so the caller stays clean.
+        assert ("mini.det.caller.relay", "wall-clock") not in taints
+
+    def test_sink_pragma_stops_propagation(self, mini):
+        taints = taints_for(mini.project)
+        assert ("mini.det.entry.vouched", "global-rng") not in taints
+
+    def test_d004_reports_exactly_the_leaks(self, mini):
+        findings = mini.checker.run([mini.root / "mini"])
+        assert {f.rule_id for f in findings} == {"D004"}
+        reported = {
+            f.message.split("`")[1] for f in findings
+        }
+        assert reported == {
+            "mini.det.entry.plan",
+            "mini.det.envread.home",
+            "mini.det.svc.Runner.run",
+            "mini.det.svc.Runner.go",
+            "mini.det.hot.use_scan",
+        }
+
+    def test_direct_environment_read_is_reported(self, mini):
+        findings = mini.checker.run([mini.root / "mini"])
+        [env] = [f for f in findings if "envread" in f.path]
+        assert "environment" in env.message
+        assert "os.environ[...]" in env.message
+
+
+class TestLayers:
+    def test_three_module_cycle_reported_once_with_path(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {
+                "pyproject.toml": """
+                    [tool.reprolint]
+                    deterministic-packages = []
+                    baseline = ".b.json"
+                """,
+                "ring/__init__.py": "",
+                "ring/x.py": "from ring import y\n",
+                "ring/y.py": "from ring import z\n",
+                "ring/z.py": "from ring import x\n",
+            },
+        )
+        config = load_config(tmp_path / "pyproject.toml")
+        findings = Checker(config).run([tmp_path / "ring"])
+        cycles = [f for f in findings if f.rule_id == "L002"]
+        assert len(cycles) == 1
+        assert "ring.x -> ring.y -> ring.z -> ring.x" in cycles[0].message
+        assert cycles[0].path.endswith("x.py")
+
+    def test_allow_is_exact_not_prefix(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {
+                "pyproject.toml": """
+                    [tool.reprolint]
+                    deterministic-packages = []
+                    baseline = ".b.json"
+
+                    [tool.reprolint.layers.core]
+                    modules = ["app.core"]
+                    forbid = ["app.obs"]
+                    allow = ["app.obs"]
+                """,
+                "app/__init__.py": "",
+                "app/core/__init__.py": "",
+                "app/core/good.py": "from app import obs  # noqa\n",
+                "app/core/bad.py": "from app.obs import internal  # noqa\n",
+                "app/obs/__init__.py": "",
+                "app/obs/internal.py": "X = 1\n",
+            },
+        )
+        config = load_config(tmp_path / "pyproject.toml")
+        findings = Checker(config).run([tmp_path / "app"])
+        layer = [f for f in findings if f.rule_id == "L001"]
+        assert len(layer) == 1
+        assert layer[0].path.endswith("bad.py")
+        assert "app.obs.internal" in layer[0].message
+
+    def test_type_checking_blocks_are_exempt(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {
+                "pyproject.toml": """
+                    [tool.reprolint]
+                    deterministic-packages = []
+                    baseline = ".b.json"
+
+                    [tool.reprolint.layers.core]
+                    modules = ["app.core"]
+                    forbid = ["app.svc"]
+                """,
+                "app/__init__.py": "",
+                "app/core/__init__.py": "",
+                "app/core/typed.py": """
+                    from typing import TYPE_CHECKING
+
+                    if TYPE_CHECKING:
+                        from app.svc import thing  # noqa: F401
+
+
+                    def use() -> None:
+                        from app.svc import thing  # noqa: F401
+                """,
+                "app/svc/__init__.py": "",
+                "app/svc/thing.py": "X = 1\n",
+            },
+        )
+        config = load_config(tmp_path / "pyproject.toml")
+        findings = Checker(config).run([tmp_path / "app"])
+        assert [f for f in findings if f.rule_id == "L001"] == []
+
+
+class TestCliDrill:
+    """The acceptance drill: transitive leak through the real CLI."""
+
+    def test_two_hop_rng_leak_trips_the_gate_with_full_chain(
+        self, tmp_path, capsys
+    ):
+        write_tree(tmp_path, MINI_FILES)
+        code = lint_main(
+            [
+                str(tmp_path / "mini"),
+                "--config", str(tmp_path / "pyproject.toml"),
+                "--no-baseline",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        [chain_line] = [
+            line
+            for line in out.splitlines()
+            if "D004" in line and "mini.det.entry.plan" in line
+        ]
+        # The full two-hop witness chain, ending at the actual read.
+        assert "mini.lib.helpers.mid" in chain_line
+        assert "mini.lib.helpers.leak" in chain_line
+        assert "random.random()" in chain_line
+        assert chain_line.count(" -> ") == 2
+
+    def test_baselining_the_chain_then_gate_passes(self, tmp_path, capsys):
+        write_tree(tmp_path, MINI_FILES)
+        args = [
+            str(tmp_path / "mini"),
+            "--config", str(tmp_path / "pyproject.toml"),
+        ]
+        assert lint_main([*args, "--write-baseline"]) == 0
+        capsys.readouterr()
+        assert lint_main(args) == 0
+        assert "baselined" in capsys.readouterr().out

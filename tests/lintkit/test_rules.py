@@ -5,6 +5,10 @@ the tests assert the checker reports *exactly* those (rule id, line)
 pairs — wrong-line or wrong-rule reports fail just as loudly as missed
 findings, and the sanctioned patterns in the same files prove the
 rules don't over-trigger.
+
+Project-scope rules (D004/L001/L002/M002) need to see several files at
+once, so a rule maps to a *tuple* of fixture files checked together;
+the expected set is the union of their markers.
 """
 
 from __future__ import annotations
@@ -16,27 +20,33 @@ from repro.lintkit import Checker, all_rules
 from tests.lintkit.conftest import FIXTURES, expected_findings
 
 FIXTURE_FILES = {
-    "D001": "d001_wallclock.py",
-    "D002": "d002_global_rng.py",
-    "D003": "d003_set_iteration.py",
-    "M001": "m001_metric_typo.py",
-    "P001": "p001_error_code.py",
-    "A001": "a001_blocking_async.py",
+    "D001": ("d001_wallclock.py",),
+    "D002": ("d002_global_rng.py",),
+    "D003": ("d003_set_iteration.py",),
+    "D004": ("d004_transitive.py", "d004_helpers.py"),
+    "L001": ("l001_layering.py", "l001_forbidden.py"),
+    "L002": ("l002_cycle_a.py", "l002_cycle_b.py"),
+    "M001": ("m001_metric_typo.py",),
+    "M002": ("m002_names_registry.py", "m002_emitters.py"),
+    "P001": ("p001_error_code.py",),
+    "A001": ("a001_blocking_async.py",),
 }
 
 
-def run_on(fixture_config, filename):
+def run_on(fixture_config, *filenames):
     checker = Checker(fixture_config)
-    return checker.run([FIXTURES / filename])
+    return checker.run([FIXTURES / name for name in filenames])
 
 
 @pytest.mark.parametrize("rule_id", sorted(FIXTURE_FILES))
 def test_rule_flags_fixture_at_exact_lines(fixture_config, rule_id):
-    path = FIXTURES / FIXTURE_FILES[rule_id]
-    findings = run_on(fixture_config, FIXTURE_FILES[rule_id])
+    filenames = FIXTURE_FILES[rule_id]
+    findings = run_on(fixture_config, *filenames)
     got = {(f.rule_id, f.line) for f in findings}
-    want = expected_findings(path)
-    assert want, f"fixture {path.name} declares no EXPECT markers"
+    want = set()
+    for name in filenames:
+        want |= expected_findings(FIXTURES / name)
+    assert want, f"fixtures {filenames} declare no EXPECT markers"
     assert got == want
     assert all(f.rule_id == rule_id for f in findings)
 

@@ -212,6 +212,7 @@ class TestRegistry:
             "campaign",
             "service",
             "arena",
+            "lint",
         ]
         directions = {spec.name: spec.direction for spec in specs}
         assert directions["sweep"] == "higher"
@@ -219,6 +220,7 @@ class TestRegistry:
         assert directions["kernels"] == "higher"
         assert directions["service"] == "higher"
         assert directions["arena"] == "lower"
+        assert directions["lint"] == "lower"
 
     def test_committed_baseline_covers_the_quick_tier(self) -> None:
         baseline = load_baseline("benchmarks/baseline.json")
